@@ -1,0 +1,168 @@
+// Google-benchmark suite over the CP query engines (paper Figure 4):
+// brute force (exponential), SS naive, SS-DC, SS-DC-MC, MM, FastQ2.
+// Run with --benchmark_filter=... to slice.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/brute_force.h"
+#include "core/fast_q2.h"
+#include "core/mm.h"
+#include "core/ss.h"
+#include "core/ss1.h"
+#include "core/ss_dc.h"
+#include "core/ss_dc_mc.h"
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+namespace {
+
+IncompleteDataset MakeDataset(int n, int m, int num_labels, uint64_t seed) {
+  Rng rng(seed);
+  IncompleteDataset dataset(num_labels);
+  for (int i = 0; i < n; ++i) {
+    IncompleteExample ex;
+    ex.label = i < num_labels ? i : rng.NextInt(0, num_labels - 1);
+    const int candidates = 1 + static_cast<int>(rng.NextUint64(
+                                   static_cast<uint64_t>(m)));
+    for (int j = 0; j < candidates; ++j) {
+      ex.candidates.push_back({rng.NextDouble(-2, 2), rng.NextDouble(-2, 2),
+                               rng.NextDouble(-2, 2)});
+    }
+    CP_CHECK(dataset.AddExample(std::move(ex)).ok());
+  }
+  return dataset;
+}
+
+std::vector<double> TestPoint(uint64_t seed) {
+  Rng rng(seed ^ 0x1234);
+  return {rng.NextDouble(-2, 2), rng.NextDouble(-2, 2), rng.NextDouble(-2, 2)};
+}
+
+void BM_BruteForce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const IncompleteDataset dataset = MakeDataset(n, 2, 2, 7);
+  const auto t = TestPoint(7);
+  NegativeEuclideanKernel kernel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BruteForceCount(dataset, t, kernel, 3));
+  }
+  state.SetComplexityN(n);
+}
+// Exponential: keep N tiny.
+BENCHMARK(BM_BruteForce)->DenseRange(4, 14, 2)->Complexity();
+
+template <typename Fn>
+void RunPolyBench(benchmark::State& state, Fn&& fn) {
+  const int n = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  const IncompleteDataset dataset = MakeDataset(n, m, 2, 7);
+  const auto t = TestPoint(7);
+  NegativeEuclideanKernel kernel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn(dataset, t, kernel, k));
+  }
+  state.SetComplexityN(n * m);
+}
+
+void BM_SsNaive(benchmark::State& state) {
+  RunPolyBench(state, [](const auto& d, const auto& t, const auto& kern,
+                         int k) {
+    return SsCount<DoubleSemiring, true>(d, t, kern, k);
+  });
+}
+BENCHMARK(BM_SsNaive)
+    ->ArgsProduct({{50, 100, 200, 400}, {3}, {3}})
+    ->Complexity();
+
+void BM_SsDc(benchmark::State& state) {
+  RunPolyBench(state, [](const auto& d, const auto& t, const auto& kern,
+                         int k) {
+    return SsDcCount<DoubleSemiring, true>(d, t, kern, k);
+  });
+}
+BENCHMARK(BM_SsDc)
+    ->ArgsProduct({{50, 100, 200, 400, 800, 1600}, {3}, {1, 3, 7}})
+    ->Complexity();
+
+void BM_SsDcMc(benchmark::State& state) {
+  RunPolyBench(state, [](const auto& d, const auto& t, const auto& kern,
+                         int k) {
+    return SsDcMcCount<DoubleSemiring, true>(d, t, kern, k);
+  });
+}
+BENCHMARK(BM_SsDcMc)->ArgsProduct({{100, 400, 1600}, {3}, {3}});
+
+void BM_Mm(benchmark::State& state) {
+  RunPolyBench(state,
+               [](const auto& d, const auto& t, const auto& kern, int k) {
+                 return MmCheck(d, t, kern, k);
+               });
+}
+BENCHMARK(BM_Mm)
+    ->ArgsProduct({{50, 100, 200, 400, 800, 1600, 3200}, {3}, {3}})
+    ->Complexity();
+
+void BM_Ss1(benchmark::State& state) {
+  RunPolyBench(state,
+               [](const auto& d, const auto& t, const auto& kern, int k) {
+                 (void)k;
+                 return Ss1Count<DoubleSemiring, true>(d, t, kern);
+               });
+}
+BENCHMARK(BM_Ss1)->ArgsProduct({{100, 400, 1600}, {3}, {1}});
+
+void BM_FastQ2_FullScan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const IncompleteDataset dataset = MakeDataset(n, 3, 2, 7);
+  const auto t = TestPoint(7);
+  NegativeEuclideanKernel kernel;
+  FastQ2 q2(&dataset, 3, /*epsilon=*/0.0);
+  q2.SetTestPoint(t, kernel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q2.Fractions());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FastQ2_FullScan)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_FastQ2_Truncated(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const IncompleteDataset dataset = MakeDataset(n, 3, 2, 7);
+  const auto t = TestPoint(7);
+  NegativeEuclideanKernel kernel;
+  FastQ2 q2(&dataset, 3, /*epsilon=*/1e-9);
+  q2.SetTestPoint(t, kernel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q2.Fractions());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FastQ2_Truncated)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity();
+
+void BM_FastQ2_PinnedSweep(benchmark::State& state) {
+  // The CPClean inner loop: pinned queries across one tuple's candidates.
+  const int n = static_cast<int>(state.range(0));
+  IncompleteDataset dataset = MakeDataset(n, 3, 2, 7);
+  const auto t = TestPoint(7);
+  NegativeEuclideanKernel kernel;
+  FastQ2 q2(&dataset, 3, 1e-9);
+  q2.SetTestPoint(t, kernel);
+  const int target = dataset.DirtyExamples().empty()
+                         ? 0
+                         : dataset.DirtyExamples().front();
+  for (auto _ : state) {
+    for (int j = 0; j < dataset.num_candidates(target); ++j) {
+      benchmark::DoNotOptimize(q2.FractionsPinned(target, j));
+    }
+  }
+}
+BENCHMARK(BM_FastQ2_PinnedSweep)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace cpclean

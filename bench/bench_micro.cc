@@ -1,0 +1,106 @@
+// Micro-benchmarks of the substrates: kernels, top-K selection, support
+// trees, BigUint arithmetic, CSV parsing.
+
+#include <benchmark/benchmark.h>
+
+#include "common/big_uint.h"
+#include "common/rng.h"
+#include "core/support_tree.h"
+#include "data/csv.h"
+#include "knn/kernel.h"
+#include "knn/top_k.h"
+
+namespace cpclean {
+namespace {
+
+void BM_KernelNegEuclidean(benchmark::State& state) {
+  Rng rng(1);
+  const int d = static_cast<int>(state.range(0));
+  std::vector<double> a(static_cast<size_t>(d)), b(static_cast<size_t>(d));
+  for (auto& v : a) v = rng.NextDouble();
+  for (auto& v : b) v = rng.NextDouble();
+  NegativeEuclideanKernel kernel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.Similarity(a, b));
+  }
+}
+BENCHMARK(BM_KernelNegEuclidean)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_KernelRbf(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> a(64), b(64);
+  for (auto& v : a) v = rng.NextDouble();
+  for (auto& v : b) v = rng.NextDouble();
+  RbfKernel kernel(0.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.Similarity(a, b));
+  }
+}
+BENCHMARK(BM_KernelRbf);
+
+void BM_SelectTopK(benchmark::State& state) {
+  Rng rng(2);
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  std::vector<ScoredCandidate> items;
+  for (int i = 0; i < n; ++i) {
+    items.push_back({rng.NextDouble(), i, 0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectTopK(items, k));
+  }
+}
+BENCHMARK(BM_SelectTopK)->ArgsProduct({{1000, 10000}, {1, 3, 31}});
+
+void BM_SupportTreeUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  SupportTree<DoubleSemiring> tree(n, k);
+  for (int i = 0; i < n; ++i) tree.SetLeaf(i, 0.4, 0.6);
+  Rng rng(3);
+  for (auto _ : state) {
+    const int pos = static_cast<int>(rng.NextUint64(static_cast<uint64_t>(n)));
+    tree.SetLeaf(pos, 0.3, 0.7);
+    benchmark::DoNotOptimize(tree.Root());
+  }
+}
+BENCHMARK(BM_SupportTreeUpdate)->ArgsProduct({{256, 4096}, {1, 3, 7}});
+
+void BM_SupportTreeProductExcept(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SupportTree<DoubleSemiring> tree(n, 3);
+  for (int i = 0; i < n; ++i) tree.SetLeaf(i, 0.4, 0.6);
+  Rng rng(4);
+  for (auto _ : state) {
+    const int pos = static_cast<int>(rng.NextUint64(static_cast<uint64_t>(n)));
+    benchmark::DoNotOptimize(tree.ProductExcept(pos));
+  }
+}
+BENCHMARK(BM_SupportTreeProductExcept)->Arg(256)->Arg(4096);
+
+void BM_BigUintMul(benchmark::State& state) {
+  const BigUint a = BigUint(7).Pow(static_cast<uint64_t>(state.range(0)));
+  const BigUint b = BigUint(11).Pow(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigUintMul)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_CsvParse(benchmark::State& state) {
+  std::string csv = "a,b,c,label\n";
+  Rng rng(5);
+  for (int r = 0; r < 1000; ++r) {
+    csv += std::to_string(rng.NextDouble()) + "," +
+           std::to_string(rng.NextDouble()) + ",cat" +
+           std::to_string(rng.NextInt(0, 4)) + "," +
+           std::to_string(rng.NextInt(0, 1)) + "\n";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadCsvString(csv));
+  }
+}
+BENCHMARK(BM_CsvParse);
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,126 @@
+// Ablation benches for the design decisions DESIGN.md calls out:
+//
+//  (a) FastQ2 early-termination epsilon — accuracy/latency trade-off of
+//      truncating the descending scan;
+//  (b) never-in-top-K pruning — how many (tuple, val-point) evaluations
+//      the TopKFloor test eliminates in a CPClean selection step;
+//  (c) selection strategy — CPClean's entropy greedy vs RandomClean on
+//      cleaning effort until all validation points are certified.
+//
+// Scale knobs (env): CPCLEAN_TRAIN_ROWS, CPCLEAN_VAL, CPCLEAN_SEED.
+
+#include <cmath>
+#include <cstdio>
+
+#include "cleaning/cp_clean.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/fast_q2.h"
+#include "datasets/paper_datasets.h"
+#include "eval/experiment.h"
+#include "eval/reporting.h"
+#include "knn/kernel.h"
+
+int main() {
+  using namespace cpclean;
+  const int train_rows = GetEnvInt("CPCLEAN_TRAIN_ROWS", 120);
+  const int val_size = GetEnvInt("CPCLEAN_VAL", 40);
+  const int seed = GetEnvInt("CPCLEAN_SEED", 3);
+
+  NegativeEuclideanKernel kernel;
+  ExperimentConfig config;
+  config.dataset = PaperDatasetByName("Supreme", train_rows, val_size, 120);
+  config.seed = static_cast<uint64_t>(seed);
+  auto prepared_or = PrepareExperiment(config, kernel);
+  if (!prepared_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 prepared_or.status().ToString().c_str());
+    return 1;
+  }
+  const PreparedExperiment& prepared = prepared_or.value();
+  const CleaningTask& task = prepared.task;
+
+  // (a) Epsilon sweep: max fraction error and latency vs the exact scan.
+  std::printf("=== Ablation (a): FastQ2 early-termination epsilon ===\n");
+  {
+    AsciiTable table({"epsilon", "max |err| vs exact", "us/query"});
+    FastQ2 exact(&task.incomplete, 3, 0.0);
+    for (double eps : {0.0, 1e-12, 1e-9, 1e-6, 1e-3}) {
+      FastQ2 q2(&task.incomplete, 3, eps);
+      double max_err = 0.0;
+      Timer timer;
+      int queries = 0;
+      for (size_t v = 0; v < task.val_x.size(); ++v) {
+        exact.SetTestPoint(task.val_x[v], kernel);
+        q2.SetTestPoint(task.val_x[v], kernel);
+        const auto truth = exact.Fractions();
+        const auto approx = q2.Fractions();
+        ++queries;
+        for (size_t y = 0; y < truth.size(); ++y) {
+          max_err = std::max(max_err, std::abs(truth[y] - approx[y]));
+        }
+      }
+      // Re-time just the approximate queries.
+      timer.Restart();
+      for (size_t v = 0; v < task.val_x.size(); ++v) {
+        q2.SetTestPoint(task.val_x[v], kernel);
+        const auto frac = q2.Fractions();
+        (void)frac;
+      }
+      table.AddRow({StrFormat("%.0e", eps), StrFormat("%.2e", max_err),
+                    FormatDouble(timer.ElapsedMicros() / queries, 1)});
+    }
+    table.Print();
+  }
+
+  // (b) Pruning rate of the never-in-top-K test.
+  std::printf("\n=== Ablation (b): TopKFloor pruning rate ===\n");
+  {
+    FastQ2 q2(&task.incomplete, 3, 1e-9);
+    const std::vector<int> dirty = task.DirtyRows();
+    long long pruned = 0, total = 0;
+    for (size_t v = 0; v < task.val_x.size(); ++v) {
+      q2.SetTestPoint(task.val_x[v], kernel);
+      const double floor = q2.TopKFloor();
+      for (int i : dirty) {
+        ++total;
+        if (q2.MaxSimilarity(i) < floor) ++pruned;
+      }
+    }
+    std::printf("pruned %lld of %lld (tuple, val-point) evaluations "
+                "(%.1f%%) in the first selection step\n",
+                pruned, total, 100.0 * pruned / std::max(1LL, total));
+  }
+
+  // (c) Selection strategies: cleaning effort to certify all val points.
+  std::printf("\n=== Ablation (c): selection strategy ===\n");
+  {
+    AsciiTable table({"strategy", "examples cleaned", "final test acc",
+                      "seconds"});
+    CpCleanOptions options;
+    options.k = config.k;
+    CleaningSession session(&task, &kernel, options);
+    {
+      Timer timer;
+      const CleaningRunResult run = session.RunCpClean();
+      table.AddRow({"CPClean (entropy greedy)",
+                    StrFormat("%d/%d", run.examples_cleaned,
+                              prepared.dirty_rows),
+                    FormatDouble(run.final_test_accuracy, 3),
+                    FormatDouble(timer.ElapsedSeconds(), 1)});
+    }
+    for (int r = 0; r < 3; ++r) {
+      Rng rng(static_cast<uint64_t>(seed + 100 + r));
+      Timer timer;
+      const CleaningRunResult run = session.RunRandomClean(&rng);
+      table.AddRow({StrFormat("RandomClean (seed %d)", seed + 100 + r),
+                    StrFormat("%d/%d", run.examples_cleaned,
+                              prepared.dirty_rows),
+                    FormatDouble(run.final_test_accuracy, 3),
+                    FormatDouble(timer.ElapsedSeconds(), 1)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Regenerates paper Figure 9: CPClean vs RandomClean cleaning curves on
+// each dataset analog — percentage of examples cleaned vs (a) percentage
+// of validation examples CP'ed (the paper's red series) and (b) percentage
+// of the test-accuracy gap closed (blue series).
+//
+// Scale knobs (env): CPCLEAN_TRAIN_ROWS, CPCLEAN_VAL, CPCLEAN_TEST,
+// CPCLEAN_SEED, CPCLEAN_RANDOM_REPEATS.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "datasets/paper_datasets.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/reporting.h"
+#include "knn/kernel.h"
+
+namespace {
+
+using namespace cpclean;
+
+void PrintCurve(const CleaningCurves& curves) {
+  const int total = curves.total_dirty;
+  std::printf("--- %s (GT acc %.3f, Default acc %.3f, %d dirty rows) ---\n",
+              curves.dataset.c_str(), curves.ground_truth_accuracy,
+              curves.default_accuracy, total);
+  AsciiTable table({"cleaned", "CPC: val CP'ed", "CPC: gap closed",
+                    "Rand: val CP'ed", "Rand: gap closed"});
+  const size_t len = std::min(curves.cp_clean.steps.size(),
+                              curves.random_clean_mean.size());
+  // Print ~12 evenly spaced points of the trajectory.
+  const size_t stride = std::max<size_t>(1, len / 12);
+  std::vector<size_t> points;
+  for (size_t s = 0; s < len; s += stride) points.push_back(s);
+  if (len > 0 && points.back() != len - 1) points.push_back(len - 1);
+  for (size_t s : points) {
+    const auto& cp = curves.cp_clean.steps[s];
+    const auto& rnd = curves.random_clean_mean[s];
+    table.AddRow(
+        {StrFormat("%3d (%s)", cp.step,
+                   FormatPercent(total > 0 ? 1.0 * cp.step / total : 0)
+                       .c_str()),
+         FormatPercent(cp.frac_val_certain),
+         FormatPercent(GapClosed(cp.test_accuracy, curves.default_accuracy,
+                                 curves.ground_truth_accuracy)),
+         FormatPercent(rnd.frac_val_certain),
+         FormatPercent(GapClosed(rnd.test_accuracy, curves.default_accuracy,
+                                 curves.ground_truth_accuracy))});
+  }
+  table.Print();
+  // Convergence summary: where CPClean certified all validation points.
+  int cp_converged = -1;
+  for (const auto& step : curves.cp_clean.steps) {
+    if (step.frac_val_certain >= 1.0) {
+      cp_converged = step.step;
+      break;
+    }
+  }
+  int rnd_converged = -1;
+  for (const auto& step : curves.random_clean_mean) {
+    if (step.frac_val_certain >= 1.0) {
+      rnd_converged = step.step;
+      break;
+    }
+  }
+  std::printf("all-val-CP'ed after: CPClean %d, RandomClean(mean) %s of %d "
+              "dirty rows\n\n",
+              cp_converged,
+              rnd_converged < 0 ? ">trace" : StrFormat("%d", rnd_converged).c_str(),
+              total);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cpclean;
+  const int train_rows = GetEnvInt("CPCLEAN_TRAIN_ROWS", 120);
+  const int val_size = GetEnvInt("CPCLEAN_VAL", 40);
+  const int test_size = GetEnvInt("CPCLEAN_TEST", 240);
+  const int seed = GetEnvInt("CPCLEAN_SEED", 3);
+  const int repeats = GetEnvInt("CPCLEAN_RANDOM_REPEATS", 2);
+
+  std::printf("=== Figure 9: CPClean vs RandomClean cleaning curves ===\n");
+  std::printf("(train=%d val=%d test=%d seed=%d random-repeats=%d)\n\n",
+              train_rows, val_size, test_size, seed, repeats);
+
+  NegativeEuclideanKernel kernel;
+  Timer timer;
+  for (const PaperDatasetSpec& spec :
+       PaperDatasetSuite(train_rows, val_size, test_size)) {
+    ExperimentConfig config;
+    config.dataset = spec;
+    config.seed = static_cast<uint64_t>(seed);
+    auto curves_or = RunCleaningCurves(config, kernel, repeats);
+    if (!curves_or.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", spec.name.c_str(),
+                   curves_or.status().ToString().c_str());
+      return 1;
+    }
+    PrintCurve(curves_or.value());
+    std::printf("[%s done at %.1fs]\n\n", spec.name.c_str(),
+                timer.ElapsedSeconds());
+  }
+  std::printf("paper shape: the CPClean curves dominate RandomClean on both "
+              "series and reach 100%% val-CP'ed far earlier.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Regenerates paper Table 2: end-to-end comparison of cleaning methods on
+// the four dataset analogs.
+//
+//   columns: GroundTruth test accuracy | Default Cleaning test accuracy |
+//            gap closed by BoostClean / HoloClean / CPClean |
+//            examples CPClean cleaned | gap closed at a 20% budget
+//
+// Paper shape to reproduce: BoostClean closes a small positive fraction,
+// HoloClean is erratic (can be negative), CPClean closes ~100% of the gap
+// while cleaning only a fraction of the training set.
+//
+// Scale knobs (env): CPCLEAN_TRAIN_ROWS, CPCLEAN_VAL, CPCLEAN_TEST,
+// CPCLEAN_SEED.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "datasets/paper_datasets.h"
+#include "eval/experiment.h"
+#include "eval/reporting.h"
+#include "knn/kernel.h"
+
+int main() {
+  using namespace cpclean;
+  const int train_rows = GetEnvInt("CPCLEAN_TRAIN_ROWS", 150);
+  const int val_size = GetEnvInt("CPCLEAN_VAL", 60);
+  const int test_size = GetEnvInt("CPCLEAN_TEST", 300);
+  const int seed = GetEnvInt("CPCLEAN_SEED", 3);
+  const char* only = std::getenv("CPCLEAN_ONLY");  // optional dataset filter
+
+  std::printf("=== Table 2: end-to-end performance comparison ===\n");
+  std::printf("(K=3 KNN, Euclidean; train=%d val=%d test=%d seed=%d)\n\n",
+              train_rows, val_size, test_size, seed);
+
+  AsciiTable table({"Dataset", "GT acc", "Default acc", "Boost gap",
+                    "Holo gap", "CPClean gap", "CPC cleaned",
+                    "CPC gap@20%"});
+  NegativeEuclideanKernel kernel;
+  Timer timer;
+  for (const PaperDatasetSpec& spec :
+       PaperDatasetSuite(train_rows, val_size, test_size)) {
+    if (only != nullptr && spec.name != only) continue;
+    ExperimentConfig config;
+    config.dataset = spec;
+    config.seed = static_cast<uint64_t>(seed);
+    auto row_or = RunTable2Row(config, kernel);
+    if (!row_or.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", spec.name.c_str(),
+                   row_or.status().ToString().c_str());
+      return 1;
+    }
+    const Table2Row& row = row_or.value();
+    table.AddRow({row.dataset, FormatDouble(row.ground_truth_accuracy, 3),
+                  FormatDouble(row.default_accuracy, 3),
+                  FormatPercent(row.boost_clean_gap),
+                  FormatPercent(row.holo_clean_gap),
+                  FormatPercent(row.cp_clean_gap),
+                  FormatPercent(row.cp_clean_examples_cleaned),
+                  FormatPercent(row.cp_clean_gap_at_20pct)});
+    std::printf("[%s done at %.1fs]\n", row.dataset.c_str(),
+                timer.ElapsedSeconds());
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\npaper (full scale): BabyProduct GT .668 Def .589 Boost 1%% Holo 1%% "
+      "CPC 99%% cleaned 64%% | Supreme GT .968 Def .877 Boost 12%% Holo -4%% "
+      "CPC 100%% cleaned 15%% |\n Bank GT .643 Def .558 Boost 20%% Holo 11%% "
+      "CPC 102%% cleaned 93%% | Puma GT .794 Def .747 Boost 28%% Holo -64%% "
+      "CPC 102%% cleaned 63%%\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Evaluating a KNN classifier over a block tuple-independent probabilistic
+// database (paper §2.1's "Connections to Probabilistic Databases",
+// generalized to non-uniform priors).
+//
+// Scenario: a sensor reading for one training tuple is uncertain — an
+// automatic repair model proposes three values with calibrated
+// probabilities. We ask for the distribution of the classifier's
+// prediction over the induced world distribution and watch it respond to
+// the prior.
+
+#include <cstdio>
+
+#include "core/probabilistic.h"
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+
+int main() {
+  using namespace cpclean;
+
+  IncompleteDataset train(/*num_labels=*/2);
+  CP_CHECK(train.AddCleanExample({0.0, 0.0}, 0).ok());
+  CP_CHECK(train.AddCleanExample({0.5, 0.0}, 0).ok());
+  CP_CHECK(train.AddCleanExample({1.1, 1.1}, 1).ok());
+  CP_CHECK(train.AddCleanExample({4.0, 4.0}, 1).ok());
+  // The uncertain tuple (label 1): if its true value is the near candidate
+  // it joins the test point's top-3 and flips the majority to label 1;
+  // the two far candidates leave the top-3 with a label-0 majority.
+  CP_CHECK(train.AddExample({{{0.6, 0.8}, {3.6, 3.4}, {4.4, 4.2}}, 1}).ok());
+
+  NegativeEuclideanKernel kernel;
+  const std::vector<double> t = {0.8, 0.8};
+
+  std::printf("test point (0.8, 0.8), 3-NN, worlds = %s\n\n",
+              train.NumPossibleWorlds().ToString().c_str());
+
+  struct Case {
+    const char* name;
+    std::vector<double> prior;
+  };
+  const Case cases[] = {
+      {"uniform prior        ", {1.0 / 3, 1.0 / 3, 1.0 / 3}},
+      {"repair model: near   ", {0.90, 0.05, 0.05}},
+      {"repair model: far    ", {0.05, 0.45, 0.50}},
+  };
+  for (const Case& c : cases) {
+    auto priors = UniformPriors(train);
+    priors[4] = c.prior;
+    const auto probs =
+        WeightedLabelProbabilities(train, priors, t, kernel, /*k=*/3).value();
+    std::printf("%s -> P(label 0) = %.3f, P(label 1) = %.3f\n", c.name,
+                probs[0], probs[1]);
+  }
+  std::printf("\nThe uniform row reproduces Q2/|worlds|; skewing the prior "
+              "toward the near candidate pulls the uncertain tuple into the "
+              "test point's neighborhood and shifts the prediction mass.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "cleaning/boost_clean.h"
+
+#include "common/logging.h"
+
+namespace cpclean {
+
+Result<BoostCleanResult> RunBoostClean(const CleaningTask& task,
+                                       const SimilarityKernel& kernel,
+                                       int k) {
+  BoostCleanResult result;
+  bool first = true;
+  Table best_table;
+  for (const ImputeMethod& method : BoostCleanMethodSpace()) {
+    CP_ASSIGN_OR_RETURN(
+        Table completed,
+        ApplyImputeMethod(task.dirty_train, task.label_col, method));
+    CP_ASSIGN_OR_RETURN(auto features, task.EncodeCompletedTrain(completed));
+    const double val_acc =
+        task.AccuracyWith(features, task.val_x, task.val_y, kernel, k);
+    result.method_val_accuracy.push_back({method.name, val_acc});
+    if (first || val_acc > result.best_val_accuracy) {
+      first = false;
+      result.best_val_accuracy = val_acc;
+      result.best_method = method;
+      best_table = std::move(completed);
+    }
+  }
+  CP_ASSIGN_OR_RETURN(auto best_features,
+                      task.EncodeCompletedTrain(best_table));
+  result.test_accuracy =
+      task.AccuracyWith(best_features, task.test_x, task.test_y, kernel, k);
+  return result;
+}
+
+Result<BoostCleanResult> RunBoostCleanPerColumn(const CleaningTask& task,
+                                                const SimilarityKernel& kernel,
+                                                int k) {
+  const std::vector<ImputeMethod> space = BoostCleanMethodSpace();
+  // Start from mean/mode everywhere, then greedily re-fit one column at a
+  // time to the action that maximizes validation accuracy.
+  CP_ASSIGN_OR_RETURN(Table current,
+                      DefaultCleanImpute(task.dirty_train, task.label_col));
+  BoostCleanResult result;
+  result.best_method = space[2];  // mean/mode
+
+  for (int c = 0; c < task.dirty_train.num_columns(); ++c) {
+    if (c == task.label_col) continue;
+    if (task.dirty_train.CountMissingInColumn(c) == 0) continue;
+    double best_acc = -1.0;
+    Table best_table = current;
+    for (const ImputeMethod& method : space) {
+      // Re-impute only column c with `method` on top of `current`.
+      CP_ASSIGN_OR_RETURN(
+          Table candidate,
+          ApplyImputeMethod(task.dirty_train, task.label_col, method));
+      Table trial = current;
+      for (int r = 0; r < trial.num_rows(); ++r) {
+        if (task.dirty_train.at(r, c).is_null()) {
+          trial.Set(r, c, candidate.at(r, c));
+        }
+      }
+      CP_ASSIGN_OR_RETURN(auto features, task.EncodeCompletedTrain(trial));
+      const double val_acc =
+          task.AccuracyWith(features, task.val_x, task.val_y, kernel, k);
+      if (val_acc > best_acc) {
+        best_acc = val_acc;
+        best_table = std::move(trial);
+      }
+    }
+    current = std::move(best_table);
+    result.best_val_accuracy = best_acc;
+  }
+  CP_ASSIGN_OR_RETURN(auto features, task.EncodeCompletedTrain(current));
+  result.test_accuracy =
+      task.AccuracyWith(features, task.test_x, task.test_y, kernel, k);
+  return result;
+}
+
+}  // namespace cpclean

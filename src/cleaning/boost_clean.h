@@ -1,0 +1,39 @@
+#ifndef CPCLEAN_CLEANING_BOOST_CLEAN_H_
+#define CPCLEAN_CLEANING_BOOST_CLEAN_H_
+
+#include <string>
+#include <vector>
+
+#include "cleaning/cleaning_task.h"
+#include "cleaning/imputers.h"
+#include "common/result.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+
+/// BoostClean [Krishnan et al., 2017] as the paper's experiments configure
+/// it (§5.1): from the predefined space of repair actions — the same space
+/// CPClean's candidate repairs come from — select the action with the
+/// highest validation accuracy, then report its test accuracy. Entirely
+/// automatic; no human oracle.
+struct BoostCleanResult {
+  ImputeMethod best_method;
+  double best_val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  /// (method name, validation accuracy) for every action considered.
+  std::vector<std::pair<std::string, double>> method_val_accuracy;
+};
+
+Result<BoostCleanResult> RunBoostClean(const CleaningTask& task,
+                                       const SimilarityKernel& kernel, int k);
+
+/// Greedy per-column variant (an extension the original system supports):
+/// selects the best repair action independently for each dirty column,
+/// re-scoring on validation accuracy after each column is committed.
+Result<BoostCleanResult> RunBoostCleanPerColumn(const CleaningTask& task,
+                                                const SimilarityKernel& kernel,
+                                                int k);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CLEANING_BOOST_CLEAN_H_

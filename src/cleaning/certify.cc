@@ -1,0 +1,77 @@
+#include "cleaning/certify.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "core/certain_predictor.h"
+#include "core/fast_q2.h"
+
+namespace cpclean {
+
+Result<CertifyResult> CertifyTestPoint(const CleaningTask& task,
+                                       const std::vector<double>& t,
+                                       const SimilarityKernel& kernel,
+                                       const CertifyOptions& options) {
+  if (options.k < 1 || options.k > task.incomplete.num_examples()) {
+    return Status::InvalidArgument("k out of range");
+  }
+  IncompleteDataset working = task.incomplete;
+  const CertainPredictor predictor(&kernel, options.k);
+
+  CertifyResult result;
+  std::vector<int> dirty = working.DirtyExamples();
+  while (true) {
+    const CheckResult check = predictor.Check(working, t);
+    if (check.CertainLabel() >= 0) {
+      result.certified = true;
+      result.certain_label = check.CertainLabel();
+      return result;
+    }
+    if (dirty.empty()) {
+      return Status::Internal(
+          "dataset fully cleaned but prediction still uncertain");
+    }
+    if (options.max_cleaned >= 0 &&
+        static_cast<int>(result.cleaned.size()) >= options.max_cleaned) {
+      return result;  // budget exhausted, not certified
+    }
+
+    // Greedy step: clean the tuple minimizing the expected entropy of this
+    // point's Q2 distribution. Tuples that can never enter the top-K are
+    // provably irrelevant and skipped outright.
+    FastQ2 q2(&working, options.k, 1e-9);
+    q2.SetTestPoint(t, kernel);
+    const double floor = q2.TopKFloor();
+    double best = std::numeric_limits<double>::infinity();
+    int chosen_pos = -1;
+    for (size_t p = 0; p < dirty.size(); ++p) {
+      const int i = dirty[p];
+      if (q2.MaxSimilarity(i) < floor) continue;
+      const int m = working.num_candidates(i);
+      double sum = 0.0;
+      for (int j = 0; j < m; ++j) {
+        sum += Entropy(q2.FractionsPinned(i, j));
+      }
+      const double expected = sum / static_cast<double>(m);
+      if (expected < best) {
+        best = expected;
+        chosen_pos = static_cast<int>(p);
+      }
+    }
+    if (chosen_pos < 0) {
+      // Every dirty tuple is provably outside this point's top-K in every
+      // world, yet the prediction is uncertain — cannot happen: an
+      // uncertain prediction requires at least one influential dirty tuple.
+      return Status::Internal("no influential dirty tuple found");
+    }
+    const int chosen = dirty[static_cast<size_t>(chosen_pos)];
+    dirty.erase(dirty.begin() + chosen_pos);
+    working.FixExample(chosen,
+                       task.true_candidate[static_cast<size_t>(chosen)]);
+    result.cleaned.push_back(chosen);
+  }
+}
+
+}  // namespace cpclean

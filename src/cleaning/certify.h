@@ -1,0 +1,47 @@
+#ifndef CPCLEAN_CLEANING_CERTIFY_H_
+#define CPCLEAN_CLEANING_CERTIFY_H_
+
+#include <vector>
+
+#include "cleaning/cleaning_task.h"
+#include "common/result.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+
+/// Per-point cleaning certificate: the minimal-effort counterpart of
+/// CPClean for a *single* prediction. Given one test point whose KNN
+/// prediction is not yet certain, greedily clean the dirty tuple that
+/// minimizes the expected prediction entropy for that point (uniform prior
+/// over its candidates) until the prediction is certainly predicted.
+///
+/// Answers the practical question the paper's introduction opens with:
+/// "which specific cells must a human clean before *this* prediction can
+/// be trusted?" — and, dually, proves that the remaining dirty tuples are
+/// irrelevant to it.
+struct CertifyResult {
+  /// Tuples cleaned, in order.
+  std::vector<int> cleaned;
+  /// True when the prediction became certain within the budget.
+  bool certified = false;
+  /// The certified label (-1 when not certified).
+  int certain_label = -1;
+};
+
+struct CertifyOptions {
+  int k = 3;
+  /// Maximum tuples to clean; -1 = until certified or nothing dirty left.
+  int max_cleaned = -1;
+};
+
+/// Certifies the prediction for `t` over a working copy of the task's
+/// incomplete dataset, using the task's oracle answers.
+Result<CertifyResult> CertifyTestPoint(const CleaningTask& task,
+                                       const std::vector<double>& t,
+                                       const SimilarityKernel& kernel,
+                                       const CertifyOptions& options =
+                                           CertifyOptions());
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CLEANING_CERTIFY_H_

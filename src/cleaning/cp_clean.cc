@@ -1,0 +1,215 @@
+#include "cleaning/cp_clean.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "core/certain_predictor.h"
+#include "core/fast_q2.h"
+#include "core/ss1.h"
+#include "core/ss_dc.h"
+#include "knn/knn_classifier.h"
+
+namespace cpclean {
+
+CleaningSession::CleaningSession(const CleaningTask* task,
+                                 const SimilarityKernel* kernel,
+                                 const CpCleanOptions& options)
+    : task_(task), kernel_(kernel), options_(options) {
+  CP_CHECK(task_ != nullptr);
+  CP_CHECK(kernel_ != nullptr);
+  CP_CHECK_GE(options_.k, 1);
+  Reset();
+}
+
+void CleaningSession::Reset() {
+  working_ = task_->incomplete;
+  world_ = task_->default_x;
+  cleaned_.assign(static_cast<size_t>(working_.num_examples()), 0);
+  val_certain_.assign(task_->val_x.size(), 0);
+  num_val_certain_ = 0;
+  // Rows that are already clean in the dirty table count as cleaned and
+  // their world value is their (single) candidate.
+  for (int i = 0; i < working_.num_examples(); ++i) {
+    if (working_.num_candidates(i) == 1) {
+      cleaned_[static_cast<size_t>(i)] = 1;
+      world_[static_cast<size_t>(i)] = working_.candidate(i, 0);
+    }
+  }
+}
+
+double CleaningSession::RefreshValCertainty() {
+  const CertainPredictor predictor(kernel_, options_.k);
+  for (size_t v = 0; v < task_->val_x.size(); ++v) {
+    if (val_certain_[v]) continue;  // monotone: stays certain forever
+    if (predictor.IsCertain(working_, task_->val_x[v])) {
+      val_certain_[v] = 1;
+      ++num_val_certain_;
+    }
+  }
+  if (task_->val_x.empty()) return 1.0;
+  return static_cast<double>(num_val_certain_) /
+         static_cast<double>(task_->val_x.size());
+}
+
+double CleaningSession::CurrentTestAccuracy() const {
+  return task_->AccuracyWith(world_, task_->test_x, task_->test_y, *kernel_,
+                             options_.k);
+}
+
+double CleaningSession::MeanValEntropy() const {
+  const CertainPredictor predictor(kernel_, options_.k);
+  double total = 0.0;
+  for (size_t v = 0; v < task_->val_x.size(); ++v) {
+    if (val_certain_[v]) continue;
+    total += predictor.PredictionEntropy(working_, task_->val_x[v]);
+  }
+  return task_->val_x.empty()
+             ? 0.0
+             : total / static_cast<double>(task_->val_x.size());
+}
+
+double CleaningSession::ExpectedEntropyAfterCleaning(int i) {
+  const CertainPredictor predictor(kernel_, options_.k);
+  const std::vector<std::vector<double>> saved =
+      working_.example(i).candidates;
+  const int m = static_cast<int>(saved.size());
+  double expected = 0.0;
+  for (int j = 0; j < m; ++j) {
+    // Condition on candidate j being the truth (uniform prior).
+    working_.ReplaceCandidates(i, {saved[static_cast<size_t>(j)]});
+    double entropy_sum = 0.0;
+    for (size_t v = 0; v < task_->val_x.size(); ++v) {
+      // CP'ed points have zero entropy in every refinement of the dataset:
+      // conditioning only removes possible worlds.
+      if (val_certain_[v]) continue;
+      entropy_sum += predictor.PredictionEntropy(working_, task_->val_x[v]);
+    }
+    expected += entropy_sum / static_cast<double>(task_->val_x.size());
+  }
+  working_.ReplaceCandidates(i, saved);
+  return expected / static_cast<double>(m);
+}
+
+std::vector<double> CleaningSession::FastSelectionScores(
+    const std::vector<int>& dirty) {
+  std::vector<double> score(dirty.size(), 0.0);
+  FastQ2 q2(&working_, options_.k, options_.fast_epsilon);
+  for (size_t v = 0; v < task_->val_x.size(); ++v) {
+    if (val_certain_[v]) continue;  // zero entropy in every refinement
+    q2.SetTestPoint(task_->val_x[v], *kernel_);
+    const double floor = q2.TopKFloor();
+    double current_entropy = -1.0;  // computed lazily
+    for (size_t p = 0; p < dirty.size(); ++p) {
+      const int i = dirty[p];
+      if (q2.MaxSimilarity(i) < floor) {
+        // Tuple i can never enter this point's top-K in any world, so
+        // pinning it leaves the label distribution unchanged.
+        if (current_entropy < 0.0) current_entropy = Entropy(q2.Fractions());
+        score[p] += current_entropy;
+        continue;
+      }
+      const int m = working_.num_candidates(i);
+      double sum = 0.0;
+      for (int j = 0; j < m; ++j) {
+        sum += Entropy(q2.FractionsPinned(i, j));
+      }
+      score[p] += sum / static_cast<double>(m);
+    }
+  }
+  return score;
+}
+
+void CleaningSession::CleanExample(int i) {
+  CP_CHECK(!cleaned_[static_cast<size_t>(i)]);
+  const int true_j = task_->true_candidate[static_cast<size_t>(i)];
+  working_.FixExample(i, true_j);
+  world_[static_cast<size_t>(i)] = working_.candidate(i, 0);
+  cleaned_[static_cast<size_t>(i)] = 1;
+}
+
+void CleaningSession::LogStep(CleaningRunResult* result, int step,
+                              int cleaned_example) {
+  CleaningStepLog log;
+  log.step = step;
+  log.cleaned_example = cleaned_example;
+  log.frac_val_certain = RefreshValCertainty();
+  log.test_accuracy =
+      options_.track_test_accuracy ? CurrentTestAccuracy() : 0.0;
+  log.mean_val_entropy = options_.track_entropy ? MeanValEntropy() : 0.0;
+  result->steps.push_back(log);
+}
+
+CleaningRunResult CleaningSession::RunLoop(bool greedy, Rng* rng) {
+  Reset();
+  CleaningRunResult result;
+  LogStep(&result, 0, -1);
+
+  std::vector<int> dirty;
+  for (int i = 0; i < working_.num_examples(); ++i) {
+    if (!cleaned_[static_cast<size_t>(i)]) dirty.push_back(i);
+  }
+
+  int step = 0;
+  while (!dirty.empty()) {
+    if (options_.stop_when_all_certain &&
+        num_val_certain_ == static_cast<int>(task_->val_x.size())) {
+      result.all_val_certain = true;
+      break;
+    }
+    if (options_.max_cleaned >= 0 && step >= options_.max_cleaned) break;
+
+    int chosen_pos = 0;
+    if (greedy) {
+      // Algorithm 3 lines 5-9: pick the example whose cleaning minimizes
+      // the expected conditional entropy of the validation predictions.
+      double best = std::numeric_limits<double>::infinity();
+      if (options_.use_fast_selection) {
+        const std::vector<double> score = FastSelectionScores(dirty);
+        for (size_t p = 0; p < score.size(); ++p) {
+          if (score[p] < best) {
+            best = score[p];
+            chosen_pos = static_cast<int>(p);
+          }
+        }
+      } else {
+        for (size_t p = 0; p < dirty.size(); ++p) {
+          const double e = ExpectedEntropyAfterCleaning(dirty[p]);
+          if (e < best) {
+            best = e;
+            chosen_pos = static_cast<int>(p);
+          }
+        }
+      }
+    } else {
+      CP_CHECK(rng != nullptr);
+      chosen_pos = static_cast<int>(rng->NextUint64(dirty.size()));
+    }
+    const int chosen = dirty[static_cast<size_t>(chosen_pos)];
+    dirty.erase(dirty.begin() + chosen_pos);
+    CleanExample(chosen);
+    ++step;
+    LogStep(&result, step, chosen);
+  }
+  if (!result.all_val_certain &&
+      num_val_certain_ == static_cast<int>(task_->val_x.size())) {
+    result.all_val_certain = true;
+  }
+  result.examples_cleaned = step;
+  result.final_test_accuracy =
+      options_.track_test_accuracy
+          ? result.steps.back().test_accuracy
+          : CurrentTestAccuracy();
+  return result;
+}
+
+CleaningRunResult CleaningSession::RunCpClean() {
+  return RunLoop(/*greedy=*/true, /*rng=*/nullptr);
+}
+
+CleaningRunResult CleaningSession::RunRandomClean(Rng* rng) {
+  return RunLoop(/*greedy=*/false, rng);
+}
+
+}  // namespace cpclean

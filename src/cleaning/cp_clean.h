@@ -1,0 +1,100 @@
+#ifndef CPCLEAN_CLEANING_CP_CLEAN_H_
+#define CPCLEAN_CLEANING_CP_CLEAN_H_
+
+#include <vector>
+
+#include "cleaning/cleaning_task.h"
+#include "common/rng.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+
+/// One human-cleaning step and the state after it.
+struct CleaningStepLog {
+  int step = 0;              // number of examples cleaned so far
+  int cleaned_example = -1;  // train row cleaned at this step (-1: baseline)
+  double frac_val_certain = 0.0;  // fraction of validation points CP'ed
+  double test_accuracy = 0.0;     // KNN on the current best-guess world
+  double mean_val_entropy = 0.0;  // mean Q2 prediction entropy over val
+};
+
+/// Full trace of a cleaning run.
+struct CleaningRunResult {
+  std::vector<CleaningStepLog> steps;  // steps[0] is the pre-cleaning state
+  int examples_cleaned = 0;
+  bool all_val_certain = false;
+  double final_test_accuracy = 0.0;
+};
+
+struct CpCleanOptions {
+  int k = 3;
+  /// Cleaning budget: stop after this many examples (-1 = no budget).
+  int max_cleaned = -1;
+  /// Stop as soon as every validation example is CP'ed (Algorithm 3 line 3).
+  bool stop_when_all_certain = true;
+  /// Evaluate test accuracy at every step (the Figure 9 blue series);
+  /// disable to speed up pure-cleaning-effort measurements.
+  bool track_test_accuracy = true;
+  /// Track mean validation entropy at every step (costs one Q2 sweep).
+  bool track_entropy = false;
+  /// Use the FastQ2 engine (precomputed scans, early termination,
+  /// never-in-top-K pruning) for the greedy selection. The slow path calls
+  /// the reference SS-DC engine per candidate and exists for validation.
+  bool use_fast_selection = true;
+  /// Mass tolerance for FastQ2's early termination.
+  double fast_epsilon = 1e-9;
+};
+
+/// Driver for human-in-the-loop cleaning over a CleaningTask. Owns a
+/// working copy of the incomplete dataset and the current "best guess"
+/// world (cleaned rows take their oracle value, still-dirty rows their
+/// mean/mode-imputed default), which is what mid-run test accuracy is
+/// measured on (DESIGN.md §4.6).
+class CleaningSession {
+ public:
+  /// `task` and `kernel` are borrowed and must outlive the session.
+  CleaningSession(const CleaningTask* task, const SimilarityKernel* kernel,
+                  const CpCleanOptions& options);
+
+  /// CPClean (paper Algorithm 3): sequential information maximization —
+  /// each step cleans the example minimizing the expected conditional
+  /// entropy of the validation predictions under a uniform prior over
+  /// which candidate is the truth (Equation 4).
+  CleaningRunResult RunCpClean();
+
+  /// Baseline: cleans uniformly random dirty examples (paper §5.2,
+  /// "RandomClean").
+  CleaningRunResult RunRandomClean(Rng* rng);
+
+ private:
+  void Reset();
+  /// Marks newly-certain validation points; returns the certain fraction.
+  /// (CP'ed points stay CP'ed: cleaning only removes possible worlds.)
+  double RefreshValCertainty();
+  double CurrentTestAccuracy() const;
+  double MeanValEntropy() const;
+  /// Expected mean validation entropy after cleaning example `i`
+  /// (Equation 4), averaging over its candidates as possible truths.
+  /// Reference implementation (SS-DC per candidate); the fast path below
+  /// computes the same scores batched.
+  double ExpectedEntropyAfterCleaning(int i);
+  /// Expected-entropy scores for every example in `dirty`, via FastQ2.
+  std::vector<double> FastSelectionScores(const std::vector<int>& dirty);
+  void CleanExample(int i);
+  CleaningRunResult RunLoop(bool greedy, Rng* rng);
+  void LogStep(CleaningRunResult* result, int step, int cleaned_example);
+
+  const CleaningTask* task_;
+  const SimilarityKernel* kernel_;
+  CpCleanOptions options_;
+
+  IncompleteDataset working_;
+  std::vector<std::vector<double>> world_;  // current best-guess features
+  std::vector<uint8_t> cleaned_;
+  std::vector<uint8_t> val_certain_;
+  int num_val_certain_ = 0;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CLEANING_CP_CLEAN_H_

@@ -1,0 +1,109 @@
+#include "cleaning/holo_clean.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace cpclean {
+
+namespace {
+
+/// Mixed-type distance between two rows over columns observed in both,
+/// excluding `skip_col` and `label_col`. Returns +inf when no column is
+/// comparable.
+double RowDistance(const Table& table, const std::vector<double>& col_stddev,
+                   int a, int b, int skip_col, int label_col) {
+  double sum = 0.0;
+  int compared = 0;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c == skip_col || c == label_col) continue;
+    const Value& va = table.at(a, c);
+    const Value& vb = table.at(b, c);
+    if (va.is_null() || vb.is_null()) continue;
+    ++compared;
+    if (va.is_numeric()) {
+      const double sd = col_stddev[static_cast<size_t>(c)];
+      const double d = (va.numeric() - vb.numeric()) / (sd > 0 ? sd : 1.0);
+      sum += d * d;
+    } else {
+      sum += va.categorical() == vb.categorical() ? 0.0 : 1.0;
+    }
+  }
+  if (compared == 0) return std::numeric_limits<double>::infinity();
+  return sum / static_cast<double>(compared);
+}
+
+}  // namespace
+
+Result<Table> HoloCleanImpute(const Table& dirty, int label_col,
+                              const HoloCleanOptions& options) {
+  if (options.num_donors < 1) {
+    return Status::InvalidArgument("num_donors must be >= 1");
+  }
+  // Column standard deviations for distance normalization.
+  std::vector<double> col_stddev(static_cast<size_t>(dirty.num_columns()),
+                                 1.0);
+  for (int c = 0; c < dirty.num_columns(); ++c) {
+    if (dirty.schema().field(c).type == ColumnType::kNumeric) {
+      const auto observed = dirty.NumericColumn(c);
+      if (!observed.empty()) {
+        col_stddev[static_cast<size_t>(c)] = StdDev(observed);
+      }
+    }
+  }
+
+  Table out = dirty;
+  for (int r = 0; r < dirty.num_rows(); ++r) {
+    for (int c = 0; c < dirty.num_columns(); ++c) {
+      if (c == label_col || !dirty.at(r, c).is_null()) continue;
+      // Rank donor rows (those observing column c) by distance to row r.
+      std::vector<std::pair<double, int>> donors;
+      for (int d = 0; d < dirty.num_rows(); ++d) {
+        if (d == r || dirty.at(d, c).is_null()) continue;
+        const double dist =
+            RowDistance(dirty, col_stddev, r, d, c, label_col);
+        if (std::isfinite(dist)) donors.push_back({dist, d});
+      }
+      if (donors.empty()) {
+        return Status::Internal("no donor rows for a missing cell");
+      }
+      const int take =
+          std::min<int>(options.num_donors, static_cast<int>(donors.size()));
+      std::partial_sort(donors.begin(), donors.begin() + take, donors.end());
+
+      if (dirty.schema().field(c).type == ColumnType::kNumeric) {
+        double weighted = 0.0, total = 0.0;
+        for (int i = 0; i < take; ++i) {
+          const double w = 1.0 / (1.0 + donors[static_cast<size_t>(i)].first);
+          weighted +=
+              w * dirty.at(donors[static_cast<size_t>(i)].second, c).numeric();
+          total += w;
+        }
+        out.Set(r, c, Value::Numeric(weighted / total));
+      } else {
+        std::map<std::string, double> votes;
+        for (int i = 0; i < take; ++i) {
+          const double w = 1.0 / (1.0 + donors[static_cast<size_t>(i)].first);
+          votes[dirty.at(donors[static_cast<size_t>(i)].second, c)
+                    .categorical()] += w;
+        }
+        std::string best;
+        double best_w = -1.0;
+        for (const auto& [cat, w] : votes) {
+          if (w > best_w) {
+            best = cat;
+            best_w = w;
+          }
+        }
+        out.Set(r, c, Value::Categorical(best));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cpclean

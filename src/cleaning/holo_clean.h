@@ -1,0 +1,31 @@
+#ifndef CPCLEAN_CLEANING_HOLO_CLEAN_H_
+#define CPCLEAN_CLEANING_HOLO_CLEAN_H_
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace cpclean {
+
+/// HoloCleanSim — a stand-in for HoloClean [Rekatsinas et al., 2017] per
+/// DESIGN.md §3: a *task-oblivious* probabilistic imputer that fills each
+/// missing cell with its most likely value given correlations with the
+/// observed attributes, knowing nothing about the downstream classifier.
+///
+/// Mechanism: for a missing cell (r, c), the donor pool is every row with
+/// column c observed; rows are ranked by a normalized mixed-type distance
+/// over the attributes observed in both rows (numeric: |a-b|/σ,
+/// categorical: 0/1 mismatch). The `num_donors` nearest donors vote — a
+/// distance-weighted mean for numeric targets, a weighted mode for
+/// categorical ones. This reproduces the property Table 2 exercises:
+/// statistically plausible repairs that may help or *hurt* the classifier.
+struct HoloCleanOptions {
+  int num_donors = 10;
+};
+
+Result<Table> HoloCleanImpute(const Table& dirty, int label_col,
+                              const HoloCleanOptions& options =
+                                  HoloCleanOptions());
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CLEANING_HOLO_CLEAN_H_

@@ -1,0 +1,71 @@
+#include "cleaning/importance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "data/encoder.h"
+#include "knn/knn_classifier.h"
+
+namespace cpclean {
+
+namespace {
+
+/// Validation accuracy of KNN trained on (train minus `dropped_col`).
+/// `dropped_col` == -1 keeps all features.
+Result<double> AblatedAccuracy(const Table& train, const Table& val,
+                               int label_col, int dropped_col, int k,
+                               const SimilarityKernel& kernel) {
+  std::vector<int> excluded = {label_col};
+  if (dropped_col >= 0) excluded.push_back(dropped_col);
+
+  FeatureEncoder encoder;
+  CP_RETURN_NOT_OK(encoder.Fit(train, excluded));
+
+  LabelEncoder labels;
+  CP_RETURN_NOT_OK(labels.Fit(train.Column(label_col)));
+
+  std::vector<std::vector<double>> train_x;
+  std::vector<int> train_y;
+  for (int r = 0; r < train.num_rows(); ++r) {
+    CP_ASSIGN_OR_RETURN(auto x, encoder.EncodeRow(train.row(r)));
+    CP_ASSIGN_OR_RETURN(int y, labels.Encode(train.at(r, label_col)));
+    train_x.push_back(std::move(x));
+    train_y.push_back(y);
+  }
+  std::vector<std::vector<double>> val_x;
+  std::vector<int> val_y;
+  for (int r = 0; r < val.num_rows(); ++r) {
+    CP_ASSIGN_OR_RETURN(auto x, encoder.EncodeRow(val.row(r)));
+    CP_ASSIGN_OR_RETURN(int y, labels.Encode(val.at(r, label_col)));
+    val_x.push_back(std::move(x));
+    val_y.push_back(y);
+  }
+  const KnnClassifier classifier(std::move(train_x), std::move(train_y),
+                                 labels.num_labels(), k, &kernel);
+  return classifier.Accuracy(val_x, val_y);
+}
+
+}  // namespace
+
+Result<std::vector<double>> ComputeFeatureImportance(
+    const Table& train, const Table& val, int label_col, int k,
+    const SimilarityKernel& kernel, double floor) {
+  if (train.CountMissing() > 0 || val.CountMissing() > 0) {
+    return Status::InvalidArgument(
+        "importance assessment requires complete tables");
+  }
+  CP_ASSIGN_OR_RETURN(const double full_acc,
+                      AblatedAccuracy(train, val, label_col, -1, k, kernel));
+  std::vector<double> importance(
+      static_cast<size_t>(train.num_columns()), 0.0);
+  for (int c = 0; c < train.num_columns(); ++c) {
+    if (c == label_col) continue;
+    CP_ASSIGN_OR_RETURN(const double ablated,
+                        AblatedAccuracy(train, val, label_col, c, k, kernel));
+    importance[static_cast<size_t>(c)] =
+        std::max(full_acc - ablated, 0.0) + floor;
+  }
+  return importance;
+}
+
+}  // namespace cpclean

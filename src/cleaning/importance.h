@@ -1,0 +1,29 @@
+#ifndef CPCLEAN_CLEANING_IMPORTANCE_H_
+#define CPCLEAN_CLEANING_IMPORTANCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+
+/// Feature-importance assessment used to drive MNAR injection, exactly as
+/// the paper describes (§5.1): "assess the relative importance of each
+/// feature in a classification task (by measuring the accuracy loss after
+/// removing a feature)".
+///
+/// Trains a KNN classifier on `train` and measures validation accuracy
+/// with the full feature set, then with each feature ablated; the
+/// importance of a feature is max(0, full_accuracy - ablated_accuracy),
+/// with a small floor so every feature retains nonzero probability.
+/// Both tables must be complete. Returns one entry per column
+/// (label column gets 0).
+Result<std::vector<double>> ComputeFeatureImportance(
+    const Table& train, const Table& val, int label_col, int k,
+    const SimilarityKernel& kernel, double floor = 0.01);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CLEANING_IMPORTANCE_H_

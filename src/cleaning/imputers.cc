@@ -1,0 +1,94 @@
+#include "cleaning/imputers.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace cpclean {
+
+namespace {
+
+double NumericStatOf(const std::vector<double>& observed,
+                     ImputeMethod::NumericStat stat) {
+  if (observed.empty()) return 0.0;
+  switch (stat) {
+    case ImputeMethod::NumericStat::kMin:
+      return Min(observed);
+    case ImputeMethod::NumericStat::kP25:
+      return Percentile(observed, 25.0);
+    case ImputeMethod::NumericStat::kMean:
+      return Mean(observed);
+    case ImputeMethod::NumericStat::kP75:
+      return Percentile(observed, 75.0);
+    case ImputeMethod::NumericStat::kMax:
+      return Max(observed);
+  }
+  return 0.0;
+}
+
+std::string CategoricalRankOf(const std::vector<std::string>& observed,
+                              int rank) {
+  std::map<std::string, int> freq;
+  for (const auto& cat : observed) ++freq[cat];
+  std::vector<std::pair<int, std::string>> ranked;
+  ranked.reserve(freq.size());
+  for (const auto& [cat, count] : freq) ranked.push_back({count, cat});
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (rank < 0 || rank >= static_cast<int>(ranked.size())) {
+    return "__other__";
+  }
+  return ranked[static_cast<size_t>(rank)].second;
+}
+
+}  // namespace
+
+Result<Table> DefaultCleanImpute(const Table& dirty, int label_col) {
+  ImputeMethod mean_mode;
+  mean_mode.numeric = ImputeMethod::NumericStat::kMean;
+  mean_mode.categorical_rank = 0;
+  mean_mode.name = "mean/mode";
+  return ApplyImputeMethod(dirty, label_col, mean_mode);
+}
+
+std::vector<ImputeMethod> BoostCleanMethodSpace() {
+  using Stat = ImputeMethod::NumericStat;
+  return {
+      {Stat::kMin, 3, "min/rank3"},
+      {Stat::kP25, 2, "p25/rank2"},
+      {Stat::kMean, 0, "mean/mode"},
+      {Stat::kP75, 1, "p75/rank1"},
+      {Stat::kMax, 4, "max/other"},
+  };
+}
+
+Result<Table> ApplyImputeMethod(const Table& dirty, int label_col,
+                                const ImputeMethod& method) {
+  Table out = dirty;
+  for (int c = 0; c < dirty.num_columns(); ++c) {
+    if (c == label_col) continue;
+    if (dirty.CountMissingInColumn(c) == 0) continue;
+    const Field& field = dirty.schema().field(c);
+    Value fill;
+    if (field.type == ColumnType::kNumeric) {
+      fill = Value::Numeric(NumericStatOf(dirty.NumericColumn(c),
+                                          method.numeric));
+    } else {
+      fill = Value::Categorical(CategoricalRankOf(dirty.CategoricalColumn(c),
+                                                  method.categorical_rank));
+    }
+    for (int r = 0; r < dirty.num_rows(); ++r) {
+      if (dirty.at(r, c).is_null()) out.Set(r, c, fill);
+    }
+  }
+  if (out.CountMissing() > 0) {
+    return Status::Internal("imputation left NULL cells behind");
+  }
+  return out;
+}
+
+}  // namespace cpclean

@@ -1,0 +1,38 @@
+#ifndef CPCLEAN_CLEANING_IMPUTERS_H_
+#define CPCLEAN_CLEANING_IMPUTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace cpclean {
+
+/// "Default Cleaning" (paper §5.1): the most common missing-value handling
+/// in practice — numeric NULLs take the column mean, categorical NULLs the
+/// column mode. This is the lower-bound baseline of Table 2.
+Result<Table> DefaultCleanImpute(const Table& dirty, int label_col);
+
+/// One element of BoostClean's predefined repair-action space: which column
+/// statistic fills numeric NULLs and which frequency rank fills
+/// categorical NULLs (rank 0 = mode; ranks past the vocabulary fall back
+/// to the dummy "other" category, mirroring the candidate-repair space).
+struct ImputeMethod {
+  enum class NumericStat { kMin, kP25, kMean, kP75, kMax };
+  NumericStat numeric = NumericStat::kMean;
+  int categorical_rank = 0;
+  std::string name = "mean/mode";
+};
+
+/// The method space shared by BoostClean and CPClean's candidate repairs
+/// (5 numeric statistics × matching categorical ranks).
+std::vector<ImputeMethod> BoostCleanMethodSpace();
+
+/// Applies one imputation method to every NULL feature cell.
+Result<Table> ApplyImputeMethod(const Table& dirty, int label_col,
+                                const ImputeMethod& method);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CLEANING_IMPUTERS_H_

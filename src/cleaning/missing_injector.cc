@@ -1,0 +1,78 @@
+#include "cleaning/missing_injector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cpclean {
+
+Result<Table> InjectMissing(const Table& clean, int label_col,
+                            const std::vector<double>& feature_importance,
+                            const InjectionOptions& options, Rng* rng) {
+  CP_CHECK(rng != nullptr);
+  if (options.missing_rate < 0.0 || options.missing_rate >= 1.0) {
+    return Status::InvalidArgument("missing_rate must be in [0, 1)");
+  }
+  if (static_cast<int>(feature_importance.size()) != clean.num_columns()) {
+    return Status::InvalidArgument(
+        "feature_importance size must match column count");
+  }
+
+  std::vector<int> feature_cols;
+  for (int c = 0; c < clean.num_columns(); ++c) {
+    if (c != label_col) feature_cols.push_back(c);
+  }
+  if (feature_cols.empty()) {
+    return Status::InvalidArgument("no feature columns to inject into");
+  }
+
+  // Per-feature selection weights: importance under MNAR, uniform under
+  // MCAR. Guard against all-zero importance.
+  std::vector<double> weights;
+  weights.reserve(feature_cols.size());
+  double total_weight = 0.0;
+  for (int c : feature_cols) {
+    double w = options.mnar
+                   ? std::max(feature_importance[static_cast<size_t>(c)], 0.0)
+                   : 1.0;
+    weights.push_back(w);
+    total_weight += w;
+  }
+  if (total_weight <= 0.0) {
+    std::fill(weights.begin(), weights.end(), 1.0);
+  }
+
+  Table dirty = clean;
+  const int total_feature_cells =
+      clean.num_rows() * static_cast<int>(feature_cols.size());
+  const int target_missing = static_cast<int>(
+      options.missing_rate * static_cast<double>(total_feature_cells));
+
+  std::vector<int> missing_in_row(static_cast<size_t>(clean.num_rows()), 0);
+  int injected = 0;
+  int attempts = 0;
+  const int max_attempts = 50 * target_missing + 1000;
+  while (injected < target_missing && attempts < max_attempts) {
+    ++attempts;
+    const int row = rng->NextInt(0, clean.num_rows() - 1);
+    if (missing_in_row[static_cast<size_t>(row)] >=
+        options.max_missing_per_row) {
+      continue;
+    }
+    const int pick = rng->NextCategorical(weights);
+    const int col = feature_cols[static_cast<size_t>(pick)];
+    if (dirty.at(row, col).is_null()) continue;
+    dirty.Set(row, col, Value::Null());
+    ++missing_in_row[static_cast<size_t>(row)];
+    ++injected;
+  }
+  if (injected < target_missing) {
+    return Status::Internal(StrFormat(
+        "could only inject %d of %d target missing cells (cap too tight?)",
+        injected, target_missing));
+  }
+  return dirty;
+}
+
+}  // namespace cpclean

@@ -1,0 +1,36 @@
+#ifndef CPCLEAN_CLEANING_MISSING_INJECTOR_H_
+#define CPCLEAN_CLEANING_MISSING_INJECTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace cpclean {
+
+/// Synthetic missing-value injection (paper §5.1): "Missing Not At Random"
+/// — the probability that a cell goes missing is proportional to the
+/// relative importance of its feature, scaled so the table-wide missing
+/// rate over feature cells hits `missing_rate`.
+struct InjectionOptions {
+  double missing_rate = 0.2;
+  /// Upper bound on NULLs per row, keeping the Cartesian candidate product
+  /// tractable (the paper's datasets average ~1-2 missing cells per dirty
+  /// row at 20%).
+  int max_missing_per_row = 2;
+  /// When false, every feature is equally likely (MCAR) regardless of the
+  /// importance vector.
+  bool mnar = true;
+};
+
+/// Returns a copy of `clean` with NULLs injected into feature columns
+/// (never into `label_col`). `feature_importance` must have one
+/// non-negative entry per column; label-column importance is ignored.
+Result<Table> InjectMissing(const Table& clean, int label_col,
+                            const std::vector<double>& feature_importance,
+                            const InjectionOptions& options, Rng* rng);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CLEANING_MISSING_INJECTOR_H_

@@ -1,0 +1,41 @@
+#ifndef CPCLEAN_CLEANING_REPAIR_GENERATOR_H_
+#define CPCLEAN_CLEANING_REPAIR_GENERATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace cpclean {
+
+/// Candidate-repair generation (paper §5.1, "CPClean" setup):
+///  - numeric column with missing cells: {min, 25th percentile, mean,
+///    75th percentile, max} of the observed values;
+///  - categorical column: the top 4 most frequent categories plus a dummy
+///    "other" category.
+/// A row with several missing cells takes the Cartesian product of its
+/// per-cell repairs, capped at `max_candidates_per_row` (the paper uses
+/// the full product; the cap only guards pathological rows).
+struct RepairOptions {
+  int numeric_percentile_candidates = 5;  // fixed classic set when 5
+  int categorical_top_k = 4;
+  std::string other_category = "__other__";
+  int max_candidates_per_row = 125;
+};
+
+/// Candidate repairs for a single cell of `table` at column `col`, computed
+/// from the observed (non-null) values of that column.
+std::vector<Value> CellRepairs(const Table& table, int col,
+                               const RepairOptions& options = RepairOptions());
+
+/// All candidate completions of row `row`: each returned row is a complete
+/// copy of the original with every NULL feature cell replaced by one of its
+/// cell repairs. A complete row yields exactly itself. `label_col` cells
+/// are never repaired (labels are certain, paper Def. 1).
+Result<std::vector<std::vector<Value>>> RowRepairs(
+    const Table& table, int row, int label_col,
+    const RepairOptions& options = RepairOptions());
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CLEANING_REPAIR_GENERATOR_H_

@@ -1,0 +1,171 @@
+#include "common/big_uint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cpclean {
+
+BigUint::BigUint(uint64_t value) {
+  while (value != 0) {
+    limbs_.push_back(static_cast<uint32_t>(value & 0xffffffffULL));
+    value >>= 32;
+  }
+}
+
+BigUint BigUint::FromDecimalString(const std::string& text) {
+  CP_CHECK(!text.empty());
+  BigUint out;
+  const BigUint ten(10);
+  for (char c : text) {
+    CP_CHECK(c >= '0' && c <= '9') << "bad decimal digit: " << c;
+    out = out * ten + BigUint(static_cast<uint64_t>(c - '0'));
+  }
+  return out;
+}
+
+void BigUint::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::operator+(const BigUint& other) const {
+  BigUint out;
+  const size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.resize(n, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out.limbs_[i] = static_cast<uint32_t>(sum & 0xffffffffULL);
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.limbs_.push_back(static_cast<uint32_t>(carry));
+  out.Normalize();
+  return out;
+}
+
+BigUint BigUint::operator*(const BigUint& other) const {
+  if (IsZero() || other.IsZero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(limbs_[i]) * other.limbs_[j] +
+                     out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = static_cast<uint64_t>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigUint& BigUint::operator+=(const BigUint& other) {
+  *this = *this + other;
+  return *this;
+}
+
+BigUint& BigUint::operator*=(const BigUint& other) {
+  *this = *this * other;
+  return *this;
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUint BigUint::Pow(uint64_t exponent) const {
+  BigUint result(1);
+  BigUint base = *this;
+  while (exponent > 0) {
+    if (exponent & 1) result *= base;
+    base *= base;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+double BigUint::ToDouble() const {
+  double out = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return out;
+}
+
+uint64_t BigUint::ToUint64() const {
+  CP_CHECK(FitsUint64()) << "BigUint does not fit in uint64";
+  uint64_t out = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = (out << 32) | limbs_[i];
+  }
+  return out;
+}
+
+std::string BigUint::ToString() const {
+  if (IsZero()) return "0";
+  // Repeatedly divide a copy of the limbs by 10^9 to peel off digits.
+  std::vector<uint32_t> work = limbs_;
+  std::vector<uint32_t> chunks;  // base-1e9 digits, little-endian
+  while (!work.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = work.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<uint32_t>(cur / 1000000000ULL);
+      rem = cur % 1000000000ULL;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    chunks.push_back(static_cast<uint32_t>(rem));
+  }
+  std::string out = std::to_string(chunks.back());
+  for (size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out += std::string(9 - part.size(), '0') + part;
+  }
+  return out;
+}
+
+double BigUint::DivideToDouble(const BigUint& other) const {
+  CP_CHECK(!other.IsZero());
+  // Align the two magnitudes in log space to stay inside double range.
+  const double num_log = static_cast<double>(limbs_.size());
+  const double den_log = static_cast<double>(other.limbs_.size());
+  if (std::abs(num_log - den_log) < 15.0) {
+    // Both convert safely after scaling by a common power of 2^32.
+    const size_t shift =
+        std::min(limbs_.size(), other.limbs_.size()) > 4
+            ? std::min(limbs_.size(), other.limbs_.size()) - 4
+            : 0;
+    double num = 0.0, den = 0.0;
+    for (size_t i = limbs_.size(); i-- > shift;) {
+      num = num * 4294967296.0 + static_cast<double>(limbs_[i]);
+    }
+    for (size_t i = other.limbs_.size(); i-- > shift;) {
+      den = den * 4294967296.0 + static_cast<double>(other.limbs_[i]);
+    }
+    if (den == 0.0) return std::numeric_limits<double>::infinity();
+    return num / den;
+  }
+  return num_log > den_log ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+}  // namespace cpclean

@@ -1,0 +1,80 @@
+#ifndef CPCLEAN_COMMON_BIG_UINT_H_
+#define CPCLEAN_COMMON_BIG_UINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpclean {
+
+/// Arbitrary-precision unsigned integer.
+///
+/// The number of possible worlds of an incomplete dataset is
+/// `prod_i |C_i|`, up to `M^N` — astronomically larger than 2^64 for
+/// realistic N. `BigUint` lets the counting engines (Q2) report *exact*
+/// world counts for validation, while production paths use normalized
+/// doubles. Only the operations the counting DP needs are provided:
+/// add, multiply, compare, conversion to/from decimal and double.
+///
+/// Representation: base 2^32 limbs, little-endian, no leading zero limbs
+/// (zero is the empty limb vector).
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+  /// From a 64-bit value.
+  explicit BigUint(uint64_t value);
+
+  /// Parses a decimal string; digits only.
+  static BigUint FromDecimalString(const std::string& text);
+
+  BigUint(const BigUint&) = default;
+  BigUint& operator=(const BigUint&) = default;
+  BigUint(BigUint&&) = default;
+  BigUint& operator=(BigUint&&) = default;
+
+  bool IsZero() const { return limbs_.empty(); }
+
+  BigUint operator+(const BigUint& other) const;
+  BigUint operator*(const BigUint& other) const;
+  BigUint& operator+=(const BigUint& other);
+  BigUint& operator*=(const BigUint& other);
+
+  bool operator==(const BigUint& other) const { return limbs_ == other.limbs_; }
+  bool operator!=(const BigUint& other) const { return !(*this == other); }
+  bool operator<(const BigUint& other) const { return Compare(other) < 0; }
+  bool operator<=(const BigUint& other) const { return Compare(other) <= 0; }
+  bool operator>(const BigUint& other) const { return Compare(other) > 0; }
+  bool operator>=(const BigUint& other) const { return Compare(other) >= 0; }
+
+  /// -1 / 0 / +1 three-way comparison.
+  int Compare(const BigUint& other) const;
+
+  /// `this^exponent` by repeated squaring.
+  BigUint Pow(uint64_t exponent) const;
+
+  /// Lossy conversion; +inf when the value exceeds double range.
+  double ToDouble() const;
+
+  /// Exact conversion when the value fits in 64 bits; CHECK-fails otherwise.
+  uint64_t ToUint64() const;
+
+  /// True when the value fits in 64 bits.
+  bool FitsUint64() const { return limbs_.size() <= 2; }
+
+  /// Decimal representation.
+  std::string ToString() const;
+
+  /// this / other as a double (for normalizing counts into probabilities).
+  /// `other` must be nonzero.
+  double DivideToDouble(const BigUint& other) const;
+
+ private:
+  void Normalize();
+
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_COMMON_BIG_UINT_H_

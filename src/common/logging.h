@@ -1,0 +1,79 @@
+#ifndef CPCLEAN_COMMON_LOGGING_H_
+#define CPCLEAN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cpclean {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level that is actually emitted; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Fatal messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message when the level is below threshold.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define CP_LOG(LEVEL)                                                 \
+  ::cpclean::internal::LogMessage(::cpclean::LogLevel::k##LEVEL,      \
+                                  __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. For programmer errors
+/// (violated invariants), not for recoverable input errors — those return
+/// Status.
+#define CP_CHECK(cond)                                          \
+  for (bool _cp_ok = static_cast<bool>(cond); !_cp_ok;          \
+       _cp_ok = true)                                           \
+  ::cpclean::internal::LogMessage(::cpclean::LogLevel::kFatal,  \
+                                  __FILE__, __LINE__)           \
+      << "Check failed: " #cond " "
+
+#define CP_CHECK_EQ(a, b) CP_CHECK((a) == (b))
+#define CP_CHECK_NE(a, b) CP_CHECK((a) != (b))
+#define CP_CHECK_LT(a, b) CP_CHECK((a) < (b))
+#define CP_CHECK_LE(a, b) CP_CHECK((a) <= (b))
+#define CP_CHECK_GT(a, b) CP_CHECK((a) > (b))
+#define CP_CHECK_GE(a, b) CP_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define CP_DCHECK(cond) CP_CHECK(cond)
+#else
+#define CP_DCHECK(cond) \
+  while (false) ::cpclean::internal::NullLogMessage()
+#endif
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_COMMON_LOGGING_H_

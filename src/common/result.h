@@ -1,0 +1,75 @@
+#ifndef CPCLEAN_COMMON_RESULT_H_
+#define CPCLEAN_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace cpclean {
+
+/// A value-or-error outcome, the companion of `Status` for functions that
+/// return a value on success (Arrow's `Result<T>` idiom).
+///
+/// Accessing the value of a failed result is a programmer error and aborts
+/// via CP_CHECK. Use `ok()` / `status()` to inspect first, or
+/// CP_ASSIGN_OR_RETURN to propagate.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from an error status (must not be OK).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    CP_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+  /// Implicit conversion from a value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating an error to the caller or
+/// assigning the unwrapped value to `lhs`.
+#define CP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define CP_ASSIGN_OR_RETURN(lhs, rexpr) \
+  CP_ASSIGN_OR_RETURN_IMPL(             \
+      CP_CONCAT_(_cp_result_, __LINE__), lhs, rexpr)
+
+#define CP_CONCAT_INNER_(a, b) a##b
+#define CP_CONCAT_(a, b) CP_CONCAT_INNER_(a, b)
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_COMMON_RESULT_H_

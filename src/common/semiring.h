@@ -1,0 +1,79 @@
+#ifndef CPCLEAN_COMMON_SEMIRING_H_
+#define CPCLEAN_COMMON_SEMIRING_H_
+
+#include <cstdint>
+
+#include "common/big_uint.h"
+
+namespace cpclean {
+
+/// Count semirings for the SS family of algorithms (see DESIGN.md §4.2).
+///
+/// Every counting engine is templated on a semiring `S` that provides:
+///   using Value = ...;                  // the carrier type
+///   static Value Zero();                // additive identity
+///   static Value One();                 // multiplicative identity
+///   static Value Add(Value, Value);
+///   static Value Mul(Value, Value);
+///   static Value FromCount(uint64_t);   // embed a small non-negative count
+///   static bool IsZero(const Value&);
+///   static double ToDouble(const Value&);  // lossy readout
+///
+/// All counts in the CP algorithms are sums of products of non-negative
+/// integers, so any homomorphic image of (N, +, *) yields sound results:
+///  - `ExactSemiring`  : BigUint, exact world counts of any magnitude.
+///  - `Uint64Semiring` : exact while counts stay below 2^64 (caller's duty).
+///  - `DoubleSemiring` : doubles; used with per-tuple-normalized tallies to
+///    produce world *fractions* (probabilities) directly.
+///  - `BoolSemiring`   : the possibility semiring ({0,1}, OR, AND); turns Q2
+///    into an exact Q1 "is the count nonzero" check for any |Y|.
+
+struct ExactSemiring {
+  using Value = BigUint;
+  static Value Zero() { return BigUint(); }
+  static Value One() { return BigUint(1); }
+  static Value Add(const Value& a, const Value& b) { return a + b; }
+  static Value Mul(const Value& a, const Value& b) { return a * b; }
+  static Value FromCount(uint64_t c) { return BigUint(c); }
+  static bool IsZero(const Value& v) { return v.IsZero(); }
+  static double ToDouble(const Value& v) { return v.ToDouble(); }
+};
+
+struct Uint64Semiring {
+  using Value = uint64_t;
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Add(Value a, Value b) { return a + b; }
+  static Value Mul(Value a, Value b) { return a * b; }
+  static Value FromCount(uint64_t c) { return c; }
+  static bool IsZero(Value v) { return v == 0; }
+  static double ToDouble(Value v) { return static_cast<double>(v); }
+};
+
+struct DoubleSemiring {
+  using Value = double;
+  static Value Zero() { return 0.0; }
+  static Value One() { return 1.0; }
+  static Value Add(Value a, Value b) { return a + b; }
+  static Value Mul(Value a, Value b) { return a * b; }
+  static Value FromCount(uint64_t c) { return static_cast<double>(c); }
+  static bool IsZero(Value v) { return v == 0.0; }
+  static double ToDouble(Value v) { return v; }
+};
+
+struct BoolSemiring {
+  /// uint8_t rather than bool: std::vector<bool>'s proxy references do not
+  /// bind to `Value&`, and the engines mutate coefficients in place.
+  using Value = uint8_t;
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Add(Value a, Value b) { return a | b; }
+  static Value Mul(Value a, Value b) { return a & b; }
+  static Value FromCount(uint64_t c) { return c != 0 ? 1 : 0; }
+  static bool IsZero(Value v) { return v == 0; }
+  static double ToDouble(Value v) { return v != 0 ? 1.0 : 0.0; }
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_COMMON_SEMIRING_H_

@@ -1,0 +1,98 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cpclean {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - mean) * (v - mean);
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Min(const std::vector<double>& values) {
+  CP_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  CP_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Percentile(const std::vector<double>& values, double p) {
+  CP_CHECK(!values.empty());
+  CP_CHECK_GE(p, 0.0);
+  CP_CHECK_LE(p, 100.0);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Median(const std::vector<double>& values) {
+  return Percentile(values, 50.0);
+}
+
+namespace {
+double EntropyImpl(const std::vector<double>& masses, double log_base) {
+  double total = 0.0;
+  for (double m : masses) {
+    CP_CHECK_GE(m, 0.0);
+    total += m;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double m : masses) {
+    if (m <= 0.0) continue;
+    const double p = m / total;
+    h -= p * std::log(p);
+  }
+  return h / log_base;
+}
+}  // namespace
+
+double Entropy(const std::vector<double>& masses) {
+  return EntropyImpl(masses, 1.0);
+}
+
+double EntropyBits(const std::vector<double>& masses) {
+  return EntropyImpl(masses, std::log(2.0));
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace cpclean

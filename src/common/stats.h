@@ -1,0 +1,46 @@
+#ifndef CPCLEAN_COMMON_STATS_H_
+#define CPCLEAN_COMMON_STATS_H_
+
+#include <vector>
+
+namespace cpclean {
+
+/// Descriptive statistics over double vectors. All functions ignore nothing:
+/// callers filter missing values before calling.
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population variance; 0 for inputs of size < 2.
+double Variance(const std::vector<double>& values);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Minimum / maximum; inputs must be non-empty.
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+/// Linear-interpolation percentile, p in [0, 100]. Input must be non-empty
+/// (it is copied and sorted internally).
+double Percentile(const std::vector<double>& values, double p);
+
+/// Median (50th percentile).
+double Median(const std::vector<double>& values);
+
+/// Shannon entropy (natural log) of a distribution given as non-negative
+/// masses; the masses are normalized internally. Returns 0 when the total
+/// mass is 0. Terms with zero mass contribute 0.
+double Entropy(const std::vector<double>& masses);
+
+/// Entropy in bits (log2).
+double EntropyBits(const std::vector<double>& masses);
+
+/// Pearson correlation of two equally-sized vectors; 0 when either side has
+/// no variance or sizes mismatch.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_COMMON_STATS_H_

@@ -1,0 +1,89 @@
+#ifndef CPCLEAN_COMMON_STATUS_H_
+#define CPCLEAN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace cpclean {
+
+/// Error categories used across the library. Modeled after Arrow's Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kParseError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome carried across library boundaries.
+///
+/// The library never throws exceptions through its public API; fallible
+/// operations return `Status` (or `Result<T>` when they also produce a
+/// value). The OK status is cheap to construct and copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// `Status` or `Result<T>` (via the implicit Status -> Result conversion).
+#define CP_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::cpclean::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef CPCLEAN_COMMON_TIMER_H_
+#define CPCLEAN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace cpclean {
+
+/// Wall-clock stopwatch used by the experiment harness and benchmarks.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_COMMON_TIMER_H_

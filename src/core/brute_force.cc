@@ -1,0 +1,58 @@
+#include "core/brute_force.h"
+
+#include "common/logging.h"
+#include "core/similarity.h"
+#include "knn/ordering.h"
+#include "knn/top_k.h"
+#include "knn/vote.h"
+
+namespace cpclean {
+
+int PredictWorld(const IncompleteDataset& dataset,
+                 const std::vector<std::vector<double>>& sims,
+                 const WorldChoice& choice, int k) {
+  CP_CHECK_EQ(static_cast<int>(choice.size()), dataset.num_examples());
+  std::vector<ScoredCandidate> scored;
+  scored.reserve(choice.size());
+  for (int i = 0; i < dataset.num_examples(); ++i) {
+    const int j = choice[static_cast<size_t>(i)];
+    scored.push_back(
+        {sims[static_cast<size_t>(i)][static_cast<size_t>(j)], i, j});
+  }
+  std::vector<int> top = SelectTopK(scored, k);
+  std::vector<int> labels;
+  labels.reserve(top.size());
+  for (int idx : top) labels.push_back(dataset.label(idx));
+  return MajorityVote(labels, dataset.num_labels());
+}
+
+CountResult<ExactSemiring> BruteForceCount(const IncompleteDataset& dataset,
+                                           const std::vector<double>& t,
+                                           const SimilarityKernel& kernel,
+                                           int k) {
+  CP_CHECK_GE(k, 1);
+  CP_CHECK_LE(k, dataset.num_examples());
+  const auto sims = SimilarityMatrix(dataset, t, kernel);
+  CountResult<ExactSemiring> result;
+  result.per_label.assign(static_cast<size_t>(dataset.num_labels()),
+                          BigUint());
+  for (PossibleWorldIterator it(&dataset); it.Valid(); it.Next()) {
+    const int y = PredictWorld(dataset, sims, it.choice(), k);
+    result.per_label[static_cast<size_t>(y)] += BigUint(1);
+  }
+  result.total = dataset.NumPossibleWorlds();
+  return result;
+}
+
+CheckResult BruteForceCheck(const IncompleteDataset& dataset,
+                            const std::vector<double>& t,
+                            const SimilarityKernel& kernel, int k) {
+  const CountResult<ExactSemiring> counts =
+      BruteForceCount(dataset, t, kernel, k);
+  std::vector<bool> possible;
+  possible.reserve(counts.per_label.size());
+  for (const auto& c : counts.per_label) possible.push_back(!c.IsZero());
+  return CheckFromPossible(possible);
+}
+
+}  // namespace cpclean

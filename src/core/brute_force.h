@@ -1,0 +1,38 @@
+#ifndef CPCLEAN_CORE_BRUTE_FORCE_H_
+#define CPCLEAN_CORE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "core/cp_queries.h"
+#include "incomplete/incomplete_dataset.h"
+#include "incomplete/possible_worlds.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+
+/// The exact exponential-time oracle (paper §2.1, "Computational
+/// Challenge"): trains a KNN classifier in *every* possible world and
+/// tallies predictions. Cost O(M^N * N log N) — usable only on tiny
+/// instances; it is the ground truth every polynomial engine is validated
+/// against.
+
+/// Predicts the KNN label in the single world identified by `choice`,
+/// given the precomputed similarity matrix.
+int PredictWorld(const IncompleteDataset& dataset,
+                 const std::vector<std::vector<double>>& sims,
+                 const WorldChoice& choice, int k);
+
+/// Q2 by enumeration: exact per-label world counts.
+CountResult<ExactSemiring> BruteForceCount(const IncompleteDataset& dataset,
+                                           const std::vector<double>& t,
+                                           const SimilarityKernel& kernel,
+                                           int k);
+
+/// Q1 by enumeration.
+CheckResult BruteForceCheck(const IncompleteDataset& dataset,
+                            const std::vector<double>& t,
+                            const SimilarityKernel& kernel, int k);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_BRUTE_FORCE_H_

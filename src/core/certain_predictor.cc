@@ -1,0 +1,50 @@
+#include "core/certain_predictor.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "core/mm.h"
+#include "core/ss1.h"
+#include "core/ss_dc.h"
+
+namespace cpclean {
+
+CertainPredictor::CertainPredictor(const SimilarityKernel* kernel, int k)
+    : kernel_(kernel), k_(k) {
+  CP_CHECK(kernel_ != nullptr);
+  CP_CHECK_GE(k_, 1);
+}
+
+CheckResult CertainPredictor::Check(const IncompleteDataset& dataset,
+                                    const std::vector<double>& t) const {
+  if (dataset.num_labels() == 2) {
+    return MmCheck(dataset, t, *kernel_, k_);
+  }
+  return SsCheck(dataset, t, *kernel_, k_);
+}
+
+std::optional<int> CertainPredictor::CertainLabel(
+    const IncompleteDataset& dataset, const std::vector<double>& t) const {
+  const int label = Check(dataset, t).CertainLabel();
+  if (label < 0) return std::nullopt;
+  return label;
+}
+
+bool CertainPredictor::IsCertain(const IncompleteDataset& dataset,
+                                 const std::vector<double>& t) const {
+  return Check(dataset, t).CertainLabel() >= 0;
+}
+
+std::vector<double> CertainPredictor::LabelProbabilities(
+    const IncompleteDataset& dataset, const std::vector<double>& t) const {
+  if (k_ == 1) {
+    return Ss1Count<DoubleSemiring, true>(dataset, t, *kernel_).per_label;
+  }
+  return SsDcCount<DoubleSemiring, true>(dataset, t, *kernel_, k_).per_label;
+}
+
+double CertainPredictor::PredictionEntropy(const IncompleteDataset& dataset,
+                                           const std::vector<double>& t) const {
+  return Entropy(LabelProbabilities(dataset, t));
+}
+
+}  // namespace cpclean

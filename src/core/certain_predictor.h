@@ -1,0 +1,62 @@
+#ifndef CPCLEAN_CORE_CERTAIN_PREDICTOR_H_
+#define CPCLEAN_CORE_CERTAIN_PREDICTOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/cp_queries.h"
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+
+/// Facade over the CP query engines — the main entry point of the library.
+///
+/// Given a kernel and K, answers the paper's two primitives for a KNN
+/// classifier over an incomplete dataset:
+///   Q1 (checking):  `Check` / `CertainLabel` — is the prediction the same
+///                   in every possible world?
+///   Q2 (counting):  `LabelProbabilities` — the fraction of possible worlds
+///                   predicting each label (block tuple-independent
+///                   probabilistic-database semantics with uniform prior).
+///
+/// Engine selection: Q1 uses MM (binary) or Boolean-semiring SS-DC
+/// (multi-class); Q2 uses the K=1 product-tree fast path when K == 1 and
+/// SS-DC otherwise, in normalized doubles.
+class CertainPredictor {
+ public:
+  /// `kernel` is borrowed and must outlive the predictor; `k >= 1`.
+  CertainPredictor(const SimilarityKernel* kernel, int k);
+
+  int k() const { return k_; }
+  const SimilarityKernel& kernel() const { return *kernel_; }
+
+  /// Q1 for every label.
+  CheckResult Check(const IncompleteDataset& dataset,
+                    const std::vector<double>& t) const;
+
+  /// The certainly-predicted label, or nullopt when worlds disagree.
+  std::optional<int> CertainLabel(const IncompleteDataset& dataset,
+                                  const std::vector<double>& t) const;
+
+  /// True iff the test point can be CP'ed.
+  bool IsCertain(const IncompleteDataset& dataset,
+                 const std::vector<double>& t) const;
+
+  /// Q2 as a probability distribution over labels (sums to ~1).
+  std::vector<double> LabelProbabilities(const IncompleteDataset& dataset,
+                                         const std::vector<double>& t) const;
+
+  /// Shannon entropy (natural log) of `LabelProbabilities` — the
+  /// per-example term of the CPClean objective (paper Equation 3).
+  double PredictionEntropy(const IncompleteDataset& dataset,
+                           const std::vector<double>& t) const;
+
+ private:
+  const SimilarityKernel* kernel_;
+  int k_;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_CERTAIN_PREDICTOR_H_

@@ -1,0 +1,66 @@
+#ifndef CPCLEAN_CORE_CP_QUERIES_H_
+#define CPCLEAN_CORE_CP_QUERIES_H_
+
+#include <vector>
+
+#include "common/semiring.h"
+
+namespace cpclean {
+
+/// Result of the counting query Q2 (paper Def. 5) in a semiring:
+/// `per_label[y]` is the (weighted) number of possible worlds whose trained
+/// KNN classifier predicts label y for the test point; `total` is the
+/// weight of all possible worlds. In exact semirings
+/// `sum(per_label) == total`; in normalized double mode `total == 1`.
+template <typename S>
+struct CountResult {
+  std::vector<typename S::Value> per_label;
+  typename S::Value total;
+
+  /// per_label[y] / total as doubles — the label distribution over worlds.
+  std::vector<double> Fractions() const {
+    std::vector<double> out;
+    out.reserve(per_label.size());
+    const double denom = S::ToDouble(total);
+    for (const auto& v : per_label) {
+      out.push_back(denom > 0 ? S::ToDouble(v) / denom : 0.0);
+    }
+    return out;
+  }
+};
+
+/// Result of the checking query Q1 (paper Def. 4) for every label:
+/// `certain[y]` is true iff *all* possible worlds predict y.
+/// At most one entry can be true.
+struct CheckResult {
+  std::vector<bool> certain;
+
+  /// The certain label, or -1 when the prediction is not certain.
+  int CertainLabel() const {
+    for (int y = 0; y < static_cast<int>(certain.size()); ++y) {
+      if (certain[static_cast<size_t>(y)]) return y;
+    }
+    return -1;
+  }
+};
+
+/// Derives Q1 from the set of labels achievable in at least one world:
+/// label y is certain iff it is the only achievable label.
+inline CheckResult CheckFromPossible(const std::vector<bool>& possible) {
+  int count = 0;
+  int only = -1;
+  for (int y = 0; y < static_cast<int>(possible.size()); ++y) {
+    if (possible[static_cast<size_t>(y)]) {
+      ++count;
+      only = y;
+    }
+  }
+  CheckResult out;
+  out.certain.assign(possible.size(), false);
+  if (count == 1) out.certain[static_cast<size_t>(only)] = true;
+  return out;
+}
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_CP_QUERIES_H_

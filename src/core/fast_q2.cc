@@ -1,0 +1,207 @@
+#include "core/fast_q2.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "common/logging.h"
+#include "core/tally_enum.h"
+#include "knn/vote.h"
+
+namespace cpclean {
+
+FastQ2::FastQ2(const IncompleteDataset* dataset, int k, double epsilon)
+    : dataset_(dataset), k_(k), epsilon_(epsilon) {
+  CP_CHECK(dataset_ != nullptr);
+  CP_CHECK_GE(k_, 1);
+  CP_CHECK_LE(k_, kMaxK);
+  width_ = k_ + 1;
+  Rebind();
+  // Precompute the valid label tallies and their winners once.
+  EnumerateTallies(num_labels_, k_, [this](const std::vector<int>& gamma) {
+    tallies_.push_back({gamma, ArgMaxLabel(gamma)});
+  });
+  scratch_a_.resize(static_cast<size_t>(width_));
+  scratch_b_.resize(static_cast<size_t>(width_));
+  result_.resize(static_cast<size_t>(num_labels_));
+}
+
+void FastQ2::Rebind() {
+  num_labels_ = dataset_->num_labels();
+  const int n = dataset_->num_examples();
+  CP_CHECK_LE(k_, n);
+  slot_of_.assign(static_cast<size_t>(n), -1);
+  label_of_.assign(static_cast<size_t>(n), 0);
+  std::vector<int> label_size(static_cast<size_t>(num_labels_), 0);
+  for (int i = 0; i < n; ++i) {
+    label_of_[static_cast<size_t>(i)] = dataset_->label(i);
+    slot_of_[static_cast<size_t>(i)] =
+        label_size[static_cast<size_t>(dataset_->label(i))]++;
+  }
+  tree_size_.assign(static_cast<size_t>(num_labels_), 1);
+  nodes_.assign(static_cast<size_t>(num_labels_), {});
+  for (int l = 0; l < num_labels_; ++l) {
+    int size = 1;
+    while (size < std::max(label_size[static_cast<size_t>(l)], 1)) size <<= 1;
+    tree_size_[static_cast<size_t>(l)] = size;
+    nodes_[static_cast<size_t>(l)].assign(
+        static_cast<size_t>(2 * size * width_), 0.0);
+  }
+  InitTrees();
+  above_.assign(static_cast<size_t>(n), 0);
+  tuple_min_.assign(static_cast<size_t>(n), 0.0);
+  tuple_max_.assign(static_cast<size_t>(n), 0.0);
+}
+
+void FastQ2::InitTrees() {
+  // Every leaf (and padding slot) holds the constant polynomial 1: a tuple
+  // with no candidate scanned yet is entirely "below" the boundary, which
+  // contributes weight 1 at degree 0.
+  for (int l = 0; l < num_labels_; ++l) {
+    auto& buf = nodes_[static_cast<size_t>(l)];
+    std::fill(buf.begin(), buf.end(), 0.0);
+    const int size = tree_size_[static_cast<size_t>(l)];
+    for (int node = 1; node < 2 * size; ++node) {
+      buf[static_cast<size_t>(node * width_)] = 1.0;
+    }
+  }
+}
+
+void FastQ2::SetLeaf(int label, int slot, double below, double above) {
+  auto& buf = nodes_[static_cast<size_t>(label)];
+  const int size = tree_size_[static_cast<size_t>(label)];
+  int node = size + slot;
+  {
+    double* leaf = &buf[static_cast<size_t>(node * width_)];
+    leaf[0] = below;
+    if (width_ > 1) leaf[1] = above;
+    for (int c = 2; c < width_; ++c) leaf[c] = 0.0;
+  }
+  for (node >>= 1; node >= 1; node >>= 1) {
+    const double* left = &buf[static_cast<size_t>(2 * node * width_)];
+    const double* right = &buf[static_cast<size_t>((2 * node + 1) * width_)];
+    double* out = scratch_a_.data();
+    std::fill(out, out + width_, 0.0);
+    for (int i = 0; i < width_; ++i) {
+      if (left[i] == 0.0) continue;
+      const int jmax = width_ - i;
+      for (int j = 0; j < jmax; ++j) {
+        out[i + j] += left[i] * right[j];
+      }
+    }
+    std::memcpy(&buf[static_cast<size_t>(node * width_)], out,
+                sizeof(double) * static_cast<size_t>(width_));
+  }
+}
+
+void FastQ2::ProductExcept(int label, int slot, double* out) const {
+  const auto& buf = nodes_[static_cast<size_t>(label)];
+  const int size = tree_size_[static_cast<size_t>(label)];
+  std::fill(out, out + width_, 0.0);
+  out[0] = 1.0;
+  double* tmp = scratch_b_.data();
+  for (int node = size + slot; node > 1; node >>= 1) {
+    const double* sibling = &buf[static_cast<size_t>((node ^ 1) * width_)];
+    std::fill(tmp, tmp + width_, 0.0);
+    for (int i = 0; i < width_; ++i) {
+      if (out[i] == 0.0) continue;
+      const int jmax = width_ - i;
+      for (int j = 0; j < jmax; ++j) {
+        tmp[i + j] += out[i] * sibling[j];
+      }
+    }
+    std::memcpy(out, tmp, sizeof(double) * static_cast<size_t>(width_));
+  }
+}
+
+void FastQ2::SetTestPoint(const std::vector<double>& t,
+                          const SimilarityKernel& kernel) {
+  const int n = dataset_->num_examples();
+  scan_.clear();
+  for (int i = 0; i < n; ++i) {
+    double lo = 0.0, hi = 0.0;
+    for (int j = 0; j < dataset_->num_candidates(i); ++j) {
+      const double s = kernel.Similarity(dataset_->candidate(i, j), t);
+      if (j == 0 || s < lo) lo = s;
+      if (j == 0 || s > hi) hi = s;
+      scan_.push_back({s, i, j});
+    }
+    tuple_min_[static_cast<size_t>(i)] = lo;
+    tuple_max_[static_cast<size_t>(i)] = hi;
+  }
+  std::sort(scan_.begin(), scan_.end(), MoreSimilar);
+}
+
+double FastQ2::TopKFloor() const {
+  std::vector<double> mins = tuple_min_;
+  CP_CHECK_GE(static_cast<int>(mins.size()), k_);
+  std::nth_element(mins.begin(), mins.begin() + (k_ - 1), mins.end(),
+                   std::greater<double>());
+  return mins[static_cast<size_t>(k_ - 1)];
+}
+
+std::vector<double> FastQ2::Run(int pin_tuple, int pin_cand) {
+  CP_CHECK(!scan_.empty()) << "call SetTestPoint first";
+  std::fill(result_.begin(), result_.end(), 0.0);
+  touched_.clear();
+  double total = 0.0;
+  const double target = 1.0 - epsilon_;
+
+  // scratch_a_ is clobbered by SetLeaf; boundary polynomials need their own
+  // storage that survives the tally loop.
+  double boundary[kMaxK + 1];
+
+  for (const ScoredCandidate& entry : scan_) {
+    const int i = entry.tuple;
+    if (pin_tuple == i && entry.candidate != pin_cand) continue;
+    const int b = label_of_[static_cast<size_t>(i)];
+    const int slot = slot_of_[static_cast<size_t>(i)];
+    const int m = dataset_->num_candidates(i);
+    const bool pinned_here = pin_tuple == i;
+
+    // Boundary support for this candidate: tuples scanned earlier are
+    // "above" (more similar); the current tuple is pinned to this value.
+    ProductExcept(b, slot, boundary);
+    const double pin_weight =
+        pinned_here ? 1.0 : 1.0 / static_cast<double>(m);
+    for (const Tally& tally : tallies_) {
+      const int gb = tally.gamma[static_cast<size_t>(b)];
+      if (gb < 1) continue;
+      double support = pin_weight * boundary[gb - 1];
+      if (support == 0.0) continue;
+      for (int l = 0; l < num_labels_ && support != 0.0; ++l) {
+        if (l == b) continue;
+        const auto& buf = nodes_[static_cast<size_t>(l)];
+        support *= buf[static_cast<size_t>(
+            width_ + tally.gamma[static_cast<size_t>(l)])];
+      }
+      result_[static_cast<size_t>(tally.winner)] += support;
+      total += support;
+    }
+
+    // Move this candidate into the "above" region for later boundaries.
+    if (above_[static_cast<size_t>(i)] == 0) touched_.push_back(i);
+    const int above = ++above_[static_cast<size_t>(i)];
+    const double frac_above =
+        pinned_here ? 1.0
+                    : static_cast<double>(above) / static_cast<double>(m);
+    SetLeaf(b, slot, 1.0 - frac_above, frac_above);
+
+    if (total >= target) break;
+  }
+
+  // Restore the touched leaves and tallies for the next query.
+  for (int i : touched_) {
+    SetLeaf(label_of_[static_cast<size_t>(i)], slot_of_[static_cast<size_t>(i)],
+            1.0, 0.0);
+    above_[static_cast<size_t>(i)] = 0;
+  }
+
+  std::vector<double> fractions(result_.begin(), result_.end());
+  if (total > 0.0) {
+    for (double& f : fractions) f /= total;
+  }
+  return fractions;
+}
+
+}  // namespace cpclean

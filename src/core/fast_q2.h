@@ -1,0 +1,99 @@
+#ifndef CPCLEAN_CORE_FAST_Q2_H_
+#define CPCLEAN_CORE_FAST_Q2_H_
+
+#include <vector>
+
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+#include "knn/ordering.h"
+
+namespace cpclean {
+
+/// Production Q2 evaluator for CPClean's inner loop.
+///
+/// Same mathematics as `SsDcCount<DoubleSemiring, true>` (validated against
+/// it in tests), but engineered for the access pattern of Algorithm 3 —
+/// thousands of Q2 calls against one test point where a single tuple is
+/// "pinned" to one candidate:
+///
+///  * the kernel evaluations and the sort are paid once per test point
+///    (`SetTestPoint`), not once per query;
+///  * the scan runs in *descending* similarity order and stops as soon as
+///    the collected world mass reaches 1 - epsilon. Supports over all
+///    boundary candidates partition the worlds, and nearly all mass sits
+///    at the most-similar candidates, so typically only O(K * M) of the
+///    N*M scan entries are touched;
+///  * per-label segment trees live in flat double buffers; only leaves
+///    touched by a query are reset afterwards, so a query allocates
+///    nothing and costs O(touched * K^2 log N).
+///
+/// K is capped at kMaxK (raise and recompile if ever needed).
+class FastQ2 {
+ public:
+  static constexpr int kMaxK = 16;
+
+  /// Binds to `dataset` (borrowed; must outlive this object). Call
+  /// `Rebind` after the dataset's candidate sets change shape.
+  FastQ2(const IncompleteDataset* dataset, int k, double epsilon = 1e-9);
+
+  /// Re-reads the dataset's structure (sizes, labels).
+  void Rebind();
+
+  /// Computes and sorts all candidate similarities against `t`.
+  void SetTestPoint(const std::vector<double>& t,
+                    const SimilarityKernel& kernel);
+
+  /// Q2 as label fractions for the bound test point.
+  std::vector<double> Fractions() { return Run(-1, -1); }
+
+  /// Q2 fractions with tuple `i` collapsed to its candidate `j`
+  /// (the "what if candidate j is the truth" query of Equation 4).
+  std::vector<double> FractionsPinned(int i, int j) { return Run(i, j); }
+
+  /// Least / most similar candidate of tuple `i` for the bound test point.
+  double MinSimilarity(int i) const { return tuple_min_[static_cast<size_t>(i)]; }
+  double MaxSimilarity(int i) const { return tuple_max_[static_cast<size_t>(i)]; }
+
+  /// The K-th largest per-tuple *minimum* similarity: any tuple whose
+  /// maximum similarity is below this floor can never enter the top-K in
+  /// any possible world, so pinning it cannot change the Q2 distribution.
+  double TopKFloor() const;
+
+ private:
+  std::vector<double> Run(int pin_tuple, int pin_cand);
+  void InitTrees();
+  void SetLeaf(int label, int slot, double below, double above);
+  /// Writes prod over this label's leaves except `slot` into out[0..k_].
+  void ProductExcept(int label, int slot, double* out) const;
+
+  const IncompleteDataset* dataset_;
+  int k_;
+  double epsilon_;
+  int num_labels_ = 0;
+  int width_ = 0;  // k_ + 1 coefficients per node
+
+  std::vector<int> slot_of_;
+  std::vector<int> label_of_;
+  std::vector<int> tree_size_;              // per label, power of two
+  std::vector<std::vector<double>> nodes_;  // per label, 2*size*width coeffs
+
+  std::vector<ScoredCandidate> scan_;  // descending similarity
+  std::vector<double> tuple_min_, tuple_max_;
+  std::vector<int> above_;
+
+  // Valid tally vectors with their precomputed winner label.
+  struct Tally {
+    std::vector<int> gamma;
+    int winner;
+  };
+  std::vector<Tally> tallies_;
+
+  // Scratch (sized in ctor) so queries allocate nothing.
+  mutable std::vector<double> scratch_a_, scratch_b_;
+  std::vector<int> touched_;
+  std::vector<double> result_;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_FAST_Q2_H_

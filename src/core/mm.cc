@@ -1,0 +1,67 @@
+#include "core/mm.h"
+
+#include "common/logging.h"
+#include "core/similarity.h"
+#include "knn/ordering.h"
+#include "knn/top_k.h"
+#include "knn/vote.h"
+
+namespace cpclean {
+
+std::vector<bool> MmPossibleLabels(const IncompleteDataset& dataset,
+                                   const std::vector<double>& t,
+                                   const SimilarityKernel& kernel, int k) {
+  const int n = dataset.num_examples();
+  const int num_labels = dataset.num_labels();
+  CP_CHECK_EQ(num_labels, 2) << "MM is only sound for binary classification "
+                                "(paper Lemma B.1); use SsCheck for |Y| > 2";
+  CP_CHECK_GE(k, 1);
+  CP_CHECK_LE(k, n);
+
+  const auto sims = SimilarityMatrix(dataset, t, kernel);
+
+  // Per tuple: candidate index of the least / most similar value under the
+  // deterministic within-tuple order (similarity, then candidate index).
+  std::vector<int> jmin(static_cast<size_t>(n), 0);
+  std::vector<int> jmax(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const auto& row = sims[static_cast<size_t>(i)];
+    for (int j = 1; j < static_cast<int>(row.size()); ++j) {
+      const ScoredCandidate cur{row[static_cast<size_t>(j)], i, j};
+      const ScoredCandidate lo{row[static_cast<size_t>(jmin[static_cast<size_t>(i)])],
+                               i, jmin[static_cast<size_t>(i)]};
+      const ScoredCandidate hi{row[static_cast<size_t>(jmax[static_cast<size_t>(i)])],
+                               i, jmax[static_cast<size_t>(i)]};
+      if (LessSimilar(cur, lo)) jmin[static_cast<size_t>(i)] = j;
+      if (LessSimilar(hi, cur)) jmax[static_cast<size_t>(i)] = j;
+    }
+  }
+
+  std::vector<bool> possible(static_cast<size_t>(num_labels), false);
+  for (int l = 0; l < num_labels; ++l) {
+    // The l-extreme world (Equation B.1).
+    std::vector<ScoredCandidate> world;
+    world.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const int j = dataset.label(i) == l ? jmax[static_cast<size_t>(i)]
+                                          : jmin[static_cast<size_t>(i)];
+      world.push_back(
+          {sims[static_cast<size_t>(i)][static_cast<size_t>(j)], i, j});
+    }
+    std::vector<int> top = SelectTopK(world, k);
+    std::vector<int> labels;
+    labels.reserve(top.size());
+    for (int idx : top) labels.push_back(dataset.label(idx));
+    possible[static_cast<size_t>(l)] =
+        MajorityVote(labels, num_labels) == l;
+  }
+  return possible;
+}
+
+CheckResult MmCheck(const IncompleteDataset& dataset,
+                    const std::vector<double>& t,
+                    const SimilarityKernel& kernel, int k) {
+  return CheckFromPossible(MmPossibleLabels(dataset, t, kernel, k));
+}
+
+}  // namespace cpclean

@@ -1,0 +1,35 @@
+#ifndef CPCLEAN_CORE_MM_H_
+#define CPCLEAN_CORE_MM_H_
+
+#include <vector>
+
+#include "core/cp_queries.h"
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+
+/// MinMax (MM), paper §3.2 / Algorithm 2 / Appendix B: the dedicated Q1
+/// checker for binary classification.
+///
+/// For each label l it greedily builds the l-extreme world E_l — candidates
+/// with label l take their *most* similar value, others their *least*
+/// similar — and Lemma B.2 shows E_l predicts l iff some possible world
+/// predicts l. O(N·M + |Y|·(N log K + K)), with no sort over all
+/// candidates. Valid only for |Y| = 2 (Lemma B.1's case analysis breaks
+/// for three labels); calls with |Y| != 2 CHECK-fail — use SsCheck there.
+
+/// possible[l] = true iff the l-extreme world predicts l, i.e., iff label l
+/// is predicted in at least one possible world.
+std::vector<bool> MmPossibleLabels(const IncompleteDataset& dataset,
+                                   const std::vector<double>& t,
+                                   const SimilarityKernel& kernel, int k);
+
+/// Q1 for every label.
+CheckResult MmCheck(const IncompleteDataset& dataset,
+                    const std::vector<double>& t,
+                    const SimilarityKernel& kernel, int k);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_MM_H_

@@ -1,0 +1,61 @@
+#include "core/monte_carlo.h"
+
+#include "common/logging.h"
+#include "core/brute_force.h"
+#include "core/similarity.h"
+
+namespace cpclean {
+
+namespace {
+
+std::vector<int> SampleCounts(const IncompleteDataset& dataset,
+                              const std::vector<double>& t,
+                              const SimilarityKernel& kernel, int k, Rng* rng,
+                              const MonteCarloOptions& options) {
+  CP_CHECK(rng != nullptr);
+  CP_CHECK_GE(options.samples, 1);
+  CP_CHECK_GE(k, 1);
+  CP_CHECK_LE(k, dataset.num_examples());
+  const auto sims = SimilarityMatrix(dataset, t, kernel);
+  std::vector<int> counts(static_cast<size_t>(dataset.num_labels()), 0);
+  WorldChoice choice(static_cast<size_t>(dataset.num_examples()), 0);
+  for (int s = 0; s < options.samples; ++s) {
+    for (int i = 0; i < dataset.num_examples(); ++i) {
+      choice[static_cast<size_t>(i)] = static_cast<int>(rng->NextUint64(
+          static_cast<uint64_t>(dataset.num_candidates(i))));
+    }
+    ++counts[static_cast<size_t>(PredictWorld(dataset, sims, choice, k))];
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<double> MonteCarloLabelProbabilities(
+    const IncompleteDataset& dataset, const std::vector<double>& t,
+    const SimilarityKernel& kernel, int k, Rng* rng,
+    const MonteCarloOptions& options) {
+  const std::vector<int> counts =
+      SampleCounts(dataset, t, kernel, k, rng, options);
+  std::vector<double> out;
+  out.reserve(counts.size());
+  for (int c : counts) {
+    out.push_back(static_cast<double>(c) /
+                  static_cast<double>(options.samples));
+  }
+  return out;
+}
+
+std::vector<bool> MonteCarloObservedLabels(
+    const IncompleteDataset& dataset, const std::vector<double>& t,
+    const SimilarityKernel& kernel, int k, Rng* rng,
+    const MonteCarloOptions& options) {
+  const std::vector<int> counts =
+      SampleCounts(dataset, t, kernel, k, rng, options);
+  std::vector<bool> out;
+  out.reserve(counts.size());
+  for (int c : counts) out.push_back(c > 0);
+  return out;
+}
+
+}  // namespace cpclean

@@ -1,0 +1,42 @@
+#ifndef CPCLEAN_CORE_MONTE_CARLO_H_
+#define CPCLEAN_CORE_MONTE_CARLO_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+
+/// Monte-Carlo estimation of the counting query Q2 — the natural baseline
+/// the paper's exact algorithms replace: sample possible worlds uniformly
+/// (or from given priors), train/evaluate KNN in each, and report the
+/// empirical label distribution.
+///
+/// Unbiased with standard-error O(1/sqrt(samples)); a useful sanity
+/// oracle at scales brute force cannot reach, and the comparison point for
+/// the exact engines in the benchmark suite. Note it can *never* prove a
+/// prediction certain (Q1): absence of a label among samples is not
+/// absence among worlds — which is precisely the paper's argument for
+/// exact counting.
+struct MonteCarloOptions {
+  int samples = 1000;
+};
+
+/// Estimated P(prediction = y) per label under the uniform world prior.
+std::vector<double> MonteCarloLabelProbabilities(
+    const IncompleteDataset& dataset, const std::vector<double>& t,
+    const SimilarityKernel& kernel, int k, Rng* rng,
+    const MonteCarloOptions& options = MonteCarloOptions());
+
+/// The labels observed at least once across the sampled worlds — an
+/// UNDER-approximation of the achievable-label set (see class comment).
+std::vector<bool> MonteCarloObservedLabels(
+    const IncompleteDataset& dataset, const std::vector<double>& t,
+    const SimilarityKernel& kernel, int k, Rng* rng,
+    const MonteCarloOptions& options = MonteCarloOptions());
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_MONTE_CARLO_H_

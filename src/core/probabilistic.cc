@@ -1,0 +1,144 @@
+#include "core/probabilistic.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/brute_force.h"
+#include "core/similarity.h"
+#include "core/support_tree.h"
+#include "core/tally_enum.h"
+#include "incomplete/possible_worlds.h"
+#include "knn/vote.h"
+
+namespace cpclean {
+
+namespace {
+
+Status ValidatePriors(const IncompleteDataset& dataset,
+                      const std::vector<std::vector<double>>& priors) {
+  if (static_cast<int>(priors.size()) != dataset.num_examples()) {
+    return Status::InvalidArgument("priors row count mismatch");
+  }
+  for (int i = 0; i < dataset.num_examples(); ++i) {
+    const auto& row = priors[static_cast<size_t>(i)];
+    if (static_cast<int>(row.size()) != dataset.num_candidates(i)) {
+      return Status::InvalidArgument(
+          StrFormat("priors row %d size mismatch", i));
+    }
+    double total = 0.0;
+    for (double p : row) {
+      if (p < 0.0) {
+        return Status::InvalidArgument("negative prior probability");
+      }
+      total += p;
+    }
+    if (std::abs(total - 1.0) > 1e-6) {
+      return Status::InvalidArgument(
+          StrFormat("priors row %d sums to %f, expected 1", i, total));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> UniformPriors(
+    const IncompleteDataset& dataset) {
+  std::vector<std::vector<double>> priors(
+      static_cast<size_t>(dataset.num_examples()));
+  for (int i = 0; i < dataset.num_examples(); ++i) {
+    const int m = dataset.num_candidates(i);
+    priors[static_cast<size_t>(i)].assign(static_cast<size_t>(m),
+                                          1.0 / static_cast<double>(m));
+  }
+  return priors;
+}
+
+Result<std::vector<double>> WeightedLabelProbabilities(
+    const IncompleteDataset& dataset,
+    const std::vector<std::vector<double>>& priors,
+    const std::vector<double>& t, const SimilarityKernel& kernel, int k) {
+  CP_RETURN_NOT_OK(ValidatePriors(dataset, priors));
+  const int n = dataset.num_examples();
+  const int num_labels = dataset.num_labels();
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument("k out of range");
+  }
+
+  using S = DoubleSemiring;
+  // Per-label trees; leaf weight of tuple i = (P(below), P(above)) where
+  // "below" is the prior mass of candidates scanned so far.
+  std::vector<int> slot_of(static_cast<size_t>(n), -1);
+  std::vector<int> label_size(static_cast<size_t>(num_labels), 0);
+  for (int i = 0; i < n; ++i) {
+    slot_of[static_cast<size_t>(i)] =
+        label_size[static_cast<size_t>(dataset.label(i))]++;
+  }
+  std::vector<SupportTree<S>> trees;
+  trees.reserve(static_cast<size_t>(num_labels));
+  for (int l = 0; l < num_labels; ++l) {
+    trees.emplace_back(label_size[static_cast<size_t>(l)], k);
+  }
+  for (int i = 0; i < n; ++i) {
+    trees[static_cast<size_t>(dataset.label(i))].SetLeaf(
+        slot_of[static_cast<size_t>(i)], 0.0, 1.0);
+  }
+
+  std::vector<double> result(static_cast<size_t>(num_labels), 0.0);
+  std::vector<double> below_mass(static_cast<size_t>(n), 0.0);
+  const std::vector<ScoredCandidate> scan =
+      SortedCandidateScan(dataset, t, kernel);
+
+  for (const ScoredCandidate& entry : scan) {
+    const int i = entry.tuple;
+    const int b = dataset.label(i);
+    const double prior =
+        priors[static_cast<size_t>(i)][static_cast<size_t>(entry.candidate)];
+    below_mass[static_cast<size_t>(i)] += prior;
+    trees[static_cast<size_t>(b)].SetLeaf(
+        slot_of[static_cast<size_t>(i)], below_mass[static_cast<size_t>(i)],
+        1.0 - below_mass[static_cast<size_t>(i)]);
+
+    const Poly<S> boundary =
+        trees[static_cast<size_t>(b)].ProductExcept(
+            slot_of[static_cast<size_t>(i)]);
+    EnumerateTallies(num_labels, k, [&](const std::vector<int>& gamma) {
+      if (gamma[static_cast<size_t>(b)] < 1) return;
+      double support =
+          prior * PolyCoeff<S>(boundary, gamma[static_cast<size_t>(b)] - 1);
+      if (support == 0.0) return;
+      for (int l = 0; l < num_labels; ++l) {
+        if (l == b) continue;
+        support *= PolyCoeff<S>(trees[static_cast<size_t>(l)].Root(),
+                                gamma[static_cast<size_t>(l)]);
+      }
+      result[static_cast<size_t>(ArgMaxLabel(gamma))] += support;
+    });
+  }
+  return result;
+}
+
+Result<std::vector<double>> WeightedLabelProbabilitiesBruteForce(
+    const IncompleteDataset& dataset,
+    const std::vector<std::vector<double>>& priors,
+    const std::vector<double>& t, const SimilarityKernel& kernel, int k) {
+  CP_RETURN_NOT_OK(ValidatePriors(dataset, priors));
+  if (k < 1 || k > dataset.num_examples()) {
+    return Status::InvalidArgument("k out of range");
+  }
+  const auto sims = SimilarityMatrix(dataset, t, kernel);
+  std::vector<double> result(static_cast<size_t>(dataset.num_labels()), 0.0);
+  for (PossibleWorldIterator it(&dataset); it.Valid(); it.Next()) {
+    double weight = 1.0;
+    for (int i = 0; i < dataset.num_examples(); ++i) {
+      weight *= priors[static_cast<size_t>(i)]
+                      [static_cast<size_t>(it.choice()[static_cast<size_t>(i)])];
+    }
+    result[static_cast<size_t>(PredictWorld(dataset, sims, it.choice(), k))] +=
+        weight;
+  }
+  return result;
+}
+
+}  // namespace cpclean

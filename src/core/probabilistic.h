@@ -1,0 +1,40 @@
+#ifndef CPCLEAN_CORE_PROBABILISTIC_H_
+#define CPCLEAN_CORE_PROBABILISTIC_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+
+/// Block tuple-independent probabilistic-database semantics (paper §2.1,
+/// "Connections to Probabilistic Databases"), generalized from the uniform
+/// prior: candidate x_{i,j} carries prior probability priors[i][j], rows
+/// independent, each row summing to 1. Returns P(classifier predicts y)
+/// over the induced world distribution — the uniform case reduces to
+/// Q2 / |worlds|.
+///
+/// `priors` must match the dataset's candidate-set shape; rows are
+/// validated to sum to 1 (1e-6 tolerance). Runs the SS-DC scan with
+/// prior-weighted tallies: O(N·M·(log NM + K² log N)).
+Result<std::vector<double>> WeightedLabelProbabilities(
+    const IncompleteDataset& dataset,
+    const std::vector<std::vector<double>>& priors,
+    const std::vector<double>& t, const SimilarityKernel& kernel, int k);
+
+/// Exhaustive-enumeration reference for `WeightedLabelProbabilities`
+/// (exponential; testing only).
+Result<std::vector<double>> WeightedLabelProbabilitiesBruteForce(
+    const IncompleteDataset& dataset,
+    const std::vector<std::vector<double>>& priors,
+    const std::vector<double>& t, const SimilarityKernel& kernel, int k);
+
+/// The uniform prior over a dataset's candidate sets.
+std::vector<std::vector<double>> UniformPriors(
+    const IncompleteDataset& dataset);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_PROBABILISTIC_H_

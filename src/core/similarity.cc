@@ -1,0 +1,45 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+
+namespace cpclean {
+
+std::vector<std::vector<double>> SimilarityMatrix(
+    const IncompleteDataset& dataset, const std::vector<double>& t,
+    const SimilarityKernel& kernel) {
+  std::vector<std::vector<double>> sims(
+      static_cast<size_t>(dataset.num_examples()));
+  for (int i = 0; i < dataset.num_examples(); ++i) {
+    auto& row = sims[static_cast<size_t>(i)];
+    row.reserve(static_cast<size_t>(dataset.num_candidates(i)));
+    for (int j = 0; j < dataset.num_candidates(i); ++j) {
+      row.push_back(kernel.Similarity(dataset.candidate(i, j), t));
+    }
+  }
+  return sims;
+}
+
+std::vector<ScoredCandidate> SortScan(
+    const std::vector<std::vector<double>>& sims) {
+  std::vector<ScoredCandidate> scan;
+  size_t total = 0;
+  for (const auto& row : sims) total += row.size();
+  scan.reserve(total);
+  for (int i = 0; i < static_cast<int>(sims.size()); ++i) {
+    for (int j = 0; j < static_cast<int>(sims[static_cast<size_t>(i)].size());
+         ++j) {
+      scan.push_back({sims[static_cast<size_t>(i)][static_cast<size_t>(j)],
+                      i, j});
+    }
+  }
+  std::sort(scan.begin(), scan.end(), LessSimilar);
+  return scan;
+}
+
+std::vector<ScoredCandidate> SortedCandidateScan(
+    const IncompleteDataset& dataset, const std::vector<double>& t,
+    const SimilarityKernel& kernel) {
+  return SortScan(SimilarityMatrix(dataset, t, kernel));
+}
+
+}  // namespace cpclean

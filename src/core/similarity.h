@@ -1,0 +1,32 @@
+#ifndef CPCLEAN_CORE_SIMILARITY_H_
+#define CPCLEAN_CORE_SIMILARITY_H_
+
+#include <vector>
+
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+#include "knn/ordering.h"
+
+namespace cpclean {
+
+/// Similarity matrix s[i][j] = κ(x_{i,j}, t) between every candidate of the
+/// incomplete dataset and the test point (paper §3.1.1, "similarity
+/// candidates").
+std::vector<std::vector<double>> SimilarityMatrix(
+    const IncompleteDataset& dataset, const std::vector<double>& t,
+    const SimilarityKernel& kernel);
+
+/// All candidates scored against `t` and sorted ascending under the shared
+/// deterministic total order — the scan order of the SS algorithms.
+std::vector<ScoredCandidate> SortedCandidateScan(
+    const IncompleteDataset& dataset, const std::vector<double>& t,
+    const SimilarityKernel& kernel);
+
+/// Sorts an existing similarity matrix into scan order (used when the
+/// caller already paid for the kernel evaluations).
+std::vector<ScoredCandidate> SortScan(
+    const std::vector<std::vector<double>>& sims);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_SIMILARITY_H_

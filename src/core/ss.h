@@ -1,0 +1,95 @@
+#ifndef CPCLEAN_CORE_SS_H_
+#define CPCLEAN_CORE_SS_H_
+
+#include <vector>
+
+#include "common/logging.h"
+#include "core/cp_queries.h"
+#include "core/similarity.h"
+#include "core/tally_enum.h"
+#include "core/truncated_poly.h"
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+#include "knn/vote.h"
+
+namespace cpclean {
+
+/// SortScan (SS), paper Algorithm 1 — the generic polynomial-time answer to
+/// the counting query Q2 for KNN over exponentially many possible worlds.
+///
+/// Scans all candidates in increasing similarity order; each scanned
+/// candidate x_{i,j} is treated as the K-th most similar element (the
+/// "boundary", App. A) of a world, and the number of worlds in its boundary
+/// set supporting each label tally is computed by per-label dynamic
+/// programs over the similarity tally α. This is the *naive* variant that
+/// rebuilds the per-label DP at every step — O(N·M·(N·K + |Γ|·|Y|)); the
+/// tree-based `SsDcCount` (ss_dc.h) is the fast production engine.
+///
+/// Template parameters select the count semiring and, for DoubleSemiring,
+/// per-tuple normalization (see truncated_poly.h).
+template <typename S, bool kNormalized = false>
+CountResult<S> SsCount(const IncompleteDataset& dataset,
+                       const std::vector<double>& t,
+                       const SimilarityKernel& kernel, int k) {
+  using W = TallyWeight<S, kNormalized>;
+  const int n = dataset.num_examples();
+  const int num_labels = dataset.num_labels();
+  CP_CHECK_GE(k, 1);
+  CP_CHECK_LE(k, n);
+
+  CountResult<S> result;
+  result.per_label.assign(static_cast<size_t>(num_labels), S::Zero());
+  result.total = S::One();
+  for (int i = 0; i < n; ++i) {
+    result.total = S::Mul(result.total, W::Free(dataset.num_candidates(i)));
+  }
+
+  const std::vector<ScoredCandidate> scan =
+      SortedCandidateScan(dataset, t, kernel);
+  std::vector<int> alpha(static_cast<size_t>(n), 0);
+
+  for (const ScoredCandidate& entry : scan) {
+    const int i = entry.tuple;
+    const int b = dataset.label(i);
+    ++alpha[static_cast<size_t>(i)];
+
+    // Per-label generating polynomials over candidate sets of that label,
+    // excluding the boundary tuple i (it is pinned inside the top-K).
+    std::vector<Poly<S>> label_poly(static_cast<size_t>(num_labels));
+    for (int l = 0; l < num_labels; ++l) {
+      Poly<S> p = PolyOne<S>();
+      for (int m = 0; m < n; ++m) {
+        if (dataset.label(m) != l || m == i) continue;
+        const int cm = dataset.num_candidates(m);
+        const Poly<S> leaf = {W::Below(alpha[static_cast<size_t>(m)], cm),
+                              W::Above(alpha[static_cast<size_t>(m)], cm)};
+        p = PolyMul<S>(p, leaf, k);
+      }
+      label_poly[static_cast<size_t>(l)] = std::move(p);
+    }
+
+    const typename S::Value pinned = W::Pinned(dataset.num_candidates(i));
+    EnumerateTallies(num_labels, k, [&](const std::vector<int>& gamma) {
+      if (gamma[static_cast<size_t>(b)] < 1) return;  // boundary not in top-K
+      typename S::Value support =
+          S::Mul(pinned, PolyCoeff<S>(label_poly[static_cast<size_t>(b)],
+                                      gamma[static_cast<size_t>(b)] - 1));
+      if (S::IsZero(support)) return;
+      for (int l = 0; l < num_labels; ++l) {
+        if (l == b) continue;
+        support = S::Mul(support,
+                         PolyCoeff<S>(label_poly[static_cast<size_t>(l)],
+                                      gamma[static_cast<size_t>(l)]));
+        if (S::IsZero(support)) return;
+      }
+      const int winner = ArgMaxLabel(gamma);
+      auto& slot = result.per_label[static_cast<size_t>(winner)];
+      slot = S::Add(slot, support);
+    });
+  }
+  return result;
+}
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_SS_H_

@@ -1,0 +1,17 @@
+#include "core/ss1.h"
+
+namespace cpclean {
+
+std::vector<double> Ss1Fractions(const IncompleteDataset& dataset,
+                                 const std::vector<double>& t,
+                                 const SimilarityKernel& kernel) {
+  return Ss1Count<DoubleSemiring, true>(dataset, t, kernel).Fractions();
+}
+
+CountResult<ExactSemiring> Ss1ExactCount(const IncompleteDataset& dataset,
+                                         const std::vector<double>& t,
+                                         const SimilarityKernel& kernel) {
+  return Ss1Count<ExactSemiring>(dataset, t, kernel);
+}
+
+}  // namespace cpclean

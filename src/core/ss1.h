@@ -1,0 +1,76 @@
+#ifndef CPCLEAN_CORE_SS1_H_
+#define CPCLEAN_CORE_SS1_H_
+
+#include <vector>
+
+#include "common/logging.h"
+#include "core/cp_queries.h"
+#include "core/similarity.h"
+#include "core/support_tree.h"
+#include "core/truncated_poly.h"
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+
+/// The K = 1 SortScan specialization (paper §3.1.2): the boundary element
+/// *is* the nearest neighbor, so a world supports label y_i exactly when
+/// every other candidate set picks a value less similar than x_{i,j} —
+/// counted by `prod_{n != i} α_{i,j}[n]` (Equation 2).
+///
+/// A scalar product tree replaces the running product, giving
+/// O(N·M·log(N·M)) total. The paper states the binary case; the algorithm
+/// is valid for any |Y| since the 1-NN prediction is simply the label of
+/// the boundary tuple, which is how we implement it.
+template <typename S, bool kNormalized = false>
+CountResult<S> Ss1Count(const IncompleteDataset& dataset,
+                        const std::vector<double>& t,
+                        const SimilarityKernel& kernel) {
+  using W = TallyWeight<S, kNormalized>;
+  const int n = dataset.num_examples();
+  CP_CHECK_GE(n, 1);
+
+  CountResult<S> result;
+  result.per_label.assign(static_cast<size_t>(dataset.num_labels()),
+                          S::Zero());
+  result.total = S::One();
+  for (int i = 0; i < n; ++i) {
+    result.total = S::Mul(result.total, W::Free(dataset.num_candidates(i)));
+  }
+
+  ProductTree<S> tree(n);
+  for (int i = 0; i < n; ++i) {
+    tree.SetLeaf(i, W::Below(0, dataset.num_candidates(i)));
+  }
+
+  const std::vector<ScoredCandidate> scan =
+      SortedCandidateScan(dataset, t, kernel);
+  std::vector<int> alpha(static_cast<size_t>(n), 0);
+
+  for (const ScoredCandidate& entry : scan) {
+    const int i = entry.tuple;
+    ++alpha[static_cast<size_t>(i)];
+    tree.SetLeaf(i, W::Below(alpha[static_cast<size_t>(i)],
+                             dataset.num_candidates(i)));
+    const typename S::Value boundary_count =
+        S::Mul(tree.ProductExcept(i),
+               W::Pinned(dataset.num_candidates(i)));
+    auto& slot = result.per_label[static_cast<size_t>(dataset.label(i))];
+    slot = S::Add(slot, boundary_count);
+  }
+  return result;
+}
+
+/// Q2 label fractions via the K=1 fast path, normalized doubles.
+std::vector<double> Ss1Fractions(const IncompleteDataset& dataset,
+                                 const std::vector<double>& t,
+                                 const SimilarityKernel& kernel);
+
+/// Exact K=1 counts.
+CountResult<ExactSemiring> Ss1ExactCount(const IncompleteDataset& dataset,
+                                         const std::vector<double>& t,
+                                         const SimilarityKernel& kernel);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_SS1_H_

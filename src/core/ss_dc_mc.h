@@ -1,0 +1,138 @@
+#ifndef CPCLEAN_CORE_SS_DC_MC_H_
+#define CPCLEAN_CORE_SS_DC_MC_H_
+
+#include <vector>
+
+#include "common/logging.h"
+#include "core/cp_queries.h"
+#include "core/similarity.h"
+#include "core/support_tree.h"
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+
+/// SS-DC-MC, paper Appendix A.3: the many-class variant of SortScan whose
+/// cost is polynomial in |Y| instead of the C(K+|Y|-1, K) tallies of
+/// Algorithm A.1.
+///
+/// Instead of enumerating full tally vectors, it fixes the winning label l
+/// and its count c, then counts assignments of the remaining K - c top-K
+/// slots to the other labels with per-label caps. The paper's recurrence
+/// ignores argmax ties; we make the caps exact for the deterministic
+/// smaller-label-wins vote: labels below l are capped at c - 1 (they would
+/// steal the win at c), labels above l at c.
+///
+/// O(N·M·(log(N·M) + K^2 log N + |Y|^2 K^3)).
+template <typename S, bool kNormalized = false>
+CountResult<S> SsDcMcCount(const IncompleteDataset& dataset,
+                           const std::vector<double>& t,
+                           const SimilarityKernel& kernel, int k) {
+  using W = TallyWeight<S, kNormalized>;
+  const int n = dataset.num_examples();
+  const int num_labels = dataset.num_labels();
+  CP_CHECK_GE(k, 1);
+  CP_CHECK_LE(k, n);
+
+  CountResult<S> result;
+  result.per_label.assign(static_cast<size_t>(num_labels), S::Zero());
+  result.total = S::One();
+  for (int i = 0; i < n; ++i) {
+    result.total = S::Mul(result.total, W::Free(dataset.num_candidates(i)));
+  }
+
+  std::vector<int> slot_of(static_cast<size_t>(n), -1);
+  std::vector<int> label_size(static_cast<size_t>(num_labels), 0);
+  for (int i = 0; i < n; ++i) {
+    slot_of[static_cast<size_t>(i)] =
+        label_size[static_cast<size_t>(dataset.label(i))]++;
+  }
+  std::vector<SupportTree<S>> trees;
+  trees.reserve(static_cast<size_t>(num_labels));
+  for (int l = 0; l < num_labels; ++l) {
+    trees.emplace_back(label_size[static_cast<size_t>(l)], k);
+  }
+  for (int i = 0; i < n; ++i) {
+    const int m = dataset.num_candidates(i);
+    trees[static_cast<size_t>(dataset.label(i))].SetLeaf(
+        slot_of[static_cast<size_t>(i)], W::Below(0, m), W::Above(0, m));
+  }
+
+  const std::vector<ScoredCandidate> scan =
+      SortedCandidateScan(dataset, t, kernel);
+  std::vector<int> alpha(static_cast<size_t>(n), 0);
+
+  // Capped polynomial of one non-winner label: coefficients of γ_{l2} up to
+  // min(cap, remaining). The boundary label b is pinned inside the top-K,
+  // so its polynomial is the tuple-i-excluded product shifted by one slot
+  // (γ_b = 0 is impossible).
+  auto capped_poly = [&](int l2, int b, const Poly<S>& boundary_poly, int cap,
+                         int remaining) {
+    const int deg = std::min(cap, remaining);
+    Poly<S> p(static_cast<size_t>(std::max(deg, 0)) + 1, S::Zero());
+    if (l2 == b) {
+      for (int g = 1; g <= deg; ++g) {
+        p[static_cast<size_t>(g)] = PolyCoeff<S>(boundary_poly, g - 1);
+      }
+    } else {
+      const Poly<S>& root = trees[static_cast<size_t>(l2)].Root();
+      for (int g = 0; g <= deg; ++g) {
+        p[static_cast<size_t>(g)] = PolyCoeff<S>(root, g);
+      }
+    }
+    return p;
+  };
+
+  for (const ScoredCandidate& entry : scan) {
+    const int i = entry.tuple;
+    const int b = dataset.label(i);
+    const int m = dataset.num_candidates(i);
+    ++alpha[static_cast<size_t>(i)];
+    trees[static_cast<size_t>(b)].SetLeaf(
+        slot_of[static_cast<size_t>(i)],
+        W::Below(alpha[static_cast<size_t>(i)], m),
+        W::Above(alpha[static_cast<size_t>(i)], m));
+
+    const Poly<S> boundary_poly =
+        trees[static_cast<size_t>(b)].ProductExcept(
+            slot_of[static_cast<size_t>(i)]);
+
+    for (int l = 0; l < num_labels; ++l) {
+      for (int c = 1; c <= k; ++c) {
+        // Winner-label coefficient: γ_l = c.
+        const typename S::Value w =
+            l == b ? PolyCoeff<S>(boundary_poly, c - 1)
+                   : PolyCoeff<S>(trees[static_cast<size_t>(l)].Root(), c);
+        if (S::IsZero(w)) continue;
+        const int remaining = k - c;
+        Poly<S> conv = PolyOne<S>();
+        bool dead = false;
+        for (int l2 = 0; l2 < num_labels && !dead; ++l2) {
+          if (l2 == l) continue;
+          const int cap = l2 < l ? c - 1 : c;
+          conv = PolyMul<S>(conv, capped_poly(l2, b, boundary_poly, cap,
+                                              remaining),
+                            remaining);
+          dead = true;
+          for (const auto& v : conv) {
+            if (!S::IsZero(v)) {
+              dead = false;
+              break;
+            }
+          }
+        }
+        if (dead) continue;
+        const typename S::Value support = S::Mul(
+            W::Pinned(m), S::Mul(w, PolyCoeff<S>(conv, remaining)));
+        if (S::IsZero(support)) continue;
+        auto& slot = result.per_label[static_cast<size_t>(l)];
+        slot = S::Add(slot, support);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_SS_DC_MC_H_

@@ -1,0 +1,124 @@
+#ifndef CPCLEAN_CORE_SUPPORT_TREE_H_
+#define CPCLEAN_CORE_SUPPORT_TREE_H_
+
+#include <vector>
+
+#include "common/logging.h"
+#include "core/truncated_poly.h"
+
+namespace cpclean {
+
+/// The divide-and-conquer structure of paper Appendix A.2: a segment tree
+/// whose leaves hold per-candidate-set generating polynomials
+/// `below + above*z` and whose internal nodes hold truncated products.
+///
+/// A leaf update (one similarity-tally increment during the SS scan)
+/// recomputes only the O(log N) ancestors, each an O(K^2) truncated
+/// convolution. `ProductExcept` combines sibling subtrees along the
+/// leaf-to-root path, yielding the product over all other leaves without
+/// mutating the tree — this is how the boundary tuple is excluded from its
+/// own label's polynomial.
+template <typename S>
+class SupportTree {
+ public:
+  /// A tree over `num_leaves` candidate sets whose polynomials are
+  /// truncated at `max_degree` (= K).
+  SupportTree(int num_leaves, int max_degree)
+      : num_leaves_(num_leaves), max_degree_(max_degree) {
+    CP_CHECK_GE(num_leaves, 0);
+    CP_CHECK_GE(max_degree, 0);
+    size_ = 1;
+    while (size_ < std::max(num_leaves, 1)) size_ <<= 1;
+    nodes_.assign(static_cast<size_t>(2 * size_), PolyOne<S>());
+  }
+
+  int num_leaves() const { return num_leaves_; }
+
+  /// Sets leaf `pos` to the polynomial `below + above*z` and refreshes
+  /// ancestors. O(K^2 log N).
+  void SetLeaf(int pos, typename S::Value below, typename S::Value above) {
+    CP_CHECK_GE(pos, 0);
+    CP_CHECK_LT(pos, num_leaves_);
+    int node = size_ + pos;
+    if (max_degree_ == 0) {
+      nodes_[static_cast<size_t>(node)] = {below};
+    } else {
+      nodes_[static_cast<size_t>(node)] = {below, above};
+    }
+    for (node >>= 1; node >= 1; node >>= 1) {
+      nodes_[static_cast<size_t>(node)] =
+          PolyMul<S>(nodes_[static_cast<size_t>(2 * node)],
+                     nodes_[static_cast<size_t>(2 * node + 1)], max_degree_);
+    }
+  }
+
+  /// Product polynomial over all leaves.
+  const Poly<S>& Root() const { return nodes_[1]; }
+
+  /// Product polynomial over all leaves except `pos`. O(K^2 log N).
+  Poly<S> ProductExcept(int pos) const {
+    CP_CHECK_GE(pos, 0);
+    CP_CHECK_LT(pos, num_leaves_);
+    Poly<S> out = PolyOne<S>();
+    for (int node = size_ + pos; node > 1; node >>= 1) {
+      const int sibling = node ^ 1;
+      out = PolyMul<S>(out, nodes_[static_cast<size_t>(sibling)], max_degree_);
+    }
+    return out;
+  }
+
+ private:
+  int num_leaves_;
+  int max_degree_;
+  int size_ = 1;  // number of leaf slots, a power of two
+  std::vector<Poly<S>> nodes_;
+};
+
+/// Scalar product tree: the K=1 specialization where only the "below"
+/// weight matters (paper §3.1.2, Equation 2). `ProductExcept(i)` returns
+/// `prod_{n != i} below(n)` in O(log N) multiplications.
+template <typename S>
+class ProductTree {
+ public:
+  explicit ProductTree(int num_leaves) : num_leaves_(num_leaves) {
+    CP_CHECK_GE(num_leaves, 0);
+    size_ = 1;
+    while (size_ < std::max(num_leaves, 1)) size_ <<= 1;
+    nodes_.assign(static_cast<size_t>(2 * size_), S::One());
+  }
+
+  int num_leaves() const { return num_leaves_; }
+
+  void SetLeaf(int pos, typename S::Value value) {
+    CP_CHECK_GE(pos, 0);
+    CP_CHECK_LT(pos, num_leaves_);
+    int node = size_ + pos;
+    nodes_[static_cast<size_t>(node)] = value;
+    for (node >>= 1; node >= 1; node >>= 1) {
+      nodes_[static_cast<size_t>(node)] =
+          S::Mul(nodes_[static_cast<size_t>(2 * node)],
+                 nodes_[static_cast<size_t>(2 * node + 1)]);
+    }
+  }
+
+  typename S::Value Product() const { return nodes_[1]; }
+
+  typename S::Value ProductExcept(int pos) const {
+    CP_CHECK_GE(pos, 0);
+    CP_CHECK_LT(pos, num_leaves_);
+    typename S::Value out = S::One();
+    for (int node = size_ + pos; node > 1; node >>= 1) {
+      out = S::Mul(out, nodes_[static_cast<size_t>(node ^ 1)]);
+    }
+    return out;
+  }
+
+ private:
+  int num_leaves_;
+  int size_ = 1;
+  std::vector<typename S::Value> nodes_;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_SUPPORT_TREE_H_

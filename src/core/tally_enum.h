@@ -1,0 +1,43 @@
+#ifndef CPCLEAN_CORE_TALLY_ENUM_H_
+#define CPCLEAN_CORE_TALLY_ENUM_H_
+
+#include <functional>
+#include <vector>
+
+namespace cpclean {
+
+/// Enumerates every valid label tally vector γ (paper §3.1.3): all
+/// non-negative integer vectors of length `num_labels` summing to `k`.
+/// There are C(k + |Y| - 1, |Y| - 1) of them. The callback receives each
+/// tally by const reference; it must not retain the reference.
+inline void EnumerateTallies(
+    int num_labels, int k,
+    const std::function<void(const std::vector<int>&)>& fn) {
+  std::vector<int> tally(static_cast<size_t>(num_labels), 0);
+  // Recursive composition generator; the last label takes the remainder.
+  std::function<void(int, int)> recurse = [&](int label, int remaining) {
+    if (label == num_labels - 1) {
+      tally[static_cast<size_t>(label)] = remaining;
+      fn(tally);
+      return;
+    }
+    for (int c = 0; c <= remaining; ++c) {
+      tally[static_cast<size_t>(label)] = c;
+      recurse(label + 1, remaining - c);
+    }
+  };
+  if (num_labels > 0) recurse(0, k);
+}
+
+/// Number of valid tally vectors, C(k + num_labels - 1, num_labels - 1).
+inline long long CountTallies(int num_labels, int k) {
+  long long out = 1;
+  for (int i = 1; i <= num_labels - 1; ++i) {
+    out = out * (k + i) / i;
+  }
+  return out;
+}
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_TALLY_ENUM_H_

@@ -1,0 +1,111 @@
+#ifndef CPCLEAN_CORE_TRUNCATED_POLY_H_
+#define CPCLEAN_CORE_TRUNCATED_POLY_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/semiring.h"
+
+namespace cpclean {
+
+/// Generating polynomials over a count semiring, truncated at degree K.
+///
+/// In the SS dynamic program (paper §3.1.1 / App. A), each candidate set
+/// contributes the factor `below + above*z` — coefficient of z^c in the
+/// product over candidate sets counts the worlds placing exactly c of them
+/// inside the top-K. Degrees above K never matter, so every operation
+/// truncates.
+template <typename S>
+using Poly = std::vector<typename S::Value>;
+
+/// The constant polynomial 1 (empty product).
+template <typename S>
+Poly<S> PolyOne() {
+  return {S::One()};
+}
+
+/// The constant polynomial 0.
+template <typename S>
+Poly<S> PolyZero() {
+  return {S::Zero()};
+}
+
+/// Coefficient of z^degree, or semiring zero past the end.
+template <typename S>
+typename S::Value PolyCoeff(const Poly<S>& p, int degree) {
+  if (degree < 0 || degree >= static_cast<int>(p.size())) return S::Zero();
+  return p[static_cast<size_t>(degree)];
+}
+
+/// a * b truncated to degree <= max_degree.
+template <typename S>
+Poly<S> PolyMul(const Poly<S>& a, const Poly<S>& b, int max_degree) {
+  const int deg =
+      std::min(max_degree,
+               static_cast<int>(a.size()) + static_cast<int>(b.size()) - 2);
+  Poly<S> out(static_cast<size_t>(deg < 0 ? 0 : deg) + 1, S::Zero());
+  for (int i = 0; i < static_cast<int>(a.size()); ++i) {
+    if (S::IsZero(a[static_cast<size_t>(i)])) continue;
+    for (int j = 0; j < static_cast<int>(b.size()) && i + j <= max_degree;
+         ++j) {
+      auto& slot = out[static_cast<size_t>(i + j)];
+      slot = S::Add(slot, S::Mul(a[static_cast<size_t>(i)],
+                                 b[static_cast<size_t>(j)]));
+    }
+  }
+  return out;
+}
+
+/// Truncates `p` in place to degree <= max_degree (caps, not rounds).
+template <typename S>
+void PolyTruncate(Poly<S>* p, int max_degree) {
+  if (static_cast<int>(p->size()) > max_degree + 1) {
+    p->resize(static_cast<size_t>(max_degree) + 1);
+  }
+}
+
+/// Weight mapping from similarity tallies into a semiring.
+///
+/// Exact mode embeds raw counts (α, M-α): polynomial products are exact
+/// world counts. Normalized mode (DoubleSemiring only) divides by |C_n| so
+/// products are world *fractions* — immune to overflow for datasets with
+/// thousands of dirty tuples.
+template <typename S, bool kNormalized = false>
+struct TallyWeight {
+  static typename S::Value Below(int alpha, int m) {
+    (void)m;
+    return S::FromCount(static_cast<uint64_t>(alpha));
+  }
+  static typename S::Value Above(int alpha, int m) {
+    return S::FromCount(static_cast<uint64_t>(m - alpha));
+  }
+  /// Weight of a fully unconstrained candidate set (used for totals).
+  static typename S::Value Free(int m) {
+    return S::FromCount(static_cast<uint64_t>(m));
+  }
+  /// Weight of the boundary tuple, pinned to one specific candidate:
+  /// exactly 1 way in exact mode, probability 1/m in normalized mode.
+  static typename S::Value Pinned(int m) {
+    (void)m;
+    return S::One();
+  }
+};
+
+template <>
+struct TallyWeight<DoubleSemiring, true> {
+  static double Below(int alpha, int m) {
+    return static_cast<double>(alpha) / static_cast<double>(m);
+  }
+  static double Above(int alpha, int m) {
+    return static_cast<double>(m - alpha) / static_cast<double>(m);
+  }
+  static double Free(int m) {
+    (void)m;
+    return 1.0;
+  }
+  static double Pinned(int m) { return 1.0 / static_cast<double>(m); }
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_CORE_TRUNCATED_POLY_H_

@@ -1,0 +1,39 @@
+#ifndef CPCLEAN_DATA_CSV_H_
+#define CPCLEAN_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace cpclean {
+
+/// CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Tokens (after whitespace stripping, case-insensitive) treated as NULL.
+  std::vector<std::string> null_tokens = {"", "null", "na", "n/a", "?"};
+};
+
+/// Parses CSV text into a Table. Column types are inferred: a column whose
+/// non-null cells all parse as doubles is numeric, otherwise categorical.
+/// Supports double-quoted fields with embedded delimiters and "" escapes.
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvOptions& options = CsvOptions());
+
+/// Reads and parses a CSV file.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = CsvOptions());
+
+/// Serializes a table back to CSV (with header). NULLs become empty fields.
+std::string WriteCsvString(const Table& table, char delimiter = ',');
+
+/// Writes a table to a file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_DATA_CSV_H_

@@ -1,0 +1,133 @@
+#include "data/encoder.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace cpclean {
+
+Status FeatureEncoder::Fit(const Table& table,
+                           const std::vector<int>& exclude_columns) {
+  schema_ = table.schema();
+  const int cols = schema_.num_fields();
+  excluded_.assign(static_cast<size_t>(cols), false);
+  for (int c : exclude_columns) {
+    if (c < 0 || c >= cols) {
+      return Status::OutOfRange(StrFormat("exclude column %d out of range", c));
+    }
+    excluded_[static_cast<size_t>(c)] = true;
+  }
+  numeric_stats_.assign(static_cast<size_t>(cols), {});
+  vocabularies_.assign(static_cast<size_t>(cols), {});
+  column_offset_.assign(static_cast<size_t>(cols), -1);
+
+  int offset = 0;
+  for (int c = 0; c < cols; ++c) {
+    if (excluded_[static_cast<size_t>(c)]) continue;
+    column_offset_[static_cast<size_t>(c)] = offset;
+    if (schema_.field(c).type == ColumnType::kNumeric) {
+      std::vector<double> values = table.NumericColumn(c);
+      NumericStats stats;
+      if (!values.empty()) {
+        stats.mean = Mean(values);
+        stats.stddev = StdDev(values);
+      }
+      if (stats.stddev <= 1e-12) stats.stddev = 1.0;
+      numeric_stats_[static_cast<size_t>(c)] = stats;
+      offset += 1;
+    } else {
+      auto& vocab = vocabularies_[static_cast<size_t>(c)];
+      for (const std::string& cat : table.CategoricalColumn(c)) {
+        if (vocab.find(cat) == vocab.end()) {
+          const int id = static_cast<int>(vocab.size());
+          vocab[cat] = id;
+        }
+      }
+      // +1 slot for unseen categories.
+      offset += static_cast<int>(vocab.size()) + 1;
+    }
+  }
+  encoded_dim_ = offset;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> FeatureEncoder::EncodeRow(
+    const std::vector<Value>& row) const {
+  if (!fitted_) {
+    return Status::Internal("FeatureEncoder used before Fit");
+  }
+  if (static_cast<int>(row.size()) != schema_.num_fields()) {
+    return Status::InvalidArgument("row width does not match fitted schema");
+  }
+  std::vector<double> out(static_cast<size_t>(encoded_dim_), 0.0);
+  for (int c = 0; c < schema_.num_fields(); ++c) {
+    if (excluded_[static_cast<size_t>(c)]) continue;
+    const Value& v = row[static_cast<size_t>(c)];
+    if (v.is_null()) {
+      return Status::InvalidArgument(StrFormat(
+          "cannot encode NULL in column %d; complete the row first", c));
+    }
+    const int offset = column_offset_[static_cast<size_t>(c)];
+    if (schema_.field(c).type == ColumnType::kNumeric) {
+      const auto& stats = numeric_stats_[static_cast<size_t>(c)];
+      out[static_cast<size_t>(offset)] = (v.numeric() - stats.mean) / stats.stddev;
+    } else {
+      const auto& vocab = vocabularies_[static_cast<size_t>(c)];
+      auto it = vocab.find(v.categorical());
+      const int slot =
+          it != vocab.end() ? it->second : static_cast<int>(vocab.size());
+      out[static_cast<size_t>(offset + slot)] = 1.0;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<double>>> FeatureEncoder::EncodeTable(
+    const Table& table) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(static_cast<size_t>(table.num_rows()));
+  for (int r = 0; r < table.num_rows(); ++r) {
+    CP_ASSIGN_OR_RETURN(auto vec, EncodeRow(table.row(r)));
+    out.push_back(std::move(vec));
+  }
+  return out;
+}
+
+Status LabelEncoder::Fit(const std::vector<Value>& column) {
+  labels_.clear();
+  for (const Value& v : column) {
+    if (v.is_null()) {
+      return Status::InvalidArgument("labels must not be NULL (paper Def. 1)");
+    }
+    bool seen = false;
+    for (const Value& existing : labels_) {
+      if (existing == v) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) labels_.push_back(v);
+  }
+  if (labels_.empty()) {
+    return Status::InvalidArgument("empty label column");
+  }
+  return Status::OK();
+}
+
+Result<int> LabelEncoder::Encode(const Value& value) const {
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == value) return static_cast<int>(i);
+  }
+  return Status::NotFound("unseen label value: " + value.ToString());
+}
+
+const Value& LabelEncoder::Decode(int label) const {
+  CP_CHECK_GE(label, 0);
+  CP_CHECK_LT(label, num_labels());
+  return labels_[static_cast<size_t>(label)];
+}
+
+}  // namespace cpclean

@@ -1,0 +1,81 @@
+#ifndef CPCLEAN_DATA_ENCODER_H_
+#define CPCLEAN_DATA_ENCODER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace cpclean {
+
+/// Encodes relational rows into dense feature vectors for KNN:
+/// numeric columns are z-score standardized, categorical columns are
+/// one-hot encoded (with an extra slot for categories unseen at fit time).
+///
+/// The encoder is fit on a reference table (typically training data plus
+/// all candidate repairs, so every candidate has a defined encoding) and
+/// then applied row-by-row. Rows passed to `EncodeRow` must be complete
+/// (no NULLs): candidates, validation and test rows are complete by
+/// construction.
+class FeatureEncoder {
+ public:
+  FeatureEncoder() = default;
+
+  /// Learns standardization parameters and category vocabularies from all
+  /// non-null cells of `table`. `exclude_columns` (e.g., the label column)
+  /// are skipped entirely.
+  Status Fit(const Table& table, const std::vector<int>& exclude_columns = {});
+
+  /// Dimensionality of the encoded vectors.
+  int encoded_dim() const { return encoded_dim_; }
+
+  /// True once Fit succeeded.
+  bool fitted() const { return fitted_; }
+
+  /// Encodes one row of `table_schema`-shaped values. The row must contain
+  /// no NULLs in the encoded columns.
+  Result<std::vector<double>> EncodeRow(const std::vector<Value>& row) const;
+
+  /// Encodes every row of the table (all must be complete).
+  Result<std::vector<std::vector<double>>> EncodeTable(const Table& table) const;
+
+ private:
+  struct NumericStats {
+    double mean = 0.0;
+    double stddev = 1.0;
+  };
+
+  bool fitted_ = false;
+  Schema schema_;
+  std::vector<bool> excluded_;
+  // Per column: numeric stats or category vocabulary.
+  std::vector<NumericStats> numeric_stats_;
+  std::vector<std::map<std::string, int>> vocabularies_;
+  std::vector<int> column_offset_;
+  int encoded_dim_ = 0;
+};
+
+/// Maps label values (the class column) to dense integer ids 0..|Y|-1.
+class LabelEncoder {
+ public:
+  /// Builds the label vocabulary from the non-null cells of `column`.
+  /// Numeric labels are keyed by their exact value, categoricals by string.
+  Status Fit(const std::vector<Value>& column);
+
+  int num_labels() const { return static_cast<int>(labels_.size()); }
+
+  /// Id of a label value; fails for NULL or unseen labels.
+  Result<int> Encode(const Value& value) const;
+
+  /// The original value for a label id.
+  const Value& Decode(int label) const;
+
+ private:
+  std::vector<Value> labels_;  // id -> representative value
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_DATA_ENCODER_H_

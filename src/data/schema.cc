@@ -1,0 +1,60 @@
+#include "data/schema.h"
+
+#include "common/logging.h"
+
+namespace cpclean {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    for (size_t j = i + 1; j < fields_.size(); ++j) {
+      CP_CHECK(fields_[i].name != fields_[j].name)
+          << "duplicate field name: " << fields_[i].name;
+    }
+  }
+}
+
+const Field& Schema::field(int i) const {
+  CP_CHECK_GE(i, 0);
+  CP_CHECK_LT(i, num_fields());
+  return fields_[static_cast<size_t>(i)];
+}
+
+Result<int> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no field named '" + name + "'");
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return FieldIndex(name).ok();
+}
+
+Status Schema::AddField(Field field) {
+  if (HasField(field.name)) {
+    return Status::AlreadyExists("field '" + field.name + "' already exists");
+  }
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+Schema Schema::RemoveField(int index) const {
+  CP_CHECK_GE(index, 0);
+  CP_CHECK_LT(index, num_fields());
+  std::vector<Field> fields = fields_;
+  fields.erase(fields.begin() + index);
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += fields_[i].type == ColumnType::kNumeric ? ":num" : ":cat";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace cpclean

@@ -1,0 +1,56 @@
+#ifndef CPCLEAN_DATA_SCHEMA_H_
+#define CPCLEAN_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cpclean {
+
+/// Column data types for the relational substrate.
+enum class ColumnType { kNumeric, kCategorical };
+
+/// A named, typed column.
+struct Field {
+  std::string name;
+  ColumnType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of fields, shared by all rows of a Table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const;
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the named field, or NotFound.
+  Result<int> FieldIndex(const std::string& name) const;
+
+  /// True if a field with this name exists.
+  bool HasField(const std::string& name) const;
+
+  /// Appends a field; the name must be unique.
+  Status AddField(Field field);
+
+  /// New schema without the field at `index`.
+  Schema RemoveField(int index) const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_DATA_SCHEMA_H_

@@ -1,0 +1,42 @@
+#include "data/split.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cpclean {
+
+Result<DataSplit> TrainValTestSplit(const Table& table, int val_size,
+                                    int test_size, Rng* rng) {
+  CP_CHECK(rng != nullptr);
+  if (val_size < 0 || test_size < 0) {
+    return Status::InvalidArgument("split sizes must be non-negative");
+  }
+  const int n = table.num_rows();
+  if (val_size + test_size > n) {
+    return Status::InvalidArgument(StrFormat(
+        "val(%d) + test(%d) exceeds table rows (%d)", val_size, test_size, n));
+  }
+  std::vector<int> perm = rng->Permutation(n);
+  std::vector<int> val_idx(perm.begin(), perm.begin() + val_size);
+  std::vector<int> test_idx(perm.begin() + val_size,
+                            perm.begin() + val_size + test_size);
+  std::vector<int> train_idx(perm.begin() + val_size + test_size, perm.end());
+  DataSplit split;
+  split.train = table.SelectRows(train_idx);
+  split.val = table.SelectRows(val_idx);
+  split.test = table.SelectRows(test_idx);
+  return split;
+}
+
+std::vector<std::vector<int>> KFoldIndices(int n, int k, Rng* rng) {
+  CP_CHECK_GT(k, 0);
+  CP_CHECK(rng != nullptr);
+  std::vector<int> perm = rng->Permutation(n);
+  std::vector<std::vector<int>> folds(static_cast<size_t>(k));
+  for (int i = 0; i < n; ++i) {
+    folds[static_cast<size_t>(i % k)].push_back(perm[static_cast<size_t>(i)]);
+  }
+  return folds;
+}
+
+}  // namespace cpclean

@@ -1,0 +1,31 @@
+#ifndef CPCLEAN_DATA_SPLIT_H_
+#define CPCLEAN_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace cpclean {
+
+/// Train / validation / test partition of a table, as in the paper's setup
+/// (§5.1): fixed-size validation and test sets, the remainder is training.
+struct DataSplit {
+  Table train;
+  Table val;
+  Table test;
+};
+
+/// Randomly partitions `table` into train/val/test with the requested
+/// validation and test sizes; the rest becomes training data.
+/// Fails when val_size + test_size exceeds the number of rows.
+Result<DataSplit> TrainValTestSplit(const Table& table, int val_size,
+                                    int test_size, Rng* rng);
+
+/// Splits row indices 0..n-1 into k disjoint folds of near-equal size.
+std::vector<std::vector<int>> KFoldIndices(int n, int k, Rng* rng);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_DATA_SPLIT_H_

@@ -1,0 +1,151 @@
+#include "data/table.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cpclean {
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (static_cast<int>(row.size()) != num_columns()) {
+    return Status::InvalidArgument(StrFormat(
+        "row width %d does not match schema width %d",
+        static_cast<int>(row.size()), num_columns()));
+  }
+  for (int c = 0; c < num_columns(); ++c) {
+    const Value& v = row[static_cast<size_t>(c)];
+    if (v.is_null()) continue;
+    const bool matches =
+        (schema_.field(c).type == ColumnType::kNumeric && v.is_numeric()) ||
+        (schema_.field(c).type == ColumnType::kCategorical &&
+         v.is_categorical());
+    if (!matches) {
+      return Status::InvalidArgument(
+          "cell kind mismatch in column '" + schema_.field(c).name + "'");
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const Value& Table::at(int row, int col) const {
+  CP_CHECK_GE(row, 0);
+  CP_CHECK_LT(row, num_rows());
+  CP_CHECK_GE(col, 0);
+  CP_CHECK_LT(col, num_columns());
+  return rows_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+}
+
+void Table::Set(int row, int col, Value value) {
+  CP_CHECK_GE(row, 0);
+  CP_CHECK_LT(row, num_rows());
+  CP_CHECK_GE(col, 0);
+  CP_CHECK_LT(col, num_columns());
+  rows_[static_cast<size_t>(row)][static_cast<size_t>(col)] = std::move(value);
+}
+
+const std::vector<Value>& Table::row(int r) const {
+  CP_CHECK_GE(r, 0);
+  CP_CHECK_LT(r, num_rows());
+  return rows_[static_cast<size_t>(r)];
+}
+
+std::vector<Value> Table::Column(int col) const {
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (int r = 0; r < num_rows(); ++r) out.push_back(at(r, col));
+  return out;
+}
+
+std::vector<double> Table::NumericColumn(int col) const {
+  CP_CHECK(schema_.field(col).type == ColumnType::kNumeric);
+  std::vector<double> out;
+  for (int r = 0; r < num_rows(); ++r) {
+    const Value& v = at(r, col);
+    if (v.is_numeric()) out.push_back(v.numeric());
+  }
+  return out;
+}
+
+std::vector<std::string> Table::CategoricalColumn(int col) const {
+  CP_CHECK(schema_.field(col).type == ColumnType::kCategorical);
+  std::vector<std::string> out;
+  for (int r = 0; r < num_rows(); ++r) {
+    const Value& v = at(r, col);
+    if (v.is_categorical()) out.push_back(v.categorical());
+  }
+  return out;
+}
+
+int Table::CountMissing() const {
+  int count = 0;
+  for (const auto& row : rows_) {
+    for (const auto& v : row) count += v.is_null() ? 1 : 0;
+  }
+  return count;
+}
+
+int Table::CountMissingInColumn(int col) const {
+  int count = 0;
+  for (int r = 0; r < num_rows(); ++r) count += at(r, col).is_null() ? 1 : 0;
+  return count;
+}
+
+int Table::CountMissingInRow(int row) const {
+  int count = 0;
+  for (const Value& v : rows_[static_cast<size_t>(row)]) {
+    count += v.is_null() ? 1 : 0;
+  }
+  return count;
+}
+
+double Table::MissingRate() const {
+  const int cells = num_rows() * num_columns();
+  if (cells == 0) return 0.0;
+  return static_cast<double>(CountMissing()) / static_cast<double>(cells);
+}
+
+std::vector<int> Table::RowsWithMissing() const {
+  std::vector<int> out;
+  for (int r = 0; r < num_rows(); ++r) {
+    if (CountMissingInRow(r) > 0) out.push_back(r);
+  }
+  return out;
+}
+
+Table Table::SelectRows(const std::vector<int>& indices) const {
+  Table out(schema_);
+  for (int r : indices) {
+    CP_CHECK_GE(r, 0);
+    CP_CHECK_LT(r, num_rows());
+    out.rows_.push_back(rows_[static_cast<size_t>(r)]);
+  }
+  return out;
+}
+
+Table Table::DropColumn(int col) const {
+  Table out(schema_.RemoveField(col));
+  for (const auto& row : rows_) {
+    std::vector<Value> new_row = row;
+    new_row.erase(new_row.begin() + col);
+    out.rows_.push_back(std::move(new_row));
+  }
+  return out;
+}
+
+std::string Table::ToString(int max_rows) const {
+  std::string out = schema_.ToString() + "\n";
+  const int shown = std::min(max_rows, num_rows());
+  for (int r = 0; r < shown; ++r) {
+    for (int c = 0; c < num_columns(); ++c) {
+      if (c > 0) out += ", ";
+      out += at(r, c).ToString();
+    }
+    out += "\n";
+  }
+  if (shown < num_rows()) {
+    out += StrFormat("... (%d more rows)\n", num_rows() - shown);
+  }
+  return out;
+}
+
+}  // namespace cpclean

@@ -1,0 +1,68 @@
+#ifndef CPCLEAN_DATA_TABLE_H_
+#define CPCLEAN_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace cpclean {
+
+/// A row-major relational table over `Value` cells — our Codd table.
+///
+/// Cells may be NULL (incomplete information). Rows are fixed-width per the
+/// schema; cell kinds must match the column type (or be NULL).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_columns() const { return schema_.num_fields(); }
+
+  /// Appends a row. Fails when the width or a cell kind mismatches.
+  Status AppendRow(std::vector<Value> row);
+
+  const Value& at(int row, int col) const;
+  void Set(int row, int col, Value value);
+
+  const std::vector<Value>& row(int r) const;
+
+  /// All values of one column (including NULLs).
+  std::vector<Value> Column(int col) const;
+
+  /// Non-null numeric values of a numeric column.
+  std::vector<double> NumericColumn(int col) const;
+
+  /// Non-null category strings of a categorical column.
+  std::vector<std::string> CategoricalColumn(int col) const;
+
+  /// Number of NULL cells in the whole table / one column / one row.
+  int CountMissing() const;
+  int CountMissingInColumn(int col) const;
+  int CountMissingInRow(int row) const;
+
+  /// Fraction of NULL cells over all cells; 0 for an empty table.
+  double MissingRate() const;
+
+  /// Row indices that contain at least one NULL.
+  std::vector<int> RowsWithMissing() const;
+
+  /// New table with the selected rows (in the given order).
+  Table SelectRows(const std::vector<int>& indices) const;
+
+  /// New table without the given column.
+  Table DropColumn(int col) const;
+
+  std::string ToString(int max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_DATA_TABLE_H_

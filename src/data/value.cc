@@ -1,0 +1,43 @@
+#include "data/value.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cpclean {
+
+double Value::numeric() const {
+  CP_CHECK(is_numeric()) << "Value is not numeric";
+  return numeric_;
+}
+
+const std::string& Value::categorical() const {
+  CP_CHECK(is_categorical()) << "Value is not categorical";
+  return categorical_;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kNumeric:
+      return numeric_ == other.numeric_;
+    case Kind::kCategorical:
+      return categorical_ == other.categorical_;
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kNumeric:
+      return StrFormat("%.6g", numeric_);
+    case Kind::kCategorical:
+      return categorical_;
+  }
+  return "?";
+}
+
+}  // namespace cpclean

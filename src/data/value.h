@@ -1,0 +1,56 @@
+#ifndef CPCLEAN_DATA_VALUE_H_
+#define CPCLEAN_DATA_VALUE_H_
+
+#include <string>
+
+namespace cpclean {
+
+/// A single cell of a Codd table: numeric, categorical, or NULL.
+///
+/// NULL is the marked-null "@" of the paper's Figure 1 — the cell whose
+/// possible completions generate the possible worlds.
+class Value {
+ public:
+  enum class Kind { kNull, kNumeric, kCategorical };
+
+  /// NULL.
+  Value() : kind_(Kind::kNull), numeric_(0.0) {}
+
+  static Value Null() { return Value(); }
+  static Value Numeric(double v) {
+    Value out;
+    out.kind_ = Kind::kNumeric;
+    out.numeric_ = v;
+    return out;
+  }
+  static Value Categorical(std::string v) {
+    Value out;
+    out.kind_ = Kind::kCategorical;
+    out.categorical_ = std::move(v);
+    return out;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_numeric() const { return kind_ == Kind::kNumeric; }
+  bool is_categorical() const { return kind_ == Kind::kCategorical; }
+
+  /// CHECK-fails when the kind does not match.
+  double numeric() const;
+  const std::string& categorical() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// "NULL", the number, or the category string.
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  double numeric_;
+  std::string categorical_;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_DATA_VALUE_H_

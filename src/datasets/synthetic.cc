@@ -1,0 +1,75 @@
+#include "datasets/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace cpclean {
+
+Result<Table> GenerateSynthetic(const SyntheticSpec& spec) {
+  if (spec.num_rows < 1 || spec.num_numeric < 1 || spec.num_categorical < 0 ||
+      spec.num_categories < 2) {
+    return Status::InvalidArgument("invalid synthetic spec");
+  }
+  Rng rng(spec.seed);
+
+  std::vector<Field> fields;
+  for (int f = 0; f < spec.num_numeric; ++f) {
+    fields.push_back({StrFormat("f%d", f), ColumnType::kNumeric});
+  }
+  for (int c = 0; c < spec.num_categorical; ++c) {
+    fields.push_back({StrFormat("c%d", c), ColumnType::kCategorical});
+  }
+  fields.push_back({"label", ColumnType::kCategorical});
+  Table table{Schema(std::move(fields))};
+
+  // Per-feature weights decay geometrically: earlier features matter more.
+  std::vector<double> numeric_weight(static_cast<size_t>(spec.num_numeric));
+  for (int f = 0; f < spec.num_numeric; ++f) {
+    numeric_weight[static_cast<size_t>(f)] = std::pow(spec.importance_decay, f);
+  }
+  // Latent per-category effects, one table per categorical column, also
+  // decaying with the column index.
+  std::vector<std::vector<double>> category_effect(
+      static_cast<size_t>(spec.num_categorical));
+  for (int c = 0; c < spec.num_categorical; ++c) {
+    auto& effects = category_effect[static_cast<size_t>(c)];
+    const double scale =
+        std::pow(spec.importance_decay, spec.num_numeric + c);
+    for (int g = 0; g < spec.num_categories; ++g) {
+      effects.push_back(rng.NextGaussian(0.0, 1.0) * scale);
+    }
+  }
+
+  for (int r = 0; r < spec.num_rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(static_cast<size_t>(table.num_columns()));
+    double score = 0.0;
+    std::vector<double> x(static_cast<size_t>(spec.num_numeric));
+    for (int f = 0; f < spec.num_numeric; ++f) {
+      x[static_cast<size_t>(f)] = rng.NextGaussian();
+      score += numeric_weight[static_cast<size_t>(f)] * x[static_cast<size_t>(f)];
+      row.push_back(Value::Numeric(x[static_cast<size_t>(f)]));
+    }
+    if (spec.nonlinear) {
+      // Puma-style robot-arm dynamics flavor: smooth nonlinearities and an
+      // interaction term dominated by the leading features.
+      score += 0.8 * std::sin(2.0 * x[0]);
+      if (spec.num_numeric >= 3) score += 0.6 * x[1] * x[2];
+    }
+    for (int c = 0; c < spec.num_categorical; ++c) {
+      const int g = rng.NextInt(0, spec.num_categories - 1);
+      score += category_effect[static_cast<size_t>(c)][static_cast<size_t>(g)];
+      row.push_back(Value::Categorical(StrFormat("cat%d", g)));
+    }
+    score += rng.NextGaussian(0.0, spec.noise_sigma);
+    row.push_back(Value::Categorical(score > 0.0 ? "1" : "0"));
+    CP_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace cpclean

@@ -1,0 +1,25 @@
+#include "datasets/toy.h"
+
+#include "common/logging.h"
+
+namespace cpclean {
+
+IncompleteDataset Figure6Dataset() {
+  IncompleteDataset dataset(2);
+  CP_CHECK(dataset.AddExample({{{0.2}, {0.5}}, 1}).ok());
+  CP_CHECK(dataset.AddExample({{{0.1}, {0.3}}, 1}).ok());
+  CP_CHECK(dataset.AddExample({{{0.4}, {0.6}}, 0}).ok());
+  return dataset;
+}
+
+std::vector<double> Figure6TestPoint() { return {1.0}; }
+
+IncompleteDataset Figure1Dataset() {
+  IncompleteDataset dataset(2);
+  CP_CHECK(dataset.AddExample({{{32.0}}, 0}).ok());
+  CP_CHECK(dataset.AddExample({{{29.0}}, 1}).ok());
+  CP_CHECK(dataset.AddExample({{{1.0}, {2.0}, {30.0}}, 0}).ok());
+  return dataset;
+}
+
+}  // namespace cpclean

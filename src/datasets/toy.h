@@ -1,0 +1,27 @@
+#ifndef CPCLEAN_DATASETS_TOY_H_
+#define CPCLEAN_DATASETS_TOY_H_
+
+#include "incomplete/incomplete_dataset.h"
+
+namespace cpclean {
+
+/// Tiny fixtures reproducing the paper's worked examples; used by the
+/// demo executables and tests.
+
+/// Figure 6: three tuples with two candidates each, 1-D features. With a
+/// linear kernel against t = (1), the ascending similarity order is
+/// x_{2,1} < x_{1,1} < x_{2,2} < x_{3,1} < x_{1,2} < x_{3,2}; the K=1
+/// counting query yields 6 worlds for label 0 and 2 for label 1.
+IncompleteDataset Figure6Dataset();
+
+/// The test point used with `Figure6Dataset`.
+std::vector<double> Figure6TestPoint();
+
+/// Figure 1: the Codd-table motivating example — John (32, label 0),
+/// Anna (29, label 1), Kevin (age NULL in {1, 2, 30}, label 0), with age
+/// as the single feature.
+IncompleteDataset Figure1Dataset();
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_DATASETS_TOY_H_

@@ -1,0 +1,32 @@
+#include "eval/accuracy_bounds.h"
+
+#include "common/logging.h"
+
+namespace cpclean {
+
+AccuracyBounds ComputeAccuracyBounds(
+    const IncompleteDataset& dataset,
+    const std::vector<std::vector<double>>& eval_x,
+    const std::vector<int>& eval_y, const SimilarityKernel& kernel, int k) {
+  CP_CHECK_EQ(eval_x.size(), eval_y.size());
+  const CertainPredictor predictor(&kernel, k);
+  AccuracyBounds bounds;
+  for (size_t i = 0; i < eval_x.size(); ++i) {
+    const int certain = predictor.Check(dataset, eval_x[i]).CertainLabel();
+    if (certain < 0) {
+      ++bounds.uncertain;
+    } else if (certain == eval_y[i]) {
+      ++bounds.certain_correct;
+    } else {
+      ++bounds.certain_incorrect;
+    }
+  }
+  const double n = static_cast<double>(eval_x.size());
+  if (n > 0) {
+    bounds.lower = bounds.certain_correct / n;
+    bounds.upper = (bounds.certain_correct + bounds.uncertain) / n;
+  }
+  return bounds;
+}
+
+}  // namespace cpclean

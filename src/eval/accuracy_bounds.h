@@ -1,0 +1,42 @@
+#ifndef CPCLEAN_EVAL_ACCURACY_BOUNDS_H_
+#define CPCLEAN_EVAL_ACCURACY_BOUNDS_H_
+
+#include <vector>
+
+#include "core/certain_predictor.h"
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+
+/// Certain-prediction accuracy interval: the tightest [lo, hi] such that
+/// *every* possible world's classifier has test accuracy in [lo, hi] —
+/// a direct, decision-ready summary of "how much can the incompleteness
+/// hurt (or flatter) this model?" (the question the paper's introduction
+/// opens with).
+///
+///   lo = fraction of points certainly predicted with the correct label
+///   hi = lo + fraction of points not certainly predicted
+///
+/// Points certainly predicted *incorrectly* count toward neither bound:
+/// no amount of cleaning can fix them. When lo == hi the accuracy is fully
+/// determined and cleaning cannot change it (the Q1-all-certain case).
+struct AccuracyBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+  int certain_correct = 0;
+  int certain_incorrect = 0;
+  int uncertain = 0;
+
+  bool IsTight() const { return uncertain == 0; }
+};
+
+/// Computes the bounds over an encoded, labeled evaluation set.
+AccuracyBounds ComputeAccuracyBounds(
+    const IncompleteDataset& dataset,
+    const std::vector<std::vector<double>>& eval_x,
+    const std::vector<int>& eval_y, const SimilarityKernel& kernel, int k);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_EVAL_ACCURACY_BOUNDS_H_

@@ -1,0 +1,45 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cpclean {
+
+double AccuracyScore(const std::vector<int>& predicted,
+                     const std::vector<int>& expected) {
+  CP_CHECK_EQ(predicted.size(), expected.size());
+  if (predicted.empty()) return 0.0;
+  int correct = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == expected[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+double GapClosed(double accuracy, double default_accuracy,
+                 double ground_truth_accuracy) {
+  const double gap = ground_truth_accuracy - default_accuracy;
+  if (std::abs(gap) < 1e-12) return 0.0;
+  return (accuracy - default_accuracy) / gap;
+}
+
+std::vector<std::vector<int>> ConfusionMatrix(
+    const std::vector<int>& predicted, const std::vector<int>& expected,
+    int num_labels) {
+  CP_CHECK_EQ(predicted.size(), expected.size());
+  std::vector<std::vector<int>> matrix(
+      static_cast<size_t>(num_labels),
+      std::vector<int>(static_cast<size_t>(num_labels), 0));
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    CP_CHECK_GE(expected[i], 0);
+    CP_CHECK_LT(expected[i], num_labels);
+    CP_CHECK_GE(predicted[i], 0);
+    CP_CHECK_LT(predicted[i], num_labels);
+    ++matrix[static_cast<size_t>(expected[i])]
+            [static_cast<size_t>(predicted[i])];
+  }
+  return matrix;
+}
+
+}  // namespace cpclean

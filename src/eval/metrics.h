@@ -1,0 +1,27 @@
+#ifndef CPCLEAN_EVAL_METRICS_H_
+#define CPCLEAN_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace cpclean {
+
+/// Fraction of matching predictions; 0 for empty input.
+double AccuracyScore(const std::vector<int>& predicted,
+                     const std::vector<int>& expected);
+
+/// The paper's headline metric (§5.1):
+///   gap closed by X = (acc(X) - acc(Default)) / (acc(GT) - acc(Default)).
+/// Can be negative (X is worse than default cleaning, as HoloClean is on
+/// two datasets in Table 2) or above 1. Returns 0 when the gap denominator
+/// is degenerate (|gt - default| < 1e-12).
+double GapClosed(double accuracy, double default_accuracy,
+                 double ground_truth_accuracy);
+
+/// num_labels x num_labels confusion counts, rows = expected.
+std::vector<std::vector<int>> ConfusionMatrix(
+    const std::vector<int>& predicted, const std::vector<int>& expected,
+    int num_labels);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_EVAL_METRICS_H_

@@ -1,0 +1,55 @@
+#include "eval/reporting.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cpclean {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  CP_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string sep = "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void AsciiTable::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+}
+
+std::string FormatDouble(double value, int decimals) {
+  return StrFormat("%.*f", decimals, value);
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return StrFormat("%.*f%%", decimals, fraction * 100.0);
+}
+
+}  // namespace cpclean

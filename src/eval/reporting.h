@@ -1,0 +1,37 @@
+#ifndef CPCLEAN_EVAL_REPORTING_H_
+#define CPCLEAN_EVAL_REPORTING_H_
+
+#include <string>
+#include <vector>
+
+namespace cpclean {
+
+/// Minimal fixed-width ASCII table printer for the experiment harnesses:
+/// the bench binaries print the same rows/series the paper's tables and
+/// figures report.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column-aligned padding and a header separator.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals ("0.968").
+std::string FormatDouble(double value, int decimals = 3);
+
+/// Formats a fraction as a percent string ("64%").
+std::string FormatPercent(double fraction, int decimals = 0);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_EVAL_REPORTING_H_

@@ -1,0 +1,121 @@
+#include "incomplete/incomplete_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cpclean {
+
+Status IncompleteDataset::AddExample(IncompleteExample example) {
+  if (example.candidates.empty()) {
+    return Status::InvalidArgument("candidate set must be non-empty");
+  }
+  if (example.label < 0 || example.label >= num_labels_) {
+    return Status::InvalidArgument(
+        StrFormat("label %d out of range [0, %d)", example.label, num_labels_));
+  }
+  const int d = static_cast<int>(example.candidates.front().size());
+  for (const auto& c : example.candidates) {
+    if (static_cast<int>(c.size()) != d) {
+      return Status::InvalidArgument("inconsistent candidate dimensions");
+    }
+  }
+  if (dim_ == 0 && num_examples() == 0) {
+    dim_ = d;
+  } else if (d != dim_) {
+    return Status::InvalidArgument(StrFormat(
+        "candidate dimension %d does not match dataset dimension %d", d, dim_));
+  }
+  examples_.push_back(std::move(example));
+  return Status::OK();
+}
+
+Status IncompleteDataset::AddCleanExample(std::vector<double> features,
+                                          int label) {
+  IncompleteExample example;
+  example.candidates.push_back(std::move(features));
+  example.label = label;
+  return AddExample(std::move(example));
+}
+
+const IncompleteExample& IncompleteDataset::example(int i) const {
+  CP_CHECK_GE(i, 0);
+  CP_CHECK_LT(i, num_examples());
+  return examples_[static_cast<size_t>(i)];
+}
+
+int IncompleteDataset::num_candidates(int i) const {
+  return static_cast<int>(example(i).candidates.size());
+}
+
+int IncompleteDataset::max_candidates() const {
+  int m = 0;
+  for (const auto& ex : examples_) {
+    m = std::max(m, static_cast<int>(ex.candidates.size()));
+  }
+  return m;
+}
+
+const std::vector<double>& IncompleteDataset::candidate(int i, int j) const {
+  const auto& ex = example(i);
+  CP_CHECK_GE(j, 0);
+  CP_CHECK_LT(j, static_cast<int>(ex.candidates.size()));
+  return ex.candidates[static_cast<size_t>(j)];
+}
+
+bool IncompleteDataset::IsComplete() const {
+  for (const auto& ex : examples_) {
+    if (ex.candidates.size() != 1) return false;
+  }
+  return true;
+}
+
+std::vector<int> IncompleteDataset::DirtyExamples() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_examples(); ++i) {
+    if (num_candidates(i) > 1) out.push_back(i);
+  }
+  return out;
+}
+
+BigUint IncompleteDataset::NumPossibleWorlds() const {
+  BigUint count(1);
+  for (const auto& ex : examples_) {
+    count *= BigUint(static_cast<uint64_t>(ex.candidates.size()));
+  }
+  return count;
+}
+
+double IncompleteDataset::Log2NumPossibleWorlds() const {
+  double total = 0.0;
+  for (const auto& ex : examples_) {
+    total += std::log2(static_cast<double>(ex.candidates.size()));
+  }
+  return total;
+}
+
+void IncompleteDataset::FixExample(int i, int j) {
+  CP_CHECK_GE(i, 0);
+  CP_CHECK_LT(i, num_examples());
+  auto& ex = examples_[static_cast<size_t>(i)];
+  CP_CHECK_GE(j, 0);
+  CP_CHECK_LT(j, static_cast<int>(ex.candidates.size()));
+  std::vector<double> chosen = ex.candidates[static_cast<size_t>(j)];
+  ex.candidates.clear();
+  ex.candidates.push_back(std::move(chosen));
+}
+
+void IncompleteDataset::ReplaceCandidates(
+    int i, std::vector<std::vector<double>> candidates) {
+  CP_CHECK_GE(i, 0);
+  CP_CHECK_LT(i, num_examples());
+  CP_CHECK(!candidates.empty());
+  for (const auto& c : candidates) {
+    CP_CHECK_EQ(static_cast<int>(c.size()), dim_);
+  }
+  examples_[static_cast<size_t>(i)].candidates = std::move(candidates);
+}
+
+}  // namespace cpclean

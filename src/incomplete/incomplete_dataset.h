@@ -1,0 +1,80 @@
+#ifndef CPCLEAN_INCOMPLETE_INCOMPLETE_DATASET_H_
+#define CPCLEAN_INCOMPLETE_INCOMPLETE_DATASET_H_
+
+#include <vector>
+
+#include "common/big_uint.h"
+#include "common/result.h"
+
+namespace cpclean {
+
+/// One incomplete data example (paper Def. 1): a finite candidate set
+/// C_i = {x_{i,1}, x_{i,2}, ...} of possible feature vectors plus a certain
+/// class label y_i. A "clean" example has exactly one candidate.
+struct IncompleteExample {
+  std::vector<std::vector<double>> candidates;
+  int label = 0;
+};
+
+/// An incomplete dataset D = {(C_i, y_i)} — the block tuple-independent
+/// structure whose possible worlds (Def. 2) the CP queries range over.
+///
+/// Candidate vectors are pre-encoded dense features; candidate sets may
+/// have different sizes. Labels are dense ids in [0, num_labels).
+class IncompleteDataset {
+ public:
+  IncompleteDataset() = default;
+  explicit IncompleteDataset(int num_labels) : num_labels_(num_labels) {}
+
+  /// Appends an example. Fails when the candidate set is empty, a label is
+  /// out of range, or feature dimensions are inconsistent.
+  Status AddExample(IncompleteExample example);
+
+  /// Convenience: appends a clean (single-candidate) example.
+  Status AddCleanExample(std::vector<double> features, int label);
+
+  int num_examples() const { return static_cast<int>(examples_.size()); }
+  int num_labels() const { return num_labels_; }
+
+  /// Feature dimensionality (0 while empty).
+  int dim() const { return dim_; }
+
+  const IncompleteExample& example(int i) const;
+  int label(int i) const { return example(i).label; }
+
+  /// Candidate-set size |C_i|.
+  int num_candidates(int i) const;
+
+  /// Largest candidate-set size M over all examples (0 while empty).
+  int max_candidates() const;
+
+  const std::vector<double>& candidate(int i, int j) const;
+
+  /// True when every candidate set is a singleton (a single possible world).
+  bool IsComplete() const;
+
+  /// Indices of examples with more than one candidate ("dirty" tuples).
+  std::vector<int> DirtyExamples() const;
+
+  /// Exact number of possible worlds: prod_i |C_i| (can be astronomical).
+  BigUint NumPossibleWorlds() const;
+
+  /// log2 of the number of possible worlds.
+  double Log2NumPossibleWorlds() const;
+
+  /// Collapses example `i` to its `j`-th candidate (a cleaning step: the
+  /// human revealed the true value). Afterwards |C_i| == 1.
+  void FixExample(int i, int j);
+
+  /// Replaces the candidate set of example `i` entirely.
+  void ReplaceCandidates(int i, std::vector<std::vector<double>> candidates);
+
+ private:
+  std::vector<IncompleteExample> examples_;
+  int num_labels_ = 0;
+  int dim_ = 0;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_INCOMPLETE_INCOMPLETE_DATASET_H_

@@ -1,0 +1,49 @@
+#ifndef CPCLEAN_INCOMPLETE_POSSIBLE_WORLDS_H_
+#define CPCLEAN_INCOMPLETE_POSSIBLE_WORLDS_H_
+
+#include <vector>
+
+#include "incomplete/incomplete_dataset.h"
+
+namespace cpclean {
+
+/// A possible world (paper Def. 2) identified by the candidate choice made
+/// for each example: world[i] = j means example i takes candidate x_{i,j}.
+using WorldChoice = std::vector<int>;
+
+/// Odometer-style enumeration of all possible worlds of an incomplete
+/// dataset. Intended for the brute-force oracle and for tests; the number
+/// of worlds is prod_i |C_i| and explodes quickly.
+class PossibleWorldIterator {
+ public:
+  explicit PossibleWorldIterator(const IncompleteDataset* dataset);
+
+  /// True while the current choice is valid.
+  bool Valid() const { return valid_; }
+
+  /// The current world's choice vector.
+  const WorldChoice& choice() const { return choice_; }
+
+  /// Advances to the next world (lexicographic over choices).
+  void Next();
+
+  /// Resets to the first world.
+  void Reset();
+
+ private:
+  const IncompleteDataset* dataset_;
+  WorldChoice choice_;
+  bool valid_;
+};
+
+/// Materializes the feature matrix of a world (labels come from the
+/// dataset and are world-independent).
+std::vector<std::vector<double>> MaterializeWorld(
+    const IncompleteDataset& dataset, const WorldChoice& choice);
+
+/// The labels vector shared by all worlds.
+std::vector<int> WorldLabels(const IncompleteDataset& dataset);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_INCOMPLETE_POSSIBLE_WORLDS_H_

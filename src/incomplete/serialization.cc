@@ -1,0 +1,119 @@
+#include "incomplete/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cpclean {
+
+namespace {
+constexpr char kMagic[] = "cpclean-incomplete-v1";
+}  // namespace
+
+std::string SerializeIncompleteDataset(const IncompleteDataset& dataset) {
+  std::string out =
+      StrFormat("%s %d %d\n", kMagic, dataset.num_labels(), dataset.dim());
+  for (int i = 0; i < dataset.num_examples(); ++i) {
+    out += StrFormat("example %d %d\n", dataset.label(i),
+                     dataset.num_candidates(i));
+    for (int j = 0; j < dataset.num_candidates(i); ++j) {
+      const auto& x = dataset.candidate(i, j);
+      for (size_t d = 0; d < x.size(); ++d) {
+        if (d > 0) out += ' ';
+        out += StrFormat("%a", x[d]);  // hex float: exact round trip
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Result<IncompleteDataset> DeserializeIncompleteDataset(
+    const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  // Read the next non-empty, non-comment line.
+  auto next_line = [&](std::string* out) {
+    while (std::getline(stream, *out)) {
+      const std::string_view stripped = StripWhitespace(*out);
+      if (stripped.empty() || stripped.front() == '#') continue;
+      *out = std::string(stripped);
+      return true;
+    }
+    return false;
+  };
+
+  if (!next_line(&line)) {
+    return Status::ParseError("empty input");
+  }
+  std::vector<std::string> header = Split(line, ' ');
+  if (header.size() != 3 || header[0] != kMagic) {
+    return Status::ParseError("bad header: " + line);
+  }
+  CP_ASSIGN_OR_RETURN(const int num_labels, ParseInt(header[1]));
+  CP_ASSIGN_OR_RETURN(const int dim, ParseInt(header[2]));
+  if (num_labels < 1 || dim < 0) {
+    return Status::ParseError("invalid header values");
+  }
+
+  IncompleteDataset dataset(num_labels);
+  while (next_line(&line)) {
+    std::vector<std::string> fields = Split(line, ' ');
+    if (fields.size() != 3 || fields[0] != "example") {
+      return Status::ParseError("expected 'example <label> <count>': " + line);
+    }
+    IncompleteExample example;
+    CP_ASSIGN_OR_RETURN(example.label, ParseInt(fields[1]));
+    CP_ASSIGN_OR_RETURN(const int count, ParseInt(fields[2]));
+    if (count < 1) {
+      return Status::ParseError("candidate count must be positive");
+    }
+    for (int j = 0; j < count; ++j) {
+      if (!next_line(&line)) {
+        return Status::ParseError("truncated candidate block");
+      }
+      std::vector<std::string> values = Split(line, ' ');
+      if (static_cast<int>(values.size()) != dim) {
+        return Status::ParseError(StrFormat(
+            "candidate has %d values, expected %d",
+            static_cast<int>(values.size()), dim));
+      }
+      std::vector<double> x;
+      x.reserve(values.size());
+      for (const std::string& v : values) {
+        CP_ASSIGN_OR_RETURN(double parsed, ParseDouble(v));
+        x.push_back(parsed);
+      }
+      example.candidates.push_back(std::move(x));
+    }
+    CP_RETURN_NOT_OK(dataset.AddExample(std::move(example)));
+  }
+  return dataset;
+}
+
+Status SaveIncompleteDataset(const IncompleteDataset& dataset,
+                             const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  file << SerializeIncompleteDataset(dataset);
+  if (!file) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<IncompleteDataset> LoadIncompleteDataset(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::IoError("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DeserializeIncompleteDataset(buffer.str());
+}
+
+}  // namespace cpclean

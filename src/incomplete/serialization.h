@@ -1,0 +1,34 @@
+#ifndef CPCLEAN_INCOMPLETE_SERIALIZATION_H_
+#define CPCLEAN_INCOMPLETE_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "incomplete/incomplete_dataset.h"
+
+namespace cpclean {
+
+/// Plain-text serialization of an incomplete dataset, so candidate spaces
+/// built by one process (e.g. an expensive repair-generation job) can be
+/// reloaded by another. Format (line-oriented, '#' comments allowed):
+///
+///   cpclean-incomplete-v1 <num_labels> <dim>
+///   example <label> <num_candidates>
+///   <v0> <v1> ... <v_dim-1>           # one line per candidate
+///   ...
+///
+/// Doubles round-trip exactly (hex float encoding).
+std::string SerializeIncompleteDataset(const IncompleteDataset& dataset);
+
+/// Parses text produced by `SerializeIncompleteDataset`.
+Result<IncompleteDataset> DeserializeIncompleteDataset(
+    const std::string& text);
+
+/// File variants.
+Status SaveIncompleteDataset(const IncompleteDataset& dataset,
+                             const std::string& path);
+Result<IncompleteDataset> LoadIncompleteDataset(const std::string& path);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_INCOMPLETE_SERIALIZATION_H_

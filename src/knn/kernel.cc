@@ -1,0 +1,67 @@
+#include "knn/kernel.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cpclean {
+
+namespace {
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  CP_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+}  // namespace
+
+double NegativeEuclideanKernel::Similarity(const std::vector<double>& a,
+                                           const std::vector<double>& b) const {
+  return -SquaredDistance(a, b);
+}
+
+double RbfKernel::Similarity(const std::vector<double>& a,
+                             const std::vector<double>& b) const {
+  return std::exp(-gamma_ * SquaredDistance(a, b));
+}
+
+double LinearKernel::Similarity(const std::vector<double>& a,
+                                const std::vector<double>& b) const {
+  CP_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double CosineKernel::Similarity(const std::vector<double>& a,
+                                const std::vector<double>& b) const {
+  CP_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+std::unique_ptr<SimilarityKernel> MakeKernel(KernelKind kind, double gamma) {
+  switch (kind) {
+    case KernelKind::kNegativeEuclidean:
+      return std::make_unique<NegativeEuclideanKernel>();
+    case KernelKind::kRbf:
+      return std::make_unique<RbfKernel>(gamma);
+    case KernelKind::kLinear:
+      return std::make_unique<LinearKernel>();
+    case KernelKind::kCosine:
+      return std::make_unique<CosineKernel>();
+  }
+  return nullptr;
+}
+
+}  // namespace cpclean

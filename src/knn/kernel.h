@@ -1,0 +1,71 @@
+#ifndef CPCLEAN_KNN_KERNEL_H_
+#define CPCLEAN_KNN_KERNEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cpclean {
+
+/// Similarity kernel κ(x, t) between feature vectors (paper §3, Fig. 5).
+/// Larger values mean "more similar"; KNN takes the top-K by similarity.
+class SimilarityKernel {
+ public:
+  virtual ~SimilarityKernel() = default;
+
+  /// Similarity between two equal-length vectors.
+  virtual double Similarity(const std::vector<double>& a,
+                            const std::vector<double>& b) const = 0;
+
+  /// Kernel name for reporting.
+  virtual std::string name() const = 0;
+};
+
+/// Negative squared Euclidean distance: the paper's experimental setting
+/// ("Euclidean distance as the similarity function") — rank-equivalent to
+/// any monotone transform such as RBF.
+class NegativeEuclideanKernel final : public SimilarityKernel {
+ public:
+  double Similarity(const std::vector<double>& a,
+                    const std::vector<double>& b) const override;
+  std::string name() const override { return "neg_euclidean"; }
+};
+
+/// RBF kernel exp(-gamma * ||a-b||^2).
+class RbfKernel final : public SimilarityKernel {
+ public:
+  explicit RbfKernel(double gamma = 1.0) : gamma_(gamma) {}
+  double Similarity(const std::vector<double>& a,
+                    const std::vector<double>& b) const override;
+  std::string name() const override { return "rbf"; }
+  double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
+};
+
+/// Linear kernel <a, b>.
+class LinearKernel final : public SimilarityKernel {
+ public:
+  double Similarity(const std::vector<double>& a,
+                    const std::vector<double>& b) const override;
+  std::string name() const override { return "linear"; }
+};
+
+/// Cosine similarity <a,b> / (||a|| ||b||); 0 when either vector is zero.
+class CosineKernel final : public SimilarityKernel {
+ public:
+  double Similarity(const std::vector<double>& a,
+                    const std::vector<double>& b) const override;
+  std::string name() const override { return "cosine"; }
+};
+
+enum class KernelKind { kNegativeEuclidean, kRbf, kLinear, kCosine };
+
+/// Factory for the built-in kernels.
+std::unique_ptr<SimilarityKernel> MakeKernel(KernelKind kind,
+                                             double gamma = 1.0);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_KNN_KERNEL_H_

@@ -1,0 +1,56 @@
+#ifndef CPCLEAN_KNN_KNN_CLASSIFIER_H_
+#define CPCLEAN_KNN_KNN_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "knn/kernel.h"
+#include "knn/ordering.h"
+
+namespace cpclean {
+
+/// The textbook K-nearest-neighbor classifier of paper §3 over a *complete*
+/// training set: similarities via a kernel, deterministic top-K under the
+/// shared total order, majority vote with deterministic tie-break.
+///
+/// This is the classifier "A" whose behavior over every possible world the
+/// CP queries reason about; the brute-force oracle trains one of these per
+/// world.
+class KnnClassifier {
+ public:
+  /// `k` must be in [1, features.size()]; labels in [0, num_labels).
+  /// The kernel is shared, not owned.
+  KnnClassifier(std::vector<std::vector<double>> features,
+                std::vector<int> labels, int num_labels, int k,
+                const SimilarityKernel* kernel);
+
+  int k() const { return k_; }
+  int num_labels() const { return num_labels_; }
+  int num_examples() const { return static_cast<int>(features_.size()); }
+
+  /// Predicted label for a test point.
+  int Predict(const std::vector<double>& t) const;
+
+  /// Indices of the K nearest training examples, most similar first.
+  std::vector<int> Neighbors(const std::vector<double>& t) const;
+
+  /// Per-label vote tally among the K nearest neighbors of `t`.
+  std::vector<int> NeighborTally(const std::vector<double>& t) const;
+
+  /// Fraction of `tests` predicted as `expected` labels.
+  double Accuracy(const std::vector<std::vector<double>>& tests,
+                  const std::vector<int>& expected) const;
+
+ private:
+  std::vector<ScoredCandidate> Score(const std::vector<double>& t) const;
+
+  std::vector<std::vector<double>> features_;
+  std::vector<int> labels_;
+  int num_labels_;
+  int k_;
+  const SimilarityKernel* kernel_;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_KNN_KNN_CLASSIFIER_H_

@@ -1,0 +1,34 @@
+#ifndef CPCLEAN_KNN_ORDERING_H_
+#define CPCLEAN_KNN_ORDERING_H_
+
+namespace cpclean {
+
+/// A similarity score tagged with its provenance `(tuple, candidate)`.
+///
+/// The paper assumes no ties among similarity scores and suggests breaking
+/// ties "by favoring a smaller i and j". We make that concrete: candidates
+/// are strictly totally ordered by `(similarity, tuple, candidate)`
+/// lexicographically, ascending. Every engine — the brute-force classifier,
+/// the SS tallies, and the MM extreme worlds — uses this same order, so all
+/// agree even on datasets with duplicated points.
+struct ScoredCandidate {
+  double similarity = 0.0;
+  int tuple = 0;
+  int candidate = 0;
+};
+
+/// Strict "less similar" total order.
+inline bool LessSimilar(const ScoredCandidate& a, const ScoredCandidate& b) {
+  if (a.similarity != b.similarity) return a.similarity < b.similarity;
+  if (a.tuple != b.tuple) return a.tuple < b.tuple;
+  return a.candidate < b.candidate;
+}
+
+/// Strict "more similar" order (for descending sorts / top-K).
+inline bool MoreSimilar(const ScoredCandidate& a, const ScoredCandidate& b) {
+  return LessSimilar(b, a);
+}
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_KNN_ORDERING_H_

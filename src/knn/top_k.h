@@ -1,0 +1,20 @@
+#ifndef CPCLEAN_KNN_TOP_K_H_
+#define CPCLEAN_KNN_TOP_K_H_
+
+#include <vector>
+
+#include "knn/ordering.h"
+
+namespace cpclean {
+
+/// Returns the indices (into `items`) of the K most-similar candidates,
+/// ordered from most to least similar under the deterministic total order.
+/// Requires 0 < k <= items.size(). Runs in O(n log k) with a bounded heap.
+std::vector<int> SelectTopK(const std::vector<ScoredCandidate>& items, int k);
+
+/// The least similar member of the top-K set (the "boundary" element).
+ScoredCandidate TopKBoundary(const std::vector<ScoredCandidate>& items, int k);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_KNN_TOP_K_H_

@@ -1,0 +1,33 @@
+#include "knn/vote.h"
+
+#include "common/logging.h"
+
+namespace cpclean {
+
+int ArgMaxLabel(const std::vector<int>& tally) {
+  CP_CHECK(!tally.empty());
+  int best = 0;
+  for (int l = 1; l < static_cast<int>(tally.size()); ++l) {
+    if (tally[static_cast<size_t>(l)] > tally[static_cast<size_t>(best)]) {
+      best = l;  // strict >: ties stay with the smaller label id
+    }
+  }
+  return best;
+}
+
+std::vector<int> TallyLabels(const std::vector<int>& labels, int num_labels) {
+  CP_CHECK_GT(num_labels, 0);
+  std::vector<int> tally(static_cast<size_t>(num_labels), 0);
+  for (int l : labels) {
+    CP_CHECK_GE(l, 0);
+    CP_CHECK_LT(l, num_labels);
+    ++tally[static_cast<size_t>(l)];
+  }
+  return tally;
+}
+
+int MajorityVote(const std::vector<int>& labels, int num_labels) {
+  return ArgMaxLabel(TallyLabels(labels, num_labels));
+}
+
+}  // namespace cpclean

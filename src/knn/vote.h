@@ -1,0 +1,22 @@
+#ifndef CPCLEAN_KNN_VOTE_H_
+#define CPCLEAN_KNN_VOTE_H_
+
+#include <vector>
+
+namespace cpclean {
+
+/// Majority vote over a label tally γ (paper §3.1.1): returns the label id
+/// with the largest count, breaking count ties toward the smaller label id.
+/// This deterministic rule is shared by every engine (brute force, SS
+/// variants, MM) so they agree exactly.
+int ArgMaxLabel(const std::vector<int>& tally);
+
+/// Builds the tally of `labels` (each in [0, num_labels)) and votes.
+int MajorityVote(const std::vector<int>& labels, int num_labels);
+
+/// Tally vector of `labels`.
+std::vector<int> TallyLabels(const std::vector<int>& labels, int num_labels);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_KNN_VOTE_H_

@@ -1,0 +1,125 @@
+#include "cleaning/certify.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/certain_predictor.h"
+#include "eval/experiment.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+namespace {
+
+PreparedExperiment MakePrepared(uint64_t seed) {
+  ExperimentConfig config;
+  config.dataset.name = "unit";
+  config.dataset.synthetic.num_rows = 50 + 10 + 20;
+  config.dataset.synthetic.num_numeric = 4;
+  config.dataset.synthetic.num_categorical = 0;
+  config.dataset.synthetic.noise_sigma = 0.3;
+  config.dataset.synthetic.seed = seed;
+  config.dataset.missing_rate = 0.15;
+  config.dataset.val_size = 10;
+  config.dataset.test_size = 20;
+  config.seed = seed;
+  static NegativeEuclideanKernel kernel;
+  return PrepareExperiment(config, kernel).value();
+}
+
+TEST(CertifyTest, CertifiesEveryValidationPoint) {
+  const PreparedExperiment prepared = MakePrepared(3);
+  NegativeEuclideanKernel kernel;
+  const CertainPredictor predictor(&kernel, 3);
+  CertifyOptions options;
+  options.k = 3;
+  for (const auto& t : prepared.task.val_x) {
+    const CertifyResult result =
+        CertifyTestPoint(prepared.task, t, kernel, options).value();
+    ASSERT_TRUE(result.certified);
+    EXPECT_GE(result.certain_label, 0);
+    // No tuple cleaned twice.
+    std::set<int> unique(result.cleaned.begin(), result.cleaned.end());
+    EXPECT_EQ(unique.size(), result.cleaned.size());
+  }
+}
+
+TEST(CertifyTest, AlreadyCertainPointNeedsNoCleaning) {
+  const PreparedExperiment prepared = MakePrepared(5);
+  NegativeEuclideanKernel kernel;
+  const CertainPredictor predictor(&kernel, 3);
+  CertifyOptions options;
+  options.k = 3;
+  bool found = false;
+  for (const auto& t : prepared.task.val_x) {
+    if (!predictor.IsCertain(prepared.task.incomplete, t)) continue;
+    found = true;
+    const CertifyResult result =
+        CertifyTestPoint(prepared.task, t, kernel, options).value();
+    EXPECT_TRUE(result.certified);
+    EXPECT_TRUE(result.cleaned.empty());
+  }
+  EXPECT_TRUE(found) << "expected at least one already-certain val point";
+}
+
+TEST(CertifyTest, CertificateIsSound) {
+  // Replaying the certificate's cleanings on a fresh copy must make the
+  // point certain with that exact label.
+  const PreparedExperiment prepared = MakePrepared(7);
+  NegativeEuclideanKernel kernel;
+  const CertainPredictor predictor(&kernel, 3);
+  CertifyOptions options;
+  options.k = 3;
+  for (size_t v = 0; v < std::min<size_t>(prepared.task.val_x.size(), 5);
+       ++v) {
+    const auto& t = prepared.task.val_x[v];
+    const CertifyResult result =
+        CertifyTestPoint(prepared.task, t, kernel, options).value();
+    ASSERT_TRUE(result.certified);
+    IncompleteDataset replay = prepared.task.incomplete;
+    for (int i : result.cleaned) {
+      replay.FixExample(i, prepared.task.true_candidate[static_cast<size_t>(i)]);
+    }
+    const auto label = predictor.CertainLabel(replay, t);
+    ASSERT_TRUE(label.has_value());
+    EXPECT_EQ(*label, result.certain_label);
+  }
+}
+
+TEST(CertifyTest, CertificateIsUsuallySmall) {
+  // The whole point: certifying one prediction should touch far fewer
+  // tuples than exist dirty rows.
+  const PreparedExperiment prepared = MakePrepared(11);
+  NegativeEuclideanKernel kernel;
+  CertifyOptions options;
+  options.k = 3;
+  size_t total_cleaned = 0;
+  for (const auto& t : prepared.task.val_x) {
+    total_cleaned +=
+        CertifyTestPoint(prepared.task, t, kernel, options).value()
+            .cleaned.size();
+  }
+  const double avg =
+      static_cast<double>(total_cleaned) / prepared.task.val_x.size();
+  EXPECT_LT(avg, 0.5 * prepared.dirty_rows)
+      << "certificates should be much smaller than the dirty set";
+}
+
+TEST(CertifyTest, BudgetIsRespected) {
+  const PreparedExperiment prepared = MakePrepared(13);
+  NegativeEuclideanKernel kernel;
+  const CertainPredictor predictor(&kernel, 3);
+  CertifyOptions options;
+  options.k = 3;
+  options.max_cleaned = 1;
+  for (const auto& t : prepared.task.val_x) {
+    if (predictor.IsCertain(prepared.task.incomplete, t)) continue;
+    const CertifyResult result =
+        CertifyTestPoint(prepared.task, t, kernel, options).value();
+    EXPECT_LE(result.cleaned.size(), 1u);
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,125 @@
+#include "cleaning/cleaning_task.h"
+
+#include <gtest/gtest.h>
+
+#include "cleaning/boost_clean.h"
+#include "data/csv.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+namespace {
+
+struct Tables {
+  Table dirty, clean, val, test;
+};
+
+Tables MakeTables() {
+  Tables t;
+  t.clean = ReadCsvString(
+                "x,y,label\n"
+                "0,0,0\n"
+                "1,0,0\n"
+                "0,1,0\n"
+                "9,9,1\n"
+                "10,9,1\n"
+                "9,10,1\n")
+                .value();
+  t.dirty = t.clean;
+  t.dirty.Set(1, 0, Value::Null());   // true value 1
+  t.dirty.Set(4, 1, Value::Null());   // true value 9
+  t.val = ReadCsvString("x,y,label\n0.5,0.5,0\n9.5,9.5,1\n").value();
+  t.test = ReadCsvString("x,y,label\n1,1,0\n8,8,1\n0,2,0\n").value();
+  return t;
+}
+
+TEST(CleaningTaskTest, BuildsCandidateSpace) {
+  const Tables tables = MakeTables();
+  const CleaningTask task =
+      BuildCleaningTask(tables.dirty, tables.clean, tables.val, tables.test,
+                        "label")
+          .value();
+  EXPECT_EQ(task.label_col, 2);
+  EXPECT_EQ(task.incomplete.num_examples(), 6);
+  EXPECT_EQ(task.DirtyRows(), (std::vector<int>{1, 4}));
+  // 5 numeric repairs for each missing cell (deduplicated if degenerate).
+  EXPECT_GT(task.incomplete.num_candidates(1), 1);
+  EXPECT_EQ(task.incomplete.num_candidates(0), 1);
+  EXPECT_EQ(task.val_x.size(), 2u);
+  EXPECT_EQ(task.test_x.size(), 3u);
+  EXPECT_EQ(task.train_y, (std::vector<int>{0, 0, 0, 1, 1, 1}));
+}
+
+TEST(CleaningTaskTest, OracleAnswersAreClosestToGroundTruth) {
+  const Tables tables = MakeTables();
+  const CleaningTask task =
+      BuildCleaningTask(tables.dirty, tables.clean, tables.val, tables.test,
+                        "label")
+          .value();
+  // Row 1's true x is 1; observed column is {0, 0, 9, 10, 9} with
+  // mean 3.6 etc. The oracle's pick must be the candidate closest to 1.
+  const int chosen = task.true_candidate[1];
+  const auto& rows = task.candidate_rows[1];
+  const double chosen_x = rows[static_cast<size_t>(chosen)][0].numeric();
+  for (const auto& row : rows) {
+    EXPECT_LE(std::abs(chosen_x - 1.0), std::abs(row[0].numeric() - 1.0));
+  }
+}
+
+TEST(CleaningTaskTest, AccuracyAnchorsAreSane) {
+  const Tables tables = MakeTables();
+  const CleaningTask task =
+      BuildCleaningTask(tables.dirty, tables.clean, tables.val, tables.test,
+                        "label")
+          .value();
+  NegativeEuclideanKernel kernel;
+  // Ground-truth features classify the well-separated test set perfectly.
+  EXPECT_DOUBLE_EQ(task.AccuracyWith(task.clean_train_x, task.test_x,
+                                     task.test_y, kernel, 3),
+                   1.0);
+}
+
+TEST(CleaningTaskTest, RejectsBadInputs) {
+  const Tables tables = MakeTables();
+  // Incomplete validation set.
+  Table bad_val = tables.val;
+  bad_val.Set(0, 0, Value::Null());
+  EXPECT_FALSE(BuildCleaningTask(tables.dirty, tables.clean, bad_val,
+                                 tables.test, "label")
+                   .ok());
+  // Mismatched schemas.
+  EXPECT_FALSE(BuildCleaningTask(tables.dirty, tables.clean,
+                                 tables.val.DropColumn(0), tables.test,
+                                 "label")
+                   .ok());
+  // Unknown label column.
+  EXPECT_FALSE(BuildCleaningTask(tables.dirty, tables.clean, tables.val,
+                                 tables.test, "nope")
+                   .ok());
+  // Row-count mismatch between dirty and clean training tables.
+  EXPECT_FALSE(BuildCleaningTask(tables.dirty, tables.val, tables.val,
+                                 tables.test, "label")
+                   .ok());
+}
+
+TEST(BoostCleanTest, PicksBestValidationMethod) {
+  const Tables tables = MakeTables();
+  const CleaningTask task =
+      BuildCleaningTask(tables.dirty, tables.clean, tables.val, tables.test,
+                        "label")
+          .value();
+  NegativeEuclideanKernel kernel;
+  const BoostCleanResult result = RunBoostClean(task, kernel, 3).value();
+  EXPECT_EQ(result.method_val_accuracy.size(), 5u);
+  for (const auto& [name, acc] : result.method_val_accuracy) {
+    EXPECT_LE(acc, result.best_val_accuracy) << name;
+  }
+  EXPECT_GE(result.test_accuracy, 0.0);
+  EXPECT_LE(result.test_accuracy, 1.0);
+
+  const BoostCleanResult per_col =
+      RunBoostCleanPerColumn(task, kernel, 3).value();
+  EXPECT_GE(per_col.test_accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,165 @@
+#include "cleaning/cp_clean.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cleaning/missing_injector.h"
+#include "data/split.h"
+#include "datasets/synthetic.h"
+#include "eval/experiment.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+namespace {
+
+/// Small but realistic task: 40 train rows, 12 val, MNAR 15%.
+PreparedExperiment MakePrepared(uint64_t seed = 3) {
+  ExperimentConfig config;
+  config.dataset.name = "unit";
+  config.dataset.synthetic.num_rows = 40 + 12 + 20;
+  config.dataset.synthetic.num_numeric = 4;
+  config.dataset.synthetic.num_categorical = 0;
+  config.dataset.synthetic.noise_sigma = 0.3;
+  config.dataset.synthetic.seed = seed;
+  config.dataset.missing_rate = 0.15;
+  config.dataset.val_size = 12;
+  config.dataset.test_size = 20;
+  config.k = 3;
+  config.seed = seed;
+  static NegativeEuclideanKernel kernel;
+  return PrepareExperiment(config, kernel).value();
+}
+
+TEST(CleaningSessionTest, CpCleanTerminatesWithAllValCertain) {
+  const PreparedExperiment prepared = MakePrepared();
+  NegativeEuclideanKernel kernel;
+  CpCleanOptions options;
+  options.k = 3;
+  CleaningSession session(&prepared.task, &kernel, options);
+  const CleaningRunResult run = session.RunCpClean();
+  EXPECT_TRUE(run.all_val_certain);
+  EXPECT_LE(run.examples_cleaned, prepared.dirty_rows);
+  EXPECT_EQ(run.steps.size(), static_cast<size_t>(run.examples_cleaned) + 1);
+  // Once all validation examples are CP'ed, the trace ends.
+  EXPECT_DOUBLE_EQ(run.steps.back().frac_val_certain, 1.0);
+}
+
+TEST(CleaningSessionTest, CertaintyFractionIsMonotone) {
+  const PreparedExperiment prepared = MakePrepared(5);
+  NegativeEuclideanKernel kernel;
+  CpCleanOptions options;
+  options.k = 3;
+  CleaningSession session(&prepared.task, &kernel, options);
+  const CleaningRunResult run = session.RunCpClean();
+  for (size_t s = 1; s < run.steps.size(); ++s) {
+    EXPECT_GE(run.steps[s].frac_val_certain,
+              run.steps[s - 1].frac_val_certain)
+        << "CP'ed points must stay CP'ed (cleaning removes worlds)";
+  }
+}
+
+TEST(CleaningSessionTest, NeverCleansTheSameExampleTwice) {
+  const PreparedExperiment prepared = MakePrepared(7);
+  NegativeEuclideanKernel kernel;
+  CpCleanOptions options;
+  options.k = 3;
+  options.stop_when_all_certain = false;  // run the full trajectory
+  CleaningSession session(&prepared.task, &kernel, options);
+  const CleaningRunResult run = session.RunCpClean();
+  std::set<int> cleaned;
+  for (size_t s = 1; s < run.steps.size(); ++s) {
+    const int example = run.steps[s].cleaned_example;
+    EXPECT_TRUE(cleaned.insert(example).second)
+        << "example " << example << " cleaned twice";
+  }
+  // Full run cleans every dirty example.
+  EXPECT_EQ(run.examples_cleaned, prepared.dirty_rows);
+}
+
+TEST(CleaningSessionTest, FullCleaningReachesGroundTruthWorld) {
+  const PreparedExperiment prepared = MakePrepared(9);
+  NegativeEuclideanKernel kernel;
+  CpCleanOptions options;
+  options.k = 3;
+  options.stop_when_all_certain = false;
+  CleaningSession session(&prepared.task, &kernel, options);
+  const CleaningRunResult run = session.RunCpClean();
+  // The oracle picks the candidate nearest the truth, so after cleaning
+  // everything the world is the oracle world; its accuracy should be close
+  // to the ground-truth accuracy (equal when candidates contain the truth).
+  EXPECT_NEAR(run.final_test_accuracy, prepared.ground_truth_test_accuracy,
+              0.15);
+}
+
+TEST(CleaningSessionTest, BudgetStopsEarly) {
+  const PreparedExperiment prepared = MakePrepared(11);
+  NegativeEuclideanKernel kernel;
+  CpCleanOptions options;
+  options.k = 3;
+  options.max_cleaned = 3;
+  CleaningSession session(&prepared.task, &kernel, options);
+  const CleaningRunResult run = session.RunCpClean();
+  EXPECT_LE(run.examples_cleaned, 3);
+}
+
+TEST(CleaningSessionTest, FastAndReferenceSelectionAgree) {
+  const PreparedExperiment prepared = MakePrepared(13);
+  NegativeEuclideanKernel kernel;
+
+  CpCleanOptions fast;
+  fast.k = 3;
+  fast.max_cleaned = 4;
+  fast.track_test_accuracy = false;
+  CleaningSession fast_session(&prepared.task, &kernel, fast);
+  const CleaningRunResult fast_run = fast_session.RunCpClean();
+
+  CpCleanOptions slow = fast;
+  slow.use_fast_selection = false;
+  CleaningSession slow_session(&prepared.task, &kernel, slow);
+  const CleaningRunResult slow_run = slow_session.RunCpClean();
+
+  ASSERT_EQ(fast_run.steps.size(), slow_run.steps.size());
+  for (size_t s = 0; s < fast_run.steps.size(); ++s) {
+    EXPECT_EQ(fast_run.steps[s].cleaned_example,
+              slow_run.steps[s].cleaned_example)
+        << "fast and reference selection diverged at step " << s;
+  }
+}
+
+TEST(CleaningSessionTest, RandomCleanIsReproduciblePerSeed) {
+  const PreparedExperiment prepared = MakePrepared(15);
+  NegativeEuclideanKernel kernel;
+  CpCleanOptions options;
+  options.k = 3;
+  options.track_test_accuracy = false;
+  CleaningSession session(&prepared.task, &kernel, options);
+  Rng rng1(42), rng2(42);
+  const CleaningRunResult a = session.RunRandomClean(&rng1);
+  const CleaningRunResult b = session.RunRandomClean(&rng2);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t s = 0; s < a.steps.size(); ++s) {
+    EXPECT_EQ(a.steps[s].cleaned_example, b.steps[s].cleaned_example);
+  }
+}
+
+TEST(CleaningSessionTest, CpCleanNeedsNoMoreCleaningThanRandomOnAverage) {
+  // Not a strict theorem, but holds comfortably on average; guards against
+  // selection-logic regressions that make CPClean no better than random.
+  int cp_total = 0, random_total = 0;
+  NegativeEuclideanKernel kernel;
+  for (uint64_t seed : {21, 23, 25}) {
+    const PreparedExperiment prepared = MakePrepared(seed);
+    CpCleanOptions options;
+    options.k = 3;
+    options.track_test_accuracy = false;
+    CleaningSession session(&prepared.task, &kernel, options);
+    cp_total += session.RunCpClean().examples_cleaned;
+    Rng rng(seed);
+    random_total += session.RunRandomClean(&rng).examples_cleaned;
+  }
+  EXPECT_LE(cp_total, random_total);
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,115 @@
+#include "cleaning/imputers.h"
+
+#include <gtest/gtest.h>
+
+#include "cleaning/holo_clean.h"
+#include "data/csv.h"
+
+namespace cpclean {
+namespace {
+
+Table MakeDirtyTable() {
+  return ReadCsvString(
+             "age,city,label\n"
+             "10,rome,0\n"
+             "20,rome,1\n"
+             ",paris,1\n"
+             "40,,0\n"
+             "30,berlin,1\n")
+      .value();
+}
+
+TEST(DefaultCleanTest, MeanAndModeImputation) {
+  const Table dirty = MakeDirtyTable();
+  const Table clean = DefaultCleanImpute(dirty, 2).value();
+  EXPECT_EQ(clean.CountMissing(), 0);
+  EXPECT_DOUBLE_EQ(clean.at(2, 0).numeric(), 25.0);  // mean of 10,20,40,30
+  EXPECT_EQ(clean.at(3, 1).categorical(), "rome");   // mode
+  // Untouched cells preserved.
+  EXPECT_DOUBLE_EQ(clean.at(0, 0).numeric(), 10.0);
+  EXPECT_EQ(clean.at(2, 1).categorical(), "paris");
+}
+
+TEST(MethodSpaceTest, FiveDistinctActions) {
+  const auto space = BoostCleanMethodSpace();
+  ASSERT_EQ(space.size(), 5u);
+  // Every action fills the same dirty table differently (numeric side).
+  const Table dirty = MakeDirtyTable();
+  std::set<double> seen;
+  for (const auto& method : space) {
+    const Table filled = ApplyImputeMethod(dirty, 2, method).value();
+    seen.insert(filled.at(2, 0).numeric());
+    EXPECT_EQ(filled.CountMissing(), 0);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // min, p25, mean, p75, max all distinct here
+}
+
+TEST(ApplyImputeMethodTest, MinAndMaxStatistics) {
+  const Table dirty = MakeDirtyTable();
+  ImputeMethod min_method;
+  min_method.numeric = ImputeMethod::NumericStat::kMin;
+  EXPECT_DOUBLE_EQ(ApplyImputeMethod(dirty, 2, min_method).value()
+                       .at(2, 0)
+                       .numeric(),
+                   10.0);
+  ImputeMethod max_method;
+  max_method.numeric = ImputeMethod::NumericStat::kMax;
+  EXPECT_DOUBLE_EQ(ApplyImputeMethod(dirty, 2, max_method).value()
+                       .at(2, 0)
+                       .numeric(),
+                   40.0);
+}
+
+TEST(ApplyImputeMethodTest, CategoricalRankOutOfVocabularyUsesOther) {
+  const Table dirty = MakeDirtyTable();
+  ImputeMethod method;
+  method.categorical_rank = 10;
+  const Table filled = ApplyImputeMethod(dirty, 2, method).value();
+  EXPECT_EQ(filled.at(3, 1).categorical(), "__other__");
+}
+
+TEST(HoloCleanSimTest, FillsEveryMissingCell) {
+  const Table dirty = MakeDirtyTable();
+  const Table filled = HoloCleanImpute(dirty, 2).value();
+  EXPECT_EQ(filled.CountMissing(), 0);
+  // Numeric fill lies within the observed range.
+  EXPECT_GE(filled.at(2, 0).numeric(), 10.0);
+  EXPECT_LE(filled.at(2, 0).numeric(), 40.0);
+}
+
+TEST(HoloCleanSimTest, UsesCorrelatedDonors) {
+  // Column y tracks column x exactly; the missing y should be imputed near
+  // the value of the closest-x donors, not the global mean.
+  const Table dirty = ReadCsvString(
+                          "x,y,label\n"
+                          "1,10,0\n"
+                          "2,20,0\n"
+                          "3,30,0\n"
+                          "10,100,1\n"
+                          "11,110,1\n"
+                          "12,,1\n")
+                          .value();
+  HoloCleanOptions options;
+  options.num_donors = 2;
+  const Table filled = HoloCleanImpute(dirty, 2, options).value();
+  // Donors should be the x=10 and x=11 rows -> fill near 105, far from the
+  // global mean of 54.
+  EXPECT_GT(filled.at(5, 1).numeric(), 90.0);
+}
+
+TEST(HoloCleanSimTest, CategoricalWeightedMode) {
+  const Table dirty = ReadCsvString(
+                          "x,c,label\n"
+                          "1,a,0\n"
+                          "1.1,a,0\n"
+                          "1.2,a,0\n"
+                          "9,b,1\n"
+                          "9.1,b,1\n"
+                          "9.2,,1\n")
+                          .value();
+  const Table filled = HoloCleanImpute(dirty, 2).value();
+  EXPECT_EQ(filled.at(5, 1).categorical(), "b");
+}
+
+}  // namespace
+}  // namespace cpclean

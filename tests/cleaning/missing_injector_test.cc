@@ -1,0 +1,144 @@
+#include "cleaning/missing_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "cleaning/importance.h"
+#include "datasets/synthetic.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+namespace {
+
+Table MakeCleanTable(int rows) {
+  SyntheticSpec spec;
+  spec.num_rows = rows;
+  spec.num_numeric = 5;
+  spec.num_categorical = 0;
+  spec.seed = 11;
+  return GenerateSynthetic(spec).value();
+}
+
+TEST(MissingInjectorTest, HitsTargetRate) {
+  const Table clean = MakeCleanTable(200);
+  const int label_col = clean.schema().FieldIndex("label").value();
+  std::vector<double> importance(6, 1.0);
+  InjectionOptions options;
+  options.missing_rate = 0.2;
+  Rng rng(3);
+  const Table dirty =
+      InjectMissing(clean, label_col, importance, options, &rng).value();
+  const int feature_cells = 200 * 5;
+  EXPECT_EQ(dirty.CountMissing(),
+            static_cast<int>(0.2 * feature_cells));
+  // Never injects into the label column.
+  EXPECT_EQ(dirty.CountMissingInColumn(label_col), 0);
+}
+
+TEST(MissingInjectorTest, RespectsPerRowCap) {
+  const Table clean = MakeCleanTable(300);
+  const int label_col = clean.schema().FieldIndex("label").value();
+  std::vector<double> importance(6, 1.0);
+  InjectionOptions options;
+  options.missing_rate = 0.3;
+  options.max_missing_per_row = 2;
+  Rng rng(5);
+  const Table dirty =
+      InjectMissing(clean, label_col, importance, options, &rng).value();
+  for (int r = 0; r < dirty.num_rows(); ++r) {
+    EXPECT_LE(dirty.CountMissingInRow(r), 2);
+  }
+}
+
+TEST(MissingInjectorTest, MnarSkewsTowardImportantFeatures) {
+  const Table clean = MakeCleanTable(400);
+  const int label_col = clean.schema().FieldIndex("label").value();
+  // Column 0 is 20x as important as the rest.
+  std::vector<double> importance = {2.0, 0.1, 0.1, 0.1, 0.1, 0.0};
+  InjectionOptions options;
+  options.missing_rate = 0.1;
+  options.max_missing_per_row = 5;
+  Rng rng(7);
+  const Table dirty =
+      InjectMissing(clean, label_col, importance, options, &rng).value();
+  const int in_col0 = dirty.CountMissingInColumn(0);
+  int elsewhere = 0;
+  for (int c = 1; c < 5; ++c) elsewhere += dirty.CountMissingInColumn(c);
+  EXPECT_GT(in_col0, elsewhere);  // ~83% expected in column 0
+}
+
+TEST(MissingInjectorTest, McarIgnoresImportance) {
+  const Table clean = MakeCleanTable(400);
+  const int label_col = clean.schema().FieldIndex("label").value();
+  std::vector<double> importance = {100.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  InjectionOptions options;
+  options.missing_rate = 0.1;
+  options.mnar = false;
+  options.max_missing_per_row = 5;
+  Rng rng(9);
+  const Table dirty =
+      InjectMissing(clean, label_col, importance, options, &rng).value();
+  // Under MCAR roughly 1/5 of the missing cells land in column 0.
+  const double frac = static_cast<double>(dirty.CountMissingInColumn(0)) /
+                      dirty.CountMissing();
+  EXPECT_LT(frac, 0.4);
+}
+
+TEST(MissingInjectorTest, ValidatesArguments) {
+  const Table clean = MakeCleanTable(10);
+  const int label_col = clean.schema().FieldIndex("label").value();
+  Rng rng(1);
+  InjectionOptions bad_rate;
+  bad_rate.missing_rate = 1.0;
+  EXPECT_FALSE(InjectMissing(clean, label_col, std::vector<double>(6, 1.0),
+                             bad_rate, &rng)
+                   .ok());
+  EXPECT_FALSE(InjectMissing(clean, label_col, {1.0}, InjectionOptions(), &rng)
+                   .ok());
+}
+
+TEST(FeatureImportanceTest, DetectsInformativeFeature) {
+  // Label is driven overwhelmingly by feature 0 (importance_decay small).
+  SyntheticSpec spec;
+  spec.num_rows = 300;
+  spec.num_numeric = 4;
+  spec.num_categorical = 0;
+  spec.noise_sigma = 0.1;
+  spec.importance_decay = 0.25;
+  spec.seed = 31;
+  const Table table = GenerateSynthetic(spec).value();
+  const Table train = table.SelectRows([&] {
+    std::vector<int> idx;
+    for (int i = 0; i < 200; ++i) idx.push_back(i);
+    return idx;
+  }());
+  const Table val = table.SelectRows([&] {
+    std::vector<int> idx;
+    for (int i = 200; i < 300; ++i) idx.push_back(i);
+    return idx;
+  }());
+  const int label_col = table.schema().FieldIndex("label").value();
+  NegativeEuclideanKernel kernel;
+  const auto importance =
+      ComputeFeatureImportance(train, val, label_col, 3, kernel).value();
+  EXPECT_EQ(importance.size(), 5u);
+  EXPECT_DOUBLE_EQ(importance[static_cast<size_t>(label_col)], 0.0);
+  // Feature 0 should be the most important one.
+  for (int c = 1; c < 4; ++c) {
+    EXPECT_GE(importance[0], importance[static_cast<size_t>(c)]);
+  }
+  EXPECT_GT(importance[0], 0.05);
+}
+
+TEST(FeatureImportanceTest, RequiresCompleteTables) {
+  Table table =
+      GenerateSynthetic({.num_rows = 20, .num_numeric = 2, .seed = 1}).value();
+  Table dirty = table;
+  dirty.Set(0, 0, Value::Null());
+  NegativeEuclideanKernel kernel;
+  const int label_col = table.schema().FieldIndex("label").value();
+  EXPECT_FALSE(
+      ComputeFeatureImportance(dirty, table, label_col, 3, kernel).ok());
+}
+
+}  // namespace
+}  // namespace cpclean

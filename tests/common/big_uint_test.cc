@@ -1,0 +1,119 @@
+#include "common/big_uint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace cpclean {
+namespace {
+
+TEST(BigUintTest, ZeroAndSmallValues) {
+  EXPECT_TRUE(BigUint().IsZero());
+  EXPECT_EQ(BigUint().ToString(), "0");
+  EXPECT_EQ(BigUint(1).ToString(), "1");
+  EXPECT_EQ(BigUint(123456789).ToString(), "123456789");
+  EXPECT_FALSE(BigUint(1).IsZero());
+}
+
+TEST(BigUintTest, Uint64RoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 4294967295ull, 4294967296ull,
+                     18446744073709551615ull}) {
+    EXPECT_EQ(BigUint(v).ToUint64(), v);
+    EXPECT_EQ(BigUint(v).ToString(), std::to_string(v));
+  }
+}
+
+TEST(BigUintTest, AdditionMatchesUint64Reference) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = rng.NextUint64() >> 1;  // avoid overflow
+    const uint64_t b = rng.NextUint64() >> 1;
+    EXPECT_EQ((BigUint(a) + BigUint(b)).ToUint64(), a + b);
+  }
+}
+
+TEST(BigUintTest, MultiplicationMatchesUint64Reference) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t a = rng.NextUint64() >> 33;
+    const uint64_t b = rng.NextUint64() >> 33;
+    EXPECT_EQ((BigUint(a) * BigUint(b)).ToUint64(), a * b);
+  }
+}
+
+TEST(BigUintTest, MultiplicationBeyond64Bits) {
+  // 2^64 * 2^64 = 2^128.
+  const BigUint two64 = BigUint(2).Pow(64);
+  const BigUint two128 = two64 * two64;
+  EXPECT_EQ(two128.ToString(), "340282366920938463463374607431768211456");
+  EXPECT_EQ(two128, BigUint(2).Pow(128));
+}
+
+TEST(BigUintTest, PowAndDecimalParsing) {
+  EXPECT_EQ(BigUint(10).Pow(0).ToUint64(), 1u);
+  EXPECT_EQ(BigUint(10).Pow(20).ToString(), "100000000000000000000");
+  EXPECT_EQ(BigUint::FromDecimalString("100000000000000000000"),
+            BigUint(10).Pow(20));
+  EXPECT_EQ(BigUint::FromDecimalString("0"), BigUint());
+  // M^N world-count shape: 5^3000 has 2097 digits.
+  EXPECT_EQ(BigUint(5).Pow(3000).ToString().size(), 2097u);
+}
+
+TEST(BigUintTest, ComparisonTotalOrder) {
+  const BigUint a(5), b(7);
+  const BigUint big = BigUint(2).Pow(100);
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_GT(b.Compare(a), 0);
+  EXPECT_EQ(a.Compare(BigUint(5)), 0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= b);
+  EXPECT_TRUE(a < big);
+  EXPECT_TRUE(big > b);
+  EXPECT_NE(a, b);
+}
+
+TEST(BigUintTest, MultiplyByZero) {
+  const BigUint big = BigUint(3).Pow(50);
+  EXPECT_TRUE((big * BigUint()).IsZero());
+  EXPECT_EQ(big + BigUint(), big);
+}
+
+TEST(BigUintTest, CompoundAssignment) {
+  BigUint v(3);
+  v *= BigUint(4);
+  v += BigUint(8);
+  EXPECT_EQ(v.ToUint64(), 20u);
+}
+
+TEST(BigUintTest, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigUint(1000).ToDouble(), 1000.0);
+  const double two100 = BigUint(2).Pow(100).ToDouble();
+  EXPECT_NEAR(two100, std::pow(2.0, 100), std::pow(2.0, 60));
+}
+
+TEST(BigUintTest, DivideToDouble) {
+  EXPECT_NEAR(BigUint(6).DivideToDouble(BigUint(8)), 0.75, 1e-12);
+  const BigUint big = BigUint(7).Pow(200);
+  EXPECT_NEAR(big.DivideToDouble(big + big), 0.5, 1e-9);
+  EXPECT_NEAR((big + big).DivideToDouble(big), 2.0, 1e-9);
+}
+
+TEST(BigUintTest, AssociativityAndDistributivityRandomized) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const BigUint a(rng.NextUint64());
+    const BigUint b(rng.NextUint64());
+    const BigUint c(rng.NextUint64());
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace cpclean {
+namespace {
+
+TEST(LogLevelTest, SetAndGet) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LogMessageTest, NonFatalLevelsDoNotAbort) {
+  // Smoke: streaming through every non-fatal level must be safe.
+  CP_LOG(Debug) << "debug " << 1;
+  CP_LOG(Info) << "info " << 2.5;
+  CP_LOG(Warning) << "warning " << "text";
+  CP_LOG(Error) << "error " << 'c';
+  SUCCEED();
+}
+
+TEST(CheckMacrosTest, PassingChecksAreSilent) {
+  CP_CHECK(true) << "never shown";
+  CP_CHECK_EQ(1, 1);
+  CP_CHECK_NE(1, 2);
+  CP_CHECK_LT(1, 2);
+  CP_CHECK_LE(2, 2);
+  CP_CHECK_GT(3, 2);
+  CP_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+TEST(CheckMacrosTest, FailingCheckAborts) {
+  EXPECT_DEATH({ CP_CHECK(false) << "boom"; }, "Check failed");
+  EXPECT_DEATH({ CP_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+TEST(DcheckTest, CompilesInBothModes) {
+  CP_DCHECK(true) << "never";
+  SUCCEED();
+}
+
+TEST(GetEnvIntTest, ReadsAndFallsBack) {
+  ::setenv("CPCLEAN_TEST_ENV_INT", "42", 1);
+  EXPECT_EQ(GetEnvInt("CPCLEAN_TEST_ENV_INT", 7), 42);
+  ::setenv("CPCLEAN_TEST_ENV_INT", "not-a-number", 1);
+  EXPECT_EQ(GetEnvInt("CPCLEAN_TEST_ENV_INT", 7), 7);
+  ::unsetenv("CPCLEAN_TEST_ENV_INT");
+  EXPECT_EQ(GetEnvInt("CPCLEAN_TEST_ENV_INT", 7), 7);
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,59 @@
+#include "common/semiring.h"
+
+#include <gtest/gtest.h>
+
+namespace cpclean {
+namespace {
+
+template <typename S>
+class SemiringLawsTest : public ::testing::Test {};
+
+using AllSemirings = ::testing::Types<ExactSemiring, Uint64Semiring,
+                                      DoubleSemiring, BoolSemiring>;
+TYPED_TEST_SUITE(SemiringLawsTest, AllSemirings);
+
+TYPED_TEST(SemiringLawsTest, Identities) {
+  using S = TypeParam;
+  const auto five = S::FromCount(5);
+  EXPECT_TRUE(S::IsZero(S::Zero()));
+  EXPECT_FALSE(S::IsZero(S::One()));
+  EXPECT_EQ(S::ToDouble(S::Add(five, S::Zero())), S::ToDouble(five));
+  EXPECT_EQ(S::ToDouble(S::Mul(five, S::One())), S::ToDouble(five));
+  EXPECT_TRUE(S::IsZero(S::Mul(five, S::Zero())));
+}
+
+TYPED_TEST(SemiringLawsTest, AddMulConsistentWithCounts) {
+  using S = TypeParam;
+  // 2+3 and 2*3 under the homomorphism from (N, +, *).
+  const auto two = S::FromCount(2);
+  const auto three = S::FromCount(3);
+  const auto sum = S::Add(two, three);
+  const auto prod = S::Mul(two, three);
+  EXPECT_FALSE(S::IsZero(sum));
+  EXPECT_FALSE(S::IsZero(prod));
+}
+
+TEST(SemiringValuesTest, ExactCountsAreExact) {
+  using S = ExactSemiring;
+  EXPECT_EQ(S::Add(S::FromCount(2), S::FromCount(3)), BigUint(5));
+  EXPECT_EQ(S::Mul(S::FromCount(2), S::FromCount(3)), BigUint(6));
+  EXPECT_DOUBLE_EQ(S::ToDouble(S::FromCount(42)), 42.0);
+}
+
+TEST(SemiringValuesTest, BoolIsPossibilitySemiring) {
+  using S = BoolSemiring;
+  EXPECT_EQ(S::Add(S::One(), S::One()), S::One());   // 1 OR 1 = 1
+  EXPECT_EQ(S::Mul(S::One(), S::Zero()), S::Zero()); // 1 AND 0 = 0
+  EXPECT_EQ(S::FromCount(17), S::One());
+  EXPECT_EQ(S::FromCount(0), S::Zero());
+  EXPECT_DOUBLE_EQ(S::ToDouble(S::One()), 1.0);
+}
+
+TEST(SemiringValuesTest, DoubleIsPlainArithmetic) {
+  using S = DoubleSemiring;
+  EXPECT_DOUBLE_EQ(S::Add(0.25, 0.5), 0.75);
+  EXPECT_DOUBLE_EQ(S::Mul(0.25, 0.5), 0.125);
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,60 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpclean {
+namespace {
+
+TEST(StatsTest, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({2, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1, 3}), 1.0);  // population variance
+  EXPECT_DOUBLE_EQ(StdDev({1, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Variance({5}), 0.0);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3, -1, 2}), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3, -1, 2}), 3.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> v = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 12.5), 15.0);  // midway between 10 and 20
+  EXPECT_DOUBLE_EQ(Median(v), 30.0);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({50, 10, 40, 20, 30}, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile({7}, 99), 7.0);
+}
+
+TEST(StatsTest, EntropyOfUniformAndDegenerate) {
+  EXPECT_NEAR(Entropy({0.5, 0.5}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(EntropyBits({0.5, 0.5}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Entropy({1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({0.0, 0.0}), 0.0);  // no mass -> 0 by convention
+  EXPECT_NEAR(EntropyBits({0.25, 0.25, 0.25, 0.25}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, EntropyNormalizesMasses) {
+  // Counts (unnormalized masses) give the same entropy as probabilities.
+  EXPECT_NEAR(Entropy({6, 2}), Entropy({0.75, 0.25}), 1e-12);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);  // mismatch
+}
+
+}  // namespace
+}  // namespace cpclean

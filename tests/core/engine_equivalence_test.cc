@@ -1,0 +1,210 @@
+// Property tests validating every polynomial-time CP engine against the
+// exponential brute-force oracle on random instances, including instances
+// with deliberate similarity ties and duplicated points.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/mm.h"
+#include "core/ss.h"
+#include "core/ss1.h"
+#include "core/ss_dc.h"
+#include "core/ss_dc_mc.h"
+#include "knn/kernel.h"
+#include "tests/test_util.h"
+
+namespace cpclean {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::MakeRandomTestPoint;
+using testing_util::RandomDatasetSpec;
+
+struct EngineCase {
+  int num_examples;
+  int max_candidates;
+  int num_labels;
+  int k;
+  double tie_prob;
+};
+
+class EngineEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<EngineCase, int>> {};
+
+TEST_P(EngineEquivalenceTest, AllEnginesMatchBruteForce) {
+  const EngineCase c = std::get<0>(GetParam());
+  const int seed = std::get<1>(GetParam());
+
+  RandomDatasetSpec spec;
+  spec.num_examples = c.num_examples;
+  spec.max_candidates = c.max_candidates;
+  spec.num_labels = c.num_labels;
+  spec.dim = 2;
+  spec.seed = static_cast<uint64_t>(seed);
+  spec.tie_prob = c.tie_prob;
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  const std::vector<double> t =
+      MakeRandomTestPoint(spec.dim, static_cast<uint64_t>(seed));
+  NegativeEuclideanKernel kernel;
+  const int k = c.k;
+  ASSERT_LE(k, dataset.num_examples());
+
+  const CountResult<ExactSemiring> oracle =
+      BruteForceCount(dataset, t, kernel, k);
+
+  // Naive SortScan.
+  const CountResult<ExactSemiring> ss =
+      SsCount<ExactSemiring>(dataset, t, kernel, k);
+  // Divide-and-conquer SortScan.
+  const CountResult<ExactSemiring> ss_dc =
+      SsDcCount<ExactSemiring>(dataset, t, kernel, k);
+  // Many-class variant.
+  const CountResult<ExactSemiring> ss_mc =
+      SsDcMcCount<ExactSemiring>(dataset, t, kernel, k);
+
+  ASSERT_EQ(oracle.per_label.size(), ss.per_label.size());
+  BigUint ss_total, dc_total, mc_total;
+  for (size_t y = 0; y < oracle.per_label.size(); ++y) {
+    EXPECT_EQ(oracle.per_label[y], ss.per_label[y])
+        << "SS mismatch on label " << y << ": oracle="
+        << oracle.per_label[y].ToString()
+        << " ss=" << ss.per_label[y].ToString();
+    EXPECT_EQ(oracle.per_label[y], ss_dc.per_label[y])
+        << "SS-DC mismatch on label " << y;
+    EXPECT_EQ(oracle.per_label[y], ss_mc.per_label[y])
+        << "SS-DC-MC mismatch on label " << y;
+    ss_total += ss.per_label[y];
+    dc_total += ss_dc.per_label[y];
+    mc_total += ss_mc.per_label[y];
+  }
+  // Counts partition the possible worlds.
+  EXPECT_EQ(ss_total, dataset.NumPossibleWorlds());
+  EXPECT_EQ(dc_total, dataset.NumPossibleWorlds());
+  EXPECT_EQ(mc_total, dataset.NumPossibleWorlds());
+
+  // Normalized double mode agrees with the exact fractions.
+  const CountResult<DoubleSemiring> frac =
+      SsDcCount<DoubleSemiring, true>(dataset, t, kernel, k);
+  const std::vector<double> oracle_frac = oracle.Fractions();
+  for (size_t y = 0; y < oracle_frac.size(); ++y) {
+    EXPECT_NEAR(oracle_frac[y], frac.per_label[y], 1e-9)
+        << "normalized fraction mismatch on label " << y;
+  }
+
+  // Boolean possibility semiring gives the achievable-label set.
+  const std::vector<bool> possible = SsPossibleLabels(dataset, t, kernel, k);
+  for (size_t y = 0; y < oracle.per_label.size(); ++y) {
+    EXPECT_EQ(!oracle.per_label[y].IsZero(), possible[y])
+        << "possibility mismatch on label " << y;
+  }
+
+  // Q1 via SS agrees with brute force.
+  const CheckResult bf_check = BruteForceCheck(dataset, t, kernel, k);
+  const CheckResult ss_check = SsCheck(dataset, t, kernel, k);
+  EXPECT_EQ(bf_check.CertainLabel(), ss_check.CertainLabel());
+
+  // MM: binary-only fast Q1.
+  if (dataset.num_labels() == 2) {
+    const std::vector<bool> mm_possible =
+        MmPossibleLabels(dataset, t, kernel, k);
+    for (size_t y = 0; y < oracle.per_label.size(); ++y) {
+      EXPECT_EQ(!oracle.per_label[y].IsZero(), mm_possible[y])
+          << "MM possibility mismatch on label " << y;
+    }
+    EXPECT_EQ(bf_check.CertainLabel(),
+              MmCheck(dataset, t, kernel, k).CertainLabel());
+  }
+
+  // K = 1 fast path.
+  if (k == 1) {
+    const CountResult<ExactSemiring> ss1 = Ss1ExactCount(dataset, t, kernel);
+    for (size_t y = 0; y < oracle.per_label.size(); ++y) {
+      EXPECT_EQ(oracle.per_label[y], ss1.per_label[y])
+          << "SS1 mismatch on label " << y;
+    }
+  }
+}
+
+constexpr EngineCase kCases[] = {
+    // Binary, K = 1 (the paper's simplest setting).
+    {4, 3, 2, 1, 0.0},
+    {6, 2, 2, 1, 0.0},
+    {7, 3, 2, 1, 0.0},
+    // Binary, K = 3 (the paper's experimental setting).
+    {5, 3, 2, 3, 0.0},
+    {7, 2, 2, 3, 0.0},
+    {8, 2, 2, 3, 0.0},
+    // Multi-class.
+    {6, 3, 3, 1, 0.0},
+    {6, 2, 3, 3, 0.0},
+    {8, 2, 4, 3, 0.0},
+    {7, 2, 3, 5, 0.0},
+    // K equals N (every tuple in the top-K).
+    {5, 3, 2, 5, 0.0},
+    {5, 2, 3, 5, 0.0},
+    // Heavy ties / duplicated points.
+    {6, 3, 2, 1, 0.8},
+    {6, 3, 2, 3, 0.8},
+    {6, 2, 3, 3, 0.9},
+    {7, 2, 2, 4, 1.0},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, EngineEquivalenceTest,
+    ::testing::Combine(::testing::ValuesIn(kCases),
+                       ::testing::Range(1, 13)));
+
+// A complete dataset has exactly one world: the counts concentrate on the
+// plain KNN prediction and every test point is certainly predicted.
+TEST(EngineEdgeCases, CompleteDatasetIsAlwaysCertain) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 9;
+  spec.max_candidates = 1;
+  spec.num_labels = 3;
+  spec.seed = 7;
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  ASSERT_TRUE(dataset.IsComplete());
+  const std::vector<double> t = MakeRandomTestPoint(spec.dim, 7);
+  NegativeEuclideanKernel kernel;
+  const auto counts = SsDcCount<ExactSemiring>(dataset, t, kernel, 3);
+  int nonzero = 0;
+  for (const auto& c : counts.per_label) nonzero += c.IsZero() ? 0 : 1;
+  EXPECT_EQ(nonzero, 1);
+  EXPECT_EQ(SsCheck(dataset, t, kernel, 3).CertainLabel(),
+            BruteForceCheck(dataset, t, kernel, 3).CertainLabel());
+}
+
+// A single-tuple dataset: every world predicts that tuple's label.
+TEST(EngineEdgeCases, SingleTupleAlwaysCertain) {
+  IncompleteDataset dataset(2);
+  ASSERT_TRUE(dataset
+                  .AddExample({{{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}}, 1})
+                  .ok());
+  NegativeEuclideanKernel kernel;
+  const std::vector<double> t = {0.5, 0.5};
+  const auto counts = SsDcCount<ExactSemiring>(dataset, t, kernel, 1);
+  EXPECT_TRUE(counts.per_label[0].IsZero());
+  EXPECT_EQ(counts.per_label[1], BigUint(3));
+  EXPECT_EQ(SsCheck(dataset, t, kernel, 1).CertainLabel(), 1);
+}
+
+// All tuples share one label: certain regardless of incompleteness.
+TEST(EngineEdgeCases, UniformLabelsAreCertain) {
+  IncompleteDataset dataset(2);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(dataset
+                    .AddExample({{{static_cast<double>(i), 0.0},
+                                  {static_cast<double>(i) + 0.5, 1.0}},
+                                 1})
+                    .ok());
+  }
+  NegativeEuclideanKernel kernel;
+  const std::vector<double> t = {1.0, 0.0};
+  EXPECT_EQ(MmCheck(dataset, t, kernel, 3).CertainLabel(), 1);
+  const auto counts = SsDcCount<ExactSemiring>(dataset, t, kernel, 3);
+  EXPECT_EQ(counts.per_label[1], BigUint(32));  // 2^5 worlds, all label 1
+  EXPECT_TRUE(counts.per_label[0].IsZero());
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,142 @@
+// Stress and state-machine tests for FastQ2 beyond the basic equivalence
+// suite: interleaved pinned/unpinned queries, Rebind after dataset
+// mutation, larger K, and truncation behavior at scale.
+
+#include "core/fast_q2.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ss_dc.h"
+#include "knn/kernel.h"
+#include "tests/test_util.h"
+
+namespace cpclean {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::MakeRandomTestPoint;
+using testing_util::RandomDatasetSpec;
+
+TEST(FastQ2StressTest, InterleavedQueriesAreIndependent) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 40;
+  spec.max_candidates = 4;
+  spec.seed = 17;
+  IncompleteDataset dataset = MakeRandomDataset(spec);
+  NegativeEuclideanKernel kernel;
+  FastQ2 q2(&dataset, 3, 1e-9);
+
+  // Alternate between two test points and several pins; each answer must
+  // equal a fresh computation.
+  const auto t1 = MakeRandomTestPoint(spec.dim, 1);
+  const auto t2 = MakeRandomTestPoint(spec.dim, 2);
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& t : {t1, t2}) {
+      q2.SetTestPoint(t, kernel);
+      const auto base = q2.Fractions();
+      const auto expect =
+          SsDcCount<DoubleSemiring, true>(dataset, t, kernel, 3).Fractions();
+      for (size_t y = 0; y < expect.size(); ++y) {
+        EXPECT_NEAR(base[y], expect[y], 1e-6);
+      }
+      const int i = 5 + round;
+      for (int j = 0; j < dataset.num_candidates(i); ++j) {
+        IncompleteDataset pinned_ds = dataset;
+        pinned_ds.FixExample(i, j);
+        const auto want = SsDcCount<DoubleSemiring, true>(pinned_ds, t,
+                                                          kernel, 3)
+                              .Fractions();
+        const auto got = q2.FractionsPinned(i, j);
+        for (size_t y = 0; y < want.size(); ++y) {
+          EXPECT_NEAR(got[y], want[y], 1e-6);
+        }
+      }
+    }
+  }
+}
+
+TEST(FastQ2StressTest, RebindAfterFixExample) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 25;
+  spec.max_candidates = 3;
+  spec.seed = 23;
+  IncompleteDataset dataset = MakeRandomDataset(spec);
+  NegativeEuclideanKernel kernel;
+  const auto t = MakeRandomTestPoint(spec.dim, 23);
+
+  FastQ2 q2(&dataset, 3, 0.0);
+  // Mutate the dataset (clean a few tuples), rebind, and re-query.
+  for (int i : dataset.DirtyExamples()) {
+    dataset.FixExample(i, 0);
+    if (i > 10) break;
+  }
+  q2.Rebind();
+  q2.SetTestPoint(t, kernel);
+  const auto got = q2.Fractions();
+  const auto want =
+      SsDcCount<DoubleSemiring, true>(dataset, t, kernel, 3).Fractions();
+  for (size_t y = 0; y < want.size(); ++y) {
+    EXPECT_NEAR(got[y], want[y], 1e-9);
+  }
+}
+
+TEST(FastQ2StressTest, LargerKMatchesReference) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 20;
+  spec.max_candidates = 3;
+  spec.num_labels = 3;
+  spec.seed = 29;
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  NegativeEuclideanKernel kernel;
+  const auto t = MakeRandomTestPoint(spec.dim, 29);
+  for (int k : {7, 11, 15}) {
+    FastQ2 q2(&dataset, k, 0.0);
+    q2.SetTestPoint(t, kernel);
+    const auto got = q2.Fractions();
+    const auto want =
+        SsDcCount<DoubleSemiring, true>(dataset, t, kernel, k).Fractions();
+    for (size_t y = 0; y < want.size(); ++y) {
+      EXPECT_NEAR(got[y], want[y], 1e-9) << "k=" << k << " label " << y;
+    }
+  }
+}
+
+TEST(FastQ2StressTest, TruncationErrorBoundedAtScale) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 300;
+  spec.max_candidates = 4;
+  spec.seed = 31;
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  NegativeEuclideanKernel kernel;
+  const auto t = MakeRandomTestPoint(spec.dim, 31);
+
+  FastQ2 exact(&dataset, 3, 0.0);
+  FastQ2 loose(&dataset, 3, 1e-6);
+  exact.SetTestPoint(t, kernel);
+  loose.SetTestPoint(t, kernel);
+  const auto truth = exact.Fractions();
+  const auto approx = loose.Fractions();
+  for (size_t y = 0; y < truth.size(); ++y) {
+    EXPECT_NEAR(approx[y], truth[y], 1e-5);
+  }
+}
+
+TEST(FastQ2StressTest, DeterministicAcrossRepeatedCalls) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 50;
+  spec.max_candidates = 3;
+  spec.seed = 37;
+  spec.tie_prob = 0.6;  // duplicated points stress the total order
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  NegativeEuclideanKernel kernel;
+  const auto t = MakeRandomTestPoint(spec.dim, 37);
+  FastQ2 q2(&dataset, 3, 1e-9);
+  q2.SetTestPoint(t, kernel);
+  const auto first = q2.Fractions();
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_EQ(q2.Fractions(), first);
+  }
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,128 @@
+// Validates the production FastQ2 engine against the reference SS-DC
+// engine (itself validated against brute force), including the pinned
+// "what if candidate j is the truth" queries that power CPClean.
+
+#include "core/fast_q2.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/brute_force.h"
+#include "core/ss_dc.h"
+#include "knn/kernel.h"
+#include "tests/test_util.h"
+
+namespace cpclean {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::MakeRandomTestPoint;
+using testing_util::RandomDatasetSpec;
+
+class FastQ2Test : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(FastQ2Test, MatchesReferenceEngine) {
+  const int seed = std::get<0>(GetParam());
+  const int k = std::get<1>(GetParam());
+  const int num_labels = std::get<2>(GetParam());
+
+  RandomDatasetSpec spec;
+  spec.num_examples = 12;
+  spec.max_candidates = 3;
+  spec.num_labels = num_labels;
+  spec.seed = static_cast<uint64_t>(seed);
+  IncompleteDataset dataset = MakeRandomDataset(spec);
+  const std::vector<double> t =
+      MakeRandomTestPoint(spec.dim, static_cast<uint64_t>(seed));
+  NegativeEuclideanKernel kernel;
+
+  FastQ2 fast(&dataset, k, /*epsilon=*/0.0);  // full scan, no truncation
+  fast.SetTestPoint(t, kernel);
+  const std::vector<double> got = fast.Fractions();
+  const std::vector<double> want =
+      SsDcCount<DoubleSemiring, true>(dataset, t, kernel, k).Fractions();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t y = 0; y < want.size(); ++y) {
+    EXPECT_NEAR(got[y], want[y], 1e-9) << "label " << y;
+  }
+
+  // Early termination changes fractions only within epsilon.
+  FastQ2 truncated(&dataset, k, /*epsilon=*/1e-9);
+  truncated.SetTestPoint(t, kernel);
+  const std::vector<double> approx = truncated.Fractions();
+  for (size_t y = 0; y < want.size(); ++y) {
+    EXPECT_NEAR(approx[y], want[y], 1e-6) << "label " << y;
+  }
+
+  // Pinned queries match SS-DC on the explicitly collapsed dataset, and
+  // queries are independent (internal state restores between calls).
+  for (int i : {0, 3, 7}) {
+    for (int j = 0; j < dataset.num_candidates(i); ++j) {
+      const std::vector<double> pinned = truncated.FractionsPinned(i, j);
+      IncompleteDataset collapsed = dataset;
+      collapsed.FixExample(i, j);
+      const std::vector<double> expect =
+          SsDcCount<DoubleSemiring, true>(collapsed, t, kernel, k).Fractions();
+      for (size_t y = 0; y < expect.size(); ++y) {
+        EXPECT_NEAR(pinned[y], expect[y], 1e-6)
+            << "pin (" << i << "," << j << ") label " << y;
+      }
+    }
+  }
+  // Re-running the unpinned query still matches (state restoration).
+  const std::vector<double> again = truncated.Fractions();
+  for (size_t y = 0; y < want.size(); ++y) {
+    EXPECT_NEAR(again[y], want[y], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FastQ2Test,
+                         ::testing::Combine(::testing::Range(1, 9),
+                                            ::testing::Values(1, 3, 5),
+                                            ::testing::Values(2, 3)));
+
+TEST(FastQ2PruningTest, TopKFloorSoundness) {
+  // Tuples whose max similarity sits below the top-K floor cannot change
+  // the distribution when pinned.
+  RandomDatasetSpec spec;
+  spec.num_examples = 20;
+  spec.max_candidates = 3;
+  spec.num_labels = 2;
+  spec.seed = 99;
+  IncompleteDataset dataset = MakeRandomDataset(spec);
+  const std::vector<double> t = MakeRandomTestPoint(spec.dim, 99);
+  NegativeEuclideanKernel kernel;
+  FastQ2 fast(&dataset, /*k=*/3, 0.0);
+  fast.SetTestPoint(t, kernel);
+  const double floor = fast.TopKFloor();
+  const std::vector<double> base = fast.Fractions();
+  int pruned = 0;
+  for (int i = 0; i < dataset.num_examples(); ++i) {
+    if (fast.MaxSimilarity(i) >= floor) continue;
+    ++pruned;
+    for (int j = 0; j < dataset.num_candidates(i); ++j) {
+      const std::vector<double> pinned = fast.FractionsPinned(i, j);
+      for (size_t y = 0; y < base.size(); ++y) {
+        EXPECT_NEAR(pinned[y], base[y], 1e-9)
+            << "pruned tuple " << i << " candidate " << j;
+      }
+    }
+  }
+  EXPECT_GT(pruned, 0) << "test instance should have prunable tuples";
+}
+
+TEST(FastQ2PruningTest, MinMaxSimilarityReported) {
+  IncompleteDataset dataset(2);
+  ASSERT_TRUE(dataset.AddExample({{{0.0}, {3.0}}, 0}).ok());
+  ASSERT_TRUE(dataset.AddExample({{{1.0}}, 1}).ok());
+  NegativeEuclideanKernel kernel;
+  FastQ2 fast(&dataset, 1, 0.0);
+  fast.SetTestPoint({0.0}, kernel);
+  EXPECT_DOUBLE_EQ(fast.MaxSimilarity(0), 0.0);   // candidate at distance 0
+  EXPECT_DOUBLE_EQ(fast.MinSimilarity(0), -9.0);  // candidate at distance 3
+  EXPECT_DOUBLE_EQ(fast.MaxSimilarity(1), -1.0);
+}
+
+}  // namespace
+}  // namespace cpclean

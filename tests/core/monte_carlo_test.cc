@@ -1,0 +1,114 @@
+#include "core/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ss_dc.h"
+#include "knn/kernel.h"
+#include "tests/test_util.h"
+
+namespace cpclean {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::MakeRandomTestPoint;
+using testing_util::RandomDatasetSpec;
+
+TEST(MonteCarloTest, ConvergesToExactFractions) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 15;
+  spec.max_candidates = 3;
+  spec.num_labels = 2;
+  spec.seed = 42;
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  const auto t = MakeRandomTestPoint(spec.dim, 42);
+  NegativeEuclideanKernel kernel;
+  const auto exact =
+      SsDcCount<DoubleSemiring, true>(dataset, t, kernel, 3).Fractions();
+
+  Rng rng(7);
+  MonteCarloOptions options;
+  options.samples = 20000;
+  const auto estimate =
+      MonteCarloLabelProbabilities(dataset, t, kernel, 3, &rng, options);
+  ASSERT_EQ(estimate.size(), exact.size());
+  for (size_t y = 0; y < exact.size(); ++y) {
+    EXPECT_NEAR(estimate[y], exact[y], 0.02) << "label " << y;
+  }
+}
+
+TEST(MonteCarloTest, ErrorShrinksWithSampleCount) {
+  // Find an instance whose exact distribution is genuinely mixed — on a
+  // degenerate (certain) instance every sample is exact and there is no
+  // error to shrink.
+  RandomDatasetSpec spec;
+  spec.num_examples = 12;
+  spec.max_candidates = 3;
+  IncompleteDataset dataset;
+  std::vector<double> t;
+  std::vector<double> exact;
+  NegativeEuclideanKernel kernel;
+  for (uint64_t seed = 9;; ++seed) {
+    ASSERT_LT(seed, 40u) << "no mixed instance found";
+    spec.seed = seed;
+    dataset = MakeRandomDataset(spec);
+    t = MakeRandomTestPoint(spec.dim, seed);
+    exact = SsDcCount<DoubleSemiring, true>(dataset, t, kernel, 3).Fractions();
+    if (exact[0] > 0.1 && exact[0] < 0.9) break;
+  }
+
+  auto max_err = [&](int samples, uint64_t seed) {
+    Rng rng(seed);
+    MonteCarloOptions options;
+    options.samples = samples;
+    const auto est =
+        MonteCarloLabelProbabilities(dataset, t, kernel, 3, &rng, options);
+    double err = 0.0;
+    for (size_t y = 0; y < exact.size(); ++y) {
+      err = std::max(err, std::abs(est[y] - exact[y]));
+    }
+    return err;
+  };
+  // Average over a few seeds to avoid flakiness.
+  double err_small = 0.0, err_large = 0.0;
+  for (uint64_t s = 1; s <= 5; ++s) {
+    err_small += max_err(100, s);
+    err_large += max_err(10000, s);
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(MonteCarloTest, ObservedLabelsUnderapproximatePossible) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 10;
+  spec.max_candidates = 3;
+  spec.num_labels = 3;
+  spec.seed = 21;
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  const auto t = MakeRandomTestPoint(spec.dim, 21);
+  NegativeEuclideanKernel kernel;
+  const std::vector<bool> possible = SsPossibleLabels(dataset, t, kernel, 3);
+  Rng rng(3);
+  const std::vector<bool> observed =
+      MonteCarloObservedLabels(dataset, t, kernel, 3, &rng);
+  for (size_t y = 0; y < possible.size(); ++y) {
+    if (observed[y]) {
+      EXPECT_TRUE(possible[y])
+          << "sampled a label the exact engine says is impossible";
+    }
+  }
+}
+
+TEST(MonteCarloTest, DeterministicPerSeed) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 8;
+  spec.seed = 33;
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  const auto t = MakeRandomTestPoint(spec.dim, 33);
+  NegativeEuclideanKernel kernel;
+  Rng rng1(5), rng2(5);
+  EXPECT_EQ(MonteCarloLabelProbabilities(dataset, t, kernel, 2, &rng1),
+            MonteCarloLabelProbabilities(dataset, t, kernel, 2, &rng2));
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,129 @@
+// Tests the non-uniform-prior (tuple-independent probabilistic database)
+// generalization of Q2 against exhaustive weighted enumeration.
+
+#include "core/probabilistic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ss_dc.h"
+#include "knn/kernel.h"
+#include "tests/test_util.h"
+
+namespace cpclean {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::MakeRandomTestPoint;
+using testing_util::RandomDatasetSpec;
+
+std::vector<std::vector<double>> RandomPriors(const IncompleteDataset& dataset,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  auto priors = UniformPriors(dataset);
+  for (auto& row : priors) {
+    double total = 0.0;
+    for (double& p : row) {
+      p = rng.NextDouble(0.05, 1.0);
+      total += p;
+    }
+    for (double& p : row) p /= total;
+  }
+  return priors;
+}
+
+class WeightedQ2Test : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(WeightedQ2Test, MatchesWeightedEnumeration) {
+  const int seed = std::get<0>(GetParam());
+  const int k = std::get<1>(GetParam());
+  RandomDatasetSpec spec;
+  spec.num_examples = 7;
+  spec.max_candidates = 3;
+  spec.num_labels = seed % 2 == 0 ? 2 : 3;
+  spec.seed = static_cast<uint64_t>(seed);
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  const auto t = MakeRandomTestPoint(spec.dim, static_cast<uint64_t>(seed));
+  NegativeEuclideanKernel kernel;
+  const auto priors = RandomPriors(dataset, static_cast<uint64_t>(seed) + 99);
+
+  const auto fast =
+      WeightedLabelProbabilities(dataset, priors, t, kernel, k).value();
+  const auto slow =
+      WeightedLabelProbabilitiesBruteForce(dataset, priors, t, kernel, k)
+          .value();
+  ASSERT_EQ(fast.size(), slow.size());
+  double total = 0.0;
+  for (size_t y = 0; y < fast.size(); ++y) {
+    EXPECT_NEAR(fast[y], slow[y], 1e-9) << "label " << y;
+    total += fast[y];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WeightedQ2Test,
+                         ::testing::Combine(::testing::Range(1, 9),
+                                            ::testing::Values(1, 3)));
+
+TEST(WeightedQ2Test, UniformPriorReducesToQ2Fractions) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 9;
+  spec.max_candidates = 3;
+  spec.num_labels = 2;
+  spec.seed = 123;
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  const auto t = MakeRandomTestPoint(spec.dim, 123);
+  NegativeEuclideanKernel kernel;
+  const auto weighted =
+      WeightedLabelProbabilities(dataset, UniformPriors(dataset), t, kernel, 3)
+          .value();
+  const auto fractions =
+      SsDcCount<DoubleSemiring, true>(dataset, t, kernel, 3).Fractions();
+  for (size_t y = 0; y < weighted.size(); ++y) {
+    EXPECT_NEAR(weighted[y], fractions[y], 1e-9);
+  }
+}
+
+TEST(WeightedQ2Test, SkewedPriorShiftsMassTowardLikelyWorld) {
+  // One uncertain tuple decides the 1-NN prediction; skewing its prior
+  // toward the label-flipping candidate must move the label probability.
+  IncompleteDataset dataset(2);
+  CP_CHECK(dataset.AddCleanExample({1.0}, 1).ok());
+  CP_CHECK(dataset.AddExample({{{0.1}, {5.0}}, 0}).ok());
+  NegativeEuclideanKernel kernel;
+  const std::vector<double> t = {0.0};
+  // Candidate 0.1 makes tuple 1 the nearest neighbor -> label 0.
+  std::vector<std::vector<double>> skew0 = {{1.0}, {0.9, 0.1}};
+  std::vector<std::vector<double>> skew1 = {{1.0}, {0.1, 0.9}};
+  const auto p0 =
+      WeightedLabelProbabilities(dataset, skew0, t, kernel, 1).value();
+  const auto p1 =
+      WeightedLabelProbabilities(dataset, skew1, t, kernel, 1).value();
+  EXPECT_NEAR(p0[0], 0.9, 1e-12);
+  EXPECT_NEAR(p1[0], 0.1, 1e-12);
+}
+
+TEST(WeightedQ2Test, RejectsMalformedPriors) {
+  IncompleteDataset dataset(2);
+  CP_CHECK(dataset.AddExample({{{0.0}, {1.0}}, 0}).ok());
+  CP_CHECK(dataset.AddCleanExample({2.0}, 1).ok());
+  NegativeEuclideanKernel kernel;
+  const std::vector<double> t = {0.0};
+  // Wrong shape.
+  EXPECT_FALSE(WeightedLabelProbabilities(dataset, {{1.0}}, t, kernel, 1).ok());
+  // Does not sum to 1.
+  EXPECT_FALSE(
+      WeightedLabelProbabilities(dataset, {{0.5, 0.2}, {1.0}}, t, kernel, 1)
+          .ok());
+  // Negative.
+  EXPECT_FALSE(
+      WeightedLabelProbabilities(dataset, {{1.2, -0.2}, {1.0}}, t, kernel, 1)
+          .ok());
+  // Bad k.
+  EXPECT_FALSE(WeightedLabelProbabilities(dataset, UniformPriors(dataset), t,
+                                          kernel, 5)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace cpclean

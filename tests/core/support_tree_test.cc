@@ -1,0 +1,145 @@
+#include "core/support_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/truncated_poly.h"
+
+namespace cpclean {
+namespace {
+
+TEST(TruncatedPolyTest, MulTruncatesAtDegree) {
+  using S = Uint64Semiring;
+  const Poly<S> a = {1, 2};        // 1 + 2z
+  const Poly<S> b = {3, 4};        // 3 + 4z
+  const Poly<S> full = PolyMul<S>(a, b, 2);
+  ASSERT_EQ(full.size(), 3u);      // 3 + 10z + 8z^2
+  EXPECT_EQ(full[0], 3u);
+  EXPECT_EQ(full[1], 10u);
+  EXPECT_EQ(full[2], 8u);
+  const Poly<S> cut = PolyMul<S>(a, b, 1);
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_EQ(cut[1], 10u);
+}
+
+TEST(TruncatedPolyTest, IdentityAndCoeffOutOfRange) {
+  using S = Uint64Semiring;
+  const Poly<S> p = {5, 7};
+  const Poly<S> same = PolyMul<S>(p, PolyOne<S>(), 3);
+  EXPECT_EQ(PolyCoeff<S>(same, 0), 5u);
+  EXPECT_EQ(PolyCoeff<S>(same, 1), 7u);
+  EXPECT_EQ(PolyCoeff<S>(same, 2), 0u);
+  EXPECT_EQ(PolyCoeff<S>(same, -1), 0u);
+}
+
+TEST(TallyWeightTest, ExactAndNormalizedModes) {
+  using WExact = TallyWeight<Uint64Semiring, false>;
+  EXPECT_EQ(WExact::Below(2, 5), 2u);
+  EXPECT_EQ(WExact::Above(2, 5), 3u);
+  EXPECT_EQ(WExact::Free(5), 5u);
+  EXPECT_EQ(WExact::Pinned(5), 1u);
+  using WNorm = TallyWeight<DoubleSemiring, true>;
+  EXPECT_DOUBLE_EQ(WNorm::Below(2, 5), 0.4);
+  EXPECT_DOUBLE_EQ(WNorm::Above(2, 5), 0.6);
+  EXPECT_DOUBLE_EQ(WNorm::Free(5), 1.0);
+  EXPECT_DOUBLE_EQ(WNorm::Pinned(5), 0.2);
+}
+
+TEST(SupportTreeTest, RootIsProductOfLeaves) {
+  using S = Uint64Semiring;
+  SupportTree<S> tree(3, 2);
+  tree.SetLeaf(0, 1, 2);  // 1 + 2z
+  tree.SetLeaf(1, 3, 1);  // 3 + z
+  tree.SetLeaf(2, 2, 2);  // 2 + 2z
+  // (1+2z)(3+z)(2+2z) = (3 + 7z + 2z^2)(2+2z)
+  //                   = 6 + 20z + 18z^2 + 4z^3 -> truncated at z^2.
+  const Poly<S>& root = tree.Root();
+  EXPECT_EQ(PolyCoeff<S>(root, 0), 6u);
+  EXPECT_EQ(PolyCoeff<S>(root, 1), 20u);
+  EXPECT_EQ(PolyCoeff<S>(root, 2), 18u);
+}
+
+TEST(SupportTreeTest, ProductExceptExcludesOneLeaf) {
+  using S = Uint64Semiring;
+  SupportTree<S> tree(3, 2);
+  tree.SetLeaf(0, 1, 2);
+  tree.SetLeaf(1, 3, 1);
+  tree.SetLeaf(2, 2, 2);
+  // Except leaf 1: (1+2z)(2+2z) = 2 + 6z + 4z^2.
+  const Poly<S> except1 = tree.ProductExcept(1);
+  EXPECT_EQ(PolyCoeff<S>(except1, 0), 2u);
+  EXPECT_EQ(PolyCoeff<S>(except1, 1), 6u);
+  EXPECT_EQ(PolyCoeff<S>(except1, 2), 4u);
+}
+
+TEST(SupportTreeTest, UpdateRefreshesAncestors) {
+  using S = Uint64Semiring;
+  SupportTree<S> tree(4, 1);
+  for (int i = 0; i < 4; ++i) tree.SetLeaf(i, 1, 1);
+  EXPECT_EQ(PolyCoeff<S>(tree.Root(), 1), 4u);  // coefficient of z in (1+z)^4
+  tree.SetLeaf(2, 1, 0);                        // now (1+z)^3 * 1
+  EXPECT_EQ(PolyCoeff<S>(tree.Root(), 1), 3u);
+}
+
+TEST(SupportTreeTest, MatchesDirectProductOnRandomInstances) {
+  using S = DoubleSemiring;
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = rng.NextInt(1, 12);
+    const int k = rng.NextInt(1, 4);
+    SupportTree<S> tree(n, k);
+    std::vector<std::pair<double, double>> leaves;
+    for (int i = 0; i < n; ++i) {
+      const double below = rng.NextDouble();
+      const double above = rng.NextDouble();
+      leaves.push_back({below, above});
+      tree.SetLeaf(i, below, above);
+    }
+    // Direct truncated product.
+    Poly<S> direct = PolyOne<S>();
+    for (const auto& [below, above] : leaves) {
+      direct = PolyMul<S>(direct, {below, above}, k);
+    }
+    for (int c = 0; c <= k; ++c) {
+      EXPECT_NEAR(PolyCoeff<S>(tree.Root(), c), PolyCoeff<S>(direct, c),
+                  1e-12);
+    }
+    // ProductExcept for a random leaf.
+    const int skip = rng.NextInt(0, n - 1);
+    Poly<S> expect = PolyOne<S>();
+    for (int i = 0; i < n; ++i) {
+      if (i == skip) continue;
+      expect = PolyMul<S>(expect, {leaves[static_cast<size_t>(i)].first,
+                                   leaves[static_cast<size_t>(i)].second},
+                          k);
+    }
+    const Poly<S> got = tree.ProductExcept(skip);
+    for (int c = 0; c <= k; ++c) {
+      EXPECT_NEAR(PolyCoeff<S>(got, c), PolyCoeff<S>(expect, c), 1e-12);
+    }
+  }
+}
+
+TEST(ProductTreeTest, ProductAndProductExcept) {
+  ProductTree<Uint64Semiring> tree(4);
+  tree.SetLeaf(0, 2);
+  tree.SetLeaf(1, 3);
+  tree.SetLeaf(2, 5);
+  tree.SetLeaf(3, 7);
+  EXPECT_EQ(tree.Product(), 210u);
+  EXPECT_EQ(tree.ProductExcept(0), 105u);
+  EXPECT_EQ(tree.ProductExcept(2), 42u);
+  tree.SetLeaf(1, 0);
+  EXPECT_EQ(tree.Product(), 0u);
+  EXPECT_EQ(tree.ProductExcept(1), 70u);  // zero leaf excluded
+}
+
+TEST(ProductTreeTest, NonPowerOfTwoLeafCount) {
+  ProductTree<Uint64Semiring> tree(5);
+  for (int i = 0; i < 5; ++i) tree.SetLeaf(i, 2);
+  EXPECT_EQ(tree.Product(), 32u);  // padding leaves are the identity
+  EXPECT_EQ(tree.ProductExcept(4), 16u);
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,123 @@
+#include "data/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+
+namespace cpclean {
+namespace {
+
+Table MixedTable() {
+  return ReadCsvString(
+             "age,city,label\n"
+             "10,rome,0\n"
+             "20,paris,1\n"
+             "30,rome,1\n"
+             "40,berlin,0\n")
+      .value();
+}
+
+TEST(FeatureEncoderTest, ZScoresNumericColumns) {
+  const Table table = MixedTable();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(table, {2}).ok());
+  // age: mean 25, population stddev sqrt(125) = 11.18...
+  const auto x0 = encoder.EncodeRow(table.row(0)).value();
+  const auto x3 = encoder.EncodeRow(table.row(3)).value();
+  EXPECT_NEAR(x0[0], (10.0 - 25.0) / 11.180339887, 1e-6);
+  EXPECT_NEAR(x3[0], (40.0 - 25.0) / 11.180339887, 1e-6);
+}
+
+TEST(FeatureEncoderTest, OneHotEncodesCategoricals) {
+  const Table table = MixedTable();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(table, {2}).ok());
+  // dims: 1 (age) + 3 cities + 1 unseen slot = 5.
+  EXPECT_EQ(encoder.encoded_dim(), 5);
+  const auto rome = encoder.EncodeRow(table.row(0)).value();
+  const auto paris = encoder.EncodeRow(table.row(1)).value();
+  // Exactly one hot slot among the categorical block.
+  double rome_sum = 0, paris_sum = 0;
+  for (int i = 1; i < 5; ++i) {
+    rome_sum += rome[static_cast<size_t>(i)];
+    paris_sum += paris[static_cast<size_t>(i)];
+  }
+  EXPECT_DOUBLE_EQ(rome_sum, 1.0);
+  EXPECT_DOUBLE_EQ(paris_sum, 1.0);
+  EXPECT_NE(rome, paris);
+}
+
+TEST(FeatureEncoderTest, UnseenCategoryUsesSpareSlot) {
+  const Table table = MixedTable();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(table, {2}).ok());
+  std::vector<Value> row = {Value::Numeric(25), Value::Categorical("tokyo"),
+                            Value::Categorical("0")};
+  const auto x = encoder.EncodeRow(row).value();
+  // The last slot of the city block is the unseen bucket.
+  EXPECT_DOUBLE_EQ(x[4], 1.0);
+}
+
+TEST(FeatureEncoderTest, RejectsNullsAndWrongWidth) {
+  const Table table = MixedTable();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(table, {2}).ok());
+  std::vector<Value> with_null = {Value::Null(), Value::Categorical("rome"),
+                                  Value::Categorical("0")};
+  EXPECT_FALSE(encoder.EncodeRow(with_null).ok());
+  EXPECT_FALSE(encoder.EncodeRow({Value::Numeric(1)}).ok());
+  FeatureEncoder unfitted;
+  EXPECT_FALSE(unfitted.EncodeRow(with_null).ok());
+}
+
+TEST(FeatureEncoderTest, ConstantColumnDoesNotBlowUp) {
+  const auto table = ReadCsvString("x,label\n5,0\n5,1\n5,0\n").value();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(table, {1}).ok());
+  const auto x = encoder.EncodeRow(table.row(0)).value();
+  EXPECT_DOUBLE_EQ(x[0], 0.0);  // (5 - 5) / fallback stddev 1
+}
+
+TEST(FeatureEncoderTest, FitOnTableWithNullsUsesObservedOnly) {
+  const auto table =
+      ReadCsvString("x,label\n10,0\n,1\n30,0\n").value();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(table, {1}).ok());
+  // mean of {10, 30} = 20.
+  std::vector<Value> row = {Value::Numeric(20), Value::Categorical("0")};
+  EXPECT_NEAR(encoder.EncodeRow(row).value()[0], 0.0, 1e-12);
+}
+
+TEST(FeatureEncoderTest, EncodeTableMatchesRowByRow) {
+  const Table table = MixedTable();
+  FeatureEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(table, {2}).ok());
+  const auto all = encoder.EncodeTable(table).value();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[2], encoder.EncodeRow(table.row(2)).value());
+}
+
+TEST(LabelEncoderTest, DenseIdsInFirstSeenOrder) {
+  LabelEncoder labels;
+  ASSERT_TRUE(labels
+                  .Fit({Value::Categorical("no"), Value::Categorical("yes"),
+                        Value::Categorical("no")})
+                  .ok());
+  EXPECT_EQ(labels.num_labels(), 2);
+  EXPECT_EQ(labels.Encode(Value::Categorical("no")).value(), 0);
+  EXPECT_EQ(labels.Encode(Value::Categorical("yes")).value(), 1);
+  EXPECT_EQ(labels.Decode(1), Value::Categorical("yes"));
+  EXPECT_FALSE(labels.Encode(Value::Categorical("maybe")).ok());
+}
+
+TEST(LabelEncoderTest, NumericLabelsAndNullRejection) {
+  LabelEncoder labels;
+  ASSERT_TRUE(labels.Fit({Value::Numeric(5), Value::Numeric(7)}).ok());
+  EXPECT_EQ(labels.Encode(Value::Numeric(7)).value(), 1);
+  LabelEncoder bad;
+  EXPECT_FALSE(bad.Fit({Value::Numeric(1), Value::Null()}).ok());
+  EXPECT_FALSE(bad.Fit({}).ok());
+}
+
+}  // namespace
+}  // namespace cpclean

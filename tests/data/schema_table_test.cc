@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace cpclean {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"age", ColumnType::kNumeric},
+                 {"city", ColumnType::kCategorical},
+                 {"income", ColumnType::kNumeric}});
+}
+
+TEST(SchemaTest, FieldLookup) {
+  const Schema schema = MakeSchema();
+  EXPECT_EQ(schema.num_fields(), 3);
+  EXPECT_EQ(schema.FieldIndex("city").value(), 1);
+  EXPECT_FALSE(schema.FieldIndex("missing").ok());
+  EXPECT_TRUE(schema.HasField("age"));
+  EXPECT_FALSE(schema.HasField("Age"));
+  EXPECT_EQ(schema.field(2).name, "income");
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicates) {
+  Schema schema = MakeSchema();
+  EXPECT_TRUE(schema.AddField({"zip", ColumnType::kCategorical}).ok());
+  EXPECT_EQ(schema.AddField({"age", ColumnType::kNumeric}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.num_fields(), 4);
+}
+
+TEST(SchemaTest, RemoveField) {
+  const Schema reduced = MakeSchema().RemoveField(1);
+  EXPECT_EQ(reduced.num_fields(), 2);
+  EXPECT_FALSE(reduced.HasField("city"));
+  EXPECT_EQ(reduced.FieldIndex("income").value(), 1);
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table table(MakeSchema());
+  ASSERT_TRUE(table
+                  .AppendRow({Value::Numeric(30), Value::Categorical("rome"),
+                              Value::Numeric(50000)})
+                  .ok());
+  ASSERT_TRUE(table
+                  .AppendRow({Value::Null(), Value::Categorical("paris"),
+                              Value::Null()})
+                  .ok());
+  EXPECT_EQ(table.num_rows(), 2);
+  EXPECT_EQ(table.num_columns(), 3);
+  EXPECT_DOUBLE_EQ(table.at(0, 0).numeric(), 30.0);
+  EXPECT_TRUE(table.at(1, 0).is_null());
+}
+
+TEST(TableTest, AppendRejectsBadRows) {
+  Table table(MakeSchema());
+  // Wrong width.
+  EXPECT_FALSE(table.AppendRow({Value::Numeric(1)}).ok());
+  // Kind mismatch: categorical into numeric column.
+  EXPECT_FALSE(table
+                   .AppendRow({Value::Categorical("x"),
+                               Value::Categorical("rome"),
+                               Value::Numeric(1)})
+                   .ok());
+  EXPECT_EQ(table.num_rows(), 0);
+}
+
+TEST(TableTest, MissingAccounting) {
+  Table table(MakeSchema());
+  ASSERT_TRUE(table
+                  .AppendRow({Value::Numeric(1), Value::Null(),
+                              Value::Numeric(2)})
+                  .ok());
+  ASSERT_TRUE(table
+                  .AppendRow({Value::Numeric(3), Value::Categorical("a"),
+                              Value::Numeric(4)})
+                  .ok());
+  ASSERT_TRUE(table
+                  .AppendRow({Value::Null(), Value::Null(), Value::Numeric(5)})
+                  .ok());
+  EXPECT_EQ(table.CountMissing(), 3);
+  EXPECT_EQ(table.CountMissingInColumn(1), 2);
+  EXPECT_EQ(table.CountMissingInRow(2), 2);
+  EXPECT_DOUBLE_EQ(table.MissingRate(), 3.0 / 9.0);
+  EXPECT_EQ(table.RowsWithMissing(), (std::vector<int>{0, 2}));
+}
+
+TEST(TableTest, ColumnsFilterNulls) {
+  Table table(MakeSchema());
+  ASSERT_TRUE(table
+                  .AppendRow({Value::Numeric(1), Value::Null(),
+                              Value::Numeric(2)})
+                  .ok());
+  ASSERT_TRUE(table
+                  .AppendRow({Value::Null(), Value::Categorical("a"),
+                              Value::Numeric(4)})
+                  .ok());
+  EXPECT_EQ(table.NumericColumn(0), (std::vector<double>{1.0}));
+  EXPECT_EQ(table.CategoricalColumn(1), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(table.Column(0).size(), 2u);
+}
+
+TEST(TableTest, SelectRowsAndDropColumn) {
+  Table table(MakeSchema());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(table
+                    .AppendRow({Value::Numeric(i), Value::Categorical("c"),
+                                Value::Numeric(10 * i)})
+                    .ok());
+  }
+  const Table selected = table.SelectRows({4, 0, 2});
+  EXPECT_EQ(selected.num_rows(), 3);
+  EXPECT_DOUBLE_EQ(selected.at(0, 0).numeric(), 4.0);
+  EXPECT_DOUBLE_EQ(selected.at(1, 0).numeric(), 0.0);
+
+  const Table dropped = table.DropColumn(1);
+  EXPECT_EQ(dropped.num_columns(), 2);
+  EXPECT_EQ(dropped.schema().FieldIndex("income").value(), 1);
+  EXPECT_DOUBLE_EQ(dropped.at(3, 1).numeric(), 30.0);
+}
+
+TEST(TableTest, SetOverwritesCell) {
+  Table table(MakeSchema());
+  ASSERT_TRUE(table
+                  .AppendRow({Value::Numeric(1), Value::Categorical("a"),
+                              Value::Numeric(2)})
+                  .ok());
+  table.Set(0, 0, Value::Null());
+  EXPECT_TRUE(table.at(0, 0).is_null());
+  table.Set(0, 0, Value::Numeric(9));
+  EXPECT_DOUBLE_EQ(table.at(0, 0).numeric(), 9.0);
+}
+
+}  // namespace
+}  // namespace cpclean

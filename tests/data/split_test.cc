@@ -1,0 +1,71 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/csv.h"
+
+namespace cpclean {
+namespace {
+
+Table MakeTable(int rows) {
+  Table table(Schema({{"id", ColumnType::kNumeric}}));
+  for (int i = 0; i < rows; ++i) {
+    CP_CHECK(table.AppendRow({Value::Numeric(i)}).ok());
+  }
+  return table;
+}
+
+TEST(SplitTest, SizesAndDisjointness) {
+  const Table table = MakeTable(100);
+  Rng rng(3);
+  const DataSplit split = TrainValTestSplit(table, 20, 30, &rng).value();
+  EXPECT_EQ(split.val.num_rows(), 20);
+  EXPECT_EQ(split.test.num_rows(), 30);
+  EXPECT_EQ(split.train.num_rows(), 50);
+
+  std::multiset<double> ids;
+  for (const Table* part : {&split.train, &split.val, &split.test}) {
+    for (int r = 0; r < part->num_rows(); ++r) {
+      ids.insert(part->at(r, 0).numeric());
+    }
+  }
+  EXPECT_EQ(ids.size(), 100u);
+  // Every original row appears exactly once across the three parts.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ids.count(i), 1u);
+}
+
+TEST(SplitTest, DeterministicPerSeed) {
+  const Table table = MakeTable(30);
+  Rng rng1(5), rng2(5);
+  const DataSplit a = TrainValTestSplit(table, 5, 5, &rng1).value();
+  const DataSplit b = TrainValTestSplit(table, 5, 5, &rng2).value();
+  for (int r = 0; r < a.train.num_rows(); ++r) {
+    EXPECT_EQ(a.train.at(r, 0), b.train.at(r, 0));
+  }
+}
+
+TEST(SplitTest, RejectsOversizedSplits) {
+  const Table table = MakeTable(10);
+  Rng rng(1);
+  EXPECT_FALSE(TrainValTestSplit(table, 6, 6, &rng).ok());
+  EXPECT_FALSE(TrainValTestSplit(table, -1, 2, &rng).ok());
+  EXPECT_TRUE(TrainValTestSplit(table, 5, 5, &rng).ok());  // empty train OK
+}
+
+TEST(KFoldTest, PartitionsAllIndices) {
+  Rng rng(7);
+  const auto folds = KFoldIndices(23, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<int> seen;
+  for (const auto& fold : folds) {
+    EXPECT_GE(fold.size(), 4u);
+    EXPECT_LE(fold.size(), 5u);
+    seen.insert(fold.begin(), fold.end());
+  }
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,42 @@
+#include "data/value.h"
+
+#include <gtest/gtest.h>
+
+namespace cpclean {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_numeric());
+  EXPECT_FALSE(v.is_categorical());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, NumericRoundTrip) {
+  const Value v = Value::Numeric(3.25);
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_DOUBLE_EQ(v.numeric(), 3.25);
+  EXPECT_EQ(v.ToString(), "3.25");
+}
+
+TEST(ValueTest, CategoricalRoundTrip) {
+  const Value v = Value::Categorical("rome");
+  EXPECT_TRUE(v.is_categorical());
+  EXPECT_EQ(v.categorical(), "rome");
+  EXPECT_EQ(v.ToString(), "rome");
+}
+
+TEST(ValueTest, EqualityWithinAndAcrossKinds) {
+  EXPECT_EQ(Value::Numeric(1.0), Value::Numeric(1.0));
+  EXPECT_NE(Value::Numeric(1.0), Value::Numeric(2.0));
+  EXPECT_EQ(Value::Categorical("a"), Value::Categorical("a"));
+  EXPECT_NE(Value::Categorical("a"), Value::Categorical("b"));
+  EXPECT_NE(Value::Numeric(0.0), Value::Null());
+  EXPECT_NE(Value::Numeric(0.0), Value::Categorical("0"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+}  // namespace
+}  // namespace cpclean

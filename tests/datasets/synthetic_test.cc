@@ -1,0 +1,149 @@
+#include "datasets/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "datasets/paper_datasets.h"
+#include "datasets/toy.h"
+#include "knn/kernel.h"
+#include "knn/knn_classifier.h"
+
+namespace cpclean {
+namespace {
+
+TEST(SyntheticTest, ShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.num_rows = 50;
+  spec.num_numeric = 3;
+  spec.num_categorical = 2;
+  spec.num_categories = 4;
+  spec.seed = 1;
+  const Table table = GenerateSynthetic(spec).value();
+  EXPECT_EQ(table.num_rows(), 50);
+  EXPECT_EQ(table.num_columns(), 6);  // 3 + 2 + label
+  EXPECT_EQ(table.schema().field(0).type, ColumnType::kNumeric);
+  EXPECT_EQ(table.schema().field(3).type, ColumnType::kCategorical);
+  EXPECT_TRUE(table.schema().HasField("label"));
+  EXPECT_EQ(table.CountMissing(), 0);
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  SyntheticSpec spec;
+  spec.num_rows = 20;
+  spec.seed = 77;
+  const Table a = GenerateSynthetic(spec).value();
+  const Table b = GenerateSynthetic(spec).value();
+  for (int r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.at(r, c), b.at(r, c));
+    }
+  }
+  spec.seed = 78;
+  const Table c = GenerateSynthetic(spec).value();
+  bool differs = false;
+  for (int r = 0; r < a.num_rows() && !differs; ++r) {
+    if (!(a.at(r, 0) == c.at(r, 0))) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticTest, BothLabelsPresentAndRoughlyBalanced) {
+  SyntheticSpec spec;
+  spec.num_rows = 500;
+  spec.seed = 3;
+  const Table table = GenerateSynthetic(spec).value();
+  const int label_col = table.schema().FieldIndex("label").value();
+  int ones = 0;
+  for (int r = 0; r < table.num_rows(); ++r) {
+    ones += table.at(r, label_col).categorical() == "1" ? 1 : 0;
+  }
+  EXPECT_GT(ones, 150);
+  EXPECT_LT(ones, 350);
+}
+
+TEST(SyntheticTest, NoiseControlsSeparability) {
+  // Low-noise tasks should be much easier for KNN than high-noise ones.
+  auto accuracy_for = [](double noise) {
+    SyntheticSpec spec;
+    spec.num_rows = 400;
+    spec.num_numeric = 5;
+    spec.num_categorical = 0;
+    spec.noise_sigma = noise;
+    spec.seed = 9;
+    const Table table = GenerateSynthetic(spec).value();
+    Rng rng(1);
+    const DataSplit split = TrainValTestSplit(table, 100, 0, &rng).value();
+    const int label_col = table.schema().FieldIndex("label").value();
+    std::vector<std::vector<double>> train_x, val_x;
+    std::vector<int> train_y, val_y;
+    for (int r = 0; r < split.train.num_rows(); ++r) {
+      std::vector<double> x;
+      for (int c = 0; c < label_col; ++c) {
+        x.push_back(split.train.at(r, c).numeric());
+      }
+      train_x.push_back(x);
+      train_y.push_back(
+          split.train.at(r, label_col).categorical() == "1" ? 1 : 0);
+    }
+    for (int r = 0; r < split.val.num_rows(); ++r) {
+      std::vector<double> x;
+      for (int c = 0; c < label_col; ++c) {
+        x.push_back(split.val.at(r, c).numeric());
+      }
+      val_x.push_back(x);
+      val_y.push_back(split.val.at(r, label_col).categorical() == "1" ? 1 : 0);
+    }
+    static NegativeEuclideanKernel kernel;
+    const KnnClassifier knn(train_x, train_y, 2, 3, &kernel);
+    return knn.Accuracy(val_x, val_y);
+  };
+  const double easy = accuracy_for(0.1);
+  const double hard = accuracy_for(2.5);
+  EXPECT_GT(easy, 0.85);
+  EXPECT_LT(hard, easy - 0.1);
+}
+
+TEST(SyntheticTest, RejectsInvalidSpecs) {
+  SyntheticSpec spec;
+  spec.num_rows = 0;
+  EXPECT_FALSE(GenerateSynthetic(spec).ok());
+  spec.num_rows = 10;
+  spec.num_numeric = 0;
+  EXPECT_FALSE(GenerateSynthetic(spec).ok());
+}
+
+TEST(PaperDatasetsTest, SuiteHasFourShapedDatasets) {
+  const auto suite = PaperDatasetSuite(200, 50, 100);
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0].name, "BabyProduct");
+  EXPECT_EQ(suite[1].name, "Supreme");
+  EXPECT_EQ(suite[2].name, "Bank");
+  EXPECT_EQ(suite[3].name, "Puma");
+  // BabyProduct mirrors the real-error dataset: mixed types, 11.8% rate.
+  EXPECT_GT(suite[0].synthetic.num_categorical, 0);
+  EXPECT_NEAR(suite[0].missing_rate, 0.118, 1e-9);
+  // The others use the paper's 20% synthetic MNAR rate.
+  for (size_t i = 1; i < suite.size(); ++i) {
+    EXPECT_NEAR(suite[i].missing_rate, 0.2, 1e-9);
+  }
+  // Puma is the nonlinear one.
+  EXPECT_TRUE(suite[3].synthetic.nonlinear);
+  // Sizes: train + val + test.
+  EXPECT_EQ(suite[1].synthetic.num_rows, 350);
+}
+
+TEST(PaperDatasetsTest, LookupByName) {
+  EXPECT_EQ(PaperDatasetByName("Bank").name, "Bank");
+  EXPECT_EQ(PaperDatasetByName("Puma").synthetic.nonlinear, true);
+}
+
+TEST(ToyDatasetsTest, MatchPaperFixtures) {
+  const IncompleteDataset fig6 = Figure6Dataset();
+  EXPECT_EQ(fig6.num_examples(), 3);
+  EXPECT_EQ(fig6.NumPossibleWorlds(), BigUint(8));
+  const IncompleteDataset fig1 = Figure1Dataset();
+  EXPECT_EQ(fig1.NumPossibleWorlds(), BigUint(3));
+}
+
+}  // namespace
+}  // namespace cpclean

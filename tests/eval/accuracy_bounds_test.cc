@@ -1,0 +1,108 @@
+#include "eval/accuracy_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/similarity.h"
+#include "knn/kernel.h"
+#include "tests/test_util.h"
+
+namespace cpclean {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::MakeRandomTestPoint;
+using testing_util::RandomDatasetSpec;
+
+TEST(AccuracyBoundsTest, CompleteDatasetIsTight) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 12;
+  spec.max_candidates = 1;
+  spec.seed = 3;
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  NegativeEuclideanKernel kernel;
+  std::vector<std::vector<double>> eval_x;
+  std::vector<int> eval_y;
+  for (int i = 0; i < 10; ++i) {
+    eval_x.push_back(MakeRandomTestPoint(spec.dim, static_cast<uint64_t>(i)));
+    eval_y.push_back(i % 2);
+  }
+  const AccuracyBounds bounds =
+      ComputeAccuracyBounds(dataset, eval_x, eval_y, kernel, 3);
+  EXPECT_TRUE(bounds.IsTight());
+  EXPECT_DOUBLE_EQ(bounds.lower, bounds.upper);
+  EXPECT_EQ(bounds.uncertain, 0);
+}
+
+TEST(AccuracyBoundsTest, BoundsContainEveryWorldAccuracy) {
+  // Enumerate all worlds of a small incomplete dataset: each world's exact
+  // accuracy must land inside the reported interval.
+  RandomDatasetSpec spec;
+  spec.num_examples = 6;
+  spec.max_candidates = 3;
+  spec.seed = 11;
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  NegativeEuclideanKernel kernel;
+  std::vector<std::vector<double>> eval_x;
+  std::vector<int> eval_y;
+  for (int i = 0; i < 12; ++i) {
+    eval_x.push_back(
+        MakeRandomTestPoint(spec.dim, 100 + static_cast<uint64_t>(i)));
+    eval_y.push_back(i % 2);
+  }
+  const AccuracyBounds bounds =
+      ComputeAccuracyBounds(dataset, eval_x, eval_y, kernel, 3);
+
+  for (PossibleWorldIterator it(&dataset); it.Valid(); it.Next()) {
+    int correct = 0;
+    for (size_t i = 0; i < eval_x.size(); ++i) {
+      const auto sims = SimilarityMatrix(dataset, eval_x[i], kernel);
+      if (PredictWorld(dataset, sims, it.choice(), 3) == eval_y[i]) {
+        ++correct;
+      }
+    }
+    const double acc = static_cast<double>(correct) / eval_x.size();
+    EXPECT_GE(acc, bounds.lower - 1e-12);
+    EXPECT_LE(acc, bounds.upper + 1e-12);
+  }
+}
+
+TEST(AccuracyBoundsTest, CountsPartitionTheEvalSet) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 10;
+  spec.max_candidates = 3;
+  spec.seed = 17;
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  NegativeEuclideanKernel kernel;
+  std::vector<std::vector<double>> eval_x;
+  std::vector<int> eval_y;
+  for (int i = 0; i < 20; ++i) {
+    eval_x.push_back(
+        MakeRandomTestPoint(spec.dim, 200 + static_cast<uint64_t>(i)));
+    eval_y.push_back(i % 2);
+  }
+  const AccuracyBounds bounds =
+      ComputeAccuracyBounds(dataset, eval_x, eval_y, kernel, 3);
+  EXPECT_EQ(bounds.certain_correct + bounds.certain_incorrect +
+                bounds.uncertain,
+            20);
+  EXPECT_LE(bounds.lower, bounds.upper);
+  EXPECT_GE(bounds.lower, 0.0);
+  EXPECT_LE(bounds.upper, 1.0);
+}
+
+TEST(AccuracyBoundsTest, EmptyEvalSet) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 5;
+  spec.seed = 23;
+  const IncompleteDataset dataset = MakeRandomDataset(spec);
+  NegativeEuclideanKernel kernel;
+  const AccuracyBounds bounds =
+      ComputeAccuracyBounds(dataset, {}, {}, kernel, 3);
+  EXPECT_DOUBLE_EQ(bounds.lower, 0.0);
+  EXPECT_DOUBLE_EQ(bounds.upper, 0.0);
+  EXPECT_TRUE(bounds.IsTight());
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,40 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cpclean {
+namespace {
+
+TEST(AccuracyScoreTest, CountsMatches) {
+  EXPECT_DOUBLE_EQ(AccuracyScore({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(AccuracyScore({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(AccuracyScore({2, 2}, {2, 2}), 1.0);
+}
+
+TEST(GapClosedTest, MatchesPaperDefinition) {
+  // Supreme row of Table 2: GT .968, Default .877.
+  EXPECT_NEAR(GapClosed(0.968, 0.877, 0.968), 1.0, 1e-12);   // CPClean
+  EXPECT_NEAR(GapClosed(0.877, 0.877, 0.968), 0.0, 1e-12);   // Default
+  EXPECT_NEAR(GapClosed(0.888, 0.877, 0.968), 0.12, 0.01);   // BoostClean
+  // HoloClean on Supreme closes -4%: worse than default cleaning.
+  EXPECT_LT(GapClosed(0.873, 0.877, 0.968), 0.0);
+}
+
+TEST(GapClosedTest, DegenerateGapReturnsZero) {
+  EXPECT_DOUBLE_EQ(GapClosed(0.9, 0.8, 0.8), 0.0);
+}
+
+TEST(GapClosedTest, CanExceedOne) {
+  EXPECT_GT(GapClosed(0.95, 0.8, 0.9), 1.0);  // Bank/Puma show 102%
+}
+
+TEST(ConfusionMatrixTest, CountsByExpectedRow) {
+  const auto m = ConfusionMatrix({0, 1, 1, 0}, {0, 1, 0, 0}, 2);
+  EXPECT_EQ(m[0][0], 2);
+  EXPECT_EQ(m[0][1], 1);
+  EXPECT_EQ(m[1][0], 0);
+  EXPECT_EQ(m[1][1], 1);
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,28 @@
+#include "eval/reporting.h"
+
+#include <gtest/gtest.h>
+
+namespace cpclean {
+namespace {
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable table({"Dataset", "Acc"});
+  table.AddRow({"Supreme", "0.968"});
+  table.AddRow({"B", "1"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| Dataset | Acc   |"), std::string::npos);
+  EXPECT_NE(out.find("| Supreme | 0.968 |"), std::string::npos);
+  EXPECT_NE(out.find("| B       | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("|---------|-------|"), std::string::npos);
+}
+
+TEST(FormattingTest, Doubles) {
+  EXPECT_EQ(FormatDouble(0.96825, 3), "0.968");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+  EXPECT_EQ(FormatPercent(0.64), "64%");
+  EXPECT_EQ(FormatPercent(0.1234, 1), "12.3%");
+  EXPECT_EQ(FormatPercent(-0.04), "-4%");
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,76 @@
+#include "incomplete/incomplete_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpclean {
+namespace {
+
+IncompleteDataset MakeDataset() {
+  IncompleteDataset dataset(2);
+  CP_CHECK(dataset.AddCleanExample({1.0, 2.0}, 0).ok());
+  CP_CHECK(dataset.AddExample({{{3.0, 4.0}, {5.0, 6.0}}, 1}).ok());
+  CP_CHECK(dataset.AddExample({{{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}}, 0}).ok());
+  return dataset;
+}
+
+TEST(IncompleteDatasetTest, BasicAccessors) {
+  const IncompleteDataset dataset = MakeDataset();
+  EXPECT_EQ(dataset.num_examples(), 3);
+  EXPECT_EQ(dataset.num_labels(), 2);
+  EXPECT_EQ(dataset.dim(), 2);
+  EXPECT_EQ(dataset.num_candidates(0), 1);
+  EXPECT_EQ(dataset.num_candidates(2), 3);
+  EXPECT_EQ(dataset.max_candidates(), 3);
+  EXPECT_EQ(dataset.label(1), 1);
+  EXPECT_EQ(dataset.candidate(1, 1), (std::vector<double>{5.0, 6.0}));
+}
+
+TEST(IncompleteDatasetTest, ValidationRejectsBadExamples) {
+  IncompleteDataset dataset(2);
+  // Empty candidate set.
+  EXPECT_FALSE(dataset.AddExample({{}, 0}).ok());
+  // Label out of range.
+  EXPECT_FALSE(dataset.AddExample({{{1.0}}, 2}).ok());
+  EXPECT_FALSE(dataset.AddExample({{{1.0}}, -1}).ok());
+  // Inconsistent dims within a candidate set.
+  EXPECT_FALSE(dataset.AddExample({{{1.0}, {1.0, 2.0}}, 0}).ok());
+  // Dim mismatch across examples.
+  ASSERT_TRUE(dataset.AddCleanExample({1.0, 2.0}, 0).ok());
+  EXPECT_FALSE(dataset.AddCleanExample({1.0}, 0).ok());
+}
+
+TEST(IncompleteDatasetTest, CompletenessAndDirtyList) {
+  IncompleteDataset dataset = MakeDataset();
+  EXPECT_FALSE(dataset.IsComplete());
+  EXPECT_EQ(dataset.DirtyExamples(), (std::vector<int>{1, 2}));
+  dataset.FixExample(1, 0);
+  dataset.FixExample(2, 2);
+  EXPECT_TRUE(dataset.IsComplete());
+  EXPECT_TRUE(dataset.DirtyExamples().empty());
+}
+
+TEST(IncompleteDatasetTest, WorldCounting) {
+  const IncompleteDataset dataset = MakeDataset();
+  EXPECT_EQ(dataset.NumPossibleWorlds(), BigUint(6));  // 1 * 2 * 3
+  EXPECT_NEAR(dataset.Log2NumPossibleWorlds(), std::log2(6.0), 1e-12);
+}
+
+TEST(IncompleteDatasetTest, FixExampleKeepsChosenValue) {
+  IncompleteDataset dataset = MakeDataset();
+  dataset.FixExample(2, 1);
+  EXPECT_EQ(dataset.num_candidates(2), 1);
+  EXPECT_EQ(dataset.candidate(2, 0), (std::vector<double>{1.0, 1.0}));
+  EXPECT_EQ(dataset.NumPossibleWorlds(), BigUint(2));
+}
+
+TEST(IncompleteDatasetTest, ReplaceCandidates) {
+  IncompleteDataset dataset = MakeDataset();
+  dataset.ReplaceCandidates(0, {{9.0, 9.0}, {8.0, 8.0}});
+  EXPECT_EQ(dataset.num_candidates(0), 2);
+  EXPECT_EQ(dataset.NumPossibleWorlds(), BigUint(12));
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,71 @@
+#include "incomplete/possible_worlds.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cpclean {
+namespace {
+
+IncompleteDataset MakeDataset() {
+  IncompleteDataset dataset(2);
+  CP_CHECK(dataset.AddCleanExample({1.0}, 0).ok());
+  CP_CHECK(dataset.AddExample({{{2.0}, {3.0}}, 1}).ok());
+  CP_CHECK(dataset.AddExample({{{4.0}, {5.0}, {6.0}}, 0}).ok());
+  return dataset;
+}
+
+TEST(PossibleWorldIteratorTest, EnumeratesAllDistinctWorlds) {
+  const IncompleteDataset dataset = MakeDataset();
+  std::set<WorldChoice> seen;
+  int count = 0;
+  for (PossibleWorldIterator it(&dataset); it.Valid(); it.Next()) {
+    seen.insert(it.choice());
+    ++count;
+  }
+  EXPECT_EQ(count, 6);
+  EXPECT_EQ(seen.size(), 6u);
+  // Choices stay within candidate bounds.
+  for (const WorldChoice& choice : seen) {
+    EXPECT_EQ(choice.size(), 3u);
+    EXPECT_EQ(choice[0], 0);
+    EXPECT_LT(choice[1], 2);
+    EXPECT_LT(choice[2], 3);
+  }
+}
+
+TEST(PossibleWorldIteratorTest, ResetRestartsEnumeration) {
+  const IncompleteDataset dataset = MakeDataset();
+  PossibleWorldIterator it(&dataset);
+  it.Next();
+  it.Next();
+  it.Reset();
+  EXPECT_TRUE(it.Valid());
+  EXPECT_EQ(it.choice(), (WorldChoice{0, 0, 0}));
+}
+
+TEST(MaterializeWorldTest, PicksChosenCandidates) {
+  const IncompleteDataset dataset = MakeDataset();
+  const auto features = MaterializeWorld(dataset, {0, 1, 2});
+  ASSERT_EQ(features.size(), 3u);
+  EXPECT_EQ(features[0], (std::vector<double>{1.0}));
+  EXPECT_EQ(features[1], (std::vector<double>{3.0}));
+  EXPECT_EQ(features[2], (std::vector<double>{6.0}));
+}
+
+TEST(MaterializeWorldTest, LabelsAreWorldIndependent) {
+  const IncompleteDataset dataset = MakeDataset();
+  EXPECT_EQ(WorldLabels(dataset), (std::vector<int>{0, 1, 0}));
+}
+
+TEST(PossibleWorldIteratorTest, CompleteDatasetHasOneWorld) {
+  IncompleteDataset dataset(2);
+  CP_CHECK(dataset.AddCleanExample({1.0}, 0).ok());
+  CP_CHECK(dataset.AddCleanExample({2.0}, 1).ok());
+  int count = 0;
+  for (PossibleWorldIterator it(&dataset); it.Valid(); it.Next()) ++count;
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace cpclean

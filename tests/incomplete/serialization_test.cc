@@ -1,0 +1,96 @@
+#include "incomplete/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cpclean {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::RandomDatasetSpec;
+
+bool DatasetsEqual(const IncompleteDataset& a, const IncompleteDataset& b) {
+  if (a.num_examples() != b.num_examples() || a.num_labels() != b.num_labels() ||
+      a.dim() != b.dim()) {
+    return false;
+  }
+  for (int i = 0; i < a.num_examples(); ++i) {
+    if (a.label(i) != b.label(i)) return false;
+    if (a.num_candidates(i) != b.num_candidates(i)) return false;
+    for (int j = 0; j < a.num_candidates(i); ++j) {
+      if (a.candidate(i, j) != b.candidate(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(SerializationTest, ExactRoundTrip) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 14;
+  spec.max_candidates = 4;
+  spec.num_labels = 3;
+  spec.dim = 5;
+  spec.seed = 77;
+  const IncompleteDataset original = MakeRandomDataset(spec);
+  const std::string text = SerializeIncompleteDataset(original);
+  const IncompleteDataset reloaded =
+      DeserializeIncompleteDataset(text).value();
+  EXPECT_TRUE(DatasetsEqual(original, reloaded));
+}
+
+TEST(SerializationTest, HexFloatsRoundTripBitExactly) {
+  IncompleteDataset dataset(2);
+  // Values chosen to be unrepresentable in short decimal.
+  CP_CHECK(dataset.AddCleanExample({1.0 / 3.0, -2.0e-17}, 0).ok());
+  CP_CHECK(dataset
+               .AddExample({{{0.1, 0.2}, {3.3333333333333331, 1e300}}, 1})
+               .ok());
+  const IncompleteDataset reloaded =
+      DeserializeIncompleteDataset(SerializeIncompleteDataset(dataset))
+          .value();
+  EXPECT_TRUE(DatasetsEqual(dataset, reloaded));
+}
+
+TEST(SerializationTest, CommentsAndBlankLinesIgnored) {
+  IncompleteDataset dataset(2);
+  CP_CHECK(dataset.AddCleanExample({1.5}, 1).ok());
+  std::string text = SerializeIncompleteDataset(dataset);
+  text = "# a comment\n\n" + text + "\n# trailing\n";
+  EXPECT_TRUE(DeserializeIncompleteDataset(text).ok());
+}
+
+TEST(SerializationTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DeserializeIncompleteDataset("").ok());
+  EXPECT_FALSE(DeserializeIncompleteDataset("wrong-magic 2 1\n").ok());
+  EXPECT_FALSE(
+      DeserializeIncompleteDataset("cpclean-incomplete-v1 2\n").ok());
+  // Truncated candidate block.
+  EXPECT_FALSE(DeserializeIncompleteDataset(
+                   "cpclean-incomplete-v1 2 1\nexample 0 2\n0x1p+0\n")
+                   .ok());
+  // Wrong dimensionality.
+  EXPECT_FALSE(DeserializeIncompleteDataset(
+                   "cpclean-incomplete-v1 2 2\nexample 0 1\n0x1p+0\n")
+                   .ok());
+  // Label out of range is caught by AddExample.
+  EXPECT_FALSE(DeserializeIncompleteDataset(
+                   "cpclean-incomplete-v1 2 1\nexample 5 1\n0x1p+0\n")
+                   .ok());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 6;
+  spec.seed = 99;
+  const IncompleteDataset original = MakeRandomDataset(spec);
+  const std::string path =
+      ::testing::TempDir() + "/cpclean_serialization_test.txt";
+  ASSERT_TRUE(SaveIncompleteDataset(original, path).ok());
+  const IncompleteDataset reloaded = LoadIncompleteDataset(path).value();
+  EXPECT_TRUE(DatasetsEqual(original, reloaded));
+  EXPECT_FALSE(LoadIncompleteDataset("/nonexistent/x.txt").ok());
+}
+
+}  // namespace
+}  // namespace cpclean

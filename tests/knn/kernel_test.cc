@@ -1,0 +1,73 @@
+#include "knn/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpclean {
+namespace {
+
+TEST(NegativeEuclideanTest, ZeroAtIdentityAndSymmetric) {
+  NegativeEuclideanKernel kernel;
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {4.0, 6.0};
+  EXPECT_DOUBLE_EQ(kernel.Similarity(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(kernel.Similarity(a, b), -25.0);  // 3^2 + 4^2
+  EXPECT_DOUBLE_EQ(kernel.Similarity(a, b), kernel.Similarity(b, a));
+}
+
+TEST(NegativeEuclideanTest, CloserIsMoreSimilar) {
+  NegativeEuclideanKernel kernel;
+  const std::vector<double> t = {0.0};
+  EXPECT_GT(kernel.Similarity({1.0}, t), kernel.Similarity({2.0}, t));
+}
+
+TEST(RbfTest, RangeAndMonotonicity) {
+  RbfKernel kernel(0.5);
+  const std::vector<double> t = {0.0};
+  EXPECT_DOUBLE_EQ(kernel.Similarity(t, t), 1.0);
+  const double near = kernel.Similarity({1.0}, t);
+  const double far = kernel.Similarity({3.0}, t);
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);
+  EXPECT_NEAR(near, std::exp(-0.5), 1e-12);
+}
+
+TEST(RbfTest, RankEquivalentToNegativeEuclidean) {
+  RbfKernel rbf(1.3);
+  NegativeEuclideanKernel neg;
+  const std::vector<double> t = {0.2, -0.1};
+  const std::vector<std::vector<double>> points = {
+      {0.0, 0.0}, {1.0, 1.0}, {-0.5, 0.3}, {2.0, -2.0}};
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = 0; j < points.size(); ++j) {
+      EXPECT_EQ(rbf.Similarity(points[i], t) > rbf.Similarity(points[j], t),
+                neg.Similarity(points[i], t) > neg.Similarity(points[j], t));
+    }
+  }
+}
+
+TEST(LinearTest, DotProduct) {
+  LinearKernel kernel;
+  EXPECT_DOUBLE_EQ(kernel.Similarity({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(kernel.Similarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(CosineTest, NormalizedAndZeroSafe) {
+  CosineKernel kernel;
+  EXPECT_NEAR(kernel.Similarity({1, 0}, {2, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(kernel.Similarity({1, 0}, {0, 3}), 0.0, 1e-12);
+  EXPECT_NEAR(kernel.Similarity({1, 1}, {-1, -1}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(kernel.Similarity({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(KernelFactoryTest, MakesEveryKind) {
+  EXPECT_EQ(MakeKernel(KernelKind::kNegativeEuclidean)->name(),
+            "neg_euclidean");
+  EXPECT_EQ(MakeKernel(KernelKind::kRbf, 2.0)->name(), "rbf");
+  EXPECT_EQ(MakeKernel(KernelKind::kLinear)->name(), "linear");
+  EXPECT_EQ(MakeKernel(KernelKind::kCosine)->name(), "cosine");
+}
+
+}  // namespace
+}  // namespace cpclean

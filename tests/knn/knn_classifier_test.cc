@@ -1,0 +1,84 @@
+#include "knn/knn_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+namespace {
+
+class KnnClassifierTest : public ::testing::Test {
+ protected:
+  NegativeEuclideanKernel kernel_;
+};
+
+TEST_F(KnnClassifierTest, OneNearestNeighbor) {
+  const KnnClassifier knn({{0.0}, {10.0}}, {0, 1}, 2, 1, &kernel_);
+  EXPECT_EQ(knn.Predict({1.0}), 0);
+  EXPECT_EQ(knn.Predict({9.0}), 1);
+}
+
+TEST_F(KnnClassifierTest, MajorityAmongThree) {
+  // Two label-1 points near the query beat one label-0 point on top.
+  const KnnClassifier knn({{0.0}, {1.0}, {2.0}, {50.0}}, {1, 0, 1, 0}, 2, 3,
+                          &kernel_);
+  EXPECT_EQ(knn.Predict({1.0}), 1);
+}
+
+TEST_F(KnnClassifierTest, NeighborsSortedMostSimilarFirst) {
+  const KnnClassifier knn({{0.0}, {1.0}, {2.0}, {3.0}}, {0, 0, 1, 1}, 2, 3,
+                          &kernel_);
+  EXPECT_EQ(knn.Neighbors({2.1}), (std::vector<int>{2, 3, 1}));
+  EXPECT_EQ(knn.NeighborTally({2.1}), (std::vector<int>{1, 2}));
+}
+
+TEST_F(KnnClassifierTest, VoteTieGoesToSmallerLabel) {
+  const KnnClassifier knn({{0.0}, {2.0}}, {1, 0}, 2, 2, &kernel_);
+  // Both neighbors always selected: tally {1,1} -> label 0.
+  EXPECT_EQ(knn.Predict({1.0}), 0);
+}
+
+TEST_F(KnnClassifierTest, KEqualsNUsesEveryone) {
+  const KnnClassifier knn({{0.0}, {1.0}, {2.0}}, {1, 1, 0}, 2, 3, &kernel_);
+  EXPECT_EQ(knn.Predict({100.0}), 1);  // majority label regardless of query
+}
+
+TEST_F(KnnClassifierTest, AccuracyOnSeparableClusters) {
+  Rng rng(17);
+  std::vector<std::vector<double>> train;
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) {
+    const int y = i % 2;
+    train.push_back({rng.NextGaussian(y == 0 ? -3.0 : 3.0, 0.5),
+                     rng.NextGaussian(0.0, 0.5)});
+    labels.push_back(y);
+  }
+  const KnnClassifier knn(train, labels, 2, 3, &kernel_);
+  std::vector<std::vector<double>> tests;
+  std::vector<int> expected;
+  for (int i = 0; i < 50; ++i) {
+    const int y = i % 2;
+    tests.push_back({rng.NextGaussian(y == 0 ? -3.0 : 3.0, 0.5),
+                     rng.NextGaussian(0.0, 0.5)});
+    expected.push_back(y);
+  }
+  EXPECT_GT(knn.Accuracy(tests, expected), 0.95);
+}
+
+TEST_F(KnnClassifierTest, MulticlassPrediction) {
+  const KnnClassifier knn({{0.0}, {5.0}, {10.0}}, {0, 1, 2}, 3, 1, &kernel_);
+  EXPECT_EQ(knn.Predict({-1.0}), 0);
+  EXPECT_EQ(knn.Predict({5.2}), 1);
+  EXPECT_EQ(knn.Predict({20.0}), 2);
+}
+
+TEST_F(KnnClassifierTest, DuplicatePointsDeterministic) {
+  // Identical coordinates: the shared total order must still produce a
+  // deterministic neighbor set (later tuple index wins the similarity tie).
+  const KnnClassifier knn({{1.0}, {1.0}, {1.0}}, {0, 1, 1}, 2, 1, &kernel_);
+  EXPECT_EQ(knn.Predict({1.0}), 1);  // tuple 2 (label 1) tops the tie order
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "knn/ordering.h"
+#include "knn/top_k.h"
+#include "knn/vote.h"
+
+namespace cpclean {
+namespace {
+
+TEST(OrderingTest, StrictTotalOrderBreaksTies) {
+  const ScoredCandidate a{1.0, 0, 0};
+  const ScoredCandidate b{1.0, 0, 1};  // same sim, later candidate
+  const ScoredCandidate c{1.0, 1, 0};  // same sim, later tuple
+  const ScoredCandidate d{2.0, 0, 0};
+  EXPECT_TRUE(LessSimilar(a, b));
+  EXPECT_TRUE(LessSimilar(b, c));
+  EXPECT_TRUE(LessSimilar(a, d));
+  EXPECT_FALSE(LessSimilar(b, a));
+  EXPECT_FALSE(LessSimilar(a, a));
+  EXPECT_TRUE(MoreSimilar(d, a));
+}
+
+TEST(TopKTest, PicksLargestInOrder) {
+  const std::vector<ScoredCandidate> items = {
+      {0.1, 0, 0}, {0.9, 1, 0}, {0.5, 2, 0}, {0.7, 3, 0}};
+  EXPECT_EQ(SelectTopK(items, 1), (std::vector<int>{1}));
+  EXPECT_EQ(SelectTopK(items, 2), (std::vector<int>{1, 3}));
+  EXPECT_EQ(SelectTopK(items, 4), (std::vector<int>{1, 3, 2, 0}));
+}
+
+TEST(TopKTest, TieBreaksByTupleThenCandidate) {
+  const std::vector<ScoredCandidate> items = {
+      {0.5, 2, 0}, {0.5, 0, 1}, {0.5, 0, 0}, {0.5, 1, 0}};
+  // All similarities equal: the order is by (tuple, candidate) descending
+  // for "more similar"... larger tuple/candidate wins under the total order.
+  EXPECT_EQ(SelectTopK(items, 2), (std::vector<int>{0, 3}));
+}
+
+TEST(TopKTest, BoundaryIsLeastSimilarOfTopK) {
+  const std::vector<ScoredCandidate> items = {
+      {0.1, 0, 0}, {0.9, 1, 0}, {0.5, 2, 0}, {0.7, 3, 0}};
+  const ScoredCandidate boundary = TopKBoundary(items, 3);
+  EXPECT_EQ(boundary.tuple, 2);
+  EXPECT_DOUBLE_EQ(boundary.similarity, 0.5);
+}
+
+TEST(VoteTest, TallyCounts) {
+  EXPECT_EQ(TallyLabels({0, 1, 1, 2, 1}, 3), (std::vector<int>{1, 3, 1}));
+  EXPECT_EQ(TallyLabels({}, 2), (std::vector<int>{0, 0}));
+}
+
+TEST(VoteTest, ArgMaxPrefersSmallerLabelOnTie) {
+  EXPECT_EQ(ArgMaxLabel({2, 2}), 0);
+  EXPECT_EQ(ArgMaxLabel({1, 2, 2}), 1);
+  EXPECT_EQ(ArgMaxLabel({0, 0, 3}), 2);
+  EXPECT_EQ(ArgMaxLabel({5}), 0);
+}
+
+TEST(VoteTest, MajorityVoteEndToEnd) {
+  EXPECT_EQ(MajorityVote({1, 0, 1}, 2), 1);
+  EXPECT_EQ(MajorityVote({0, 1}, 2), 0);  // tie -> smaller label
+  EXPECT_EQ(MajorityVote({2, 2, 1}, 3), 2);
+}
+
+}  // namespace
+}  // namespace cpclean

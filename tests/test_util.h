@@ -1,0 +1,61 @@
+#ifndef CPCLEAN_TESTS_TEST_UTIL_H_
+#define CPCLEAN_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "incomplete/incomplete_dataset.h"
+
+namespace cpclean {
+namespace testing_util {
+
+/// Parameters for random incomplete datasets used by the property tests.
+struct RandomDatasetSpec {
+  int num_examples = 5;
+  int max_candidates = 3;   // |C_i| drawn uniformly from [1, max_candidates]
+  int num_labels = 2;
+  int dim = 2;
+  uint64_t seed = 1;
+  /// Probability that a coordinate is drawn from a small discrete grid,
+  /// which deliberately produces duplicated points and similarity ties.
+  double tie_prob = 0.0;
+};
+
+/// Generates a random incomplete dataset (labels round-robin so each label
+/// occurs at least once when num_examples >= num_labels).
+inline IncompleteDataset MakeRandomDataset(const RandomDatasetSpec& spec) {
+  Rng rng(spec.seed);
+  IncompleteDataset dataset(spec.num_labels);
+  for (int i = 0; i < spec.num_examples; ++i) {
+    IncompleteExample ex;
+    ex.label = i < spec.num_labels ? i : rng.NextInt(0, spec.num_labels - 1);
+    const int m = rng.NextInt(1, spec.max_candidates);
+    for (int j = 0; j < m; ++j) {
+      std::vector<double> x(static_cast<size_t>(spec.dim));
+      for (double& v : x) {
+        if (rng.NextBernoulli(spec.tie_prob)) {
+          v = static_cast<double>(rng.NextInt(-1, 1));  // grid point
+        } else {
+          v = rng.NextDouble(-2.0, 2.0);
+        }
+      }
+      ex.candidates.push_back(std::move(x));
+    }
+    auto status = dataset.AddExample(std::move(ex));
+    (void)status;
+  }
+  return dataset;
+}
+
+/// A random test point in the same range as the dataset features.
+inline std::vector<double> MakeRandomTestPoint(int dim, uint64_t seed) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<double> t(static_cast<size_t>(dim));
+  for (double& v : t) v = rng.NextDouble(-2.0, 2.0);
+  return t;
+}
+
+}  // namespace testing_util
+}  // namespace cpclean
+
+#endif  // CPCLEAN_TESTS_TEST_UTIL_H_
