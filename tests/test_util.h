@@ -1,6 +1,7 @@
 #ifndef CPCLEAN_TESTS_TEST_UTIL_H_
 #define CPCLEAN_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
