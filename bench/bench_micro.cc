@@ -104,3 +104,10 @@ BENCHMARK(BM_CsvParse);
 
 }  // namespace
 }  // namespace cpclean
+
+#include "bench_report.h"
+
+int main(int argc, char** argv) {
+  return cpclean::benchreport::RunBenchmarksWithReport(
+      argc, argv, "BENCH_micro.json");
+}

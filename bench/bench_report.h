@@ -1,0 +1,25 @@
+#ifndef CPCLEAN_BENCH_BENCH_REPORT_H_
+#define CPCLEAN_BENCH_BENCH_REPORT_H_
+
+namespace cpclean {
+namespace benchreport {
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body that, in addition to the
+/// normal console output, writes a compact machine-readable report to
+/// `report_path` (conventionally `BENCH_<suite>.json`, committed per PR so
+/// the perf trajectory is diffable across the repo's history):
+///
+///   {"benchmarks": [
+///     {"name": "...", "iterations": N, "ns_per_op": R, "cpu_ns_per_op": C,
+///      "threads": T},
+///     ...]}
+///
+/// ns_per_op is wall time per iteration; aggregate/complexity rows and
+/// errored runs are omitted. Returns the process exit code. Pass
+/// `--bench_report=<path>` on the command line to redirect the report.
+int RunBenchmarksWithReport(int argc, char** argv, const char* report_path);
+
+}  // namespace benchreport
+}  // namespace cpclean
+
+#endif  // CPCLEAN_BENCH_BENCH_REPORT_H_

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "core/certain_predictor.h"
 #include "core/fast_q2.h"
 
@@ -19,10 +21,24 @@ Result<CertifyResult> CertifyTestPoint(const CleaningTask& task,
   }
   IncompleteDataset working = task.incomplete;
   const CertainPredictor predictor(&kernel, options.k);
+  // The pool (and its per-worker engines) is created lazily: the common
+  // case — the prediction is already certain — returns from the first
+  // Check without spawning a single thread.
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<std::unique_ptr<FastQ2>> engines;
+  // Workers lazily re-bind to the current cleaning round: FixExample keeps
+  // the flat slab's shape but changes candidate counts, so each engine must
+  // Rebind + SetTestPoint (and recompute its pruning floor) once per round
+  // before scoring its slice.
+  std::vector<uint64_t> engine_round;
+  std::vector<double> engine_floor;
 
   CertifyResult result;
   std::vector<int> dirty = working.DirtyExamples();
+  std::vector<double> expected;
+  uint64_t round = 0;
   while (true) {
+    ++round;
     const CheckResult check = predictor.Check(working, t);
     if (check.CertainLabel() >= 0) {
       result.certified = true;
@@ -40,23 +56,47 @@ Result<CertifyResult> CertifyTestPoint(const CleaningTask& task,
 
     // Greedy step: clean the tuple minimizing the expected entropy of this
     // point's Q2 distribution. Tuples that can never enter the top-K are
-    // provably irrelevant and skipped outright.
-    FastQ2 q2(&working, options.k, 1e-9);
-    q2.SetTestPoint(t, kernel);
-    const double floor = q2.TopKFloor();
-    double best = std::numeric_limits<double>::infinity();
+    // provably irrelevant and skipped outright. Dirty tuples are scored in
+    // parallel, each worker with its own FastQ2 bound to the same test
+    // point; the serial argmin below tie-breaks by example index, so the
+    // chosen tuple does not depend on thread count or dirty's ordering.
+    constexpr double kPruned = std::numeric_limits<double>::infinity();
+    expected.assign(dirty.size(), kPruned);
+    if (!pool) {
+      pool = std::make_unique<ThreadPool>(options.num_threads);
+      engines.resize(static_cast<size_t>(pool->num_threads()));
+      engine_round.assign(engines.size(), 0);
+      engine_floor.assign(engines.size(), 0.0);
+    }
+    pool->ParallelFor(
+        static_cast<int64_t>(dirty.size()), [&](int64_t p, int worker) {
+          auto& engine = engines[static_cast<size_t>(worker)];
+          if (!engine) {
+            engine = std::make_unique<FastQ2>(&working, options.k, 1e-9);
+          } else if (engine_round[static_cast<size_t>(worker)] != round) {
+            engine->Rebind();
+          }
+          if (engine_round[static_cast<size_t>(worker)] != round) {
+            engine->SetTestPoint(t, kernel);
+            engine_round[static_cast<size_t>(worker)] = round;
+            engine_floor[static_cast<size_t>(worker)] = engine->TopKFloor();
+          }
+          FastQ2& q2 = *engine;
+          const double floor = engine_floor[static_cast<size_t>(worker)];
+          const int i = dirty[static_cast<size_t>(p)];
+          if (q2.MaxSimilarity(i) < floor) return;
+          const int m = working.num_candidates(i);
+          double sum = 0.0;
+          for (int j = 0; j < m; ++j) sum += q2.EntropyPinned(i, j);
+          expected[static_cast<size_t>(p)] =
+              sum / static_cast<double>(m);
+        });
     int chosen_pos = -1;
     for (size_t p = 0; p < dirty.size(); ++p) {
-      const int i = dirty[p];
-      if (q2.MaxSimilarity(i) < floor) continue;
-      const int m = working.num_candidates(i);
-      double sum = 0.0;
-      for (int j = 0; j < m; ++j) {
-        sum += Entropy(q2.FractionsPinned(i, j));
-      }
-      const double expected = sum / static_cast<double>(m);
-      if (expected < best) {
-        best = expected;
+      if (expected[p] == kPruned) continue;
+      if (chosen_pos < 0 || expected[p] < expected[static_cast<size_t>(chosen_pos)] ||
+          (expected[p] == expected[static_cast<size_t>(chosen_pos)] &&
+           dirty[p] < dirty[static_cast<size_t>(chosen_pos)])) {
         chosen_pos = static_cast<int>(p);
       }
     }
@@ -67,7 +107,8 @@ Result<CertifyResult> CertifyTestPoint(const CleaningTask& task,
       return Status::Internal("no influential dirty tuple found");
     }
     const int chosen = dirty[static_cast<size_t>(chosen_pos)];
-    dirty.erase(dirty.begin() + chosen_pos);
+    dirty[static_cast<size_t>(chosen_pos)] = dirty.back();
+    dirty.pop_back();
     working.FixExample(chosen,
                        task.true_candidate[static_cast<size_t>(chosen)]);
     result.cleaned.push_back(chosen);

@@ -32,6 +32,12 @@ struct CertifyOptions {
   int k = 3;
   /// Maximum tuples to clean; -1 = until certified or nothing dirty left.
   int max_cleaned = -1;
+  /// Worker threads for the per-dirty-tuple expected-entropy sweep
+  /// (0 = hardware concurrency, 1 = serial). Each worker scores a disjoint
+  /// slice with its own FastQ2 engine; the argmin reduction is serial with
+  /// an index tie-break, so the cleaned sequence is identical for every
+  /// thread count.
+  int num_threads = 0;
 };
 
 /// Certifies the prediction for `t` over a working copy of the task's

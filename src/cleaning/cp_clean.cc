@@ -20,6 +20,7 @@ CleaningSession::CleaningSession(const CleaningTask* task,
   CP_CHECK(task_ != nullptr);
   CP_CHECK(kernel_ != nullptr);
   CP_CHECK_GE(options_.k, 1);
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   Reset();
 }
 
@@ -41,9 +42,19 @@ void CleaningSession::Reset() {
 
 double CleaningSession::RefreshValCertainty() {
   const CertainPredictor predictor(kernel_, options_.k);
+  const int64_t num_val = static_cast<int64_t>(task_->val_x.size());
+  // Each validation point is an independent Q1 check; workers write only
+  // their own slot, the state update below stays serial.
+  std::vector<uint8_t> newly_certain(task_->val_x.size(), 0);
+  pool_->ParallelFor(num_val, [&](int64_t v, int) {
+    if (val_certain_[static_cast<size_t>(v)]) return;  // monotone
+    newly_certain[static_cast<size_t>(v)] =
+        predictor.IsCertain(working_, task_->val_x[static_cast<size_t>(v)])
+            ? 1
+            : 0;
+  });
   for (size_t v = 0; v < task_->val_x.size(); ++v) {
-    if (val_certain_[v]) continue;  // monotone: stays certain forever
-    if (predictor.IsCertain(working_, task_->val_x[v])) {
+    if (newly_certain[v]) {
       val_certain_[v] = 1;
       ++num_val_certain_;
     }
@@ -60,10 +71,18 @@ double CleaningSession::CurrentTestAccuracy() const {
 
 double CleaningSession::MeanValEntropy() const {
   const CertainPredictor predictor(kernel_, options_.k);
+  const int64_t num_val = static_cast<int64_t>(task_->val_x.size());
+  std::vector<double> entropy(task_->val_x.size(), 0.0);
+  pool_->ParallelFor(num_val, [&](int64_t v, int) {
+    if (val_certain_[static_cast<size_t>(v)]) return;
+    entropy[static_cast<size_t>(v)] = predictor.PredictionEntropy(
+        working_, task_->val_x[static_cast<size_t>(v)]);
+  });
+  // Reduce in validation order so the sum is thread-count-invariant.
   double total = 0.0;
   for (size_t v = 0; v < task_->val_x.size(); ++v) {
     if (val_certain_[v]) continue;
-    total += predictor.PredictionEntropy(working_, task_->val_x[v]);
+    total += entropy[v];
   }
   return task_->val_x.empty()
              ? 0.0
@@ -95,27 +114,63 @@ double CleaningSession::ExpectedEntropyAfterCleaning(int i) {
 std::vector<double> CleaningSession::FastSelectionScores(
     const std::vector<int>& dirty) {
   std::vector<double> score(dirty.size(), 0.0);
-  FastQ2 q2(&working_, options_.k, options_.fast_epsilon);
+  std::vector<int> active;
+  active.reserve(task_->val_x.size());
   for (size_t v = 0; v < task_->val_x.size(); ++v) {
-    if (val_certain_[v]) continue;  // zero entropy in every refinement
-    q2.SetTestPoint(task_->val_x[v], *kernel_);
-    const double floor = q2.TopKFloor();
-    double current_entropy = -1.0;  // computed lazily
-    for (size_t p = 0; p < dirty.size(); ++p) {
-      const int i = dirty[p];
-      if (q2.MaxSimilarity(i) < floor) {
-        // Tuple i can never enter this point's top-K in any world, so
-        // pinning it leaves the label distribution unchanged.
-        if (current_entropy < 0.0) current_entropy = Entropy(q2.Fractions());
-        score[p] += current_entropy;
-        continue;
-      }
-      const int m = working_.num_candidates(i);
-      double sum = 0.0;
-      for (int j = 0; j < m; ++j) {
-        sum += Entropy(q2.FractionsPinned(i, j));
-      }
-      score[p] += sum / static_cast<double>(m);
+    if (!val_certain_[v]) active.push_back(static_cast<int>(v));
+  }
+  if (active.empty() || dirty.empty()) return score;
+
+  // One FastQ2 engine per worker (trees and scan are query-local state);
+  // each active validation point fills its own contribution row, and the
+  // reduction replays additions in ascending validation order — so score
+  // is bit-identical for every num_threads, including the serial pre-pool
+  // behavior at num_threads = 1. Validation points are processed in
+  // fixed-size ordered blocks to keep the contribution buffer at
+  // O(block x |dirty|) instead of O(|val| x |dirty|); the block size is a
+  // constant, so the addition sequence never depends on the thread count.
+  constexpr size_t kValBlock = 256;
+  std::vector<std::unique_ptr<FastQ2>> engines(
+      static_cast<size_t>(pool_->num_threads()));
+  std::vector<double> contrib(std::min(active.size(), kValBlock) *
+                              dirty.size());
+  for (size_t base = 0; base < active.size(); base += kValBlock) {
+    const size_t count = std::min(kValBlock, active.size() - base);
+    pool_->ParallelFor(
+        static_cast<int64_t>(count), [&](int64_t b, int worker) {
+          auto& engine = engines[static_cast<size_t>(worker)];
+          if (!engine) {
+            engine = std::make_unique<FastQ2>(&working_, options_.k,
+                                              options_.fast_epsilon);
+          }
+          FastQ2& q2 = *engine;
+          const int v = active[base + static_cast<size_t>(b)];
+          double* row = contrib.data() + static_cast<size_t>(b) * dirty.size();
+          q2.SetTestPoint(task_->val_x[static_cast<size_t>(v)], *kernel_);
+          const double floor = q2.TopKFloor();
+          double current_entropy = -1.0;  // computed lazily
+          for (size_t p = 0; p < dirty.size(); ++p) {
+            const int i = dirty[p];
+            if (q2.MaxSimilarity(i) < floor) {
+              // Tuple i can never enter this point's top-K in any world, so
+              // pinning it leaves the label distribution unchanged.
+              if (current_entropy < 0.0) {
+                current_entropy = q2.EntropyUnpinned();
+              }
+              row[p] = current_entropy;
+              continue;
+            }
+            const int m = working_.num_candidates(i);
+            double sum = 0.0;
+            for (int j = 0; j < m; ++j) {
+              sum += q2.EntropyPinned(i, j);
+            }
+            row[p] = sum / static_cast<double>(m);
+          }
+        });
+    for (size_t b = 0; b < count; ++b) {
+      const double* row = contrib.data() + b * dirty.size();
+      for (size_t p = 0; p < dirty.size(); ++p) score[p] += row[p];
     }
   }
   return score;
@@ -164,11 +219,16 @@ CleaningRunResult CleaningSession::RunLoop(bool greedy, Rng* rng) {
     if (greedy) {
       // Algorithm 3 lines 5-9: pick the example whose cleaning minimizes
       // the expected conditional entropy of the validation predictions.
+      // Ties break toward the smallest example index, which keeps the
+      // choice independent of dirty's ordering (it is unsorted after
+      // swap-and-pop removals).
       double best = std::numeric_limits<double>::infinity();
       if (options_.use_fast_selection) {
         const std::vector<double> score = FastSelectionScores(dirty);
         for (size_t p = 0; p < score.size(); ++p) {
-          if (score[p] < best) {
+          if (score[p] < best ||
+              (score[p] == best &&
+               dirty[p] < dirty[static_cast<size_t>(chosen_pos)])) {
             best = score[p];
             chosen_pos = static_cast<int>(p);
           }
@@ -176,7 +236,9 @@ CleaningRunResult CleaningSession::RunLoop(bool greedy, Rng* rng) {
       } else {
         for (size_t p = 0; p < dirty.size(); ++p) {
           const double e = ExpectedEntropyAfterCleaning(dirty[p]);
-          if (e < best) {
+          if (e < best ||
+              (e == best &&
+               dirty[p] < dirty[static_cast<size_t>(chosen_pos)])) {
             best = e;
             chosen_pos = static_cast<int>(p);
           }
@@ -187,7 +249,11 @@ CleaningRunResult CleaningSession::RunLoop(bool greedy, Rng* rng) {
       chosen_pos = static_cast<int>(rng->NextUint64(dirty.size()));
     }
     const int chosen = dirty[static_cast<size_t>(chosen_pos)];
-    dirty.erase(dirty.begin() + chosen_pos);
+    // Swap-and-pop: selection re-scores every remaining example each step,
+    // so dirty's order is irrelevant (the greedy tie-break is by example
+    // index, not position).
+    dirty[static_cast<size_t>(chosen_pos)] = dirty.back();
+    dirty.pop_back();
     CleanExample(chosen);
     ++step;
     LogStep(&result, step, chosen);

@@ -1,10 +1,12 @@
 #ifndef CPCLEAN_CLEANING_CP_CLEAN_H_
 #define CPCLEAN_CLEANING_CP_CLEAN_H_
 
+#include <memory>
 #include <vector>
 
 #include "cleaning/cleaning_task.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "knn/kernel.h"
 
 namespace cpclean {
@@ -43,6 +45,13 @@ struct CpCleanOptions {
   bool use_fast_selection = true;
   /// Mass tolerance for FastQ2's early termination.
   double fast_epsilon = 1e-9;
+  /// Worker threads for the independent per-validation-point loops
+  /// (selection scores, certainty refresh, entropy tracking). 0 = hardware
+  /// concurrency; 1 = fully serial (no worker threads, the pre-pool code
+  /// path). Every value produces bit-identical scores, cleaning order, and
+  /// step logs: workers fill disjoint per-point slots and the
+  /// floating-point reductions replay in validation order on one thread.
+  int num_threads = 0;
 };
 
 /// Driver for human-in-the-loop cleaning over a CleaningTask. Owns a
@@ -66,6 +75,11 @@ class CleaningSession {
   /// "RandomClean").
   CleaningRunResult RunRandomClean(Rng* rng);
 
+  /// Expected-entropy scores for every example in `dirty`, via FastQ2,
+  /// parallelized over validation points. Public for the determinism tests
+  /// and benchmarks; RunCpClean is the intended entry point.
+  std::vector<double> FastSelectionScores(const std::vector<int>& dirty);
+
  private:
   void Reset();
   /// Marks newly-certain validation points; returns the certain fraction.
@@ -75,11 +89,9 @@ class CleaningSession {
   double MeanValEntropy() const;
   /// Expected mean validation entropy after cleaning example `i`
   /// (Equation 4), averaging over its candidates as possible truths.
-  /// Reference implementation (SS-DC per candidate); the fast path below
+  /// Reference implementation (SS-DC per candidate); the fast path above
   /// computes the same scores batched.
   double ExpectedEntropyAfterCleaning(int i);
-  /// Expected-entropy scores for every example in `dirty`, via FastQ2.
-  std::vector<double> FastSelectionScores(const std::vector<int>& dirty);
   void CleanExample(int i);
   CleaningRunResult RunLoop(bool greedy, Rng* rng);
   void LogStep(CleaningRunResult* result, int step, int cleaned_example);
@@ -88,6 +100,7 @@ class CleaningSession {
   const SimilarityKernel* kernel_;
   CpCleanOptions options_;
 
+  std::unique_ptr<ThreadPool> pool_;
   IncompleteDataset working_;
   std::vector<std::vector<double>> world_;  // current best-guess features
   std::vector<uint8_t> cleaned_;

@@ -1,0 +1,143 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cpclean {
+
+namespace {
+// Set while a thread (worker or participating caller) is executing loop
+// bodies; nested ParallelFor calls detect it and run inline.
+thread_local bool tl_inside_parallel_for = false;
+// The pool whose loop bodies this thread is currently executing, and the
+// worker slot it owns there. Same-pool nested calls inherit the slot (it
+// is valid and unique for that pool); a call on a *different* pool from
+// inside a parallel region runs as that pool's worker 0 — always in
+// range, see the cross-pool caveat in the header.
+thread_local const void* tl_active_pool = nullptr;
+thread_local int tl_worker_id = 0;
+}  // namespace
+
+int ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = HardwareThreads();
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RecordError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error_) error_ = std::current_exception();
+  // Drain the remaining indices so every thread finishes promptly.
+  next_.store(n_, std::memory_order_relaxed);
+}
+
+void ThreadPool::RunChunks(int worker) {
+  const bool was_inside = tl_inside_parallel_for;
+  const void* const was_pool = tl_active_pool;
+  const int was_worker = tl_worker_id;
+  tl_inside_parallel_for = true;
+  tl_active_pool = this;
+  tl_worker_id = worker;
+  while (true) {
+    const int64_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= n_) break;
+    const int64_t end = std::min(begin + chunk_, n_);
+    try {
+      for (int64_t i = begin; i < end; ++i) (*fn_)(i, worker);
+    } catch (...) {
+      RecordError();
+    }
+  }
+  tl_inside_parallel_for = was_inside;
+  tl_active_pool = was_pool;
+  tl_worker_id = was_worker;
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    RunChunks(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t, int)>& fn) {
+  if (n <= 0) return;
+  // Serial pool, nested call, or a trivially small loop: run inline. The
+  // nested case must not wait on workers that may be busy with the outer
+  // job. A same-pool nested body inherits this thread's worker slot
+  // (unique and in range for this pool); any other inline body runs as
+  // worker 0, which is always in [0, num_threads()).
+  if (workers_.empty() || tl_inside_parallel_for || n == 1) {
+    const bool was_inside = tl_inside_parallel_for;
+    const int worker = tl_active_pool == this ? tl_worker_id : 0;
+    tl_inside_parallel_for = true;
+    try {
+      for (int64_t i = 0; i < n; ++i) fn(i, worker);
+    } catch (...) {
+      tl_inside_parallel_for = was_inside;
+      throw;
+    }
+    tl_inside_parallel_for = was_inside;
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CP_CHECK_EQ(active_workers_, 0) << "concurrent ParallelFor on one pool";
+    fn_ = &fn;
+    n_ = n;
+    // ~8 chunks per thread balances scheduling overhead against skew from
+    // uneven per-item cost.
+    chunk_ = std::max<int64_t>(1, n / (static_cast<int64_t>(num_threads()) * 8));
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_workers_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  RunChunks(/*worker=*/0);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    fn_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace cpclean

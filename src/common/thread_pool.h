@@ -1,0 +1,85 @@
+#ifndef CPCLEAN_COMMON_THREAD_POOL_H_
+#define CPCLEAN_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpclean {
+
+/// A fixed-size worker pool for data-parallel loops over independent items.
+///
+/// Design rules that the CPClean hot paths rely on:
+///  * `ParallelFor(n, fn)` invokes `fn(index, worker)` exactly once for every
+///    `index` in `[0, n)` and blocks until all invocations return. `worker`
+///    is in `[0, num_threads())` and is unique per concurrently-executing
+///    thread, so callers can keep one scratch object (e.g. one FastQ2
+///    engine) per worker slot without locking.
+///  * Determinism is the *caller's* contract: workers must write only to
+///    per-index (or per-worker) slots; any order-sensitive reduction happens
+///    serially afterwards. Used this way, results are bit-identical for
+///    every thread count.
+///  * A pool of size 1 runs everything inline on the calling thread — no
+///    worker threads are ever created, making `num_threads = 1` exactly the
+///    pre-pool serial behavior.
+///  * Nested `ParallelFor` calls (from inside a worker) run inline on that
+///    worker, so nesting cannot deadlock and never oversubscribes. A
+///    same-pool nested body inherits the enclosing worker's index, keeping
+///    per-worker scratch unique per concurrently-executing thread. A call
+///    on a *different* pool from inside a parallel region also runs inline
+///    but as that pool's worker 0 (always in range); if several outer
+///    workers can do this concurrently, do not key scratch on the inner
+///    pool's worker index — worker 0 would be shared.
+///  * Exceptions thrown by `fn` are captured; the first one is rethrown on
+///    the calling thread after every in-flight invocation has finished. The
+///    pool remains usable afterwards.
+class ThreadPool {
+ public:
+  /// `num_threads <= 0` selects the hardware concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the calling thread (which participates).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+  /// report 0 on exotic platforms).
+  static int HardwareThreads();
+
+  /// Runs `fn(index, worker)` for every index in [0, n); see class comment.
+  void ParallelFor(int64_t n, const std::function<void(int64_t, int)>& fn);
+
+ private:
+  void WorkerLoop(int worker);
+  /// Pulls chunks of the current job until its index space is exhausted.
+  void RunChunks(int worker);
+  void RecordError();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;  // bumped per ParallelFor to wake workers
+  int active_workers_ = 0;
+  bool stop_ = false;
+
+  // Current job (valid while active_workers_ > 0 or the caller is running).
+  const std::function<void(int64_t, int)>* fn_ = nullptr;
+  int64_t n_ = 0;
+  int64_t chunk_ = 1;
+  std::atomic<int64_t> next_{0};
+  std::exception_ptr error_;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_COMMON_THREAD_POOL_H_

@@ -1,10 +1,12 @@
 #include "core/fast_q2.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <functional>
 
 #include "common/logging.h"
+#include "core/similarity.h"
 #include "core/tally_enum.h"
 #include "knn/vote.h"
 
@@ -14,7 +16,11 @@ FastQ2::FastQ2(const IncompleteDataset* dataset, int k, double epsilon)
     : dataset_(dataset), k_(k), epsilon_(epsilon) {
   CP_CHECK(dataset_ != nullptr);
   CP_CHECK_GE(k_, 1);
-  CP_CHECK_LE(k_, kMaxK);
+  CP_CHECK_LE(k_, kMaxK)
+      << "FastQ2 supports k <= " << kMaxK
+      << " (its boundary-polynomial scratch is compile-time sized); got k="
+      << k_ << ". Raise FastQ2::kMaxK in core/fast_q2.h and recompile, or "
+      << "use the SS-DC reference engine for this query.";
   width_ = k_ + 1;
   Rebind();
   // Precompute the valid label tallies and their winners once.
@@ -51,6 +57,8 @@ void FastQ2::Rebind() {
   above_.assign(static_cast<size_t>(n), 0);
   tuple_min_.assign(static_cast<size_t>(n), 0.0);
   tuple_max_.assign(static_cast<size_t>(n), 0.0);
+  scan_.clear();
+  sorted_end_ = 0;
 }
 
 void FastQ2::InitTrees() {
@@ -67,61 +75,72 @@ void FastQ2::InitTrees() {
   }
 }
 
+template <int W>
 void FastQ2::SetLeaf(int label, int slot, double below, double above) {
+  const int w = W == 0 ? width_ : W;
   auto& buf = nodes_[static_cast<size_t>(label)];
   const int size = tree_size_[static_cast<size_t>(label)];
   int node = size + slot;
   {
-    double* leaf = &buf[static_cast<size_t>(node * width_)];
+    double* leaf = &buf[static_cast<size_t>(node * w)];
     leaf[0] = below;
-    if (width_ > 1) leaf[1] = above;
-    for (int c = 2; c < width_; ++c) leaf[c] = 0.0;
+    if (w > 1) leaf[1] = above;
+    for (int c = 2; c < w; ++c) leaf[c] = 0.0;
   }
   for (node >>= 1; node >= 1; node >>= 1) {
-    const double* left = &buf[static_cast<size_t>(2 * node * width_)];
-    const double* right = &buf[static_cast<size_t>((2 * node + 1) * width_)];
+    const double* left = &buf[static_cast<size_t>(2 * node * w)];
+    const double* right = &buf[static_cast<size_t>((2 * node + 1) * w)];
     double* out = scratch_a_.data();
-    std::fill(out, out + width_, 0.0);
-    for (int i = 0; i < width_; ++i) {
+    std::fill(out, out + w, 0.0);
+    for (int i = 0; i < w; ++i) {
       if (left[i] == 0.0) continue;
-      const int jmax = width_ - i;
+      const int jmax = w - i;
       for (int j = 0; j < jmax; ++j) {
         out[i + j] += left[i] * right[j];
       }
     }
-    std::memcpy(&buf[static_cast<size_t>(node * width_)], out,
-                sizeof(double) * static_cast<size_t>(width_));
+    std::memcpy(&buf[static_cast<size_t>(node * w)], out,
+                sizeof(double) * static_cast<size_t>(w));
   }
 }
 
+template <int W>
 void FastQ2::ProductExcept(int label, int slot, double* out) const {
+  const int w = W == 0 ? width_ : W;
   const auto& buf = nodes_[static_cast<size_t>(label)];
   const int size = tree_size_[static_cast<size_t>(label)];
-  std::fill(out, out + width_, 0.0);
+  std::fill(out, out + w, 0.0);
   out[0] = 1.0;
   double* tmp = scratch_b_.data();
   for (int node = size + slot; node > 1; node >>= 1) {
-    const double* sibling = &buf[static_cast<size_t>((node ^ 1) * width_)];
-    std::fill(tmp, tmp + width_, 0.0);
-    for (int i = 0; i < width_; ++i) {
+    const double* sibling = &buf[static_cast<size_t>((node ^ 1) * w)];
+    std::fill(tmp, tmp + w, 0.0);
+    for (int i = 0; i < w; ++i) {
       if (out[i] == 0.0) continue;
-      const int jmax = width_ - i;
+      const int jmax = w - i;
       for (int j = 0; j < jmax; ++j) {
         tmp[i + j] += out[i] * sibling[j];
       }
     }
-    std::memcpy(out, tmp, sizeof(double) * static_cast<size_t>(width_));
+    std::memcpy(out, tmp, sizeof(double) * static_cast<size_t>(w));
   }
 }
 
 void FastQ2::SetTestPoint(const std::vector<double>& t,
                           const SimilarityKernel& kernel) {
   const int n = dataset_->num_examples();
+  // One batched sweep over the flat candidate slab; no per-candidate
+  // virtual call, and no sort here — queries order the scan lazily.
+  sims_.resize(static_cast<size_t>(dataset_->total_candidates()));
+  SimilarityScores(*dataset_, t, kernel, sims_.data());
   scan_.clear();
+  scan_.reserve(sims_.size());
+  size_t pos = 0;
   for (int i = 0; i < n; ++i) {
+    const int m = dataset_->num_candidates(i);
     double lo = 0.0, hi = 0.0;
-    for (int j = 0; j < dataset_->num_candidates(i); ++j) {
-      const double s = kernel.Similarity(dataset_->candidate(i, j), t);
+    for (int j = 0; j < m; ++j) {
+      const double s = sims_[pos++];
       if (j == 0 || s < lo) lo = s;
       if (j == 0 || s > hi) hi = s;
       scan_.push_back({s, i, j});
@@ -129,79 +148,144 @@ void FastQ2::SetTestPoint(const std::vector<double>& t,
     tuple_min_[static_cast<size_t>(i)] = lo;
     tuple_max_[static_cast<size_t>(i)] = hi;
   }
-  std::sort(scan_.begin(), scan_.end(), MoreSimilar);
+  sorted_end_ = 0;
+}
+
+void FastQ2::EnsureSorted(size_t idx) {
+  // Geometrically growing partial sorts. The sorted prefix under the strict
+  // (similarity, tuple, candidate) total order is unique, so the scan
+  // order — and every downstream result — is independent of how many
+  // extension steps it took to reach an index.
+  while (idx >= sorted_end_) {
+    size_t chunk = std::max<size_t>(64, sorted_end_);
+    chunk = std::min(chunk, scan_.size() - sorted_end_);
+    const auto first = scan_.begin() + static_cast<ptrdiff_t>(sorted_end_);
+    std::partial_sort(first, first + static_cast<ptrdiff_t>(chunk),
+                      scan_.end(), MoreSimilar);
+    sorted_end_ += chunk;
+  }
 }
 
 double FastQ2::TopKFloor() const {
-  std::vector<double> mins = tuple_min_;
-  CP_CHECK_GE(static_cast<int>(mins.size()), k_);
-  std::nth_element(mins.begin(), mins.begin() + (k_ - 1), mins.end(),
-                   std::greater<double>());
-  return mins[static_cast<size_t>(k_ - 1)];
+  floor_scratch_ = tuple_min_;
+  CP_CHECK_GE(static_cast<int>(floor_scratch_.size()), k_);
+  std::nth_element(floor_scratch_.begin(), floor_scratch_.begin() + (k_ - 1),
+                   floor_scratch_.end(), std::greater<double>());
+  return floor_scratch_[static_cast<size_t>(k_ - 1)];
 }
 
-std::vector<double> FastQ2::Run(int pin_tuple, int pin_cand) {
+double FastQ2::RunQuery(int pin_tuple, int pin_cand) {
+  // Width-specialized instantiations: the polynomial multiply loops fully
+  // unroll for the common K, which matters because they run once per
+  // scanned candidate. The dynamic fallback handles every other K.
+  switch (width_) {
+    case 2:
+      return RunQueryImpl<2>(pin_tuple, pin_cand);  // k = 1
+    case 3:
+      return RunQueryImpl<3>(pin_tuple, pin_cand);  // k = 2
+    case 4:
+      return RunQueryImpl<4>(pin_tuple, pin_cand);  // k = 3
+    case 6:
+      return RunQueryImpl<6>(pin_tuple, pin_cand);  // k = 5
+    case 8:
+      return RunQueryImpl<8>(pin_tuple, pin_cand);  // k = 7
+    default:
+      return RunQueryImpl<0>(pin_tuple, pin_cand);
+  }
+}
+
+template <int W>
+double FastQ2::RunQueryImpl(int pin_tuple, int pin_cand) {
+  const int w = W == 0 ? width_ : W;
   CP_CHECK(!scan_.empty()) << "call SetTestPoint first";
   std::fill(result_.begin(), result_.end(), 0.0);
   touched_.clear();
   double total = 0.0;
   const double target = 1.0 - epsilon_;
+  const int num_labels = num_labels_;
 
   // scratch_a_ is clobbered by SetLeaf; boundary polynomials need their own
   // storage that survives the tally loop.
   double boundary[kMaxK + 1];
+  bool done = false;
 
-  for (const ScoredCandidate& entry : scan_) {
-    const int i = entry.tuple;
-    if (pin_tuple == i && entry.candidate != pin_cand) continue;
-    const int b = label_of_[static_cast<size_t>(i)];
-    const int slot = slot_of_[static_cast<size_t>(i)];
-    const int m = dataset_->num_candidates(i);
-    const bool pinned_here = pin_tuple == i;
+  // Two-level loop: materialize a sorted block, then scan it with a tight
+  // inner loop free of the sorting machinery (EnsureSorted would otherwise
+  // pin every member load inside the hot loop).
+  for (size_t idx = 0; idx < scan_.size() && !done;) {
+    EnsureSorted(idx);
+    const size_t block_end = sorted_end_;
+    for (; idx < block_end; ++idx) {
+      const ScoredCandidate& entry = scan_[idx];
+      const int i = entry.tuple;
+      if (pin_tuple == i && entry.candidate != pin_cand) continue;
+      const int b = label_of_[static_cast<size_t>(i)];
+      const int slot = slot_of_[static_cast<size_t>(i)];
+      const int m = dataset_->num_candidates(i);
+      const bool pinned_here = pin_tuple == i;
 
-    // Boundary support for this candidate: tuples scanned earlier are
-    // "above" (more similar); the current tuple is pinned to this value.
-    ProductExcept(b, slot, boundary);
-    const double pin_weight =
-        pinned_here ? 1.0 : 1.0 / static_cast<double>(m);
-    for (const Tally& tally : tallies_) {
-      const int gb = tally.gamma[static_cast<size_t>(b)];
-      if (gb < 1) continue;
-      double support = pin_weight * boundary[gb - 1];
-      if (support == 0.0) continue;
-      for (int l = 0; l < num_labels_ && support != 0.0; ++l) {
-        if (l == b) continue;
-        const auto& buf = nodes_[static_cast<size_t>(l)];
-        support *= buf[static_cast<size_t>(
-            width_ + tally.gamma[static_cast<size_t>(l)])];
+      // Boundary support for this candidate: tuples scanned earlier are
+      // "above" (more similar); the current tuple is pinned to this value.
+      ProductExcept<W>(b, slot, boundary);
+      const double pin_weight =
+          pinned_here ? 1.0 : 1.0 / static_cast<double>(m);
+      for (const Tally& tally : tallies_) {
+        const int gb = tally.gamma[static_cast<size_t>(b)];
+        if (gb < 1) continue;
+        double support = pin_weight * boundary[gb - 1];
+        if (support == 0.0) continue;
+        for (int l = 0; l < num_labels && support != 0.0; ++l) {
+          if (l == b) continue;
+          const auto& buf = nodes_[static_cast<size_t>(l)];
+          support *= buf[static_cast<size_t>(
+              w + tally.gamma[static_cast<size_t>(l)])];
+        }
+        result_[static_cast<size_t>(tally.winner)] += support;
+        total += support;
       }
-      result_[static_cast<size_t>(tally.winner)] += support;
-      total += support;
+
+      // Move this candidate into the "above" region for later boundaries.
+      if (above_[static_cast<size_t>(i)] == 0) touched_.push_back(i);
+      const int above = ++above_[static_cast<size_t>(i)];
+      const double frac_above =
+          pinned_here ? 1.0
+                      : static_cast<double>(above) / static_cast<double>(m);
+      SetLeaf<W>(b, slot, 1.0 - frac_above, frac_above);
+
+      if (total >= target) {
+        done = true;
+        break;
+      }
     }
-
-    // Move this candidate into the "above" region for later boundaries.
-    if (above_[static_cast<size_t>(i)] == 0) touched_.push_back(i);
-    const int above = ++above_[static_cast<size_t>(i)];
-    const double frac_above =
-        pinned_here ? 1.0
-                    : static_cast<double>(above) / static_cast<double>(m);
-    SetLeaf(b, slot, 1.0 - frac_above, frac_above);
-
-    if (total >= target) break;
   }
 
   // Restore the touched leaves and tallies for the next query.
   for (int i : touched_) {
-    SetLeaf(label_of_[static_cast<size_t>(i)], slot_of_[static_cast<size_t>(i)],
-            1.0, 0.0);
+    SetLeaf<W>(label_of_[static_cast<size_t>(i)],
+               slot_of_[static_cast<size_t>(i)], 1.0, 0.0);
     above_[static_cast<size_t>(i)] = 0;
   }
+  return total;
+}
 
+std::vector<double> FastQ2::Run(int pin_tuple, int pin_cand) {
+  const double total = RunQuery(pin_tuple, pin_cand);
   std::vector<double> fractions(result_.begin(), result_.end());
   if (total > 0.0) {
     for (double& f : fractions) f /= total;
   }
   return fractions;
+}
+
+double FastQ2::ResultEntropy(double total) const {
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (const double mass : result_) {
+    if (mass <= 0.0) continue;
+    const double p = mass / total;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
 }
 
 }  // namespace cpclean

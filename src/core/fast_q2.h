@@ -1,6 +1,7 @@
 #ifndef CPCLEAN_CORE_FAST_Q2_H_
 #define CPCLEAN_CORE_FAST_Q2_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "incomplete/incomplete_dataset.h"
@@ -16,8 +17,14 @@ namespace cpclean {
 /// thousands of Q2 calls against one test point where a single tuple is
 /// "pinned" to one candidate:
 ///
-///  * the kernel evaluations and the sort are paid once per test point
-///    (`SetTestPoint`), not once per query;
+///  * the kernel evaluations are paid once per test point (`SetTestPoint`)
+///    through the batched kernel API over the dataset's flat candidate
+///    slab — no per-candidate virtual call or allocation;
+///  * the similarity order is materialized *lazily*: `SetTestPoint` only
+///    scores, and queries sort the descending scan in geometrically
+///    growing prefixes on demand. Truncated queries touch only the
+///    most-similar sliver of the scan, so they never pay the full
+///    O(NM log NM) sort;
 ///  * the scan runs in *descending* similarity order and stops as soon as
 ///    the collected world mass reaches 1 - epsilon. Supports over all
 ///    boundary candidates partition the worlds, and nearly all mass sits
@@ -27,7 +34,10 @@ namespace cpclean {
 ///    touched by a query are reset afterwards, so a query allocates
 ///    nothing and costs O(touched * K^2 log N).
 ///
-/// K is capped at kMaxK (raise and recompile if ever needed).
+/// K is capped at `kMaxK`: the boundary polynomial scratch is a fixed
+/// kMaxK+1 coefficients so queries stay allocation-free. Construction
+/// fails fast (CP_CHECK) for larger K — raise the constant and recompile
+/// if a workload ever legitimately needs K > 16.
 class FastQ2 {
  public:
   static constexpr int kMaxK = 16;
@@ -39,7 +49,8 @@ class FastQ2 {
   /// Re-reads the dataset's structure (sizes, labels).
   void Rebind();
 
-  /// Computes and sorts all candidate similarities against `t`.
+  /// Computes all candidate similarities against `t` (batched; the
+  /// descending order is materialized lazily by queries).
   void SetTestPoint(const std::vector<double>& t,
                     const SimilarityKernel& kernel);
 
@@ -49,6 +60,12 @@ class FastQ2 {
   /// Q2 fractions with tuple `i` collapsed to its candidate `j`
   /// (the "what if candidate j is the truth" query of Equation 4).
   std::vector<double> FractionsPinned(int i, int j) { return Run(i, j); }
+
+  /// Shannon entropy (natural log) of the Q2 label distribution — the
+  /// allocation-free variants of Entropy(Fractions()) /
+  /// Entropy(FractionsPinned(i, j)) that the selection loop hammers.
+  double EntropyUnpinned() { return ResultEntropy(RunQuery(-1, -1)); }
+  double EntropyPinned(int i, int j) { return ResultEntropy(RunQuery(i, j)); }
 
   /// Least / most similar candidate of tuple `i` for the bound test point.
   double MinSimilarity(int i) const { return tuple_min_[static_cast<size_t>(i)]; }
@@ -60,10 +77,24 @@ class FastQ2 {
   double TopKFloor() const;
 
  private:
+  /// Runs the scan; fills result_ with per-label world masses and returns
+  /// the total collected mass. Dispatches to a width-specialized
+  /// instantiation (the polynomial loops fully unroll for the common K).
+  double RunQuery(int pin_tuple, int pin_cand);
+  /// W is the compile-time polynomial width (k + 1), or 0 for the dynamic
+  /// fallback reading width_.
+  template <int W>
+  double RunQueryImpl(int pin_tuple, int pin_cand);
   std::vector<double> Run(int pin_tuple, int pin_cand);
+  /// Entropy of result_ masses given their total (mirrors common Entropy).
+  double ResultEntropy(double total) const;
+  /// Extends the sorted descending prefix of scan_ to cover `idx`.
+  void EnsureSorted(size_t idx);
   void InitTrees();
+  template <int W>
   void SetLeaf(int label, int slot, double below, double above);
   /// Writes prod over this label's leaves except `slot` into out[0..k_].
+  template <int W>
   void ProductExcept(int label, int slot, double* out) const;
 
   const IncompleteDataset* dataset_;
@@ -77,7 +108,8 @@ class FastQ2 {
   std::vector<int> tree_size_;              // per label, power of two
   std::vector<std::vector<double>> nodes_;  // per label, 2*size*width coeffs
 
-  std::vector<ScoredCandidate> scan_;  // descending similarity
+  std::vector<ScoredCandidate> scan_;  // [0, sorted_end_) sorted descending
+  size_t sorted_end_ = 0;
   std::vector<double> tuple_min_, tuple_max_;
   std::vector<int> above_;
 
@@ -90,6 +122,8 @@ class FastQ2 {
 
   // Scratch (sized in ctor) so queries allocate nothing.
   mutable std::vector<double> scratch_a_, scratch_b_;
+  std::vector<double> sims_;        // batched kernel output
+  mutable std::vector<double> floor_scratch_;
   std::vector<int> touched_;
   std::vector<double> result_;
 };

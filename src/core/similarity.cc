@@ -2,19 +2,50 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace cpclean {
+
+int SimilarityScores(const IncompleteDataset& dataset,
+                     const std::vector<double>& t,
+                     const SimilarityKernel& kernel, double* out) {
+  const int n = dataset.num_examples();
+  if (n == 0) return 0;
+  CP_CHECK_EQ(static_cast<int>(t.size()), dataset.dim());
+  const int dim = dataset.dim();
+  if (dataset.flat_is_compact()) {
+    // No retired rows: the whole slab is one contiguous batch.
+    kernel.SimilarityBatchNorms(dataset.flat_data(), dataset.flat_sq_norms(),
+                                dataset.total_candidates(), dim, t.data(),
+                                out);
+    return dataset.total_candidates();
+  }
+  int written = 0;
+  for (int i = 0; i < n; ++i) {
+    const int m = dataset.num_candidates(i);
+    const int row = dataset.flat_row(i, 0);
+    kernel.SimilarityBatchNorms(
+        dataset.flat_data() + static_cast<size_t>(row) * dim,
+        dataset.flat_sq_norms() + row, m, dim, t.data(), out + written);
+    written += m;
+  }
+  return written;
+}
 
 std::vector<std::vector<double>> SimilarityMatrix(
     const IncompleteDataset& dataset, const std::vector<double>& t,
     const SimilarityKernel& kernel) {
+  std::vector<double> scores(
+      static_cast<size_t>(dataset.total_candidates()));
+  SimilarityScores(dataset, t, kernel, scores.data());
   std::vector<std::vector<double>> sims(
       static_cast<size_t>(dataset.num_examples()));
+  size_t pos = 0;
   for (int i = 0; i < dataset.num_examples(); ++i) {
-    auto& row = sims[static_cast<size_t>(i)];
-    row.reserve(static_cast<size_t>(dataset.num_candidates(i)));
-    for (int j = 0; j < dataset.num_candidates(i); ++j) {
-      row.push_back(kernel.Similarity(dataset.candidate(i, j), t));
-    }
+    const size_t m = static_cast<size_t>(dataset.num_candidates(i));
+    sims[static_cast<size_t>(i)].assign(scores.begin() + pos,
+                                        scores.begin() + pos + m);
+    pos += m;
   }
   return sims;
 }

@@ -9,6 +9,16 @@
 
 namespace cpclean {
 
+/// Scores every active candidate of `dataset` against `t` into `out`, in
+/// example-major order (all candidates of example 0, then example 1, ...).
+/// `out` must hold `dataset.total_candidates()` doubles. Runs on the
+/// dataset's flat storage and cached squared norms: a single batched kernel
+/// call when the slab is compact, one per example otherwise — never one
+/// per candidate. Returns the number of scores written.
+int SimilarityScores(const IncompleteDataset& dataset,
+                     const std::vector<double>& t,
+                     const SimilarityKernel& kernel, double* out);
+
 /// Similarity matrix s[i][j] = κ(x_{i,j}, t) between every candidate of the
 /// incomplete dataset and the test point (paper §3.1.1, "similarity
 /// candidates").

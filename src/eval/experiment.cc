@@ -87,6 +87,7 @@ Result<Table2Row> RunTable2Row(const ExperimentConfig& config,
   // CPClean, run to convergence (all validation examples CP'ed).
   CpCleanOptions options;
   options.k = config.k;
+  options.num_threads = config.num_threads;
   CleaningSession session(&task, &kernel, options);
   const CleaningRunResult run = session.RunCpClean();
   row.cp_clean_gap = GapClosed(run.final_test_accuracy, row.default_accuracy,
@@ -124,6 +125,7 @@ Result<CleaningCurves> RunCleaningCurves(const ExperimentConfig& config,
 
   CpCleanOptions options;
   options.k = config.k;
+  options.num_threads = config.num_threads;
   // Curves run the full cleaning trajectory, not stopping at all-CP'ed,
   // so both series span the same x-axis.
   options.stop_when_all_certain = false;

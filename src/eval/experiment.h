@@ -20,6 +20,10 @@ struct ExperimentConfig {
   int k = 3;
   uint64_t seed = 1;
   RepairOptions repair_options;
+  /// Worker threads for the CPClean inner loops (see
+  /// CpCleanOptions::num_threads): 0 = hardware concurrency, 1 = serial.
+  /// Results are bit-identical for every value.
+  int num_threads = 0;
 };
 
 /// A dataset instantiated for experiments: generated, split, injected

@@ -8,6 +8,40 @@
 
 namespace cpclean {
 
+namespace {
+double SquaredNorm(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (const double x : v) sum += x * x;
+  return sum;
+}
+}  // namespace
+
+void IncompleteDataset::WriteFlatRow(int row, const std::vector<double>& features) {
+  CP_CHECK_EQ(static_cast<int>(features.size()), dim_);
+  std::copy(features.begin(), features.end(),
+            flat_.begin() + static_cast<size_t>(row) * static_cast<size_t>(dim_));
+  sq_norms_[static_cast<size_t>(row)] = SquaredNorm(features);
+}
+
+void IncompleteDataset::RebuildFlat() {
+  flat_.clear();
+  sq_norms_.clear();
+  cand_start_.clear();
+  cand_capacity_.clear();
+  total_candidates_ = 0;
+  int row = 0;
+  for (const IncompleteExample& ex : examples_) {
+    cand_start_.push_back(row);
+    cand_capacity_.push_back(static_cast<int>(ex.candidates.size()));
+    for (const auto& c : ex.candidates) {
+      flat_.insert(flat_.end(), c.begin(), c.end());
+      sq_norms_.push_back(SquaredNorm(c));
+      ++row;
+    }
+    total_candidates_ += static_cast<int>(ex.candidates.size());
+  }
+}
+
 Status IncompleteDataset::AddExample(IncompleteExample example) {
   if (example.candidates.empty()) {
     return Status::InvalidArgument("candidate set must be non-empty");
@@ -28,6 +62,13 @@ Status IncompleteDataset::AddExample(IncompleteExample example) {
     return Status::InvalidArgument(StrFormat(
         "candidate dimension %d does not match dataset dimension %d", d, dim_));
   }
+  cand_start_.push_back(static_cast<int>(sq_norms_.size()));
+  cand_capacity_.push_back(static_cast<int>(example.candidates.size()));
+  for (const auto& c : example.candidates) {
+    flat_.insert(flat_.end(), c.begin(), c.end());
+    sq_norms_.push_back(SquaredNorm(c));
+  }
+  total_candidates_ += static_cast<int>(example.candidates.size());
   examples_.push_back(std::move(example));
   return Status::OK();
 }
@@ -103,8 +144,12 @@ void IncompleteDataset::FixExample(int i, int j) {
   CP_CHECK_GE(j, 0);
   CP_CHECK_LT(j, static_cast<int>(ex.candidates.size()));
   std::vector<double> chosen = ex.candidates[static_cast<size_t>(j)];
+  total_candidates_ -= static_cast<int>(ex.candidates.size()) - 1;
   ex.candidates.clear();
   ex.candidates.push_back(std::move(chosen));
+  // In-place collapse: the example keeps its flat slot range; only row 0
+  // stays active. Rows past the first are retired, not reclaimed.
+  WriteFlatRow(flat_row(i, 0), ex.candidates.front());
 }
 
 void IncompleteDataset::ReplaceCandidates(
@@ -115,7 +160,19 @@ void IncompleteDataset::ReplaceCandidates(
   for (const auto& c : candidates) {
     CP_CHECK_EQ(static_cast<int>(c.size()), dim_);
   }
+  total_candidates_ +=
+      static_cast<int>(candidates.size()) - num_candidates(i);
   examples_[static_cast<size_t>(i)].candidates = std::move(candidates);
+  const auto& stored = examples_[static_cast<size_t>(i)].candidates;
+  if (static_cast<int>(stored.size()) <=
+      cand_capacity_[static_cast<size_t>(i)]) {
+    for (int j = 0; j < static_cast<int>(stored.size()); ++j) {
+      WriteFlatRow(flat_row(i, j), stored[static_cast<size_t>(j)]);
+    }
+  } else {
+    // The replacement outgrew the example's reserved slots: re-lay the slab.
+    RebuildFlat();
+  }
 }
 
 }  // namespace cpclean

@@ -21,6 +21,15 @@ struct IncompleteExample {
 ///
 /// Candidate vectors are pre-encoded dense features; candidate sets may
 /// have different sizes. Labels are dense ids in [0, num_labels).
+///
+/// Storage: candidates live twice. The vector-of-vectors `example()` /
+/// `candidate()` view is the mutation API, and a row-major contiguous
+/// mirror (`flat_data()`, one dim()-stride row per candidate, all rows of
+/// an example adjacent) feeds the batched similarity kernels, together
+/// with a cached squared L2 norm per row. Both are kept in sync by every
+/// mutator. `FixExample` collapses in place — the example keeps its flat
+/// slot range (capacity) and only its first row stays active — so a
+/// cleaning step never reshuffles the slab.
 class IncompleteDataset {
  public:
   IncompleteDataset() = default;
@@ -50,6 +59,46 @@ class IncompleteDataset {
 
   const std::vector<double>& candidate(int i, int j) const;
 
+  // --- Flat view -----------------------------------------------------------
+
+  /// Base of the row-major candidate slab; row r starts at
+  /// `flat_data() + r * dim()`. Rows of example `i` occupy flat rows
+  /// `[flat_row(i, 0), flat_row(i, 0) + num_candidates(i))`. Invalidated by
+  /// `AddExample` and by a `ReplaceCandidates` that grows past capacity.
+  const double* flat_data() const { return flat_.data(); }
+
+  /// Flat row index of candidate (i, j).
+  int flat_row(int i, int j) const {
+    return cand_start_[static_cast<size_t>(i)] + j;
+  }
+
+  /// Pointer to candidate (i, j)'s features (dim() doubles).
+  const double* candidate_ptr(int i, int j) const {
+    return flat_.data() + static_cast<size_t>(flat_row(i, j)) *
+                              static_cast<size_t>(dim_);
+  }
+
+  /// Cached squared L2 norms, one per flat row (aligned with flat_data()).
+  const double* flat_sq_norms() const { return sq_norms_.data(); }
+
+  /// Cached ||x_{i,j}||^2.
+  double candidate_sq_norm(int i, int j) const {
+    return sq_norms_[static_cast<size_t>(flat_row(i, j))];
+  }
+
+  /// Number of *active* candidate rows (sum of |C_i|).
+  int total_candidates() const { return total_candidates_; }
+
+  /// True when the slab has no retired rows — every flat row is an active
+  /// candidate — so one batched kernel call can sweep the whole slab.
+  bool flat_is_compact() const {
+    return static_cast<size_t>(total_candidates_) *
+               static_cast<size_t>(dim_) ==
+           flat_.size();
+  }
+
+  // -------------------------------------------------------------------------
+
   /// True when every candidate set is a singleton (a single possible world).
   bool IsComplete() const;
 
@@ -70,9 +119,24 @@ class IncompleteDataset {
   void ReplaceCandidates(int i, std::vector<std::vector<double>> candidates);
 
  private:
+  /// Writes `features` into flat row `row` and refreshes its cached norm.
+  void WriteFlatRow(int row, const std::vector<double>& features);
+  /// Rebuilds the flat slab from `examples_` (used when a replacement
+  /// outgrows an example's reserved slots).
+  void RebuildFlat();
+
   std::vector<IncompleteExample> examples_;
   int num_labels_ = 0;
   int dim_ = 0;
+
+  // Flat mirror. cand_start_[i] is example i's first flat row; the example
+  // owns cand_capacity_[i] consecutive rows of which the first
+  // num_candidates(i) are active.
+  std::vector<double> flat_;
+  std::vector<double> sq_norms_;
+  std::vector<int> cand_start_;
+  std::vector<int> cand_capacity_;
+  int total_candidates_ = 0;
 };
 
 }  // namespace cpclean

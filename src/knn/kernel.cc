@@ -7,47 +7,190 @@
 namespace cpclean {
 
 namespace {
-double SquaredDistance(const std::vector<double>& a,
-                       const std::vector<double>& b) {
-  CP_CHECK_EQ(a.size(), b.size());
+double SquaredDistanceRaw(const double* a, const double* b, int dim) {
   double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
+  for (int d = 0; d < dim; ++d) {
+    const double diff = a[d] - b[d];
+    sum += diff * diff;
   }
+  return sum;
+}
+
+double DotRaw(const double* a, const double* b, int dim) {
+  double sum = 0.0;
+  for (int d = 0; d < dim; ++d) sum += a[d] * b[d];
   return sum;
 }
 }  // namespace
 
-double NegativeEuclideanKernel::Similarity(const std::vector<double>& a,
-                                           const std::vector<double>& b) const {
-  return -SquaredDistance(a, b);
-}
-
-double RbfKernel::Similarity(const std::vector<double>& a,
-                             const std::vector<double>& b) const {
-  return std::exp(-gamma_ * SquaredDistance(a, b));
-}
-
-double LinearKernel::Similarity(const std::vector<double>& a,
-                                const std::vector<double>& b) const {
+double SimilarityKernel::Similarity(const std::vector<double>& a,
+                                    const std::vector<double>& b) const {
   CP_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return SimilarityRaw(a.data(), b.data(), static_cast<int>(a.size()));
 }
 
-double CosineKernel::Similarity(const std::vector<double>& a,
-                                const std::vector<double>& b) const {
-  CP_CHECK_EQ(a.size(), b.size());
+void SimilarityKernel::SimilarityBatch(const double* rows, int n, int dim,
+                                       const double* t, double* out) const {
+  for (int r = 0; r < n; ++r) {
+    out[r] = SimilarityRaw(rows + static_cast<size_t>(r) * dim, t, dim);
+  }
+}
+
+void SimilarityKernel::SimilarityBatchNorms(const double* rows,
+                                            const double* row_sq_norms, int n,
+                                            int dim, const double* t,
+                                            double* out) const {
+  (void)row_sq_norms;
+  SimilarityBatch(rows, n, dim, t, out);
+}
+
+// --- Negative squared Euclidean ---------------------------------------------
+
+double NegativeEuclideanKernel::SimilarityRaw(const double* a, const double* b,
+                                              int dim) const {
+  return -SquaredDistanceRaw(a, b, dim);
+}
+
+void NegativeEuclideanKernel::SimilarityBatch(const double* rows, int n,
+                                              int dim, const double* t,
+                                              double* out) const {
+  for (int r = 0; r < n; ++r) {
+    const double* a = rows + static_cast<size_t>(r) * dim;
+    double sum = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      const double diff = a[d] - t[d];
+      sum += diff * diff;
+    }
+    out[r] = -sum;
+  }
+}
+
+void NegativeEuclideanKernel::SimilarityBatchNorms(const double* rows,
+                                                   const double* row_sq_norms,
+                                                   int n, int dim,
+                                                   const double* t,
+                                                   double* out) const {
+  if (row_sq_norms == nullptr) {
+    SimilarityBatch(rows, n, dim, t, out);
+    return;
+  }
+  const double t_norm = DotRaw(t, t, dim);
+  for (int r = 0; r < n; ++r) {
+    const double* a = rows + static_cast<size_t>(r) * dim;
+    double dot = 0.0;
+    for (int d = 0; d < dim; ++d) dot += a[d] * t[d];
+    // ||a - t||^2 expanded; cancellation can dip epsilon-negative, and a
+    // similarity above "identical" would poison the descending scan order.
+    double d2 = row_sq_norms[r] - 2.0 * dot + t_norm;
+    if (d2 < 0.0) d2 = 0.0;
+    out[r] = -d2;
+  }
+}
+
+// --- RBF --------------------------------------------------------------------
+
+double RbfKernel::SimilarityRaw(const double* a, const double* b,
+                                int dim) const {
+  return std::exp(-gamma_ * SquaredDistanceRaw(a, b, dim));
+}
+
+void RbfKernel::SimilarityBatch(const double* rows, int n, int dim,
+                                const double* t, double* out) const {
+  for (int r = 0; r < n; ++r) {
+    const double* a = rows + static_cast<size_t>(r) * dim;
+    double sum = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      const double diff = a[d] - t[d];
+      sum += diff * diff;
+    }
+    out[r] = -gamma_ * sum;  // exponentiated in a second sweep below
+  }
+  for (int r = 0; r < n; ++r) out[r] = std::exp(out[r]);
+}
+
+void RbfKernel::SimilarityBatchNorms(const double* rows,
+                                     const double* row_sq_norms, int n,
+                                     int dim, const double* t,
+                                     double* out) const {
+  if (row_sq_norms == nullptr) {
+    SimilarityBatch(rows, n, dim, t, out);
+    return;
+  }
+  const double t_norm = DotRaw(t, t, dim);
+  for (int r = 0; r < n; ++r) {
+    const double* a = rows + static_cast<size_t>(r) * dim;
+    double dot = 0.0;
+    for (int d = 0; d < dim; ++d) dot += a[d] * t[d];
+    double d2 = row_sq_norms[r] - 2.0 * dot + t_norm;
+    if (d2 < 0.0) d2 = 0.0;
+    out[r] = -gamma_ * d2;
+  }
+  for (int r = 0; r < n; ++r) out[r] = std::exp(out[r]);
+}
+
+// --- Linear -----------------------------------------------------------------
+
+double LinearKernel::SimilarityRaw(const double* a, const double* b,
+                                   int dim) const {
+  return DotRaw(a, b, dim);
+}
+
+void LinearKernel::SimilarityBatch(const double* rows, int n, int dim,
+                                   const double* t, double* out) const {
+  for (int r = 0; r < n; ++r) {
+    const double* a = rows + static_cast<size_t>(r) * dim;
+    double dot = 0.0;
+    for (int d = 0; d < dim; ++d) dot += a[d] * t[d];
+    out[r] = dot;
+  }
+}
+
+// --- Cosine -----------------------------------------------------------------
+
+double CosineKernel::SimilarityRaw(const double* a, const double* b,
+                                   int dim) const {
   double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += a[i] * b[i];
-    na += a[i] * a[i];
-    nb += b[i] * b[i];
+  for (int d = 0; d < dim; ++d) {
+    dot += a[d] * b[d];
+    na += a[d] * a[d];
+    nb += b[d] * b[d];
   }
   if (na <= 0.0 || nb <= 0.0) return 0.0;
   return dot / std::sqrt(na * nb);
+}
+
+void CosineKernel::SimilarityBatch(const double* rows, int n, int dim,
+                                   const double* t, double* out) const {
+  double t_norm = 0.0;
+  for (int d = 0; d < dim; ++d) t_norm += t[d] * t[d];
+  for (int r = 0; r < n; ++r) {
+    const double* a = rows + static_cast<size_t>(r) * dim;
+    double dot = 0.0, na = 0.0;
+    for (int d = 0; d < dim; ++d) {
+      dot += a[d] * t[d];
+      na += a[d] * a[d];
+    }
+    out[r] = (na <= 0.0 || t_norm <= 0.0) ? 0.0 : dot / std::sqrt(na * t_norm);
+  }
+}
+
+void CosineKernel::SimilarityBatchNorms(const double* rows,
+                                        const double* row_sq_norms, int n,
+                                        int dim, const double* t,
+                                        double* out) const {
+  if (row_sq_norms == nullptr) {
+    SimilarityBatch(rows, n, dim, t, out);
+    return;
+  }
+  double t_norm = 0.0;
+  for (int d = 0; d < dim; ++d) t_norm += t[d] * t[d];
+  for (int r = 0; r < n; ++r) {
+    const double* a = rows + static_cast<size_t>(r) * dim;
+    double dot = 0.0;
+    for (int d = 0; d < dim; ++d) dot += a[d] * t[d];
+    const double na = row_sq_norms[r];
+    out[r] = (na <= 0.0 || t_norm <= 0.0) ? 0.0 : dot / std::sqrt(na * t_norm);
+  }
 }
 
 std::unique_ptr<SimilarityKernel> MakeKernel(KernelKind kind, double gamma) {

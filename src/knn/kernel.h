@@ -9,13 +9,45 @@ namespace cpclean {
 
 /// Similarity kernel κ(x, t) between feature vectors (paper §3, Fig. 5).
 /// Larger values mean "more similar"; KNN takes the top-K by similarity.
+///
+/// Batch contract: `SimilarityBatch(rows, n, dim, t, out)` scores `n`
+/// row-major contiguous rows (`rows[r*dim .. r*dim+dim)`) against one test
+/// point and writes `out[r]`, with no virtual dispatch, allocation, or
+/// bounds checks inside the loop — the inner loops are written to
+/// autovectorize. `SimilarityBatchNorms` additionally takes the cached
+/// squared L2 norm of every row (as maintained by
+/// `IncompleteDataset::flat_sq_norms()`); kernels that can exploit it —
+/// neg-Euclidean and RBF via ||a - t||² = ||a||² - 2⟨a,t⟩ + ||t||², cosine
+/// via its denominator — override it, the rest fall back to
+/// `SimilarityBatch`. Batched scores may differ from the scalar path by a
+/// few ulps (different summation shapes); every scorer in this repo — the
+/// CP engines *and* KnnClassifier — goes through the same norm-accelerated
+/// entry points, so certified labels and actual predictions always agree
+/// exactly.
 class SimilarityKernel {
  public:
   virtual ~SimilarityKernel() = default;
 
+  /// Scalar similarity on raw pointers (`dim` doubles each).
+  virtual double SimilarityRaw(const double* a, const double* b,
+                               int dim) const = 0;
+
   /// Similarity between two equal-length vectors.
   virtual double Similarity(const std::vector<double>& a,
-                            const std::vector<double>& b) const = 0;
+                            const std::vector<double>& b) const;
+
+  /// Scores `n` contiguous rows against `t`; see the batch contract above.
+  /// The default loops `SimilarityRaw`; every built-in kernel overrides it
+  /// with a fused, vectorizable loop free of per-row virtual dispatch.
+  virtual void SimilarityBatch(const double* rows, int n, int dim,
+                               const double* t, double* out) const;
+
+  /// `SimilarityBatch` with cached per-row squared norms. `row_sq_norms`
+  /// may be null, in which case this forwards to `SimilarityBatch`.
+  virtual void SimilarityBatchNorms(const double* rows,
+                                    const double* row_sq_norms, int n,
+                                    int dim, const double* t,
+                                    double* out) const;
 
   /// Kernel name for reporting.
   virtual std::string name() const = 0;
@@ -26,8 +58,13 @@ class SimilarityKernel {
 /// any monotone transform such as RBF.
 class NegativeEuclideanKernel final : public SimilarityKernel {
  public:
-  double Similarity(const std::vector<double>& a,
-                    const std::vector<double>& b) const override;
+  double SimilarityRaw(const double* a, const double* b,
+                       int dim) const override;
+  void SimilarityBatch(const double* rows, int n, int dim, const double* t,
+                       double* out) const override;
+  void SimilarityBatchNorms(const double* rows, const double* row_sq_norms,
+                            int n, int dim, const double* t,
+                            double* out) const override;
   std::string name() const override { return "neg_euclidean"; }
 };
 
@@ -35,8 +72,13 @@ class NegativeEuclideanKernel final : public SimilarityKernel {
 class RbfKernel final : public SimilarityKernel {
  public:
   explicit RbfKernel(double gamma = 1.0) : gamma_(gamma) {}
-  double Similarity(const std::vector<double>& a,
-                    const std::vector<double>& b) const override;
+  double SimilarityRaw(const double* a, const double* b,
+                       int dim) const override;
+  void SimilarityBatch(const double* rows, int n, int dim, const double* t,
+                       double* out) const override;
+  void SimilarityBatchNorms(const double* rows, const double* row_sq_norms,
+                            int n, int dim, const double* t,
+                            double* out) const override;
   std::string name() const override { return "rbf"; }
   double gamma() const { return gamma_; }
 
@@ -47,16 +89,23 @@ class RbfKernel final : public SimilarityKernel {
 /// Linear kernel <a, b>.
 class LinearKernel final : public SimilarityKernel {
  public:
-  double Similarity(const std::vector<double>& a,
-                    const std::vector<double>& b) const override;
+  double SimilarityRaw(const double* a, const double* b,
+                       int dim) const override;
+  void SimilarityBatch(const double* rows, int n, int dim, const double* t,
+                       double* out) const override;
   std::string name() const override { return "linear"; }
 };
 
 /// Cosine similarity <a,b> / (||a|| ||b||); 0 when either vector is zero.
 class CosineKernel final : public SimilarityKernel {
  public:
-  double Similarity(const std::vector<double>& a,
-                    const std::vector<double>& b) const override;
+  double SimilarityRaw(const double* a, const double* b,
+                       int dim) const override;
+  void SimilarityBatch(const double* rows, int n, int dim, const double* t,
+                       double* out) const override;
+  void SimilarityBatchNorms(const double* rows, const double* row_sq_norms,
+                            int n, int dim, const double* t,
+                            double* out) const override;
   std::string name() const override { return "cosine"; }
 };
 

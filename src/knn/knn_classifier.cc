@@ -23,15 +23,29 @@ KnnClassifier::KnnClassifier(std::vector<std::vector<double>> features,
     CP_CHECK_GE(l, 0);
     CP_CHECK_LT(l, num_labels_);
   }
+  dim_ = static_cast<int>(features_.front().size());
+  flat_.reserve(features_.size() * static_cast<size_t>(dim_));
+  sq_norms_.reserve(features_.size());
+  for (const auto& row : features_) {
+    CP_CHECK_EQ(static_cast<int>(row.size()), dim_);
+    double sq = 0.0;
+    for (const double v : row) sq += v * v;
+    flat_.insert(flat_.end(), row.begin(), row.end());
+    sq_norms_.push_back(sq);
+  }
 }
 
 std::vector<ScoredCandidate> KnnClassifier::Score(
     const std::vector<double>& t) const {
+  CP_CHECK_EQ(static_cast<int>(t.size()), dim_);
+  const int n = num_examples();
+  std::vector<double> sims(static_cast<size_t>(n));
+  kernel_->SimilarityBatchNorms(flat_.data(), sq_norms_.data(), n, dim_,
+                                t.data(), sims.data());
   std::vector<ScoredCandidate> scored;
-  scored.reserve(features_.size());
-  for (int i = 0; i < num_examples(); ++i) {
-    scored.push_back(
-        {kernel_->Similarity(features_[static_cast<size_t>(i)], t), i, 0});
+  scored.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    scored.push_back({sims[static_cast<size_t>(i)], i, 0});
   }
   return scored;
 }

@@ -49,6 +49,12 @@ class KnnClassifier {
   int num_labels_;
   int k_;
   const SimilarityKernel* kernel_;
+  // Row-major copy of features_ with cached squared norms, so scoring uses
+  // the same batched (norm-expanded) kernel arithmetic as the CP engines —
+  // a label those engines certify is the label this classifier predicts.
+  int dim_ = 0;
+  std::vector<double> flat_;
+  std::vector<double> sq_norms_;
 };
 
 }  // namespace cpclean

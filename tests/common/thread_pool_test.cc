@@ -1,0 +1,142 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace cpclean {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](int64_t i, int) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerIndicesAreInRangeAndDisjointSlotsAreSafe) {
+  ThreadPool pool(3);
+  std::vector<double> slot_sums(3, 0.0);  // one accumulator per worker
+  std::atomic<bool> bad_worker{false};
+  pool.ParallelFor(500, [&](int64_t i, int worker) {
+    if (worker < 0 || worker >= 3) bad_worker = true;
+    slot_sums[static_cast<size_t>(worker)] += static_cast<double>(i);
+  });
+  EXPECT_FALSE(bad_worker.load());
+  const double total =
+      std::accumulate(slot_sums.begin(), slot_sums.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 499.0 * 500.0 / 2.0);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int64_t> order;
+  pool.ParallelFor(8, [&](int64_t i, int worker) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(i);
+  });
+  std::vector<int64_t> want(8);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(order, want);
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeSizesAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int64_t, int) { ++calls; });
+  pool.ParallelFor(-5, [&](int64_t, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(200,
+                       [&](int64_t i, int) {
+                         ran.fetch_add(1);
+                         if (i == 97) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+
+  // Pool reuse after an exception must work (the ISSUE's reuse case).
+  std::atomic<int> after{0};
+  pool.ParallelFor(100, [&](int64_t, int) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionFromSerialPoolPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(
+                   5, [&](int64_t i, int) {
+                     if (i == 2) throw std::logic_error("inline");
+                   }),
+               std::logic_error);
+  int calls = 0;
+  pool.ParallelFor(3, [&](int64_t, int) { ++calls; });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  std::atomic<bool> worker_mismatch{false};
+  pool.ParallelFor(64, [&](int64_t outer, int outer_worker) {
+    // Nested call on the same pool: must not deadlock; runs inline on this
+    // worker and the inner bodies inherit its worker index (per-worker
+    // scratch stays unique per concurrently-executing thread).
+    pool.ParallelFor(64, [&](int64_t inner, int inner_worker) {
+      if (inner_worker != outer_worker) worker_mismatch = true;
+      hits[static_cast<size_t>(outer * 64 + inner)].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(worker_mismatch.load());
+}
+
+TEST(ThreadPoolTest, CrossPoolNestingKeepsWorkerIndexInRange) {
+  // A pool invoked from inside a different pool's parallel region runs
+  // inline as *its own* worker 0 — never the outer pool's (possibly
+  // larger) worker index.
+  ThreadPool outer(8);
+  ThreadPool inner(2);
+  std::atomic<bool> bad_worker{false};
+  std::vector<std::atomic<int>> hits(32 * 8);
+  outer.ParallelFor(32, [&](int64_t o, int) {
+    inner.ParallelFor(8, [&](int64_t i, int inner_worker) {
+      if (inner_worker < 0 || inner_worker >= inner.num_threads()) {
+        bad_worker = true;
+      }
+      hits[static_cast<size_t>(o * 8 + i)].fetch_add(1);
+    });
+  });
+  EXPECT_FALSE(bad_worker.load());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(round + 1, [&](int64_t i, int) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), static_cast<int64_t>(round) * (round + 1) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool;  // num_threads = 0 → hardware concurrency, floor 1
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareThreads());
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace cpclean

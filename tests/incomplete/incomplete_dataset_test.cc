@@ -72,5 +72,85 @@ TEST(IncompleteDatasetTest, ReplaceCandidates) {
   EXPECT_EQ(dataset.NumPossibleWorlds(), BigUint(12));
 }
 
+// --- Flat mirror ------------------------------------------------------------
+
+// Every active candidate must be readable through the flat view, and its
+// cached squared norm must match the vector view.
+void ExpectFlatMirrorsVectors(const IncompleteDataset& dataset) {
+  for (int i = 0; i < dataset.num_examples(); ++i) {
+    for (int j = 0; j < dataset.num_candidates(i); ++j) {
+      const std::vector<double>& want = dataset.candidate(i, j);
+      const double* got = dataset.candidate_ptr(i, j);
+      double sq = 0.0;
+      for (int d = 0; d < dataset.dim(); ++d) {
+        EXPECT_DOUBLE_EQ(got[d], want[static_cast<size_t>(d)])
+            << "candidate (" << i << "," << j << ") dim " << d;
+        sq += want[static_cast<size_t>(d)] * want[static_cast<size_t>(d)];
+      }
+      EXPECT_DOUBLE_EQ(dataset.candidate_sq_norm(i, j), sq);
+      EXPECT_EQ(got, dataset.flat_data() +
+                         static_cast<size_t>(dataset.flat_row(i, j)) *
+                             static_cast<size_t>(dataset.dim()));
+    }
+  }
+}
+
+TEST(IncompleteDatasetFlatTest, FreshDatasetIsCompactAndMirrored) {
+  const IncompleteDataset dataset = MakeDataset();
+  EXPECT_EQ(dataset.total_candidates(), 6);
+  EXPECT_TRUE(dataset.flat_is_compact());
+  ExpectFlatMirrorsVectors(dataset);
+  // Example rows are adjacent: example 1 starts right after example 0.
+  EXPECT_EQ(dataset.flat_row(0, 0), 0);
+  EXPECT_EQ(dataset.flat_row(1, 0), 1);
+  EXPECT_EQ(dataset.flat_row(2, 0), 3);
+}
+
+TEST(IncompleteDatasetFlatTest, FixExampleCollapsesInPlace) {
+  IncompleteDataset dataset = MakeDataset();
+  dataset.FixExample(2, 1);
+  EXPECT_EQ(dataset.total_candidates(), 4);
+  // Retired rows stay in the slab (stable offsets), so it is not compact.
+  EXPECT_FALSE(dataset.flat_is_compact());
+  ExpectFlatMirrorsVectors(dataset);
+  EXPECT_DOUBLE_EQ(dataset.candidate_ptr(2, 0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(dataset.candidate_sq_norm(2, 0), 2.0);
+}
+
+TEST(IncompleteDatasetFlatTest, ReplaceWithinCapacityKeepsOffsets) {
+  IncompleteDataset dataset = MakeDataset();
+  const double* slab_before = dataset.flat_data();
+  const int start_before = dataset.flat_row(2, 0);
+  dataset.ReplaceCandidates(2, {{7.0, 7.0}, {6.0, 5.0}});  // 3 -> 2 slots
+  EXPECT_EQ(dataset.flat_row(2, 0), start_before);
+  EXPECT_EQ(dataset.flat_data(), slab_before);
+  ExpectFlatMirrorsVectors(dataset);
+  // Shrink-then-restore (the slow selection path's save/restore pattern)
+  // stays within the example's original capacity.
+  dataset.ReplaceCandidates(2, {{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}});
+  EXPECT_EQ(dataset.flat_row(2, 0), start_before);
+  ExpectFlatMirrorsVectors(dataset);
+}
+
+TEST(IncompleteDatasetFlatTest, ReplaceBeyondCapacityRelaysTheSlab) {
+  IncompleteDataset dataset = MakeDataset();
+  dataset.ReplaceCandidates(0, {{9.0, 9.0}, {8.0, 8.0}});  // capacity 1 -> 2
+  EXPECT_EQ(dataset.total_candidates(), 7);
+  EXPECT_TRUE(dataset.flat_is_compact());  // rebuild re-compacts everything
+  ExpectFlatMirrorsVectors(dataset);
+  EXPECT_EQ(dataset.flat_row(1, 0), 2);  // offsets shifted by the growth
+}
+
+TEST(IncompleteDatasetFlatTest, MirrorSurvivesMixedMutation) {
+  IncompleteDataset dataset = MakeDataset();
+  dataset.FixExample(1, 1);
+  dataset.ReplaceCandidates(2, {{4.0, 4.0}, {5.0, 5.0}, {6.0, 6.0},
+                                {7.0, 7.0}});  // grows: rebuild
+  ASSERT_TRUE(dataset.AddExample({{{1.5, 2.5}, {3.5, 4.5}}, 1}).ok());
+  dataset.FixExample(3, 0);
+  ExpectFlatMirrorsVectors(dataset);
+  EXPECT_EQ(dataset.total_candidates(), 1 + 1 + 4 + 1);
+}
+
 }  // namespace
 }  // namespace cpclean

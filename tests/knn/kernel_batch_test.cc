@@ -1,0 +1,147 @@
+// Batch-vs-scalar equality for every kernel: the batched entry points must
+// agree with the scalar path across odd dimensions, empty inputs, and the
+// norm-accelerated variants (which may differ only by float-rounding ulps).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+namespace {
+
+struct Case {
+  KernelKind kind;
+  const char* name;
+};
+
+class KernelBatchTest : public ::testing::TestWithParam<Case> {};
+
+std::vector<double> RandomRow(Rng* rng, int dim) {
+  std::vector<double> row(static_cast<size_t>(dim));
+  for (auto& v : row) v = rng->NextDouble(-3, 3);
+  return row;
+}
+
+TEST_P(KernelBatchTest, BatchMatchesScalarAcrossShapes) {
+  const auto kernel = MakeKernel(GetParam().kind, /*gamma=*/0.7);
+  ASSERT_NE(kernel, nullptr);
+  Rng rng(42);
+  for (const int dim : {1, 2, 3, 5, 7, 13, 64}) {
+    for (const int n : {1, 2, 4, 17}) {
+      std::vector<double> rows;
+      std::vector<double> norms;
+      for (int r = 0; r < n; ++r) {
+        const std::vector<double> row = RandomRow(&rng, dim);
+        double sq = 0.0;
+        for (const double v : row) sq += v * v;
+        norms.push_back(sq);
+        rows.insert(rows.end(), row.begin(), row.end());
+      }
+      const std::vector<double> t = RandomRow(&rng, dim);
+
+      std::vector<double> batch(static_cast<size_t>(n), -123.0);
+      kernel->SimilarityBatch(rows.data(), n, dim, t.data(), batch.data());
+      std::vector<double> batch_norms(static_cast<size_t>(n), -123.0);
+      kernel->SimilarityBatchNorms(rows.data(), norms.data(), n, dim,
+                                   t.data(), batch_norms.data());
+
+      for (int r = 0; r < n; ++r) {
+        const double scalar = kernel->SimilarityRaw(
+            rows.data() + static_cast<size_t>(r) * dim, t.data(), dim);
+        EXPECT_DOUBLE_EQ(batch[static_cast<size_t>(r)], scalar)
+            << GetParam().name << " dim=" << dim << " row=" << r;
+        // The norm expansion reassociates the arithmetic; allow ulp-scale
+        // relative drift only.
+        EXPECT_NEAR(batch_norms[static_cast<size_t>(r)], scalar,
+                    1e-9 * (1.0 + std::abs(scalar)))
+            << GetParam().name << " (norms) dim=" << dim << " row=" << r;
+      }
+    }
+  }
+}
+
+TEST_P(KernelBatchTest, EmptyBatchIsANoOp) {
+  const auto kernel = MakeKernel(GetParam().kind, 0.7);
+  const double t[3] = {1.0, 2.0, 3.0};
+  double sentinel = -7.0;
+  kernel->SimilarityBatch(nullptr, 0, 3, t, &sentinel);
+  kernel->SimilarityBatchNorms(nullptr, nullptr, 0, 3, t, &sentinel);
+  EXPECT_DOUBLE_EQ(sentinel, -7.0);
+}
+
+TEST_P(KernelBatchTest, NullNormsFallBackToPlainBatch) {
+  const auto kernel = MakeKernel(GetParam().kind, 0.7);
+  Rng rng(7);
+  const int dim = 5, n = 6;
+  std::vector<double> rows;
+  for (int r = 0; r < n; ++r) {
+    const auto row = RandomRow(&rng, dim);
+    rows.insert(rows.end(), row.begin(), row.end());
+  }
+  const auto t = RandomRow(&rng, dim);
+  std::vector<double> plain(static_cast<size_t>(n));
+  std::vector<double> viaNull(static_cast<size_t>(n));
+  kernel->SimilarityBatch(rows.data(), n, dim, t.data(), plain.data());
+  kernel->SimilarityBatchNorms(rows.data(), nullptr, n, dim, t.data(),
+                               viaNull.data());
+  for (int r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(plain[static_cast<size_t>(r)],
+                     viaNull[static_cast<size_t>(r)]);
+  }
+}
+
+TEST_P(KernelBatchTest, IdenticalRowScoresAsMostSimilar) {
+  // a == t must score exactly as "identical" through the norm expansion
+  // too: neg-Euclidean 0, RBF 1, cosine 1 (guards the cancellation clamp).
+  const auto kernel = MakeKernel(GetParam().kind, 0.7);
+  Rng rng(11);
+  const int dim = 9;
+  const auto t = RandomRow(&rng, dim);
+  double norm = 0.0;
+  for (const double v : t) norm += v * v;
+  double out = -123.0;
+  kernel->SimilarityBatchNorms(t.data(), &norm, 1, dim, t.data(), &out);
+  switch (GetParam().kind) {
+    case KernelKind::kNegativeEuclidean:
+      EXPECT_DOUBLE_EQ(out, 0.0);
+      break;
+    case KernelKind::kRbf:
+      EXPECT_DOUBLE_EQ(out, 1.0);
+      break;
+    case KernelKind::kCosine:
+      EXPECT_NEAR(out, 1.0, 1e-12);
+      break;
+    case KernelKind::kLinear:
+      EXPECT_DOUBLE_EQ(out, norm);
+      break;
+  }
+}
+
+TEST(KernelBatchVectorApiTest, VectorSimilarityStillWorks) {
+  // The pre-batch scalar API is the compatibility surface for single-pair
+  // callers (KNN over complete data); it must match SimilarityRaw exactly.
+  NegativeEuclideanKernel kernel;
+  const std::vector<double> a = {0.0, 0.0}, b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(kernel.Similarity(a, b), -25.0);
+  EXPECT_DOUBLE_EQ(kernel.Similarity(a, b),
+                   kernel.SimilarityRaw(a.data(), b.data(), 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelBatchTest,
+    ::testing::Values(Case{KernelKind::kNegativeEuclidean, "neg_euclidean"},
+                      Case{KernelKind::kRbf, "rbf"},
+                      Case{KernelKind::kLinear, "linear"},
+                      Case{KernelKind::kCosine, "cosine"}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace cpclean
