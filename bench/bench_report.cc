@@ -40,6 +40,9 @@ struct Row {
   double ns_per_op = 0.0;
   double cpu_ns_per_op = 0.0;
   int64_t threads = 1;
+  // User counters (e.g. bench_serve's p50_ns / p99_ns / qps), emitted as
+  // extra JSON fields on the row.
+  std::vector<std::pair<std::string, double>> counters;
 };
 
 // Google Benchmark < 1.8 reports failed runs via Run::error_occurred; 1.8+
@@ -81,6 +84,10 @@ class CollectingReporter : public benchmark::ConsoleReporter {
       row.ns_per_op = run.real_accumulated_time / iters * 1e9;
       row.cpu_ns_per_op = run.cpu_accumulated_time / iters * 1e9;
       row.threads = run.threads;
+      for (const auto& counter : run.counters) {
+        row.counters.emplace_back(counter.first,
+                                  static_cast<double>(counter.second));
+      }
       rows_.push_back(std::move(row));
     }
   }
@@ -98,8 +105,12 @@ class CollectingReporter : public benchmark::ConsoleReporter {
           << "\", \"iterations\": " << r.iterations
           << ", \"ns_per_op\": " << r.ns_per_op
           << ", \"cpu_ns_per_op\": " << r.cpu_ns_per_op
-          << ", \"threads\": " << r.threads << "}"
-          << (i + 1 < rows_.size() ? "," : "") << "\n";
+          << ", \"threads\": " << r.threads;
+      for (const auto& counter : r.counters) {
+        out << ", \"" << JsonEscape(counter.first)
+            << "\": " << counter.second;
+      }
+      out << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
     }
     out << "]}\n";
     return true;

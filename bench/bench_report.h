@@ -14,6 +14,9 @@ namespace benchreport {
 ///      "threads": T},
 ///     ...]}
 ///
+/// User counters set via `state.counters` (e.g. bench_serve's latency
+/// percentiles) appear as additional per-row fields.
+///
 /// ns_per_op is wall time per iteration; aggregate/complexity rows and
 /// errored runs are omitted. Returns the process exit code. Pass
 /// `--bench_report=<path>` on the command line to redirect the report.

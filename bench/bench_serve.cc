@@ -1,0 +1,174 @@
+// Serving-layer throughput / latency: every benchmark drives the real
+// request router (JSON parse → dispatch → engine → JSON response), i.e.
+// exactly what a connection thread executes per line. Each op reports
+// wall-clock ns/op plus hand-collected latency percentiles and throughput
+// as user counters (p50_ns, p99_ns, qps), which bench_report forwards into
+// the committed BENCH_serve.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "common/string_util.h"
+#include "serve/server.h"
+
+namespace {
+
+using cpclean::Server;
+using cpclean::StrFormat;
+
+constexpr int kTrain = 120;
+constexpr int kVal = 24;
+
+std::string CreateRequest(const std::string& name, int cache_capacity) {
+  return StrFormat(
+      "{\"op\":\"create_session\",\"session\":\"%s\",\"source\":"
+      "\"synthetic\",\"train_rows\":%d,\"val_size\":%d,\"test_size\":24,"
+      "\"seed\":11,\"numeric\":6,\"categorical\":0,\"noise_sigma\":0.4,"
+      "\"missing_rate\":0.2,\"k\":3,\"cache_capacity\":%d}",
+      name.c_str(), kTrain, kVal, cache_capacity);
+}
+
+/// One process-wide server: "hot" caches results, "cold" never does.
+Server* SharedServer() {
+  static Server* server = [] {
+    Server* s = new Server();
+    s->HandleLine(CreateRequest("hot", 4096));
+    s->HandleLine(CreateRequest("cold", 0));
+    return s;
+  }();
+  return server;
+}
+
+/// Issues `request` once per iteration, timing each round-trip, and
+/// reports p50/p99/qps. `next` (optional) produces a fresh request per
+/// iteration for cache-defeating sweeps.
+template <typename NextFn>
+void RunServeLoop(benchmark::State& state, NextFn next) {
+  Server* server = SharedServer();
+  std::vector<double> latencies_ns;
+  for (auto _ : state) {
+    const std::string request = next();
+    const auto start = std::chrono::steady_clock::now();
+    const std::string response = server->HandleLine(request);
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(response.data());
+    latencies_ns.push_back(
+        std::chrono::duration<double, std::nano>(stop - start).count());
+  }
+  if (latencies_ns.empty()) return;
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  const auto percentile = [&](double q) {
+    const size_t idx = std::min(
+        latencies_ns.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(latencies_ns.size())));
+    return latencies_ns[idx];
+  };
+  double total = 0.0;
+  for (const double ns : latencies_ns) total += ns;
+  state.counters["p50_ns"] = percentile(0.5);
+  state.counters["p99_ns"] = percentile(0.99);
+  state.counters["qps"] =
+      1e9 * static_cast<double>(latencies_ns.size()) / total;
+}
+
+void BM_Serve_Ping(benchmark::State& state) {
+  RunServeLoop(state, [] { return std::string("{\"op\":\"ping\"}"); });
+}
+BENCHMARK(BM_Serve_Ping);
+
+void BM_Serve_Predict(benchmark::State& state) {
+  int i = 0;
+  RunServeLoop(state, [&i] {
+    return StrFormat(
+        "{\"op\":\"predict\",\"session\":\"cold\",\"val_indices\":[%d]}",
+        i++ % kVal);
+  });
+}
+BENCHMARK(BM_Serve_Predict);
+
+void BM_Serve_Q2_CacheMiss(benchmark::State& state) {
+  int i = 0;
+  RunServeLoop(state, [&i] {
+    return StrFormat(
+        "{\"op\":\"q2\",\"session\":\"cold\",\"val_indices\":[%d]}",
+        i++ % kVal);
+  });
+}
+BENCHMARK(BM_Serve_Q2_CacheMiss);
+
+void BM_Serve_Q2_CacheHit(benchmark::State& state) {
+  // Warm the entry so every timed iteration hits.
+  SharedServer()->HandleLine(
+      "{\"op\":\"q2\",\"session\":\"hot\",\"val_indices\":[0]}");
+  RunServeLoop(state, [] {
+    return std::string(
+        "{\"op\":\"q2\",\"session\":\"hot\",\"val_indices\":[0]}");
+  });
+}
+BENCHMARK(BM_Serve_Q2_CacheHit);
+
+void BM_Serve_Certify(benchmark::State& state) {
+  int i = 0;
+  RunServeLoop(state, [&i] {
+    return StrFormat(
+        "{\"op\":\"certify\",\"session\":\"cold\",\"val_indices\":[%d],"
+        "\"max_cleaned\":4}",
+        i++ % kVal);
+  });
+}
+BENCHMARK(BM_Serve_Certify);
+
+void BM_Serve_CleanStep(benchmark::State& state) {
+  // Cleaning consumes the session; replenish with a fresh one (untimed)
+  // whenever the dirty list runs dry.
+  Server* server = SharedServer();
+  int generation = 0;
+  std::string session = StrFormat("step%d", generation);
+  server->HandleLine(CreateRequest(session, 0));
+  std::vector<double> latencies_ns;
+  const auto step_request = [&session] {
+    return StrFormat("{\"op\":\"clean_step\",\"session\":\"%s\"}",
+                     session.c_str());
+  };
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    std::string response = server->HandleLine(step_request());
+    auto stop = std::chrono::steady_clock::now();
+    if (response.find("\"cleaned\":[]") != std::string::npos) {
+      state.PauseTiming();
+      server->HandleLine(StrFormat(
+          "{\"op\":\"drop_session\",\"session\":\"%s\"}", session.c_str()));
+      session = StrFormat("step%d", ++generation);
+      server->HandleLine(CreateRequest(session, 0));
+      state.ResumeTiming();
+      start = std::chrono::steady_clock::now();
+      response = server->HandleLine(step_request());
+      stop = std::chrono::steady_clock::now();
+    }
+    benchmark::DoNotOptimize(response.data());
+    latencies_ns.push_back(
+        std::chrono::duration<double, std::nano>(stop - start).count());
+  }
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  if (!latencies_ns.empty()) {
+    state.counters["p50_ns"] = latencies_ns[latencies_ns.size() / 2];
+    state.counters["p99_ns"] =
+        latencies_ns[std::min(latencies_ns.size() - 1,
+                              latencies_ns.size() * 99 / 100)];
+  }
+  server->HandleLine(StrFormat(
+      "{\"op\":\"drop_session\",\"session\":\"%s\"}", session.c_str()));
+}
+BENCHMARK(BM_Serve_CleanStep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cpclean::benchreport::RunBenchmarksWithReport(argc, argv,
+                                                      "BENCH_serve.json");
+}

@@ -1,0 +1,122 @@
+// The CP-query serving daemon: named sessions over incomplete datasets,
+// batched certify / Q2 / predict / cleaning operations, per-session result
+// caching, and a process-global shared thread pool.
+//
+//   cpclean_server --stdio                 # line protocol on stdin/stdout
+//   cpclean_server --port=7071             # TCP listener on 127.0.0.1
+//   cpclean_server --port=0 --threads=8    # ephemeral port, 8-thread pool
+//
+// Protocol reference: README.md "Serving" (one JSON request per line, one
+// JSON response per line). `--threads=N` sizes the global pool every
+// session shares (0 = hardware concurrency); `--cache=N` sets the default
+// per-session result-cache capacity.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "serve/server.h"
+
+namespace {
+
+cpclean::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  // RequestStop (not Stop): only atomics and shutdown(2), so it is safe in
+  // a signal context. Connections drain gracefully.
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+bool ParseIntFlag(const char* arg, const char* name, long* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  char* end = nullptr;
+  *out = std::strtol(arg + len + 1, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpclean;
+
+  long port = -1;
+  long threads = 0;
+  long cache = 1024;
+  bool stdio = true;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    long value = 0;
+    if (std::strcmp(arg, "--stdio") == 0) {
+      stdio = true;
+      port = -1;
+    } else if (ParseIntFlag(arg, "--port", &value)) {
+      port = value;
+      stdio = false;
+    } else if (ParseIntFlag(arg, "--threads", &value)) {
+      threads = value;
+    } else if (ParseIntFlag(arg, "--cache", &value)) {
+      cache = value;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: cpclean_server [--stdio | --port=N] [--threads=N] "
+          "[--cache=N]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      return 2;
+    }
+  }
+
+  const Status pool_status =
+      ConfigureGlobalThreadPool(static_cast<int>(threads));
+  if (!pool_status.ok()) {
+    std::fprintf(stderr, "%s\n", pool_status.ToString().c_str());
+    return 2;
+  }
+
+  ServerOptions options;
+  options.default_cache_capacity =
+      cache < 0 ? 0 : static_cast<size_t>(cache);
+  Server server(options);
+
+  if (stdio) {
+    // No signal handlers here: RequestStop cannot interrupt a getline
+    // blocked on stdin (glibc restarts it), so the default terminate
+    // disposition is the correct Ctrl-C behavior for the pipe transport.
+    server.RunStdio(std::cin, std::cout);
+    return 0;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::fprintf(stderr, "cpclean_server: pool=%d threads, cache=%ld\n",
+               GlobalThreadPoolThreads(), cache);
+  // Bind happens inside ServeTcp; report the port it actually got (useful
+  // with --port=0) once it is listening. port() moves off -1 on both the
+  // listening and the failure path, so this thread always terminates.
+  std::thread announce([&server] {
+    while (server.port() == -1 && !server.stopping()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (server.port() >= 0) {
+      std::fprintf(stderr, "cpclean_server: listening on 127.0.0.1:%d\n",
+                   server.port());
+    }
+  });
+  const Status status = server.ServeTcp(static_cast<int>(port));
+  announce.join();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

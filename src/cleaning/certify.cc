@@ -16,20 +16,38 @@ Result<CertifyResult> CertifyTestPoint(const CleaningTask& task,
                                        const std::vector<double>& t,
                                        const SimilarityKernel& kernel,
                                        const CertifyOptions& options) {
-  if (options.k < 1 || options.k > task.incomplete.num_examples()) {
+  return CertifyOnDataset(task.incomplete, task.true_candidate, t, kernel,
+                          options);
+}
+
+Result<CertifyResult> CertifyOnDataset(const IncompleteDataset& dataset,
+                                       const std::vector<int>& true_candidate,
+                                       const std::vector<double>& t,
+                                       const SimilarityKernel& kernel,
+                                       const CertifyOptions& options) {
+  if (options.k < 1 || options.k > dataset.num_examples()) {
     return Status::InvalidArgument("k out of range");
   }
-  IncompleteDataset working = task.incomplete;
+  if (static_cast<int>(true_candidate.size()) < dataset.num_examples()) {
+    return Status::InvalidArgument(
+        "true_candidate must cover every example");
+  }
+  if (static_cast<int>(t.size()) != dataset.dim()) {
+    return Status::InvalidArgument("test point dimension mismatch");
+  }
+  IncompleteDataset working = dataset;
   const CertainPredictor predictor(&kernel, options.k);
-  // The pool (and its per-worker engines) is created lazily: the common
+  // The pool (and its per-worker engines) is selected lazily: the common
   // case — the prediction is already certain — returns from the first
-  // Check without spawning a single thread.
-  std::unique_ptr<ThreadPool> pool;
+  // Check without touching a pool. num_threads == 0 shares the process
+  // pool; a positive value owns a private one.
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool;
   std::vector<std::unique_ptr<FastQ2>> engines;
   // Workers lazily re-bind to the current cleaning round: FixExample keeps
   // the flat slab's shape but changes candidate counts, so each engine must
-  // Rebind + SetTestPoint (and recompute its pruning floor) once per round
-  // before scoring its slice.
+  // SetTestPoint (which auto-rebinds on the dataset version bump) and
+  // recompute its pruning floor once per round before scoring its slice.
   std::vector<uint64_t> engine_round;
   std::vector<double> engine_floor;
 
@@ -62,8 +80,13 @@ Result<CertifyResult> CertifyTestPoint(const CleaningTask& task,
     // chosen tuple does not depend on thread count or dirty's ordering.
     constexpr double kPruned = std::numeric_limits<double>::infinity();
     expected.assign(dirty.size(), kPruned);
-    if (!pool) {
-      pool = std::make_unique<ThreadPool>(options.num_threads);
+    if (pool == nullptr) {
+      if (options.num_threads == 0) {
+        pool = &GlobalThreadPool();
+      } else {
+        owned_pool = std::make_unique<ThreadPool>(options.num_threads);
+        pool = owned_pool.get();
+      }
       engines.resize(static_cast<size_t>(pool->num_threads()));
       engine_round.assign(engines.size(), 0);
       engine_floor.assign(engines.size(), 0.0);
@@ -73,8 +96,6 @@ Result<CertifyResult> CertifyTestPoint(const CleaningTask& task,
           auto& engine = engines[static_cast<size_t>(worker)];
           if (!engine) {
             engine = std::make_unique<FastQ2>(&working, options.k, 1e-9);
-          } else if (engine_round[static_cast<size_t>(worker)] != round) {
-            engine->Rebind();
           }
           if (engine_round[static_cast<size_t>(worker)] != round) {
             engine->SetTestPoint(t, kernel);
@@ -110,7 +131,7 @@ Result<CertifyResult> CertifyTestPoint(const CleaningTask& task,
     dirty[static_cast<size_t>(chosen_pos)] = dirty.back();
     dirty.pop_back();
     working.FixExample(chosen,
-                       task.true_candidate[static_cast<size_t>(chosen)]);
+                       true_candidate[static_cast<size_t>(chosen)]);
     result.cleaned.push_back(chosen);
   }
 }

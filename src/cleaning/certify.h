@@ -33,16 +33,29 @@ struct CertifyOptions {
   /// Maximum tuples to clean; -1 = until certified or nothing dirty left.
   int max_cleaned = -1;
   /// Worker threads for the per-dirty-tuple expected-entropy sweep
-  /// (0 = hardware concurrency, 1 = serial). Each worker scores a disjoint
-  /// slice with its own FastQ2 engine; the argmin reduction is serial with
-  /// an index tie-break, so the cleaned sequence is identical for every
-  /// thread count.
+  /// (0 = the process-global shared pool, any positive value a private
+  /// pool; 1 = serial). Each worker scores a disjoint slice with its own
+  /// FastQ2 engine; the argmin reduction is serial with an index
+  /// tie-break, so the cleaned sequence is identical for every thread
+  /// count.
   int num_threads = 0;
 };
 
 /// Certifies the prediction for `t` over a working copy of the task's
 /// incomplete dataset, using the task's oracle answers.
 Result<CertifyResult> CertifyTestPoint(const CleaningTask& task,
+                                       const std::vector<double>& t,
+                                       const SimilarityKernel& kernel,
+                                       const CertifyOptions& options =
+                                           CertifyOptions());
+
+/// Same certification against an explicit dataset + oracle answer vector
+/// (`true_candidate[i]` is the candidate revealed when tuple `i` is
+/// cleaned). This is the serving-layer entry point: a session's current
+/// working dataset — mid-cleaning — can be certified directly. The dataset
+/// is copied internally; the caller's copy is never mutated.
+Result<CertifyResult> CertifyOnDataset(const IncompleteDataset& dataset,
+                                       const std::vector<int>& true_candidate,
                                        const std::vector<double>& t,
                                        const SimilarityKernel& kernel,
                                        const CertifyOptions& options =

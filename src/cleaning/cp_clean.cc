@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "common/string_util.h"
 #include "core/certain_predictor.h"
 #include "core/fast_q2.h"
 #include "core/ss1.h"
@@ -20,8 +21,35 @@ CleaningSession::CleaningSession(const CleaningTask* task,
   CP_CHECK(task_ != nullptr);
   CP_CHECK(kernel_ != nullptr);
   CP_CHECK_GE(options_.k, 1);
-  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  if (options_.num_threads == 0) {
+    pool_ = &GlobalThreadPool();
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    pool_ = owned_pool_.get();
+  }
   Reset();
+}
+
+Result<std::unique_ptr<CleaningSession>> CleaningSession::Create(
+    const CleaningTask* task, const SimilarityKernel* kernel,
+    const CpCleanOptions& options) {
+  if (task == nullptr) return Status::InvalidArgument("task is null");
+  if (kernel == nullptr) return Status::InvalidArgument("kernel is null");
+  if (options.k < 1) {
+    return Status::InvalidArgument(
+        StrFormat("k must be >= 1, got %d", options.k));
+  }
+  if (options.k > FastQ2::kMaxK) {
+    return Status::InvalidArgument(
+        StrFormat("k = %d exceeds the FastQ2 engine cap of %d", options.k,
+                  FastQ2::kMaxK));
+  }
+  if (options.k > task->incomplete.num_examples()) {
+    return Status::InvalidArgument(
+        StrFormat("k = %d exceeds the %d training examples", options.k,
+                  task->incomplete.num_examples()));
+  }
+  return std::make_unique<CleaningSession>(task, kernel, options);
 }
 
 void CleaningSession::Reset() {
@@ -30,6 +58,8 @@ void CleaningSession::Reset() {
   cleaned_.assign(static_cast<size_t>(working_.num_examples()), 0);
   val_certain_.assign(task_->val_x.size(), 0);
   num_val_certain_ = 0;
+  num_cleaned_ = 0;
+  val_certainty_fresh_ = false;
   // Rows that are already clean in the dirty table count as cleaned and
   // their world value is their (single) candidate.
   for (int i = 0; i < working_.num_examples(); ++i) {
@@ -37,6 +67,10 @@ void CleaningSession::Reset() {
       cleaned_[static_cast<size_t>(i)] = 1;
       world_[static_cast<size_t>(i)] = working_.candidate(i, 0);
     }
+  }
+  dirty_.clear();
+  for (int i = 0; i < working_.num_examples(); ++i) {
+    if (!cleaned_[static_cast<size_t>(i)]) dirty_.push_back(i);
   }
 }
 
@@ -59,6 +93,14 @@ double CleaningSession::RefreshValCertainty() {
       ++num_val_certain_;
     }
   }
+  val_certainty_fresh_ = true;
+  if (task_->val_x.empty()) return 1.0;
+  return static_cast<double>(num_val_certain_) /
+         static_cast<double>(task_->val_x.size());
+}
+
+double CleaningSession::FracValCertain() {
+  if (!val_certainty_fresh_) return RefreshValCertainty();
   if (task_->val_x.empty()) return 1.0;
   return static_cast<double>(num_val_certain_) /
          static_cast<double>(task_->val_x.size());
@@ -125,17 +167,21 @@ std::vector<double> CleaningSession::FastSelectionScores(
   // each active validation point fills its own contribution row, and the
   // reduction replays additions in ascending validation order — so score
   // is bit-identical for every num_threads, including the serial pre-pool
-  // behavior at num_threads = 1. Validation points are processed in
-  // fixed-size ordered blocks to keep the contribution buffer at
-  // O(block x |dirty|) instead of O(|val| x |dirty|); the block size is a
-  // constant, so the addition sequence never depends on the thread count.
-  constexpr size_t kValBlock = 256;
+  // behavior at num_threads = 1. Validation points are streamed in ordered
+  // blocks sized so the contribution buffer stays within
+  // options_.max_contrib_bytes — O(block x |dirty|) memory instead of
+  // O(|active_val| x |dirty|). Per dirty example the additions form a left
+  // fold in ascending validation order whatever the block partition, so the
+  // bound — like the thread count — never changes a score bit.
+  const size_t row_bytes = dirty.size() * sizeof(double);
+  const size_t block =
+      std::min(active.size(),
+               std::max<size_t>(1, options_.max_contrib_bytes / row_bytes));
   std::vector<std::unique_ptr<FastQ2>> engines(
       static_cast<size_t>(pool_->num_threads()));
-  std::vector<double> contrib(std::min(active.size(), kValBlock) *
-                              dirty.size());
-  for (size_t base = 0; base < active.size(); base += kValBlock) {
-    const size_t count = std::min(kValBlock, active.size() - base);
+  std::vector<double> contrib(block * dirty.size());
+  for (size_t base = 0; base < active.size(); base += block) {
+    const size_t count = std::min(block, active.size() - base);
     pool_->ParallelFor(
         static_cast<int64_t>(count), [&](int64_t b, int worker) {
           auto& engine = engines[static_cast<size_t>(worker)];
@@ -182,6 +228,55 @@ void CleaningSession::CleanExample(int i) {
   working_.FixExample(i, true_j);
   world_[static_cast<size_t>(i)] = working_.candidate(i, 0);
   cleaned_[static_cast<size_t>(i)] = 1;
+  ++num_cleaned_;
+  val_certainty_fresh_ = false;
+}
+
+int CleaningSession::SelectGreedyPos() {
+  // Algorithm 3 lines 5-9: pick the example whose cleaning minimizes the
+  // expected conditional entropy of the validation predictions. Ties break
+  // toward the smallest example index, which keeps the choice independent
+  // of dirty_'s ordering (it is unsorted after swap-and-pop removals).
+  int chosen_pos = 0;
+  double best = std::numeric_limits<double>::infinity();
+  if (options_.use_fast_selection) {
+    const std::vector<double> score = FastSelectionScores(dirty_);
+    for (size_t p = 0; p < score.size(); ++p) {
+      if (score[p] < best ||
+          (score[p] == best &&
+           dirty_[p] < dirty_[static_cast<size_t>(chosen_pos)])) {
+        best = score[p];
+        chosen_pos = static_cast<int>(p);
+      }
+    }
+  } else {
+    for (size_t p = 0; p < dirty_.size(); ++p) {
+      const double e = ExpectedEntropyAfterCleaning(dirty_[p]);
+      if (e < best ||
+          (e == best &&
+           dirty_[p] < dirty_[static_cast<size_t>(chosen_pos)])) {
+        best = e;
+        chosen_pos = static_cast<int>(p);
+      }
+    }
+  }
+  return chosen_pos;
+}
+
+int CleaningSession::StepGreedy() {
+  if (!val_certainty_fresh_) RefreshValCertainty();
+  if (dirty_.empty()) return -1;
+  if (options_.stop_when_all_certain &&
+      num_val_certain_ == static_cast<int>(task_->val_x.size())) {
+    return -1;
+  }
+  const int chosen_pos = SelectGreedyPos();
+  const int chosen = dirty_[static_cast<size_t>(chosen_pos)];
+  dirty_[static_cast<size_t>(chosen_pos)] = dirty_.back();
+  dirty_.pop_back();
+  CleanExample(chosen);
+  RefreshValCertainty();
+  return chosen;
 }
 
 void CleaningSession::LogStep(CleaningRunResult* result, int step,
@@ -201,13 +296,8 @@ CleaningRunResult CleaningSession::RunLoop(bool greedy, Rng* rng) {
   CleaningRunResult result;
   LogStep(&result, 0, -1);
 
-  std::vector<int> dirty;
-  for (int i = 0; i < working_.num_examples(); ++i) {
-    if (!cleaned_[static_cast<size_t>(i)]) dirty.push_back(i);
-  }
-
   int step = 0;
-  while (!dirty.empty()) {
+  while (!dirty_.empty()) {
     if (options_.stop_when_all_certain &&
         num_val_certain_ == static_cast<int>(task_->val_x.size())) {
       result.all_val_certain = true;
@@ -217,43 +307,17 @@ CleaningRunResult CleaningSession::RunLoop(bool greedy, Rng* rng) {
 
     int chosen_pos = 0;
     if (greedy) {
-      // Algorithm 3 lines 5-9: pick the example whose cleaning minimizes
-      // the expected conditional entropy of the validation predictions.
-      // Ties break toward the smallest example index, which keeps the
-      // choice independent of dirty's ordering (it is unsorted after
-      // swap-and-pop removals).
-      double best = std::numeric_limits<double>::infinity();
-      if (options_.use_fast_selection) {
-        const std::vector<double> score = FastSelectionScores(dirty);
-        for (size_t p = 0; p < score.size(); ++p) {
-          if (score[p] < best ||
-              (score[p] == best &&
-               dirty[p] < dirty[static_cast<size_t>(chosen_pos)])) {
-            best = score[p];
-            chosen_pos = static_cast<int>(p);
-          }
-        }
-      } else {
-        for (size_t p = 0; p < dirty.size(); ++p) {
-          const double e = ExpectedEntropyAfterCleaning(dirty[p]);
-          if (e < best ||
-              (e == best &&
-               dirty[p] < dirty[static_cast<size_t>(chosen_pos)])) {
-            best = e;
-            chosen_pos = static_cast<int>(p);
-          }
-        }
-      }
+      chosen_pos = SelectGreedyPos();
     } else {
       CP_CHECK(rng != nullptr);
-      chosen_pos = static_cast<int>(rng->NextUint64(dirty.size()));
+      chosen_pos = static_cast<int>(rng->NextUint64(dirty_.size()));
     }
-    const int chosen = dirty[static_cast<size_t>(chosen_pos)];
+    const int chosen = dirty_[static_cast<size_t>(chosen_pos)];
     // Swap-and-pop: selection re-scores every remaining example each step,
-    // so dirty's order is irrelevant (the greedy tie-break is by example
+    // so dirty_'s order is irrelevant (the greedy tie-break is by example
     // index, not position).
-    dirty[static_cast<size_t>(chosen_pos)] = dirty.back();
-    dirty.pop_back();
+    dirty_[static_cast<size_t>(chosen_pos)] = dirty_.back();
+    dirty_.pop_back();
     CleanExample(chosen);
     ++step;
     LogStep(&result, step, chosen);

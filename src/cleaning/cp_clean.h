@@ -46,12 +46,24 @@ struct CpCleanOptions {
   /// Mass tolerance for FastQ2's early termination.
   double fast_epsilon = 1e-9;
   /// Worker threads for the independent per-validation-point loops
-  /// (selection scores, certainty refresh, entropy tracking). 0 = hardware
-  /// concurrency; 1 = fully serial (no worker threads, the pre-pool code
-  /// path). Every value produces bit-identical scores, cleaning order, and
-  /// step logs: workers fill disjoint per-point slots and the
-  /// floating-point reductions replay in validation order on one thread.
+  /// (selection scores, certainty refresh, entropy tracking). 0 = the
+  /// process-global shared pool (`GlobalThreadPool()`, hardware concurrency
+  /// by default) so concurrent sessions share cores; any positive value
+  /// gives this session a private pool of exactly that size (1 = fully
+  /// serial, no worker threads, the pre-pool code path). Every value
+  /// produces bit-identical scores, cleaning order, and step logs: workers
+  /// fill disjoint per-point slots and the floating-point reductions replay
+  /// in validation order on one thread.
   int num_threads = 0;
+  /// Upper bound in bytes on the streamed FastSelectionScores contribution
+  /// buffer (one double per active-validation-point x dirty-example pair).
+  /// Validation points are processed in ordered blocks of
+  /// `max_contrib_bytes / (8 * |dirty|)` (floored at one row), so peak
+  /// memory is O(block x |dirty|) instead of O(|active_val| x |dirty|).
+  /// The per-example reduction is a left fold in ascending validation order
+  /// regardless of the block partition, so every value — like every thread
+  /// count — yields bit-identical scores.
+  size_t max_contrib_bytes = size_t{2} << 20;
 };
 
 /// Driver for human-in-the-loop cleaning over a CleaningTask. Owns a
@@ -64,6 +76,14 @@ class CleaningSession {
   /// `task` and `kernel` are borrowed and must outlive the session.
   CleaningSession(const CleaningTask* task, const SimilarityKernel* kernel,
                   const CpCleanOptions& options);
+
+  /// Status-returning construction for server paths: validates the inputs
+  /// (the constructor CP_CHECK-aborts on them instead) and returns
+  /// InvalidArgument for a null task/kernel, k < 1, k beyond the FastQ2
+  /// engine cap, or k larger than the training set.
+  static Result<std::unique_ptr<CleaningSession>> Create(
+      const CleaningTask* task, const SimilarityKernel* kernel,
+      const CpCleanOptions& options);
 
   /// CPClean (paper Algorithm 3): sequential information maximization —
   /// each step cleans the example minimizing the expected conditional
@@ -80,8 +100,44 @@ class CleaningSession {
   /// and benchmarks; RunCpClean is the intended entry point.
   std::vector<double> FastSelectionScores(const std::vector<int>& dirty);
 
+  // --- Incremental stepping (the serving layer's interface) ---------------
+  //
+  // `RunCpClean`/`RunRandomClean` reset the session and run a whole budgeted
+  // loop; a server instead advances one greedy step at a time between
+  // queries against the current state. Interleaving StepGreedy with the
+  // run-loop API is fine — the Run* entry points always Reset first.
+
+  /// Performs one greedy CPClean step (select argmin expected entropy,
+  /// clean it, refresh validation certainty) against the session's current
+  /// state. Returns the cleaned example index, or -1 when there is nothing
+  /// left to clean or (with `stop_when_all_certain`) every validation point
+  /// is already CP'ed. A sequence of StepGreedy calls cleans exactly the
+  /// same examples in the same order as RunCpClean.
+  int StepGreedy();
+
+  /// The session's current incomplete dataset: the task's candidate space
+  /// with every cleaned example collapsed to its true candidate. CP queries
+  /// served against the session evaluate on this view.
+  const IncompleteDataset& working() const { return working_; }
+
+  /// Fraction of validation points currently certainly predicted
+  /// (refreshing lazily after a cleaning step).
+  double FracValCertain();
+
+  /// Examples not yet cleaned.
+  int NumDirtyRemaining() const { return static_cast<int>(dirty_.size()); }
+
+  /// Cleaning steps taken since the last Reset (excludes rows that were
+  /// already clean in the task).
+  int NumCleaned() const { return num_cleaned_; }
+
+  const CpCleanOptions& options() const { return options_; }
+
  private:
   void Reset();
+  /// Position in `dirty_` of the greedy choice (fast or reference scoring
+  /// per `use_fast_selection`, ties toward the smallest example index).
+  int SelectGreedyPos();
   /// Marks newly-certain validation points; returns the certain fraction.
   /// (CP'ed points stay CP'ed: cleaning only removes possible worlds.)
   double RefreshValCertainty();
@@ -100,12 +156,19 @@ class CleaningSession {
   const SimilarityKernel* kernel_;
   CpCleanOptions options_;
 
-  std::unique_ptr<ThreadPool> pool_;
+  // The pool the per-validation-point loops run on: the process-global
+  // shared pool when options_.num_threads == 0, else a privately owned one.
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
   IncompleteDataset working_;
   std::vector<std::vector<double>> world_;  // current best-guess features
   std::vector<uint8_t> cleaned_;
+  std::vector<int> dirty_;  // not-yet-cleaned examples (order irrelevant)
+  int num_cleaned_ = 0;
   std::vector<uint8_t> val_certain_;
   int num_val_certain_ = 0;
+  // False after a mutation until RefreshValCertainty runs again.
+  bool val_certainty_fresh_ = false;
 };
 
 }  // namespace cpclean

@@ -1,8 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace cpclean {
 
@@ -112,6 +114,10 @@ void ThreadPool::ParallelFor(int64_t n,
     return;
   }
 
+  // One job at a time: a second submitting thread queues here until the
+  // current job (including its error propagation) has fully drained, then
+  // runs with the complete worker set — identical to a private pool.
+  std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     CP_CHECK_EQ(active_workers_, 0) << "concurrent ParallelFor on one pool";
@@ -138,6 +144,45 @@ void ThreadPool::ParallelFor(int64_t n,
     error_ = nullptr;
   }
   if (error) std::rethrow_exception(error);
+}
+
+namespace {
+std::mutex g_global_pool_mu;
+int g_global_pool_threads = 0;  // size at creation; 0 = hardware
+// Leaked deliberately: server connection threads (detached or joined during
+// static destruction) may still touch the pool while exit handlers run, and
+// the OS reclaims the workers anyway.
+ThreadPool* g_global_pool = nullptr;
+}  // namespace
+
+ThreadPool& GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  if (g_global_pool == nullptr) {
+    g_global_pool = new ThreadPool(g_global_pool_threads);
+  }
+  return *g_global_pool;
+}
+
+Status ConfigureGlobalThreadPool(int num_threads) {
+  const int want =
+      num_threads <= 0 ? ThreadPool::HardwareThreads() : num_threads;
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  if (g_global_pool != nullptr) {
+    if (g_global_pool->num_threads() == want) return Status::OK();
+    return Status::AlreadyExists(StrFormat(
+        "global thread pool already running with %d threads; configure it "
+        "before its first use to get %d",
+        g_global_pool->num_threads(), want));
+  }
+  g_global_pool_threads = want;
+  return Status::OK();
+}
+
+int GlobalThreadPoolThreads() {
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  if (g_global_pool != nullptr) return g_global_pool->num_threads();
+  return g_global_pool_threads <= 0 ? ThreadPool::HardwareThreads()
+                                    : g_global_pool_threads;
 }
 
 }  // namespace cpclean

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace cpclean {
 
 /// A fixed-size worker pool for data-parallel loops over independent items.
@@ -38,6 +40,12 @@ namespace cpclean {
 ///  * Exceptions thrown by `fn` are captured; the first one is rethrown on
 ///    the calling thread after every in-flight invocation has finished. The
 ///    pool remains usable afterwards.
+///  * `ParallelFor` may be called from several threads at once (e.g. many
+///    server sessions sharing `GlobalThreadPool()`): jobs are admitted one
+///    at a time — a second caller blocks until the current job drains, then
+///    runs its own with the full worker set. Each job therefore executes
+///    exactly as it would on a private pool, so sharing a pool never
+///    changes results, it only shares the cores.
 class ThreadPool {
  public:
   /// `num_threads <= 0` selects the hardware concurrency (at least 1).
@@ -65,6 +73,11 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
+  // Admits one ParallelFor job at a time; held by the submitting caller for
+  // the whole job so concurrent callers queue instead of corrupting the
+  // shared job slots below.
+  std::mutex jobs_mu_;
+
   std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
@@ -79,6 +92,24 @@ class ThreadPool {
   std::atomic<int64_t> next_{0};
   std::exception_ptr error_;
 };
+
+/// The process-global shared pool: every component that is handed
+/// `num_threads = 0` parallelizes on this pool instead of creating a
+/// private one, so N concurrent sessions in one server process share the
+/// cores rather than oversubscribing N * hardware_concurrency threads.
+/// Created lazily on first use (size = `ConfigureGlobalThreadPool`'s value,
+/// or hardware concurrency) and lives for the rest of the process.
+ThreadPool& GlobalThreadPool();
+
+/// Sets the size the global pool is created with. Must be called before the
+/// first `GlobalThreadPool()` use; afterwards the pool is already running
+/// and the call fails with AlreadyExists (unless the size already matches).
+/// `num_threads <= 0` selects hardware concurrency.
+Status ConfigureGlobalThreadPool(int num_threads);
+
+/// The global pool's thread count without forcing its creation: the
+/// configured (or default) size before first use, the live size after.
+int GlobalThreadPoolThreads();
 
 }  // namespace cpclean
 

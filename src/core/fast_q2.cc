@@ -33,6 +33,7 @@ FastQ2::FastQ2(const IncompleteDataset* dataset, int k, double epsilon)
 }
 
 void FastQ2::Rebind() {
+  bound_version_ = dataset_->version();
   num_labels_ = dataset_->num_labels();
   const int n = dataset_->num_examples();
   CP_CHECK_LE(k_, n);
@@ -128,6 +129,11 @@ void FastQ2::ProductExcept(int label, int slot, double* out) const {
 
 void FastQ2::SetTestPoint(const std::vector<double>& t,
                           const SimilarityKernel& kernel) {
+  // Long-lived engines (one per serving session or worker slot) re-bind
+  // lazily: any dataset mutation since the last binding — a cleaning step's
+  // FixExample, a ReplaceCandidates — bumps the version counter, and the
+  // next test point picks up the new candidate shapes automatically.
+  if (dataset_->version() != bound_version_) Rebind();
   const int n = dataset_->num_examples();
   // One batched sweep over the flat candidate slab; no per-candidate
   // virtual call, and no sort here — queries order the scan lazily.

@@ -43,14 +43,18 @@ class FastQ2 {
   static constexpr int kMaxK = 16;
 
   /// Binds to `dataset` (borrowed; must outlive this object). Call
-  /// `Rebind` after the dataset's candidate sets change shape.
+  /// `Rebind` after the dataset's candidate sets change shape — or simply
+  /// call `SetTestPoint`, which re-binds automatically when the dataset's
+  /// mutation version has moved since the last binding (so one engine can
+  /// be reused across serving requests interleaved with cleaning steps).
   FastQ2(const IncompleteDataset* dataset, int k, double epsilon = 1e-9);
 
   /// Re-reads the dataset's structure (sizes, labels).
   void Rebind();
 
   /// Computes all candidate similarities against `t` (batched; the
-  /// descending order is materialized lazily by queries).
+  /// descending order is materialized lazily by queries). Re-binds first
+  /// when the dataset has been mutated since the last Rebind/SetTestPoint.
   void SetTestPoint(const std::vector<double>& t,
                     const SimilarityKernel& kernel);
 
@@ -102,6 +106,7 @@ class FastQ2 {
   double epsilon_;
   int num_labels_ = 0;
   int width_ = 0;  // k_ + 1 coefficients per node
+  uint64_t bound_version_ = 0;  // dataset_->version() at the last Rebind
 
   std::vector<int> slot_of_;
   std::vector<int> label_of_;

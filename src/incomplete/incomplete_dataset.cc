@@ -70,6 +70,7 @@ Status IncompleteDataset::AddExample(IncompleteExample example) {
   }
   total_candidates_ += static_cast<int>(example.candidates.size());
   examples_.push_back(std::move(example));
+  ++version_;
   return Status::OK();
 }
 
@@ -150,6 +151,7 @@ void IncompleteDataset::FixExample(int i, int j) {
   // In-place collapse: the example keeps its flat slot range; only row 0
   // stays active. Rows past the first are retired, not reclaimed.
   WriteFlatRow(flat_row(i, 0), ex.candidates.front());
+  ++version_;
 }
 
 void IncompleteDataset::ReplaceCandidates(
@@ -173,6 +175,7 @@ void IncompleteDataset::ReplaceCandidates(
     // The replacement outgrew the example's reserved slots: re-lay the slab.
     RebuildFlat();
   }
+  ++version_;
 }
 
 }  // namespace cpclean

@@ -1,6 +1,7 @@
 #ifndef CPCLEAN_INCOMPLETE_INCOMPLETE_DATASET_H_
 #define CPCLEAN_INCOMPLETE_INCOMPLETE_DATASET_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/big_uint.h"
@@ -89,6 +90,14 @@ class IncompleteDataset {
   /// Number of *active* candidate rows (sum of |C_i|).
   int total_candidates() const { return total_candidates_; }
 
+  /// Monotone mutation counter: bumped by every `AddExample`, `FixExample`,
+  /// and `ReplaceCandidates`. Cached derived state (serving-layer result
+  /// caches, bound query engines) compares versions to detect precisely
+  /// when the candidate space changed. Copies carry the source's version
+  /// forward (a copy of version v holds the same worlds as the original at
+  /// v), and assignment adopts the assigned dataset's version.
+  uint64_t version() const { return version_; }
+
   /// True when the slab has no retired rows — every flat row is an active
   /// candidate — so one batched kernel call can sweep the whole slab.
   bool flat_is_compact() const {
@@ -137,6 +146,7 @@ class IncompleteDataset {
   std::vector<int> cand_start_;
   std::vector<int> cand_capacity_;
   int total_candidates_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace cpclean

@@ -1,0 +1,93 @@
+#ifndef CPCLEAN_SERVE_JSON_H_
+#define CPCLEAN_SERVE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cpclean {
+
+/// A parsed JSON document node — the value type of the serving protocol.
+///
+/// Self-contained (no external JSON dependency): objects keep insertion
+/// order so responses serialize deterministically, and numbers are doubles
+/// printed with enough digits to round-trip exactly — a client echoing a
+/// probability back (e.g. as a cache key) sees the same bits the engine
+/// produced.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  JsonValue(double n) : type_(Type::kNumber), number_(n) {}  // NOLINT
+  JsonValue(int n)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(int64_t n)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(uint64_t n)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  JsonValue(std::string s)  // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+
+  static JsonValue MakeArray(Array items = {});
+  static JsonValue MakeObject(Object members = {});
+  /// Convenience for numeric result vectors (probabilities, points).
+  static JsonValue FromDoubles(const std::vector<double>& values);
+  static JsonValue FromInts(const std::vector<int>& values);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const Array& array() const { return array_; }
+  Array& array() { return array_; }
+  const Object& object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Appends (or replaces) an object member.
+  void Set(std::string key, JsonValue value);
+
+  /// Appends an array element.
+  void Append(JsonValue value);
+
+  /// Compact single-line serialization (the protocol's wire format).
+  std::string Dump() const;
+
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Errors are ParseError with a character offset.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_SERVE_JSON_H_

@@ -1,0 +1,73 @@
+#include "serve/result_cache.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace cpclean {
+
+std::optional<JsonValue> ResultCache::Lookup(const std::string& key,
+                                             uint64_t version) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second->second.version != version) {
+    // Computed against a superseded candidate space: drop it.
+    lru_.erase(it->second);
+    map_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->second.value;
+}
+
+void ResultCache::Insert(const std::string& key, uint64_t version,
+                         JsonValue value) {
+  if (capacity_ == 0) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = Entry{version, std::move(value)};
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, Entry{version, std::move(value)});
+  map_[key] = lru_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+uint64_t HashPointBytes(const std::vector<double>& point) {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const double x : point) {
+    uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xFF;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  }
+  return h;
+}
+
+std::string QueryCacheKey(const char* op, const std::string& kernel_name,
+                          int k, int max_cleaned,
+                          const std::vector<double>& point) {
+  return StrFormat("%s|%s|%d|%d|%016llx", op, kernel_name.c_str(), k,
+                   max_cleaned,
+                   static_cast<unsigned long long>(HashPointBytes(point)));
+}
+
+}  // namespace cpclean

@@ -1,0 +1,80 @@
+#ifndef CPCLEAN_SERVE_RESULT_CACHE_H_
+#define CPCLEAN_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/json.h"
+
+namespace cpclean {
+
+/// LRU cache for per-session CP query results.
+///
+/// Keys are built by `QueryCacheKey` from everything that determines a
+/// query's answer — the operation, a 64-bit hash of the test point's raw
+/// double bytes, k, and the kernel name. Each entry additionally records
+/// the `IncompleteDataset::version()` it was computed against; a lookup
+/// whose version differs evicts the entry and reports an invalidation, so
+/// a cleaning step (FixExample bumps the version) precisely invalidates
+/// every answer computed over the superseded possible-world space while
+/// answers for the untouched version keep hitting.
+///
+/// Not internally synchronized: the owning session serializes access.
+class ResultCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;      // capacity pressure
+    uint64_t invalidations = 0;  // version mismatch
+  };
+
+  /// `capacity` = max resident entries; 0 disables caching entirely.
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached result for `key` computed at `version`, or nullopt
+  /// (counting a miss, and an invalidation if a stale entry was dropped).
+  std::optional<JsonValue> Lookup(const std::string& key, uint64_t version);
+
+  /// Inserts (or refreshes) `key` -> `value` computed at `version`,
+  /// evicting the least-recently-used entry beyond capacity.
+  void Insert(const std::string& key, uint64_t version, JsonValue value);
+
+  void Clear();
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint64_t version;
+    JsonValue value;
+  };
+  // Most-recently-used at the front.
+  using LruList = std::list<std::pair<std::string, Entry>>;
+
+  size_t capacity_;
+  LruList lru_;
+  std::unordered_map<std::string, LruList::iterator> map_;
+  Stats stats_;
+};
+
+/// FNV-1a over the point's raw double bytes — collisions are astronomically
+/// unlikely within one session's working set, and a collision only costs a
+/// wrong cache answer for a query the caller can re-issue uncached.
+uint64_t HashPointBytes(const std::vector<double>& point);
+
+/// Canonical cache key: op | kernel | k | max_cleaned | point hash.
+std::string QueryCacheKey(const char* op, const std::string& kernel_name,
+                          int k, int max_cleaned,
+                          const std::vector<double>& point);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,589 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "cleaning/imputers.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "data/csv.h"
+#include "datasets/paper_datasets.h"
+#include "eval/experiment.h"
+
+namespace cpclean {
+
+namespace {
+
+// --- Typed request-parameter accessors -------------------------------------
+// Missing optional fields fall back to the default; present fields of the
+// wrong JSON type are an InvalidArgument, not a silent coercion.
+
+Result<std::string> GetString(const JsonValue& req, const char* key) {
+  const JsonValue* v = req.Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument(StrFormat("missing field \"%s\"", key));
+  }
+  if (!v->is_string()) {
+    return Status::InvalidArgument(StrFormat("\"%s\" must be a string", key));
+  }
+  return v->string_value();
+}
+
+Result<std::string> GetStringOr(const JsonValue& req, const char* key,
+                                const std::string& fallback) {
+  if (req.Find(key) == nullptr) return fallback;
+  return GetString(req, key);
+}
+
+Result<int64_t> GetIntOr(const JsonValue& req, const char* key,
+                         int64_t fallback) {
+  const JsonValue* v = req.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    return Status::InvalidArgument(StrFormat("\"%s\" must be a number", key));
+  }
+  // Exact-integer check before the cast: a fractional value, or one
+  // outside the double-exact integer range, must be a structured error —
+  // never a silent truncation or an undefined float→int conversion.
+  const double n = v->number_value();
+  if (std::floor(n) != n || n < -9007199254740992.0 ||
+      n > 9007199254740992.0) {
+    return Status::InvalidArgument(
+        StrFormat("\"%s\" must be an integer", key));
+  }
+  return static_cast<int64_t>(n);
+}
+
+/// `GetIntOr` narrowed to int, rejecting out-of-range values.
+Result<int> GetIntParam(const JsonValue& req, const char* key,
+                        int fallback) {
+  CP_ASSIGN_OR_RETURN(const int64_t n, GetIntOr(req, key, fallback));
+  if (n < std::numeric_limits<int>::min() ||
+      n > std::numeric_limits<int>::max()) {
+    return Status::OutOfRange(
+        StrFormat("\"%s\" = %lld does not fit in an int", key,
+                  static_cast<long long>(n)));
+  }
+  return static_cast<int>(n);
+}
+
+Result<double> GetDoubleOr(const JsonValue& req, const char* key,
+                           double fallback) {
+  const JsonValue* v = req.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    return Status::InvalidArgument(StrFormat("\"%s\" must be a number", key));
+  }
+  return v->number_value();
+}
+
+Result<bool> GetBoolOr(const JsonValue& req, const char* key, bool fallback) {
+  const JsonValue* v = req.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) {
+    return Status::InvalidArgument(StrFormat("\"%s\" must be a bool", key));
+  }
+  return v->bool_value();
+}
+
+/// The batched query points: explicit `points` (array of feature arrays)
+/// or `val_indices` into the session's validation set.
+Result<std::vector<std::vector<double>>> ResolvePoints(
+    const JsonValue& req, const ServeSession& session) {
+  const JsonValue* points = req.Find("points");
+  const JsonValue* indices = req.Find("val_indices");
+  if ((points == nullptr) == (indices == nullptr)) {
+    return Status::InvalidArgument(
+        "exactly one of \"points\" or \"val_indices\" is required");
+  }
+  std::vector<std::vector<double>> out;
+  if (points != nullptr) {
+    if (!points->is_array()) {
+      return Status::InvalidArgument("\"points\" must be an array of arrays");
+    }
+    out.reserve(points->array().size());
+    for (const JsonValue& p : points->array()) {
+      if (!p.is_array()) {
+        return Status::InvalidArgument(
+            "\"points\" must be an array of arrays");
+      }
+      std::vector<double> features;
+      features.reserve(p.array().size());
+      for (const JsonValue& x : p.array()) {
+        if (!x.is_number()) {
+          return Status::InvalidArgument("point features must be numbers");
+        }
+        features.push_back(x.number_value());
+      }
+      out.push_back(std::move(features));
+    }
+  } else {
+    if (!indices->is_array()) {
+      return Status::InvalidArgument("\"val_indices\" must be an array");
+    }
+    out.reserve(indices->array().size());
+    for (const JsonValue& x : indices->array()) {
+      const double n = x.is_number() ? x.number_value() : -1.0;
+      if (!x.is_number() || std::floor(n) != n || n < 0.0 ||
+          n > static_cast<double>(std::numeric_limits<int>::max())) {
+        return Status::InvalidArgument(
+            "\"val_indices\" must hold non-negative integers");
+      }
+      CP_ASSIGN_OR_RETURN(std::vector<double> point,
+                          session.ValPoint(static_cast<int>(n)));
+      out.push_back(std::move(point));
+    }
+  }
+  return out;
+}
+
+Result<Table> LoadTable(const JsonValue& req, const char* text_key,
+                        const char* path_key) {
+  const JsonValue* text = req.Find(text_key);
+  if (text != nullptr) {
+    if (!text->is_string()) {
+      return Status::InvalidArgument(
+          StrFormat("\"%s\" must be a string", text_key));
+    }
+    return ReadCsvString(text->string_value());
+  }
+  CP_ASSIGN_OR_RETURN(const std::string path, GetString(req, path_key));
+  return ReadCsvFile(path);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() {
+  Stop();
+  // Backstop for destruction while ServeTcp is still winding down on
+  // another thread: connection handlers are detached and reference this
+  // object, so wait for the last one to sign off.
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
+}
+
+Result<CleaningTask> Server::BuildTask(const JsonValue& req) {
+  CP_ASSIGN_OR_RETURN(const std::string source,
+                      GetStringOr(req, "source", "paper"));
+  if (source == "paper" || source == "synthetic") {
+    ExperimentConfig config;
+    CP_ASSIGN_OR_RETURN(const int train_rows,
+                        GetIntParam(req, "train_rows", 300));
+    CP_ASSIGN_OR_RETURN(const int val_size,
+                        GetIntParam(req, "val_size", 100));
+    CP_ASSIGN_OR_RETURN(const int test_size,
+                        GetIntParam(req, "test_size", 200));
+    CP_ASSIGN_OR_RETURN(const int64_t seed, GetIntOr(req, "seed", 42));
+    if (source == "paper") {
+      CP_ASSIGN_OR_RETURN(const std::string dataset,
+                          GetStringOr(req, "dataset", "Supreme"));
+      bool known = false;
+      for (const auto& spec : PaperDatasetSuite()) {
+        if (spec.name == dataset) known = true;
+      }
+      if (!known) {
+        return Status::InvalidArgument(StrFormat(
+            "unknown paper dataset \"%s\" (expected BabyProduct, Supreme, "
+            "Bank, Puma)",
+            dataset.c_str()));
+      }
+      config.dataset =
+          PaperDatasetByName(dataset, train_rows, val_size, test_size,
+                             static_cast<uint64_t>(seed));
+    } else {
+      PaperDatasetSpec spec;
+      CP_ASSIGN_OR_RETURN(spec.name, GetStringOr(req, "dataset", "synthetic"));
+      spec.synthetic.name = spec.name;
+      CP_ASSIGN_OR_RETURN(const int numeric, GetIntParam(req, "numeric", 6));
+      CP_ASSIGN_OR_RETURN(const int categorical,
+                          GetIntParam(req, "categorical", 1));
+      CP_ASSIGN_OR_RETURN(const double noise,
+                          GetDoubleOr(req, "noise_sigma", 0.5));
+      CP_ASSIGN_OR_RETURN(const bool nonlinear,
+                          GetBoolOr(req, "nonlinear", false));
+      spec.synthetic.num_rows = train_rows + val_size + test_size;
+      spec.synthetic.num_numeric = numeric;
+      spec.synthetic.num_categorical = categorical;
+      spec.synthetic.noise_sigma = noise;
+      spec.synthetic.nonlinear = nonlinear;
+      spec.synthetic.seed = static_cast<uint64_t>(seed);
+      spec.val_size = val_size;
+      spec.test_size = test_size;
+      config.dataset = std::move(spec);
+    }
+    CP_ASSIGN_OR_RETURN(
+        config.dataset.missing_rate,
+        GetDoubleOr(req, "missing_rate", config.dataset.missing_rate));
+    CP_ASSIGN_OR_RETURN(config.k, GetIntParam(req, "k", 3));
+    config.seed = static_cast<uint64_t>(seed);
+    CP_ASSIGN_OR_RETURN(config.num_threads,
+                        GetIntParam(req, "num_threads", 0));
+    CP_ASSIGN_OR_RETURN(const std::string kernel_name,
+                        GetStringOr(req, "kernel", "neg_euclidean"));
+    CP_ASSIGN_OR_RETURN(const KernelKind kind,
+                        KernelKindFromName(kernel_name));
+    CP_ASSIGN_OR_RETURN(const double gamma, GetDoubleOr(req, "gamma", 1.0));
+    const std::unique_ptr<SimilarityKernel> kernel = MakeKernel(kind, gamma);
+    CP_ASSIGN_OR_RETURN(PreparedExperiment prepared,
+                        PrepareExperiment(config, *kernel));
+    return std::move(prepared.task);
+  }
+  if (source == "csv") {
+    // Dirty training CSV (inline text or a file path) plus the label
+    // column; ground truth / validation / test tables are optional — a
+    // default-imputed completion stands in when absent, mirroring the
+    // csv_workflow example. Every parse or schema failure surfaces as a
+    // structured error response.
+    CP_ASSIGN_OR_RETURN(Table dirty, LoadTable(req, "csv_text", "csv_path"));
+    CP_ASSIGN_OR_RETURN(const std::string label, GetString(req, "label"));
+    CP_ASSIGN_OR_RETURN(const int label_col,
+                        dirty.schema().FieldIndex(label));
+    Table clean;
+    if (req.Find("clean_text") != nullptr ||
+        req.Find("clean_path") != nullptr) {
+      CP_ASSIGN_OR_RETURN(clean, LoadTable(req, "clean_text", "clean_path"));
+    } else {
+      CP_ASSIGN_OR_RETURN(clean, DefaultCleanImpute(dirty, label_col));
+    }
+    Table val = clean;
+    if (req.Find("val_text") != nullptr || req.Find("val_path") != nullptr) {
+      CP_ASSIGN_OR_RETURN(val, LoadTable(req, "val_text", "val_path"));
+    }
+    Table test = val;
+    if (req.Find("test_text") != nullptr ||
+        req.Find("test_path") != nullptr) {
+      CP_ASSIGN_OR_RETURN(test, LoadTable(req, "test_text", "test_path"));
+    }
+    return BuildCleaningTask(dirty, clean, val, test, label);
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown source \"%s\" (expected paper, synthetic, csv)",
+      source.c_str()));
+}
+
+Result<JsonValue> Server::CreateSession(const JsonValue& req) {
+  CP_ASSIGN_OR_RETURN(const std::string name, GetString(req, "session"));
+  ServeSessionOptions options;
+  CP_ASSIGN_OR_RETURN(options.k, GetIntParam(req, "k", 3));
+  CP_ASSIGN_OR_RETURN(const std::string kernel_name,
+                      GetStringOr(req, "kernel", "neg_euclidean"));
+  CP_ASSIGN_OR_RETURN(options.kernel, KernelKindFromName(kernel_name));
+  CP_ASSIGN_OR_RETURN(options.gamma, GetDoubleOr(req, "gamma", 1.0));
+  CP_ASSIGN_OR_RETURN(options.num_threads,
+                      GetIntParam(req, "num_threads", 0));
+  CP_ASSIGN_OR_RETURN(
+      const int64_t cache_capacity,
+      GetIntOr(req, "cache_capacity",
+               static_cast<int64_t>(options_.default_cache_capacity)));
+  if (cache_capacity < 0) {
+    return Status::InvalidArgument("cache_capacity must be >= 0");
+  }
+  options.cache_capacity = static_cast<size_t>(cache_capacity);
+  CP_ASSIGN_OR_RETURN(
+      const int64_t max_contrib_bytes,
+      GetIntOr(req, "max_contrib_bytes",
+               static_cast<int64_t>(options.max_contrib_bytes)));
+  if (max_contrib_bytes < 1) {
+    return Status::InvalidArgument("max_contrib_bytes must be >= 1");
+  }
+  options.max_contrib_bytes = static_cast<size_t>(max_contrib_bytes);
+
+  CP_ASSIGN_OR_RETURN(CleaningTask task, BuildTask(req));
+  CP_ASSIGN_OR_RETURN(
+      const std::shared_ptr<ServeSession> session,
+      registry_.Create(name, std::move(task), options));
+
+  const CleaningTask& bound = session->task();
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("session", JsonValue(session->name()));
+  out.Set("train", JsonValue(bound.incomplete.num_examples()));
+  out.Set("dirty", JsonValue(static_cast<int>(bound.DirtyRows().size())));
+  out.Set("val", JsonValue(static_cast<int>(bound.val_x.size())));
+  out.Set("test", JsonValue(static_cast<int>(bound.test_x.size())));
+  out.Set("dim", JsonValue(bound.incomplete.dim()));
+  out.Set("labels", JsonValue(bound.incomplete.num_labels()));
+  out.Set("log2_worlds",
+          JsonValue(bound.incomplete.Log2NumPossibleWorlds()));
+  return out;
+}
+
+Result<JsonValue> Server::BatchQuery(const std::string& op,
+                                     const JsonValue& req) {
+  CP_ASSIGN_OR_RETURN(const std::string name, GetString(req, "session"));
+  CP_ASSIGN_OR_RETURN(const std::shared_ptr<ServeSession> session,
+                      registry_.Get(name));
+  CP_ASSIGN_OR_RETURN(const std::vector<std::vector<double>> points,
+                      ResolvePoints(req, *session));
+  CP_ASSIGN_OR_RETURN(const int max_cleaned,
+                      GetIntParam(req, "max_cleaned", -1));
+  JsonValue results = JsonValue::MakeArray();
+  for (const std::vector<double>& point : points) {
+    Result<JsonValue> one =
+        op == "certify"
+            ? session->Certify(point, max_cleaned)
+            : op == "q2" ? session->Q2(point) : session->Predict(point);
+    CP_ASSIGN_OR_RETURN(JsonValue value, std::move(one));
+    results.Append(std::move(value));
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("count", JsonValue(static_cast<int>(points.size())));
+  out.Set("results", std::move(results));
+  return out;
+}
+
+Result<JsonValue> Server::CleanOp(const std::string& op,
+                                  const JsonValue& req) {
+  CP_ASSIGN_OR_RETURN(const std::string name, GetString(req, "session"));
+  CP_ASSIGN_OR_RETURN(const std::shared_ptr<ServeSession> session,
+                      registry_.Get(name));
+  if (op == "clean_step") {
+    CP_ASSIGN_OR_RETURN(const int steps, GetIntParam(req, "steps", 1));
+    return session->CleanStep(steps);
+  }
+  CP_ASSIGN_OR_RETURN(const int budget, GetIntParam(req, "budget", -1));
+  return session->CleanRun(budget);
+}
+
+Result<JsonValue> Server::Stats(const JsonValue& req) {
+  const JsonValue* name = req.Find("session");
+  if (name != nullptr) {
+    CP_ASSIGN_OR_RETURN(const std::string session_name,
+                        GetString(req, "session"));
+    CP_ASSIGN_OR_RETURN(const std::shared_ptr<ServeSession> session,
+                        registry_.Get(session_name));
+    return session->Stats();
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("sessions", JsonValue(static_cast<int>(registry_.size())));
+  JsonValue names = JsonValue::MakeArray();
+  for (const std::string& n : registry_.Names()) names.Append(JsonValue(n));
+  out.Set("names", std::move(names));
+  out.Set("pool_threads", JsonValue(GlobalThreadPoolThreads()));
+  return out;
+}
+
+Result<JsonValue> Server::Dispatch(const std::string& op,
+                                   const JsonValue& req) {
+  if (op == "ping") return JsonValue::MakeObject();
+  if (op == "create_session") return CreateSession(req);
+  if (op == "list_sessions") {
+    JsonValue out = JsonValue::MakeObject();
+    JsonValue names = JsonValue::MakeArray();
+    for (const std::string& n : registry_.Names()) names.Append(JsonValue(n));
+    out.Set("sessions", std::move(names));
+    return out;
+  }
+  if (op == "drop_session") {
+    CP_ASSIGN_OR_RETURN(const std::string name, GetString(req, "session"));
+    CP_RETURN_NOT_OK(registry_.Drop(name));
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("dropped", JsonValue(name));
+    return out;
+  }
+  if (op == "certify" || op == "q2" || op == "predict") {
+    return BatchQuery(op, req);
+  }
+  if (op == "clean_step" || op == "clean_run") return CleanOp(op, req);
+  if (op == "stats") return Stats(req);
+  if (op == "shutdown") {
+    // Graceful (not Stop()): the connection that asked must still receive
+    // this response before its handler notices stopping_ and closes.
+    RequestStop();
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("stopping", JsonValue(true));
+    return out;
+  }
+  return Status::InvalidArgument(StrFormat("unknown op \"%s\"", op.c_str()));
+}
+
+JsonValue Server::HandleRequest(const JsonValue& request) {
+  JsonValue response = JsonValue::MakeObject();
+  if (request.is_object()) {
+    const JsonValue* id = request.Find("id");
+    if (id != nullptr) response.Set("id", *id);
+  }
+  Result<JsonValue> result = [&]() -> Result<JsonValue> {
+    if (!request.is_object()) {
+      return Status::InvalidArgument("request must be a JSON object");
+    }
+    CP_ASSIGN_OR_RETURN(const std::string op, GetString(request, "op"));
+    return Dispatch(op, request);
+  }();
+  if (result.ok()) {
+    response.Set("ok", JsonValue(true));
+    response.Set("result", std::move(result).value());
+  } else {
+    response.Set("ok", JsonValue(false));
+    JsonValue error = JsonValue::MakeObject();
+    error.Set("code", JsonValue(StatusCodeToString(result.status().code())));
+    error.Set("message", JsonValue(result.status().message()));
+    response.Set("error", std::move(error));
+  }
+  return response;
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  size_t begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string::npos || line[begin] == '#') return std::string();
+  Result<JsonValue> request = ParseJson(line);
+  if (!request.ok()) {
+    JsonValue response = JsonValue::MakeObject();
+    response.Set("ok", JsonValue(false));
+    JsonValue error = JsonValue::MakeObject();
+    error.Set("code",
+              JsonValue(StatusCodeToString(request.status().code())));
+    error.Set("message", JsonValue(request.status().message()));
+    response.Set("error", std::move(error));
+    return response.Dump();
+  }
+  return HandleRequest(request.value()).Dump();
+}
+
+void Server::RunStdio(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!stopping_.load() && std::getline(in, line)) {
+    const std::string response = HandleLine(line);
+    if (response.empty()) continue;
+    out << response << "\n";
+    out.flush();
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  // The stopping_ check sits *after* draining buffered lines, so a
+  // pipelined `shutdown` request still gets its response before the
+  // handler closes the socket.
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      std::string response = HandleLine(line);
+      if (response.empty()) continue;
+      response.push_back('\n');
+      size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t w =
+            ::send(fd, response.data() + sent, response.size() - sent, 0);
+        if (w <= 0) break;
+        sent += static_cast<size_t>(w);
+      }
+    }
+    if (stopping_.load()) break;
+  }
+  // Sign off entirely under the lock — erase before close (so Stop never
+  // kicks a recycled descriptor), notify before unlocking (so the last
+  // signal lands strictly before ~Server can tear the cv down) — and touch
+  // no member afterwards: this thread is detached.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+    if (*it == fd) {
+      conn_fds_.erase(it);
+      break;
+    }
+  }
+  ::close(fd);
+  --active_connections_;
+  conn_cv_.notify_all();
+}
+
+Status Server::ServeTcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    bound_port_.store(-2);
+    return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  // Loopback only: the protocol carries no authentication.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Status::IoError(StrFormat("bind: %s", std::strerror(errno)));
+    ::close(fd);
+    bound_port_.store(-2);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status status =
+        Status::IoError(StrFormat("listen: %s", std::strerror(errno)));
+    ::close(fd);
+    bound_port_.store(-2);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_fd_.store(fd);
+  bound_port_.store(static_cast<int>(ntohs(addr.sin_port)));
+
+  while (!stopping_.load()) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (Stop) or fatal accept error
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.push_back(client);
+      ++active_connections_;
+    }
+    // Detached: the handler signs itself off via active_connections_, so
+    // a long-lived server never accumulates finished thread handles.
+    std::thread([this, client] { HandleConnection(client); }).detach();
+  }
+
+  ::close(fd);
+  listen_fd_.store(-1);
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    // SHUT_RD, not RDWR: blocked recv calls return 0, but the send half
+    // stays open so a response in flight (e.g. the shutdown ack itself)
+    // still reaches its client before the handler closes.
+    for (const int client : conn_fds_) ::shutdown(client, SHUT_RD);
+    conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  }
+  bound_port_.store(-2);
+  return Status::OK();
+}
+
+void Server::RequestStop() {
+  stopping_.store(true);
+  const int fd = listen_fd_.load();
+  if (fd >= 0) {
+    // Wakes the accept loop; the fd itself is closed by ServeTcp. shutdown
+    // is async-signal-safe, so this whole function may run from a signal
+    // handler.
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void Server::Stop() {
+  RequestStop();
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (const int client : conn_fds_) {
+    ::shutdown(client, SHUT_RDWR);
+  }
+}
+
+}  // namespace cpclean

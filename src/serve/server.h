@@ -1,0 +1,120 @@
+#ifndef CPCLEAN_SERVE_SERVER_H_
+#define CPCLEAN_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/json.h"
+#include "serve/session_registry.h"
+
+namespace cpclean {
+
+struct ServerOptions {
+  /// Result-cache capacity given to sessions that do not specify their own.
+  size_t default_cache_capacity = 1024;
+};
+
+/// The CP-query serving layer's request router and transports.
+///
+/// Protocol: line-delimited JSON, one request object in, one response
+/// object out. Requests carry an `op`, an optional `id` (echoed back), an
+/// `session` for per-session operations, and op parameters inline:
+///
+///   {"id":1,"op":"create_session","session":"a","source":"paper",
+///    "dataset":"Supreme","train_rows":120,"k":3}
+///   {"id":2,"op":"certify","session":"a","val_indices":[0,1,2]}
+///   {"id":3,"op":"clean_step","session":"a","steps":2}
+///
+/// Responses are `{"id":...,"ok":true,"result":{...}}` on success and
+/// `{"id":...,"ok":false,"error":{"code":"Not found","message":"..."}}` on
+/// failure, where `code` is `StatusCodeToString` of the library Status
+/// ("Invalid argument", "Not found", "Out of range", "Parse error",
+/// "Already exists", ...) — every malformed input (bad JSON, unknown op,
+/// missing session, malformed CSV) yields a structured error response,
+/// never a process abort. Blank lines and `#` comment lines are ignored,
+/// so scripted query files can be annotated.
+///
+/// Ops: create_session, list_sessions, drop_session, certify, q2, predict,
+/// clean_step, clean_run, stats, ping, shutdown. See README "Serving".
+///
+/// Transports: `RunStdio` (requests on stdin, responses on stdout) and
+/// `ServeTcp` (loopback listener, one thread per connection running the
+/// same line protocol). Requests on different sessions execute
+/// concurrently and share the process-global thread pool; requests on one
+/// session serialize on its mutex.
+class Server {
+ public:
+  explicit Server(ServerOptions options = ServerOptions());
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Routes one request line to one response line (no trailing newline).
+  /// Returns an empty string for blank/comment lines (no response).
+  std::string HandleLine(const std::string& line);
+
+  /// Parsed-request entry point (the testing seam under HandleLine).
+  JsonValue HandleRequest(const JsonValue& request);
+
+  /// Reads requests from `in` until EOF or a `shutdown` op; writes one
+  /// response line per request to `out`, flushing after each.
+  void RunStdio(std::istream& in, std::ostream& out);
+
+  /// Listens on 127.0.0.1:`port` (0 = ephemeral; see `port()`) and blocks
+  /// until `Stop()`/`RequestStop()` or a `shutdown` request. One detached
+  /// thread per connection, reaped through a live-connection count; the
+  /// call returns only after every connection has drained.
+  Status ServeTcp(int port);
+
+  /// The bound TCP port once `ServeTcp` is listening; -1 before, -2 once
+  /// the listener has failed or terminated.
+  int port() const { return bound_port_.load(); }
+
+  /// Graceful wind-down: marks the server stopping and unblocks the
+  /// listener. Connection threads finish sending the responses for lines
+  /// they have already read, then close. Async-signal-safe (atomics and a
+  /// `shutdown(2)` call only), so it may run from a signal handler.
+  void RequestStop();
+
+  /// `RequestStop` plus an immediate kick of every open connection
+  /// (in-flight recv calls return right away). Not signal-safe.
+  void Stop();
+
+  bool stopping() const { return stopping_.load(); }
+
+  SessionRegistry& registry() { return registry_; }
+
+ private:
+  Result<JsonValue> Dispatch(const std::string& op, const JsonValue& req);
+  Result<JsonValue> CreateSession(const JsonValue& req);
+  Result<JsonValue> BatchQuery(const std::string& op, const JsonValue& req);
+  Result<JsonValue> CleanOp(const std::string& op, const JsonValue& req);
+  Result<JsonValue> Stats(const JsonValue& req);
+  Result<CleaningTask> BuildTask(const JsonValue& req);
+
+  void HandleConnection(int fd);
+
+  ServerOptions options_;
+  SessionRegistry registry_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> bound_port_{-1};
+  std::atomic<int> listen_fd_{-1};
+
+  // Open connections: fds for the shutdown kick, a count + cv so ServeTcp
+  // and the destructor can wait for the detached handler threads to drain
+  // (threads reap themselves — no per-connection join handle accumulates).
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::vector<int> conn_fds_;
+  int active_connections_ = 0;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_SERVE_SERVER_H_

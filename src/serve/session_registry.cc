@@ -1,0 +1,259 @@
+#include "serve/session_registry.h"
+
+#include <algorithm>
+
+#include "cleaning/certify.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "core/certain_predictor.h"
+
+namespace cpclean {
+
+Result<KernelKind> KernelKindFromName(const std::string& name) {
+  if (name == "neg_euclidean") return KernelKind::kNegativeEuclidean;
+  if (name == "rbf") return KernelKind::kRbf;
+  if (name == "linear") return KernelKind::kLinear;
+  if (name == "cosine") return KernelKind::kCosine;
+  return Status::InvalidArgument(StrFormat(
+      "unknown kernel \"%s\" (expected neg_euclidean, rbf, linear, cosine)",
+      name.c_str()));
+}
+
+ServeSession::ServeSession(std::string name, CleaningTask task,
+                           const ServeSessionOptions& options)
+    : name_(std::move(name)),
+      task_(std::move(task)),
+      options_(options),
+      cache_(options.cache_capacity) {}
+
+Result<std::shared_ptr<ServeSession>> ServeSession::Make(
+    std::string name, CleaningTask task, const ServeSessionOptions& options) {
+  if (name.empty()) return Status::InvalidArgument("session name is empty");
+  // shared_ptr rather than make_shared: the constructor is private.
+  std::shared_ptr<ServeSession> session(
+      new ServeSession(std::move(name), std::move(task), options));
+  session->kernel_ = MakeKernel(options.kernel, options.gamma);
+  CpCleanOptions clean_options;
+  clean_options.k = options.k;
+  clean_options.num_threads = options.num_threads;
+  clean_options.max_contrib_bytes = options.max_contrib_bytes;
+  // Serving sessions step incrementally; the run-loop bookkeeping knobs
+  // (per-step accuracy / entropy traces) stay off.
+  clean_options.track_test_accuracy = false;
+  clean_options.track_entropy = false;
+  CP_ASSIGN_OR_RETURN(
+      session->cleaner_,
+      CleaningSession::Create(&session->task_, session->kernel_.get(),
+                              clean_options));
+  return session;
+}
+
+Result<std::vector<double>> ServeSession::ValPoint(int index) const {
+  if (index < 0 || index >= static_cast<int>(task_.val_x.size())) {
+    return Status::OutOfRange(
+        StrFormat("val_index %d outside [0, %d)", index,
+                  static_cast<int>(task_.val_x.size())));
+  }
+  return task_.val_x[static_cast<size_t>(index)];
+}
+
+template <typename Fn>
+Result<JsonValue> ServeSession::Cached(const std::string& key, Fn compute) {
+  const uint64_t version = cleaner_->working().version();
+  if (std::optional<JsonValue> hit = cache_.Lookup(key, version)) {
+    return *std::move(hit);
+  }
+  Result<JsonValue> computed = compute();
+  if (computed.ok()) cache_.Insert(key, version, computed.value());
+  return computed;
+}
+
+Result<JsonValue> ServeSession::Certify(const std::vector<double>& point,
+                                        int max_cleaned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+  const std::string key = QueryCacheKey("certify", kernel_->name(),
+                                        options_.k, max_cleaned, point);
+  return Cached(key, [&]() -> Result<JsonValue> {
+    CertifyOptions certify_options;
+    certify_options.k = options_.k;
+    certify_options.max_cleaned = max_cleaned;
+    certify_options.num_threads = options_.num_threads;
+    CP_ASSIGN_OR_RETURN(
+        const CertifyResult certified,
+        CertifyOnDataset(cleaner_->working(), task_.true_candidate, point,
+                         *kernel_, certify_options));
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("certified", JsonValue(certified.certified));
+    out.Set("label", JsonValue(certified.certain_label));
+    out.Set("cleaned", JsonValue::FromInts(certified.cleaned));
+    return out;
+  });
+}
+
+Result<JsonValue> ServeSession::Q2(const std::vector<double>& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+  const IncompleteDataset& working = cleaner_->working();
+  if (static_cast<int>(point.size()) != working.dim()) {
+    return Status::InvalidArgument(
+        StrFormat("point has %d features, dataset has %d",
+                  static_cast<int>(point.size()), working.dim()));
+  }
+  const std::string key =
+      QueryCacheKey("q2", kernel_->name(), options_.k, -1, point);
+  return Cached(key, [&]() -> Result<JsonValue> {
+    if (!q2_engine_) {
+      q2_engine_ = std::make_unique<FastQ2>(&working, options_.k);
+    }
+    // SetTestPoint re-binds automatically when a cleaning step has bumped
+    // the dataset version since the engine last ran.
+    q2_engine_->SetTestPoint(point, *kernel_);
+    const std::vector<double> probs = q2_engine_->Fractions();
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("probs", JsonValue::FromDoubles(probs));
+    out.Set("entropy", JsonValue(Entropy(probs)));
+    return out;
+  });
+}
+
+Result<JsonValue> ServeSession::Predict(const std::vector<double>& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+  const IncompleteDataset& working = cleaner_->working();
+  if (static_cast<int>(point.size()) != working.dim()) {
+    return Status::InvalidArgument(
+        StrFormat("point has %d features, dataset has %d",
+                  static_cast<int>(point.size()), working.dim()));
+  }
+  const std::string key =
+      QueryCacheKey("predict", kernel_->name(), options_.k, -1, point);
+  return Cached(key, [&]() -> Result<JsonValue> {
+    const CertainPredictor predictor(kernel_.get(), options_.k);
+    const CheckResult check = predictor.Check(working, point);
+    const int label = check.CertainLabel();
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("certain", JsonValue(label >= 0));
+    out.Set("label", JsonValue(label));
+    return out;
+  });
+}
+
+Result<JsonValue> ServeSession::CleanStep(int steps) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+  if (steps < 1) return Status::InvalidArgument("steps must be >= 1");
+  std::vector<int> cleaned;
+  for (int s = 0; s < steps; ++s) {
+    const int example = cleaner_->StepGreedy();
+    if (example < 0) break;
+    cleaned.push_back(example);
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("cleaned", JsonValue::FromInts(cleaned));
+  out.Set("frac_val_certain", JsonValue(cleaner_->FracValCertain()));
+  out.Set("dirty_remaining", JsonValue(cleaner_->NumDirtyRemaining()));
+  out.Set("version", JsonValue(cleaner_->working().version()));
+  return out;
+}
+
+Result<JsonValue> ServeSession::CleanRun(int budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+  std::vector<int> cleaned;
+  while (budget < 0 || static_cast<int>(cleaned.size()) < budget) {
+    const int example = cleaner_->StepGreedy();
+    if (example < 0) break;
+    cleaned.push_back(example);
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("cleaned", JsonValue::FromInts(cleaned));
+  out.Set("steps", JsonValue(static_cast<int>(cleaned.size())));
+  out.Set("frac_val_certain", JsonValue(cleaner_->FracValCertain()));
+  out.Set("dirty_remaining", JsonValue(cleaner_->NumDirtyRemaining()));
+  out.Set("version", JsonValue(cleaner_->working().version()));
+  return out;
+}
+
+JsonValue ServeSession::Stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_;
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("name", JsonValue(name_));
+  out.Set("k", JsonValue(options_.k));
+  out.Set("kernel", JsonValue(kernel_->name()));
+  out.Set("train", JsonValue(task_.incomplete.num_examples()));
+  out.Set("val", JsonValue(static_cast<int>(task_.val_x.size())));
+  out.Set("test", JsonValue(static_cast<int>(task_.test_x.size())));
+  out.Set("dim", JsonValue(task_.incomplete.dim()));
+  out.Set("num_cleaned", JsonValue(cleaner_->NumCleaned()));
+  out.Set("dirty_remaining", JsonValue(cleaner_->NumDirtyRemaining()));
+  out.Set("frac_val_certain", JsonValue(cleaner_->FracValCertain()));
+  out.Set("version", JsonValue(cleaner_->working().version()));
+  out.Set("requests", JsonValue(requests_));
+  JsonValue cache = JsonValue::MakeObject();
+  cache.Set("size", JsonValue(static_cast<uint64_t>(cache_.size())));
+  cache.Set("capacity", JsonValue(static_cast<uint64_t>(cache_.capacity())));
+  cache.Set("hits", JsonValue(cache_.stats().hits));
+  cache.Set("misses", JsonValue(cache_.stats().misses));
+  cache.Set("evictions", JsonValue(cache_.stats().evictions));
+  cache.Set("invalidations", JsonValue(cache_.stats().invalidations));
+  out.Set("cache", std::move(cache));
+  return out;
+}
+
+Result<std::shared_ptr<ServeSession>> SessionRegistry::Create(
+    std::string name, CleaningTask task, const ServeSessionOptions& options) {
+  // Build outside the registry lock (task construction can be expensive),
+  // then publish under it.
+  CP_ASSIGN_OR_RETURN(
+      std::shared_ptr<ServeSession> session,
+      ServeSession::Make(std::move(name), std::move(task), options));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : sessions_) {
+    if (entry.first == session->name()) {
+      return Status::AlreadyExists(
+          StrFormat("session \"%s\" already exists", entry.first.c_str()));
+    }
+  }
+  sessions_.emplace_back(session->name(), session);
+  return session;
+}
+
+Result<std::shared_ptr<ServeSession>> SessionRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : sessions_) {
+    if (entry.first == name) return entry.second;
+  }
+  return Status::NotFound(
+      StrFormat("no session named \"%s\"", name.c_str()));
+}
+
+Status SessionRegistry::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->first == name) {
+      sessions_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(
+      StrFormat("no session named \"%s\"", name.c_str()));
+}
+
+std::vector<std::string> SessionRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& entry : sessions_) names.push_back(entry.first);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace cpclean

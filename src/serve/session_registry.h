@@ -1,0 +1,134 @@
+#ifndef CPCLEAN_SERVE_SESSION_REGISTRY_H_
+#define CPCLEAN_SERVE_SESSION_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cleaning/cleaning_task.h"
+#include "cleaning/cp_clean.h"
+#include "common/result.h"
+#include "core/fast_q2.h"
+#include "knn/kernel.h"
+#include "serve/json.h"
+#include "serve/result_cache.h"
+
+namespace cpclean {
+
+/// Per-session serving configuration.
+struct ServeSessionOptions {
+  int k = 3;
+  KernelKind kernel = KernelKind::kNegativeEuclidean;
+  double gamma = 1.0;  // RBF only
+  /// 0 = the process-global shared pool (the serving default: N concurrent
+  /// sessions share cores); positive = a private pool for this session.
+  int num_threads = 0;
+  /// Max resident entries in the per-session result cache (0 disables).
+  size_t cache_capacity = 1024;
+  /// FastSelectionScores streaming bound (see CpCleanOptions).
+  size_t max_contrib_bytes = size_t{2} << 20;
+};
+
+/// Maps the wire kernel names ("neg_euclidean", "rbf", "linear", "cosine")
+/// to KernelKind; InvalidArgument for anything else.
+Result<KernelKind> KernelKindFromName(const std::string& name);
+
+/// One named serving session: a CleaningTask (owned), its kernel, a
+/// CleaningSession holding the current cleaning state, a reused FastQ2
+/// engine for Q2 queries (re-bound automatically via the dataset version
+/// counter), and an LRU result cache invalidated by that same counter.
+///
+/// Every public operation takes the session mutex, so requests against one
+/// session serialize while different sessions proceed concurrently on the
+/// shared global pool.
+class ServeSession {
+ public:
+  /// Validates options, instantiates the kernel and the cleaning session.
+  static Result<std::shared_ptr<ServeSession>> Make(
+      std::string name, CleaningTask task, const ServeSessionOptions& options);
+
+  const std::string& name() const { return name_; }
+  const CleaningTask& task() const { return task_; }
+
+  /// Resolves a batched request's points: either explicit feature vectors
+  /// or indices into the task's validation set.
+  Result<std::vector<double>> ValPoint(int index) const;
+
+  // --- Operations (each serializes on the session mutex) -------------------
+
+  /// Greedy per-point cleaning certificate against the *current* working
+  /// dataset. Result: {certified, label, cleaned: [ids]}. Cached.
+  Result<JsonValue> Certify(const std::vector<double>& point,
+                            int max_cleaned);
+
+  /// Q2 label distribution + entropy for one test point against the
+  /// current working dataset: {probs: [...], entropy}. Cached; computed on
+  /// the session's reused FastQ2 engine.
+  Result<JsonValue> Q2(const std::vector<double>& point);
+
+  /// Q1 checking query: {certain, label} (label -1 when worlds disagree).
+  /// Cached.
+  Result<JsonValue> Predict(const std::vector<double>& point);
+
+  /// Advances up to `steps` greedy CPClean steps. Result: {cleaned: [ids],
+  /// frac_val_certain, dirty_remaining, version}. Mutates the dataset, so
+  /// the version bump retires every cached query answer.
+  Result<JsonValue> CleanStep(int steps);
+
+  /// Runs greedy cleaning until every validation point is CP'ed or the
+  /// budget (-1 = unbounded) is exhausted.
+  Result<JsonValue> CleanRun(int budget);
+
+  /// Session snapshot: sizes, cleaning progress, cache counters.
+  JsonValue Stats();
+
+ private:
+  ServeSession(std::string name, CleaningTask task,
+               const ServeSessionOptions& options);
+
+  /// Cache-through helper: returns the cached value for `key` or computes,
+  /// inserts, and returns it. `compute` runs with the lock held.
+  template <typename Fn>
+  Result<JsonValue> Cached(const std::string& key, Fn compute);
+
+  const std::string name_;
+  CleaningTask task_;
+  ServeSessionOptions options_;
+  std::unique_ptr<SimilarityKernel> kernel_;
+  std::unique_ptr<CleaningSession> cleaner_;
+  std::unique_ptr<FastQ2> q2_engine_;  // lazy; reused across requests
+  ResultCache cache_;
+  uint64_t requests_ = 0;
+  std::mutex mu_;
+};
+
+/// The server's directory of live sessions. Thread-safe; sessions are
+/// handed out as shared_ptr so an in-flight request survives a concurrent
+/// drop.
+class SessionRegistry {
+ public:
+  /// Registers a new session; AlreadyExists if the name is taken.
+  Result<std::shared_ptr<ServeSession>> Create(
+      std::string name, CleaningTask task, const ServeSessionOptions& options);
+
+  /// NotFound when no such session.
+  Result<std::shared_ptr<ServeSession>> Get(const std::string& name) const;
+
+  Status Drop(const std::string& name);
+
+  /// Session names, sorted.
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::shared_ptr<ServeSession>>>
+      sessions_;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_SERVE_SESSION_REGISTRY_H_

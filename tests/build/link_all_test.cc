@@ -16,6 +16,7 @@
 #include "incomplete/incomplete_dataset.h"
 #include "knn/kernel.h"
 #include "knn/vote.h"
+#include "serve/json.h"
 
 namespace cpclean {
 namespace {
@@ -51,6 +52,9 @@ TEST(LinkAllTest, EveryLayerContributesOneSymbol) {
 
   // eval: AccuracyScore lives in metrics.cc.
   EXPECT_DOUBLE_EQ(AccuracyScore({0, 1}, {0, 1}), 1.0);
+
+  // serve: JsonValue::Dump lives in json.cc.
+  EXPECT_EQ(JsonValue(true).Dump(), "true");
 }
 
 }  // namespace

@@ -96,6 +96,35 @@ TEST(ParallelDeterminismTest, CleaningRunsBitMatchAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelDeterminismTest, ContribBytesBoundNeverChangesScores) {
+  // The streamed contribution buffer's byte bound only partitions the
+  // validation sweep into blocks; the per-example reduction stays a left
+  // fold in ascending validation order, so any bound — down to a single
+  // row — must reproduce the default's scores bit-for-bit, serial or
+  // pooled.
+  const PreparedExperiment prepared = MakePrepared(39);
+  NegativeEuclideanKernel kernel;
+  const std::vector<int> dirty = prepared.task.DirtyRows();
+  ASSERT_FALSE(dirty.empty());
+
+  CleaningSession reference(&prepared.task, &kernel, BaseOptions(1));
+  const std::vector<double> want = reference.FastSelectionScores(dirty);
+
+  for (const size_t bound : {size_t{1}, size_t{512}, size_t{1} << 30}) {
+    for (const int threads : {1, 4}) {
+      CpCleanOptions options = BaseOptions(threads);
+      options.max_contrib_bytes = bound;
+      CleaningSession session(&prepared.task, &kernel, options);
+      const std::vector<double> got = session.FastSelectionScores(dirty);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t p = 0; p < want.size(); ++p) {
+        EXPECT_EQ(got[p], want[p])
+            << "bound " << bound << " threads " << threads;
+      }
+    }
+  }
+}
+
 TEST(ParallelDeterminismTest, DefaultThreadCountMatchesSerial) {
   // num_threads = 0 (hardware concurrency) is the production default; it
   // must match the serial trace too.
@@ -110,6 +139,33 @@ TEST(ParallelDeterminismTest, DefaultThreadCountMatchesSerial) {
     EXPECT_EQ(got.steps[s].cleaned_example, want.steps[s].cleaned_example);
     EXPECT_EQ(got.steps[s].frac_val_certain, want.steps[s].frac_val_certain);
   }
+}
+
+TEST(ParallelDeterminismTest, StepGreedySequenceMatchesRunCpClean) {
+  // The serving layer advances sessions one StepGreedy at a time; the
+  // incremental path must clean exactly the tuples RunCpClean's loop
+  // cleans, in the same order.
+  const PreparedExperiment prepared = MakePrepared(41);
+  NegativeEuclideanKernel kernel;
+
+  CleaningSession batch(&prepared.task, &kernel, BaseOptions(1));
+  const CleaningRunResult run = batch.RunCpClean();
+  std::vector<int> want;
+  for (const CleaningStepLog& log : run.steps) {
+    if (log.cleaned_example >= 0) want.push_back(log.cleaned_example);
+  }
+  ASSERT_FALSE(want.empty());
+
+  CleaningSession stepping(&prepared.task, &kernel, BaseOptions(1));
+  std::vector<int> got;
+  while (true) {
+    const int cleaned = stepping.StepGreedy();
+    if (cleaned < 0) break;
+    got.push_back(cleaned);
+  }
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(stepping.NumCleaned(), run.examples_cleaned);
+  EXPECT_EQ(stepping.NumDirtyRemaining(), 0);
 }
 
 TEST(ParallelDeterminismTest, CertifyCleansSameTuplesAcrossThreadCounts) {

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace cpclean {
@@ -136,6 +137,70 @@ TEST(ThreadPoolTest, DefaultSizeUsesHardwareConcurrency) {
   ThreadPool pool;  // num_threads = 0 → hardware concurrency, floor 1
   EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareThreads());
   EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersShareOnePool) {
+  // Many threads submitting ParallelFor jobs to one pool at once (the
+  // serving-layer pattern: N sessions on the global pool). Jobs are
+  // admitted one at a time, each runs complete and correct.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr int kRounds = 20;
+  constexpr int64_t kItems = 257;
+  std::vector<std::thread> submitters;
+  std::vector<int64_t> sums(kSubmitters, 0);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &sums, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<int64_t> sum{0};
+        pool.ParallelFor(kItems, [&](int64_t i, int) { sum.fetch_add(i); });
+        sums[static_cast<size_t>(s)] += sum.load();
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (const int64_t sum : sums) {
+    EXPECT_EQ(sum, kRounds * (kItems - 1) * kItems / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitterExceptionsStayWithTheirJob) {
+  ThreadPool pool(3);
+  std::vector<std::thread> submitters;
+  std::atomic<int> caught{0};
+  std::atomic<int> clean{0};
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < 10; ++round) {
+        try {
+          pool.ParallelFor(64, [&](int64_t i, int) {
+            if (s == 0 && i == 13) throw std::runtime_error("boom");
+          });
+          ++clean;
+        } catch (const std::runtime_error&) {
+          ++caught;
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(caught.load(), 10);   // only submitter 0's jobs throw
+  EXPECT_EQ(clean.load(), 30);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSharedAndConfigurationIsSticky) {
+  ThreadPool& pool = GlobalThreadPool();
+  EXPECT_EQ(&pool, &GlobalThreadPool());  // one instance per process
+  EXPECT_EQ(pool.num_threads(), GlobalThreadPoolThreads());
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, [&](int64_t i, int) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950);
+  // Re-configuring to the current size is a no-op; to any other size it
+  // must fail — the pool is already running.
+  EXPECT_TRUE(ConfigureGlobalThreadPool(pool.num_threads()).ok());
+  const Status changed = ConfigureGlobalThreadPool(pool.num_threads() + 1);
+  EXPECT_FALSE(changed.ok());
+  EXPECT_EQ(changed.code(), StatusCode::kAlreadyExists);
 }
 
 }  // namespace

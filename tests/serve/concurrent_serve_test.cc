@@ -1,0 +1,314 @@
+// Concurrency guarantees of the serving layer: N sessions running on the
+// process-global shared pool — driven from concurrent threads and from
+// concurrent TCP connections — produce bit-identical certify / Q2 answers
+// and cleaning orders to a serial direct-library run of each session.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cleaning/cp_clean.h"
+#include "common/string_util.h"
+#include "core/fast_q2.h"
+#include "eval/experiment.h"
+#include "knn/kernel.h"
+#include "serve/server.h"
+
+namespace cpclean {
+namespace {
+
+constexpr int kTrain = 40;
+constexpr int kVal = 10;
+constexpr int kTest = 10;
+constexpr int kK = 3;
+constexpr int kSessions = 3;
+constexpr int kSteps = 3;
+
+uint64_t SessionSeed(int s) { return 101 + 17 * static_cast<uint64_t>(s); }
+
+std::string CreateRequest(const std::string& name, int s) {
+  return StrFormat(
+      "{\"op\":\"create_session\",\"session\":\"%s\",\"source\":"
+      "\"synthetic\",\"dataset\":\"conc\",\"train_rows\":%d,\"val_size\":%d,"
+      "\"test_size\":%d,\"seed\":%d,\"numeric\":4,\"categorical\":0,"
+      "\"noise_sigma\":0.3,\"missing_rate\":0.25,\"k\":%d}",
+      name.c_str(), kTrain, kVal, kTest, static_cast<int>(SessionSeed(s)),
+      kK);
+}
+
+PreparedExperiment MakeReference(int s, const SimilarityKernel& kernel) {
+  ExperimentConfig config;
+  config.dataset.name = "conc";
+  config.dataset.synthetic.name = "conc";
+  config.dataset.synthetic.num_rows = kTrain + kVal + kTest;
+  config.dataset.synthetic.num_numeric = 4;
+  config.dataset.synthetic.num_categorical = 0;
+  config.dataset.synthetic.noise_sigma = 0.3;
+  config.dataset.synthetic.seed = SessionSeed(s);
+  config.dataset.missing_rate = 0.25;
+  config.dataset.val_size = kVal;
+  config.dataset.test_size = kTest;
+  config.k = kK;
+  config.seed = SessionSeed(s);
+  return PrepareExperiment(config, kernel).value();
+}
+
+/// What one session's serial ground truth looks like: Q2 fractions for
+/// every validation point before cleaning, the greedy cleaning order, and
+/// the fractions afterwards.
+struct SerialTrace {
+  std::vector<std::vector<double>> q2_before;
+  std::vector<int> clean_order;
+  std::vector<std::vector<double>> q2_after;
+};
+
+SerialTrace MakeSerialTrace(const PreparedExperiment& prepared,
+                            const SimilarityKernel& kernel) {
+  SerialTrace trace;
+  CpCleanOptions options;
+  options.k = kK;
+  options.num_threads = 1;  // fully serial reference
+  options.track_test_accuracy = false;
+  CleaningSession session(&prepared.task, &kernel, options);
+  FastQ2 q2(&session.working(), kK);
+  for (int v = 0; v < kVal; ++v) {
+    q2.SetTestPoint(prepared.task.val_x[static_cast<size_t>(v)], kernel);
+    trace.q2_before.push_back(q2.Fractions());
+  }
+  for (int s = 0; s < kSteps; ++s) {
+    const int cleaned = session.StepGreedy();
+    if (cleaned < 0) break;
+    trace.clean_order.push_back(cleaned);
+  }
+  for (int v = 0; v < kVal; ++v) {
+    q2.SetTestPoint(prepared.task.val_x[static_cast<size_t>(v)], kernel);
+    trace.q2_after.push_back(q2.Fractions());
+  }
+  return trace;
+}
+
+std::vector<double> NumberArray(const JsonValue& v) {
+  std::vector<double> out;
+  for (const JsonValue& x : v.array()) out.push_back(x.number_value());
+  return out;
+}
+
+JsonValue ParseOk(const std::string& response) {
+  auto parsed = ParseJson(response);
+  EXPECT_TRUE(parsed.ok()) << response;
+  if (!parsed.ok()) return JsonValue();
+  EXPECT_TRUE(parsed.value().Find("ok")->bool_value()) << response;
+  return *parsed.value().Find("result");
+}
+
+/// Drives one session through the server (already created) and checks
+/// every answer against the serial trace. `issue` sends a request line and
+/// returns the response line.
+template <typename IssueFn>
+void DriveAndCheckSession(const std::string& name, const SerialTrace& trace,
+                          IssueFn issue) {
+  // Interleaved q2 sweep (twice: the repeat must hit the cache and still
+  // serve identical bits).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int v = 0; v < kVal; ++v) {
+      const JsonValue result = ParseOk(
+          issue(StrFormat("{\"op\":\"q2\",\"session\":\"%s\","
+                          "\"val_indices\":[%d]}",
+                          name.c_str(), v)));
+      const std::vector<double> got =
+          NumberArray(*result.Find("results")->array()[0].Find("probs"));
+      const std::vector<double>& want =
+          trace.q2_before[static_cast<size_t>(v)];
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t y = 0; y < want.size(); ++y) {
+        EXPECT_EQ(got[y], want[y])
+            << name << " val " << v << " pass " << pass;
+      }
+    }
+  }
+  // Cleaning steps, one request per step.
+  for (size_t s = 0; s < trace.clean_order.size(); ++s) {
+    const JsonValue result = ParseOk(
+        issue(StrFormat("{\"op\":\"clean_step\",\"session\":\"%s\"}",
+                        name.c_str())));
+    ASSERT_EQ(result.Find("cleaned")->array().size(), 1u);
+    EXPECT_EQ(
+        static_cast<int>(result.Find("cleaned")->array()[0].number_value()),
+        trace.clean_order[s])
+        << name << " step " << s;
+  }
+  // Post-cleaning sweep.
+  for (int v = 0; v < kVal; ++v) {
+    const JsonValue result = ParseOk(
+        issue(StrFormat("{\"op\":\"q2\",\"session\":\"%s\","
+                        "\"val_indices\":[%d]}",
+                        name.c_str(), v)));
+    const std::vector<double> got =
+        NumberArray(*result.Find("results")->array()[0].Find("probs"));
+    const std::vector<double>& want = trace.q2_after[static_cast<size_t>(v)];
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t y = 0; y < want.size(); ++y) {
+      EXPECT_EQ(got[y], want[y]) << name << " val " << v << " after clean";
+    }
+  }
+  // The repeat sweep must have produced cache hits.
+  const JsonValue stats = ParseOk(
+      issue(StrFormat("{\"op\":\"stats\",\"session\":\"%s\"}",
+                      name.c_str())));
+  EXPECT_GE(stats.Find("cache")->Find("hits")->number_value(), kVal);
+}
+
+TEST(ConcurrentServeTest, SessionsOnSharedPoolBitMatchSerial) {
+  NegativeEuclideanKernel kernel;
+  std::vector<SerialTrace> traces;
+  for (int s = 0; s < kSessions; ++s) {
+    traces.push_back(MakeSerialTrace(MakeReference(s, kernel), kernel));
+  }
+
+  Server server;
+  for (int s = 0; s < kSessions; ++s) {
+    ParseOk(server.HandleLine(CreateRequest(StrFormat("s%d", s), s)));
+  }
+  // One thread per session, all hammering the router (and the shared
+  // global pool underneath) at once.
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&server, &traces, s] {
+      DriveAndCheckSession(
+          StrFormat("s%d", s), traces[static_cast<size_t>(s)],
+          [&server](const std::string& line) {
+            return server.HandleLine(line);
+          });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+// --- TCP client plumbing ----------------------------------------------------
+
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  std::string Issue(const std::string& line) {
+    std::string request = line;
+    request.push_back('\n');
+    size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t w =
+          ::send(fd_, request.data() + sent, request.size() - sent, 0);
+      if (w <= 0) return "";
+      sent += static_cast<size_t>(w);
+    }
+    size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const std::string response = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+TEST(ConcurrentServeTest, ConcurrentTcpConnectionsBitMatchSerial) {
+  NegativeEuclideanKernel kernel;
+  std::vector<SerialTrace> traces;
+  for (int s = 0; s < kSessions; ++s) {
+    traces.push_back(MakeSerialTrace(MakeReference(s, kernel), kernel));
+  }
+
+  Server server;
+  std::thread serving([&server] {
+    const Status status = server.ServeTcp(0);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+  while (server.port() == -1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const int port = server.port();
+  ASSERT_GE(port, 0);
+
+  // One connection per session, each created and driven concurrently over
+  // its own socket.
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int s = 0; s < kSessions; ++s) {
+    clients.emplace_back([port, &traces, &failures, s] {
+      LineClient client(port);
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      const std::string name = StrFormat("tcp%d", s);
+      ParseOk(client.Issue(CreateRequest(name, s)));
+      DriveAndCheckSession(name, traces[static_cast<size_t>(s)],
+                           [&client](const std::string& line) {
+                             return client.Issue(line);
+                           });
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  server.Stop();
+  serving.join();
+}
+
+TEST(ConcurrentServeTest, TcpShutdownOpAcksBeforeClosing) {
+  // A client-initiated shutdown must (a) deliver its response over the
+  // very connection that asked, and (b) unwind ServeTcp without Stop().
+  Server server;
+  std::thread serving([&server] {
+    const Status status = server.ServeTcp(0);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+  while (server.port() == -1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server.port(), 0);
+  LineClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const std::string response = client.Issue("{\"op\":\"shutdown\"}");
+  auto parsed = ParseJson(response);
+  ASSERT_TRUE(parsed.ok()) << "no shutdown ack received: " << response;
+  EXPECT_TRUE(parsed.value().Find("ok")->bool_value());
+  EXPECT_TRUE(parsed.value()
+                  .Find("result")
+                  ->Find("stopping")
+                  ->bool_value());
+  serving.join();
+  EXPECT_EQ(server.port(), -2);  // listener terminated
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,126 @@
+#include "serve/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cpclean {
+namespace {
+
+TEST(JsonTest, DumpScalars) {
+  EXPECT_EQ(JsonValue().Dump(), "null");
+  EXPECT_EQ(JsonValue(true).Dump(), "true");
+  EXPECT_EQ(JsonValue(false).Dump(), "false");
+  EXPECT_EQ(JsonValue(42).Dump(), "42");
+  EXPECT_EQ(JsonValue(-3).Dump(), "-3");
+  EXPECT_EQ(JsonValue(0.5).Dump(), "0.5");
+  EXPECT_EQ(JsonValue("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, DumpEscapes) {
+  EXPECT_EQ(JsonValue("a\"b").Dump(), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue("a\\b").Dump(), "\"a\\\\b\"");
+  EXPECT_EQ(JsonValue("a\nb\tc").Dump(), "\"a\\nb\\tc\"");
+  EXPECT_EQ(JsonValue(std::string("a\x01z")).Dump(), "\"a\\u0001z\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndReplaces) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("b", JsonValue(1));
+  obj.Set("a", JsonValue(2));
+  obj.Set("b", JsonValue(3));  // replaces in place, keeps position
+  EXPECT_EQ(obj.Dump(), "{\"b\":3,\"a\":2}");
+  ASSERT_NE(obj.Find("a"), nullptr);
+  EXPECT_EQ(obj.Find("a")->number_value(), 2.0);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParseRoundTripsStructures) {
+  const std::string text =
+      "{\"op\":\"q2\",\"points\":[[1.5,-2],[0,3]],\"flag\":true,"
+      "\"nothing\":null}";
+  auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Dump(), text);
+}
+
+TEST(JsonTest, NumbersRoundTripExactly) {
+  // %.17g must reproduce the double bit-for-bit through dump -> parse —
+  // the protocol's bit-identical-results guarantee depends on it.
+  const std::vector<double> values = {
+      0.1,
+      1.0 / 3.0,
+      0.47555482810797645,
+      -1.2345678901234567e-30,
+      9007199254740993.0,  // 2^53 + 1: not representable as an int64 print
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max()};
+  for (const double want : values) {
+    const std::string text = JsonValue(want).Dump();
+    auto parsed = ParseJson(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    const double got = parsed.value().number_value();
+    EXPECT_EQ(got, want) << text;
+  }
+}
+
+TEST(JsonTest, NonFiniteDumpsAsNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).Dump(), "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+}
+
+TEST(JsonTest, ParseStringEscapes) {
+  auto parsed = ParseJson("\"a\\u0041\\n\\t\\\\\\\"\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().string_value(), "aA\n\t\\\"");
+}
+
+TEST(JsonTest, ParseUnicodeEscapes) {
+  auto bmp = ParseJson("\"\\u00e9\"");  // é
+  ASSERT_TRUE(bmp.ok());
+  EXPECT_EQ(bmp.value().string_value(), "\xc3\xa9");
+  auto astral = ParseJson("\"\\ud83d\\ude00\"");  // 😀 via surrogate pair
+  ASSERT_TRUE(astral.ok());
+  EXPECT_EQ(astral.value().string_value(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, ParseErrors) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "{\"a\" 1}", "[1] garbage",
+        "\"unterminated", "{\"a\":1,}", "nan"}) {
+    auto parsed = ParseJson(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << bad;
+  }
+}
+
+TEST(JsonTest, DepthLimitRejectsHostileNesting) {
+  std::string deep(3000, '[');
+  auto parsed = ParseJson(deep);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(JsonTest, FromDoublesAndInts) {
+  const JsonValue d = JsonValue::FromDoubles({1.5, 2.0});
+  EXPECT_EQ(d.Dump(), "[1.5,2]");
+  const JsonValue i = JsonValue::FromInts({3, -4});
+  EXPECT_EQ(i.Dump(), "[3,-4]");
+}
+
+TEST(JsonTest, Equality) {
+  const std::string text = "{\"a\":[1,2,{\"b\":null}]}";
+  auto x = ParseJson(text);
+  auto y = ParseJson(text);
+  ASSERT_TRUE(x.ok() && y.ok());
+  EXPECT_EQ(x.value(), y.value());
+  auto z = ParseJson("{\"a\":[1,2,{\"b\":0}]}");
+  ASSERT_TRUE(z.ok());
+  EXPECT_NE(x.value(), z.value());
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,87 @@
+#include "serve/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cpclean {
+namespace {
+
+JsonValue Payload(int n) {
+  JsonValue v = JsonValue::MakeObject();
+  v.Set("n", JsonValue(n));
+  return v;
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.Lookup("a", 1).has_value());
+  cache.Insert("a", 1, Payload(7));
+  const auto hit = cache.Lookup("a", 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Payload(7));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCacheTest, VersionMismatchInvalidates) {
+  ResultCache cache(4);
+  cache.Insert("a", 1, Payload(7));
+  // The dataset moved to version 2: the stale answer must not be served.
+  EXPECT_FALSE(cache.Lookup("a", 2).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // Re-computed at version 2, it hits again.
+  cache.Insert("a", 2, Payload(8));
+  const auto hit = cache.Lookup("a", 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Payload(8));
+}
+
+TEST(ResultCacheTest, LruEvictsOldest) {
+  ResultCache cache(2);
+  cache.Insert("a", 1, Payload(1));
+  cache.Insert("b", 1, Payload(2));
+  ASSERT_TRUE(cache.Lookup("a", 1).has_value());  // a is now most recent
+  cache.Insert("c", 1, Payload(3));               // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.Lookup("a", 1).has_value());
+  EXPECT_FALSE(cache.Lookup("b", 1).has_value());
+  EXPECT_TRUE(cache.Lookup("c", 1).has_value());
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  cache.Insert("a", 1, Payload(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("a", 1).has_value());
+}
+
+TEST(ResultCacheTest, InsertRefreshesExistingKey) {
+  ResultCache cache(2);
+  cache.Insert("a", 1, Payload(1));
+  cache.Insert("a", 2, Payload(2));  // refresh in place, no second entry
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.Lookup("a", 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Payload(2));
+}
+
+TEST(ResultCacheTest, PointHashDiscriminates) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0000000000000004};
+  EXPECT_EQ(HashPointBytes(a), HashPointBytes({1.0, 2.0, 3.0}));
+  EXPECT_NE(HashPointBytes(a), HashPointBytes(b));
+  EXPECT_NE(QueryCacheKey("q2", "rbf", 3, -1, a),
+            QueryCacheKey("q2", "rbf", 3, -1, b));
+  EXPECT_NE(QueryCacheKey("q2", "rbf", 3, -1, a),
+            QueryCacheKey("q2", "rbf", 5, -1, a));
+  EXPECT_NE(QueryCacheKey("q2", "rbf", 3, -1, a),
+            QueryCacheKey("certify", "rbf", 3, -1, a));
+  EXPECT_NE(QueryCacheKey("certify", "rbf", 3, -1, a),
+            QueryCacheKey("certify", "rbf", 3, 2, a));
+}
+
+}  // namespace
+}  // namespace cpclean
