@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_report.h"
@@ -122,6 +123,55 @@ void BM_Serve_Certify(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_Serve_Certify);
+
+/// Shared-read concurrency within ONE session: `readers` threads issue
+/// q2 queries against the same session at once. The "cold" session's
+/// cache capacity is 0, so every query exercises the engine path — the
+/// per-thread index offsets merely spread the work and DO wrap/collide
+/// across threads for readers >= 4 (kVal is 24); keep pointing this at a
+/// cache-disabled session. Wall-clock is manual-timed around the whole
+/// fan-out; qps reports aggregate throughput. readers=1 is the serialized
+/// baseline the shared_mutex refactor is measured against.
+void BM_Serve_Q2_ConcurrentReaders(benchmark::State& state) {
+  const int readers = static_cast<int>(state.range(0));
+  constexpr int kOpsPerReader = 8;
+  Server* server = SharedServer();
+  int64_t total_ops = 0;
+  double total_seconds = 0.0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(readers));
+    for (int reader = 0; reader < readers; ++reader) {
+      threads.emplace_back([server, reader] {
+        for (int op = 0; op < kOpsPerReader; ++op) {
+          const std::string response = server->HandleLine(StrFormat(
+              "{\"op\":\"q2\",\"session\":\"cold\",\"val_indices\":[%d]}",
+              (reader * kOpsPerReader + op) % kVal));
+          benchmark::DoNotOptimize(response.data());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    state.SetIterationTime(seconds);
+    total_seconds += seconds;
+    total_ops += readers * kOpsPerReader;
+  }
+  if (total_seconds > 0.0) {
+    state.counters["qps"] =
+        static_cast<double>(total_ops) / total_seconds;
+  }
+  state.counters["readers"] = static_cast<double>(readers);
+}
+BENCHMARK(BM_Serve_Q2_ConcurrentReaders)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime();
 
 void BM_Serve_CleanStep(benchmark::State& state) {
   // Cleaning consumes the session; replenish with a fresh one (untimed)

@@ -5,11 +5,17 @@
 //   cpclean_server --stdio                 # line protocol on stdin/stdout
 //   cpclean_server --port=7071             # TCP listener on 127.0.0.1
 //   cpclean_server --port=0 --threads=8    # ephemeral port, 8-thread pool
+//   cpclean_server --stdio --data-dir=/var/lib/cpclean \
+//                  --max-sessions=64       # snapshot persistence + eviction
 //
 // Protocol reference: README.md "Serving" (one JSON request per line, one
 // JSON response per line). `--threads=N` sizes the global pool every
 // session shares (0 = hardware concurrency); `--cache=N` sets the default
-// per-session result-cache capacity.
+// per-session result-cache capacity. `--data-dir=PATH` enables session
+// snapshot persistence (save_session/load_session, eviction, lazy
+// rehydration across restarts); `--max-sessions=N` bounds resident
+// sessions (LRU eviction into the data dir); `--max-connections=N` bounds
+// concurrent TCP connections (overload gets a structured error).
 
 #include <chrono>
 #include <csignal>
@@ -41,6 +47,13 @@ bool ParseIntFlag(const char* arg, const char* name, long* out) {
   return end != nullptr && *end == '\0';
 }
 
+bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -49,6 +62,9 @@ int main(int argc, char** argv) {
   long port = -1;
   long threads = 0;
   long cache = 1024;
+  long max_sessions = 0;
+  long max_connections = 0;
+  std::string data_dir;
   bool stdio = true;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -63,15 +79,26 @@ int main(int argc, char** argv) {
       threads = value;
     } else if (ParseIntFlag(arg, "--cache", &value)) {
       cache = value;
+    } else if (ParseIntFlag(arg, "--max-sessions", &value)) {
+      max_sessions = value;
+    } else if (ParseIntFlag(arg, "--max-connections", &value)) {
+      max_connections = value;
+    } else if (ParseStringFlag(arg, "--data-dir", &data_dir)) {
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: cpclean_server [--stdio | --port=N] [--threads=N] "
-          "[--cache=N]\n");
+          "[--cache=N] [--data-dir=PATH] [--max-sessions=N] "
+          "[--max-connections=N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
       return 2;
     }
+  }
+  if (max_sessions < 0 || max_connections < 0) {
+    std::fprintf(stderr,
+                 "--max-sessions/--max-connections must be >= 0\n");
+    return 2;
   }
 
   const Status pool_status =
@@ -84,6 +111,9 @@ int main(int argc, char** argv) {
   ServerOptions options;
   options.default_cache_capacity =
       cache < 0 ? 0 : static_cast<size_t>(cache);
+  options.data_dir = data_dir;
+  options.max_sessions = static_cast<size_t>(max_sessions);
+  options.max_connections = static_cast<int>(max_connections);
   Server server(options);
 
   if (stdio) {

@@ -72,6 +72,33 @@ void CleaningSession::Reset() {
   for (int i = 0; i < working_.num_examples(); ++i) {
     if (!cleaned_[static_cast<size_t>(i)]) dirty_.push_back(i);
   }
+  cleaned_order_.clear();
+}
+
+Status CleaningSession::Restore(const CleaningSnapshot& snapshot) {
+  Reset();
+  for (const int i : snapshot.cleaned_order) {
+    if (i < 0 || i >= working_.num_examples()) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot cleans example %d outside [0, %d)", i,
+          working_.num_examples()));
+    }
+    if (cleaned_[static_cast<size_t>(i)]) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot cleans example %d twice (or it was born clean)", i));
+    }
+    const auto it = std::find(dirty_.begin(), dirty_.end(), i);
+    CP_CHECK(it != dirty_.end());  // implied by !cleaned_[i]
+    *it = dirty_.back();
+    dirty_.pop_back();
+    CleanExample(i);
+  }
+  // Recomputing from scratch marks exactly the points the snapshotted run
+  // had marked: certainty is monotone under cleaning (a refinement only
+  // removes possible worlds), and the source session refreshed after its
+  // last step.
+  RefreshValCertainty();
+  return Status::OK();
 }
 
 double CleaningSession::RefreshValCertainty() {
@@ -228,6 +255,7 @@ void CleaningSession::CleanExample(int i) {
   working_.FixExample(i, true_j);
   world_[static_cast<size_t>(i)] = working_.candidate(i, 0);
   cleaned_[static_cast<size_t>(i)] = 1;
+  cleaned_order_.push_back(i);
   ++num_cleaned_;
   val_certainty_fresh_ = false;
 }

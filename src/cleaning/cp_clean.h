@@ -66,6 +66,19 @@ struct CpCleanOptions {
   size_t max_contrib_bytes = size_t{2} << 20;
 };
 
+/// Everything that distinguishes a mid-cleaning session from a freshly
+/// constructed one on the same task: the examples cleaned so far, in
+/// cleaning order. Replaying the order against a fresh session restores
+/// bit-identical state — the working dataset (same FixExample sequence),
+/// the best-guess world, the dirty set, and the validation-certainty flags
+/// (certainty is monotone under cleaning, so a from-scratch refresh marks
+/// exactly the points the interrupted run had marked). Serialized by the
+/// serving layer's session store next to the working candidate space.
+struct CleaningSnapshot {
+  /// CleanExample replay sequence; excludes rows born clean in the task.
+  std::vector<int> cleaned_order;
+};
+
 /// Driver for human-in-the-loop cleaning over a CleaningTask. Owns a
 /// working copy of the incomplete dataset and the current "best guess"
 /// world (cleaned rows take their oracle value, still-dirty rows their
@@ -124,6 +137,33 @@ class CleaningSession {
   /// (refreshing lazily after a cleaning step).
   double FracValCertain();
 
+  /// The fraction at the last certainty refresh, without refreshing — the
+  /// non-mutating view concurrent readers (the serving layer's shared-lock
+  /// `stats` op) use. Fresh after `FracValCertain`, `Restore`, and every
+  /// `StepGreedy`; stale (never refreshed) right after construction/Reset
+  /// until one of those runs.
+  double LastFracValCertain() const {
+    if (task_->val_x.empty()) return 1.0;
+    return static_cast<double>(num_val_certain_) /
+           static_cast<double>(task_->val_x.size());
+  }
+
+  /// True when the certainty flags reflect the current working dataset.
+  bool val_certainty_fresh() const { return val_certainty_fresh_; }
+
+  // --- Snapshot / restore (session persistence) ---------------------------
+
+  /// Captures the cleaning state for persistence (see CleaningSnapshot).
+  CleaningSnapshot Snapshot() const { return CleaningSnapshot{cleaned_order_}; }
+
+  /// Resets to the task's initial state, then replays `snapshot`'s cleaning
+  /// order and refreshes validation certainty. Afterwards every observable
+  /// — working dataset bits, dirty set, certainty flags, and the example
+  /// sequence future StepGreedy calls clean — is identical to the session
+  /// the snapshot was taken from. InvalidArgument on out-of-range,
+  /// born-clean, or repeated example ids.
+  Status Restore(const CleaningSnapshot& snapshot);
+
   /// Examples not yet cleaned.
   int NumDirtyRemaining() const { return static_cast<int>(dirty_.size()); }
 
@@ -164,6 +204,7 @@ class CleaningSession {
   std::vector<std::vector<double>> world_;  // current best-guess features
   std::vector<uint8_t> cleaned_;
   std::vector<int> dirty_;  // not-yet-cleaned examples (order irrelevant)
+  std::vector<int> cleaned_order_;  // CleanExample sequence since Reset
   int num_cleaned_ = 0;
   std::vector<uint8_t> val_certain_;
   int num_val_certain_ = 0;

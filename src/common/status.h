@@ -17,6 +17,7 @@ enum class StatusCode {
   kParseError,
   kNotImplemented,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a status code ("Invalid argument").
@@ -58,6 +59,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// A resource is temporarily saturated (admission control, capacity
+  /// limits); the caller may retry later.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -80,6 +80,11 @@ class FastQ2 {
   /// any possible world, so pinning it cannot change the Q2 distribution.
   double TopKFloor() const;
 
+  /// The dataset mutation version this engine is currently bound to (the
+  /// engine-pool stamp: an idle engine whose bound version matches the
+  /// dataset's current version can be reused without a Rebind).
+  uint64_t bound_version() const { return bound_version_; }
+
  private:
   /// Runs the scan; fills result_ with per-label world masses and returns
   /// the total collected mass. Dispatches to a width-specialized

@@ -178,4 +178,23 @@ void IncompleteDataset::ReplaceCandidates(
   ++version_;
 }
 
+bool BitIdentical(const IncompleteDataset& a, const IncompleteDataset& b) {
+  if (a.num_labels() != b.num_labels() || a.dim() != b.dim() ||
+      a.num_examples() != b.num_examples()) {
+    return false;
+  }
+  for (int i = 0; i < a.num_examples(); ++i) {
+    if (a.label(i) != b.label(i) ||
+        a.num_candidates(i) != b.num_candidates(i)) {
+      return false;
+    }
+    for (int j = 0; j < a.num_candidates(i); ++j) {
+      // Exact double comparison on purpose: the serving layer's
+      // snapshot/rehydrate contract is bit-identity, not tolerance.
+      if (a.candidate(i, j) != b.candidate(i, j)) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace cpclean

@@ -149,6 +149,13 @@ class IncompleteDataset {
   uint64_t version_ = 0;
 };
 
+/// True when `a` and `b` describe bit-for-bit the same candidate space:
+/// same shape (labels, dim, example count, candidate counts), same labels,
+/// and exactly equal candidate doubles. Versions and flat-slab layout are
+/// NOT compared — a rehydrated dataset that replayed the same mutations is
+/// identical even if its internal capacity bookkeeping differs.
+bool BitIdentical(const IncompleteDataset& a, const IncompleteDataset& b);
+
 }  // namespace cpclean
 
 #endif  // CPCLEAN_INCOMPLETE_INCOMPLETE_DATASET_H_

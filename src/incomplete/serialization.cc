@@ -4,33 +4,67 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace cpclean {
 
 namespace {
-constexpr char kMagic[] = "cpclean-incomplete-v1";
+constexpr char kMagicV1[] = "cpclean-incomplete-v1";
+constexpr char kMagicV2[] = "cpclean-incomplete-v2";
+
+/// True for a payload line the line-oriented framing can carry verbatim.
+bool ValidSectionLine(const std::string& line) {
+  const std::string_view stripped = StripWhitespace(line);
+  return !stripped.empty() && stripped.front() != '#' && stripped != "end" &&
+         stripped.size() == line.size();
+}
+
+void AppendDataset(const IncompleteDataset& dataset, std::string* out) {
+  for (int i = 0; i < dataset.num_examples(); ++i) {
+    *out += StrFormat("example %d %d\n", dataset.label(i),
+                      dataset.num_candidates(i));
+    for (int j = 0; j < dataset.num_candidates(i); ++j) {
+      const auto& x = dataset.candidate(i, j);
+      for (size_t d = 0; d < x.size(); ++d) {
+        if (d > 0) *out += ' ';
+        *out += StrFormat("%a", x[d]);  // hex float: exact round trip
+      }
+      *out += '\n';
+    }
+  }
+}
+
 }  // namespace
 
 std::string SerializeIncompleteDataset(const IncompleteDataset& dataset) {
   std::string out =
-      StrFormat("%s %d %d\n", kMagic, dataset.num_labels(), dataset.dim());
-  for (int i = 0; i < dataset.num_examples(); ++i) {
-    out += StrFormat("example %d %d\n", dataset.label(i),
-                     dataset.num_candidates(i));
-    for (int j = 0; j < dataset.num_candidates(i); ++j) {
-      const auto& x = dataset.candidate(i, j);
-      for (size_t d = 0; d < x.size(); ++d) {
-        if (d > 0) out += ' ';
-        out += StrFormat("%a", x[d]);  // hex float: exact round trip
-      }
+      StrFormat("%s %d %d\n", kMagicV1, dataset.num_labels(), dataset.dim());
+  AppendDataset(dataset, &out);
+  return out;
+}
+
+std::string SerializeIncompleteDatasetV2(
+    const IncompleteDataset& dataset,
+    const std::vector<SerializedSection>& sections) {
+  std::string out =
+      StrFormat("%s %d %d\n", kMagicV2, dataset.num_labels(), dataset.dim());
+  AppendDataset(dataset, &out);
+  for (const SerializedSection& section : sections) {
+    CP_CHECK(!section.name.empty());
+    CP_CHECK(section.name.find_first_of(" \t\r\n") == std::string::npos);
+    out += StrFormat("section %s\n", section.name.c_str());
+    for (const std::string& line : section.lines) {
+      CP_CHECK(ValidSectionLine(line));
+      out += line;
       out += '\n';
     }
+    out += "end\n";
   }
   return out;
 }
 
-Result<IncompleteDataset> DeserializeIncompleteDataset(
+Result<DeserializedDatasetV2> DeserializeIncompleteDatasetV2(
     const std::string& text) {
   std::istringstream stream(text);
   std::string line;
@@ -49,18 +83,47 @@ Result<IncompleteDataset> DeserializeIncompleteDataset(
     return Status::ParseError("empty input");
   }
   std::vector<std::string> header = Split(line, ' ');
-  if (header.size() != 3 || header[0] != kMagic) {
+  if (header.size() != 3 ||
+      (header[0] != kMagicV1 && header[0] != kMagicV2)) {
     return Status::ParseError("bad header: " + line);
   }
+  const bool v2 = header[0] == kMagicV2;
   CP_ASSIGN_OR_RETURN(const int num_labels, ParseInt(header[1]));
   CP_ASSIGN_OR_RETURN(const int dim, ParseInt(header[2]));
   if (num_labels < 1 || dim < 0) {
     return Status::ParseError("invalid header values");
   }
 
-  IncompleteDataset dataset(num_labels);
+  DeserializedDatasetV2 out;
+  out.dataset = IncompleteDataset(num_labels);
+  bool in_examples = true;
   while (next_line(&line)) {
     std::vector<std::string> fields = Split(line, ' ');
+    if (v2 && fields.size() == 2 && fields[0] == "section") {
+      in_examples = false;  // sections are a trailer: no examples after
+      SerializedSection section;
+      section.name = fields[1];
+      bool terminated = false;
+      while (std::getline(stream, line)) {
+        const std::string_view stripped = StripWhitespace(line);
+        if (stripped.empty() || stripped.front() == '#') continue;
+        if (stripped == "end") {
+          terminated = true;
+          break;
+        }
+        section.lines.emplace_back(stripped);
+      }
+      if (!terminated) {
+        return Status::ParseError(
+            StrFormat("section \"%s\" missing its end line",
+                      section.name.c_str()));
+      }
+      out.sections.push_back(std::move(section));
+      continue;
+    }
+    if (!in_examples) {
+      return Status::ParseError("example block after a section: " + line);
+    }
     if (fields.size() != 3 || fields[0] != "example") {
       return Status::ParseError("expected 'example <label> <count>': " + line);
     }
@@ -88,9 +151,16 @@ Result<IncompleteDataset> DeserializeIncompleteDataset(
       }
       example.candidates.push_back(std::move(x));
     }
-    CP_RETURN_NOT_OK(dataset.AddExample(std::move(example)));
+    CP_RETURN_NOT_OK(out.dataset.AddExample(std::move(example)));
   }
-  return dataset;
+  return out;
+}
+
+Result<IncompleteDataset> DeserializeIncompleteDataset(
+    const std::string& text) {
+  CP_ASSIGN_OR_RETURN(DeserializedDatasetV2 parsed,
+                      DeserializeIncompleteDatasetV2(text));
+  return std::move(parsed.dataset);
 }
 
 Status SaveIncompleteDataset(const IncompleteDataset& dataset,

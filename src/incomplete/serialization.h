@@ -2,6 +2,7 @@
 #define CPCLEAN_INCOMPLETE_SERIALIZATION_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "incomplete/incomplete_dataset.h"
@@ -20,8 +21,51 @@ namespace cpclean {
 /// Doubles round-trip exactly (hex float encoding).
 std::string SerializeIncompleteDataset(const IncompleteDataset& dataset);
 
-/// Parses text produced by `SerializeIncompleteDataset`.
+/// Parses text produced by `SerializeIncompleteDataset` — or a v2 document
+/// (below), whose trailing sections are ignored.
 Result<IncompleteDataset> DeserializeIncompleteDataset(
+    const std::string& text);
+
+// --- v2: dataset + named sections ------------------------------------------
+//
+// The v2 format carries the same candidate space plus any number of named
+// sections of opaque payload lines after the examples — the hook the
+// serving layer uses to persist a session's cleaning state (which tuples
+// were cleaned, in what order, plus the request spec that rebuilds the
+// task) next to the worked-on candidate space in one recoverable file:
+//
+//   cpclean-incomplete-v2 <num_labels> <dim>
+//   example <label> <num_candidates>
+//   <candidates...>
+//   section <name>
+//   <payload line>
+//   ...
+//   end
+//
+// Payload lines are stored verbatim (whitespace-stripped); they must be
+// non-empty, must not start with '#', and must not equal "end" — the
+// line-oriented framing reserves those.
+
+/// One named section of a v2 document.
+struct SerializedSection {
+  std::string name;
+  std::vector<std::string> lines;
+};
+
+/// Serializes `dataset` plus `sections` as a v2 document. CP_CHECK-fails
+/// on section names/lines that violate the framing rules above.
+std::string SerializeIncompleteDatasetV2(
+    const IncompleteDataset& dataset,
+    const std::vector<SerializedSection>& sections);
+
+struct DeserializedDatasetV2 {
+  IncompleteDataset dataset;
+  std::vector<SerializedSection> sections;
+};
+
+/// Parses a v1 or v2 document, surfacing the sections (always empty for
+/// v1 input).
+Result<DeserializedDatasetV2> DeserializeIncompleteDatasetV2(
     const std::string& text);
 
 /// File variants.

@@ -1,0 +1,59 @@
+#include "serve/engine_pool.h"
+
+#include <utility>
+
+namespace cpclean {
+
+EnginePool::EnginePool(const IncompleteDataset* dataset, int k,
+                       double epsilon, size_t max_idle)
+    : dataset_(dataset), k_(k), epsilon_(epsilon), max_idle_(max_idle) {}
+
+EnginePool::Lease EnginePool::Acquire() {
+  // Safe to read under the caller's shared dataset lock: writers hold it
+  // exclusively while mutating.
+  const uint64_t current = dataset_->version();
+  std::unique_ptr<FastQ2> engine;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++acquired_;
+    // Prefer an engine already bound to the current version (no Rebind on
+    // first SetTestPoint); otherwise take any idle engine.
+    for (size_t i = 0; i < idle_.size(); ++i) {
+      if (idle_[i]->bound_version() == current) {
+        engine = std::move(idle_[i]);
+        idle_[i] = std::move(idle_.back());
+        idle_.pop_back();
+        break;
+      }
+    }
+    if (!engine && !idle_.empty()) {
+      engine = std::move(idle_.back());
+      idle_.pop_back();
+    }
+    if (!engine) ++created_;
+  }
+  if (!engine) {
+    // Construction reads the dataset's structure; done outside the pool
+    // mutex so concurrent acquires don't serialize on it.
+    engine = std::make_unique<FastQ2>(dataset_, k_, epsilon_);
+  }
+  return Lease(this, std::move(engine));
+}
+
+void EnginePool::Release(std::unique_ptr<FastQ2> engine) {
+  if (!engine) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < max_idle_) idle_.push_back(std::move(engine));
+  // else: drop — the pool never grows past the observed concurrency.
+}
+
+EnginePool::Stats EnginePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out;
+  out.created = created_;
+  out.acquired = acquired_;
+  out.idle = static_cast<uint64_t>(idle_.size());
+  return out;
+}
+
+}  // namespace cpclean

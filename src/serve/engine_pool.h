@@ -1,0 +1,90 @@
+#ifndef CPCLEAN_SERVE_ENGINE_POOL_H_
+#define CPCLEAN_SERVE_ENGINE_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/fast_q2.h"
+
+namespace cpclean {
+
+/// A pool of `FastQ2` engines over one (mutable) incomplete dataset, the
+/// piece that lets N concurrent readers of a serving session each run Q2
+/// on a private engine instead of serializing on a single reused one.
+///
+/// Engines are version-stamped: each idle engine remembers the dataset
+/// mutation version it is bound to (`FastQ2::bound_version()`). `Acquire`
+/// prefers an idle engine already bound to the dataset's *current* version
+/// — its trees and scan layout are still valid, so the reader pays no
+/// Rebind — and otherwise hands out a stale engine, whose first
+/// `SetTestPoint` re-binds automatically. Readers must hold the session's
+/// shared lock across the lease (the dataset may not be mutated while an
+/// engine reads it); the leased engine itself is exclusively owned, so its
+/// query-local scratch needs no further locking.
+///
+/// At most `max_idle` engines are retained when leases return; beyond
+/// that, returned engines are destroyed — the pool's footprint is bounded
+/// by the peak read concurrency actually observed, not by request count.
+class EnginePool {
+ public:
+  /// `dataset` is borrowed and must outlive the pool.
+  EnginePool(const IncompleteDataset* dataset, int k, double epsilon = 1e-9,
+             size_t max_idle = 16);
+
+  /// Exclusive RAII lease of one engine; returns it to the pool (or drops
+  /// it past `max_idle`) on destruction.
+  class Lease {
+   public:
+    Lease(EnginePool* pool, std::unique_ptr<FastQ2> engine)
+        : pool_(pool), engine_(std::move(engine)) {}
+    ~Lease() {
+      if (pool_ != nullptr) pool_->Release(std::move(engine_));
+    }
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), engine_(std::move(other.engine_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    FastQ2& operator*() { return *engine_; }
+    FastQ2* operator->() { return engine_.get(); }
+
+   private:
+    EnginePool* pool_;
+    std::unique_ptr<FastQ2> engine_;
+  };
+
+  /// Checks out an engine (never blocks on other leases; creates a new
+  /// engine when no idle one exists). Caller must hold the dataset's
+  /// reader lock for the lease's lifetime.
+  Lease Acquire();
+
+  struct Stats {
+    uint64_t created = 0;   // engines constructed over the pool's lifetime
+    uint64_t acquired = 0;  // total leases (acquired - created = reuses)
+    uint64_t idle = 0;      // engines parked right now
+  };
+  Stats stats() const;
+
+ private:
+  friend class Lease;
+  void Release(std::unique_ptr<FastQ2> engine);
+
+  const IncompleteDataset* const dataset_;
+  const int k_;
+  const double epsilon_;
+  const size_t max_idle_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<FastQ2>> idle_;
+  uint64_t created_ = 0;
+  uint64_t acquired_ = 0;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_SERVE_ENGINE_POOL_H_

@@ -1,0 +1,75 @@
+#include "serve/request_params.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace cpclean {
+
+Result<std::string> RequestString(const JsonValue& req, const char* key) {
+  const JsonValue* v = req.Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument(StrFormat("missing field \"%s\"", key));
+  }
+  if (!v->is_string()) {
+    return Status::InvalidArgument(StrFormat("\"%s\" must be a string", key));
+  }
+  return v->string_value();
+}
+
+Result<std::string> RequestStringOr(const JsonValue& req, const char* key,
+                                    const std::string& fallback) {
+  if (req.Find(key) == nullptr) return fallback;
+  return RequestString(req, key);
+}
+
+Result<int64_t> RequestIntOr(const JsonValue& req, const char* key,
+                             int64_t fallback) {
+  const JsonValue* v = req.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    return Status::InvalidArgument(StrFormat("\"%s\" must be a number", key));
+  }
+  const double n = v->number_value();
+  if (std::floor(n) != n || n < -9007199254740992.0 ||
+      n > 9007199254740992.0) {
+    return Status::InvalidArgument(
+        StrFormat("\"%s\" must be an integer", key));
+  }
+  return static_cast<int64_t>(n);
+}
+
+Result<int> RequestIntParam(const JsonValue& req, const char* key,
+                            int fallback) {
+  CP_ASSIGN_OR_RETURN(const int64_t n, RequestIntOr(req, key, fallback));
+  if (n < std::numeric_limits<int>::min() ||
+      n > std::numeric_limits<int>::max()) {
+    return Status::OutOfRange(
+        StrFormat("\"%s\" = %lld does not fit in an int", key,
+                  static_cast<long long>(n)));
+  }
+  return static_cast<int>(n);
+}
+
+Result<double> RequestDoubleOr(const JsonValue& req, const char* key,
+                               double fallback) {
+  const JsonValue* v = req.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    return Status::InvalidArgument(StrFormat("\"%s\" must be a number", key));
+  }
+  return v->number_value();
+}
+
+Result<bool> RequestBoolOr(const JsonValue& req, const char* key,
+                           bool fallback) {
+  const JsonValue* v = req.Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) {
+    return Status::InvalidArgument(StrFormat("\"%s\" must be a bool", key));
+  }
+  return v->bool_value();
+}
+
+}  // namespace cpclean

@@ -1,0 +1,44 @@
+#ifndef CPCLEAN_SERVE_REQUEST_PARAMS_H_
+#define CPCLEAN_SERVE_REQUEST_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "serve/json.h"
+
+namespace cpclean {
+
+// Typed accessors for protocol request parameters, shared by the request
+// router (`server.cc`) and the session store's spec rehydration. Missing
+// optional fields fall back to the default; present fields of the wrong
+// JSON type are an InvalidArgument, not a silent coercion.
+
+/// Required string field.
+Result<std::string> RequestString(const JsonValue& req, const char* key);
+
+/// Optional string field.
+Result<std::string> RequestStringOr(const JsonValue& req, const char* key,
+                                    const std::string& fallback);
+
+/// Optional integer field. A fractional value, or one outside the
+/// double-exact integer range, is a structured error — never a silent
+/// truncation or an undefined float→int conversion.
+Result<int64_t> RequestIntOr(const JsonValue& req, const char* key,
+                             int64_t fallback);
+
+/// `RequestIntOr` narrowed to int, rejecting out-of-range values.
+Result<int> RequestIntParam(const JsonValue& req, const char* key,
+                            int fallback);
+
+/// Optional double field.
+Result<double> RequestDoubleOr(const JsonValue& req, const char* key,
+                               double fallback);
+
+/// Optional bool field.
+Result<bool> RequestBoolOr(const JsonValue& req, const char* key,
+                           bool fallback);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_SERVE_REQUEST_PARAMS_H_

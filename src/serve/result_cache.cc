@@ -8,27 +8,31 @@ namespace cpclean {
 
 std::optional<JsonValue> ResultCache::Lookup(const std::string& key,
                                              uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   if (it->second->second.version != version) {
     // Computed against a superseded candidate space: drop it.
     lru_.erase(it->second);
     map_.erase(it);
-    ++stats_.invalidations;
-    ++stats_.misses;
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
-  ++stats_.hits;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  // Copy under the lock: the JsonValue must not be read while another
+  // reader's insert or splice touches the list node.
   return it->second->second.value;
 }
 
 void ResultCache::Insert(const std::string& key, uint64_t version,
                          JsonValue value) {
   if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->second = Entry{version, std::move(value)};
@@ -40,13 +44,28 @@ void ResultCache::Insert(const std::string& key, uint64_t version,
   while (map_.size() > capacity_) {
     map_.erase(lru_.back().first);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   map_.clear();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return out;
 }
 
 uint64_t HashPointBytes(const std::vector<double>& point) {

@@ -1,8 +1,10 @@
 #ifndef CPCLEAN_SERVE_RESULT_CACHE_H_
 #define CPCLEAN_SERVE_RESULT_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -24,7 +26,13 @@ namespace cpclean {
 /// every answer computed over the superseded possible-world space while
 /// answers for the untouched version keep hitting.
 ///
-/// Not internally synchronized: the owning session serializes access.
+/// Internally synchronized: the session lock is only *shared* for read
+/// ops, so concurrent readers race on the map and the LRU list. A single
+/// mutex guards the structures (lookups still mutate recency order) and
+/// the counters are atomics, readable lock-free by the `stats` op. Two
+/// readers that miss the same key concurrently both compute and both
+/// insert; the results are deterministic, so the second insert is a
+/// same-bits refresh.
 class ResultCache {
  public:
   struct Stats {
@@ -47,9 +55,10 @@ class ResultCache {
 
   void Clear();
 
-  size_t size() const { return map_.size(); }
+  size_t size() const;
   size_t capacity() const { return capacity_; }
-  const Stats& stats() const { return stats_; }
+  /// Counter snapshot (atomic loads; no lock).
+  Stats stats() const;
 
  private:
   struct Entry {
@@ -59,10 +68,14 @@ class ResultCache {
   // Most-recently-used at the front.
   using LruList = std::list<std::pair<std::string, Entry>>;
 
-  size_t capacity_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
   LruList lru_;
   std::unordered_map<std::string, LruList::iterator> map_;
-  Stats stats_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
 };
 
 /// FNV-1a over the point's raw double bytes — collisions are astronomically

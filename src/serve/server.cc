@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstring>
@@ -13,88 +14,13 @@
 #include <thread>
 #include <utility>
 
-#include "cleaning/imputers.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
-#include "data/csv.h"
-#include "datasets/paper_datasets.h"
-#include "eval/experiment.h"
+#include "serve/request_params.h"
 
 namespace cpclean {
 
 namespace {
-
-// --- Typed request-parameter accessors -------------------------------------
-// Missing optional fields fall back to the default; present fields of the
-// wrong JSON type are an InvalidArgument, not a silent coercion.
-
-Result<std::string> GetString(const JsonValue& req, const char* key) {
-  const JsonValue* v = req.Find(key);
-  if (v == nullptr) {
-    return Status::InvalidArgument(StrFormat("missing field \"%s\"", key));
-  }
-  if (!v->is_string()) {
-    return Status::InvalidArgument(StrFormat("\"%s\" must be a string", key));
-  }
-  return v->string_value();
-}
-
-Result<std::string> GetStringOr(const JsonValue& req, const char* key,
-                                const std::string& fallback) {
-  if (req.Find(key) == nullptr) return fallback;
-  return GetString(req, key);
-}
-
-Result<int64_t> GetIntOr(const JsonValue& req, const char* key,
-                         int64_t fallback) {
-  const JsonValue* v = req.Find(key);
-  if (v == nullptr) return fallback;
-  if (!v->is_number()) {
-    return Status::InvalidArgument(StrFormat("\"%s\" must be a number", key));
-  }
-  // Exact-integer check before the cast: a fractional value, or one
-  // outside the double-exact integer range, must be a structured error —
-  // never a silent truncation or an undefined float→int conversion.
-  const double n = v->number_value();
-  if (std::floor(n) != n || n < -9007199254740992.0 ||
-      n > 9007199254740992.0) {
-    return Status::InvalidArgument(
-        StrFormat("\"%s\" must be an integer", key));
-  }
-  return static_cast<int64_t>(n);
-}
-
-/// `GetIntOr` narrowed to int, rejecting out-of-range values.
-Result<int> GetIntParam(const JsonValue& req, const char* key,
-                        int fallback) {
-  CP_ASSIGN_OR_RETURN(const int64_t n, GetIntOr(req, key, fallback));
-  if (n < std::numeric_limits<int>::min() ||
-      n > std::numeric_limits<int>::max()) {
-    return Status::OutOfRange(
-        StrFormat("\"%s\" = %lld does not fit in an int", key,
-                  static_cast<long long>(n)));
-  }
-  return static_cast<int>(n);
-}
-
-Result<double> GetDoubleOr(const JsonValue& req, const char* key,
-                           double fallback) {
-  const JsonValue* v = req.Find(key);
-  if (v == nullptr) return fallback;
-  if (!v->is_number()) {
-    return Status::InvalidArgument(StrFormat("\"%s\" must be a number", key));
-  }
-  return v->number_value();
-}
-
-Result<bool> GetBoolOr(const JsonValue& req, const char* key, bool fallback) {
-  const JsonValue* v = req.Find(key);
-  if (v == nullptr) return fallback;
-  if (!v->is_bool()) {
-    return Status::InvalidArgument(StrFormat("\"%s\" must be a bool", key));
-  }
-  return v->bool_value();
-}
 
 /// The batched query points: explicit `points` (array of feature arrays)
 /// or `val_indices` into the session's validation set.
@@ -147,23 +73,24 @@ Result<std::vector<std::vector<double>>> ResolvePoints(
   return out;
 }
 
-Result<Table> LoadTable(const JsonValue& req, const char* text_key,
-                        const char* path_key) {
-  const JsonValue* text = req.Find(text_key);
-  if (text != nullptr) {
-    if (!text->is_string()) {
-      return Status::InvalidArgument(
-          StrFormat("\"%s\" must be a string", text_key));
-    }
-    return ReadCsvString(text->string_value());
+/// The persisted creation spec: the request's parameters without the
+/// transport fields (`id`, `op`) — exactly what `BuildTaskFromSpec` and
+/// `ServeSessionOptionsFromRequest` consume again on rehydration.
+JsonValue SpecFromRequest(const JsonValue& req) {
+  JsonValue spec = JsonValue::MakeObject();
+  for (const JsonValue::Member& member : req.object()) {
+    if (member.first == "id" || member.first == "op") continue;
+    spec.Set(member.first, member.second);
   }
-  CP_ASSIGN_OR_RETURN(const std::string path, GetString(req, path_key));
-  return ReadCsvFile(path);
+  return spec;
 }
 
 }  // namespace
 
-Server::Server(ServerOptions options) : options_(std::move(options)) {}
+Server::Server(ServerOptions options)
+    : options_(options),
+      store_(SessionStoreOptions{options.data_dir, options.max_sessions,
+                                 options.default_cache_capacity}) {}
 
 Server::~Server() {
   Stop();
@@ -174,136 +101,83 @@ Server::~Server() {
   conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
 }
 
-Result<CleaningTask> Server::BuildTask(const JsonValue& req) {
-  CP_ASSIGN_OR_RETURN(const std::string source,
-                      GetStringOr(req, "source", "paper"));
-  if (source == "paper" || source == "synthetic") {
-    ExperimentConfig config;
-    CP_ASSIGN_OR_RETURN(const int train_rows,
-                        GetIntParam(req, "train_rows", 300));
-    CP_ASSIGN_OR_RETURN(const int val_size,
-                        GetIntParam(req, "val_size", 100));
-    CP_ASSIGN_OR_RETURN(const int test_size,
-                        GetIntParam(req, "test_size", 200));
-    CP_ASSIGN_OR_RETURN(const int64_t seed, GetIntOr(req, "seed", 42));
-    if (source == "paper") {
-      CP_ASSIGN_OR_RETURN(const std::string dataset,
-                          GetStringOr(req, "dataset", "Supreme"));
-      bool known = false;
-      for (const auto& spec : PaperDatasetSuite()) {
-        if (spec.name == dataset) known = true;
-      }
-      if (!known) {
-        return Status::InvalidArgument(StrFormat(
-            "unknown paper dataset \"%s\" (expected BabyProduct, Supreme, "
-            "Bank, Puma)",
-            dataset.c_str()));
-      }
-      config.dataset =
-          PaperDatasetByName(dataset, train_rows, val_size, test_size,
-                             static_cast<uint64_t>(seed));
-    } else {
-      PaperDatasetSpec spec;
-      CP_ASSIGN_OR_RETURN(spec.name, GetStringOr(req, "dataset", "synthetic"));
-      spec.synthetic.name = spec.name;
-      CP_ASSIGN_OR_RETURN(const int numeric, GetIntParam(req, "numeric", 6));
-      CP_ASSIGN_OR_RETURN(const int categorical,
-                          GetIntParam(req, "categorical", 1));
-      CP_ASSIGN_OR_RETURN(const double noise,
-                          GetDoubleOr(req, "noise_sigma", 0.5));
-      CP_ASSIGN_OR_RETURN(const bool nonlinear,
-                          GetBoolOr(req, "nonlinear", false));
-      spec.synthetic.num_rows = train_rows + val_size + test_size;
-      spec.synthetic.num_numeric = numeric;
-      spec.synthetic.num_categorical = categorical;
-      spec.synthetic.noise_sigma = noise;
-      spec.synthetic.nonlinear = nonlinear;
-      spec.synthetic.seed = static_cast<uint64_t>(seed);
-      spec.val_size = val_size;
-      spec.test_size = test_size;
-      config.dataset = std::move(spec);
-    }
-    CP_ASSIGN_OR_RETURN(
-        config.dataset.missing_rate,
-        GetDoubleOr(req, "missing_rate", config.dataset.missing_rate));
-    CP_ASSIGN_OR_RETURN(config.k, GetIntParam(req, "k", 3));
-    config.seed = static_cast<uint64_t>(seed);
-    CP_ASSIGN_OR_RETURN(config.num_threads,
-                        GetIntParam(req, "num_threads", 0));
-    CP_ASSIGN_OR_RETURN(const std::string kernel_name,
-                        GetStringOr(req, "kernel", "neg_euclidean"));
-    CP_ASSIGN_OR_RETURN(const KernelKind kind,
-                        KernelKindFromName(kernel_name));
-    CP_ASSIGN_OR_RETURN(const double gamma, GetDoubleOr(req, "gamma", 1.0));
-    const std::unique_ptr<SimilarityKernel> kernel = MakeKernel(kind, gamma);
-    CP_ASSIGN_OR_RETURN(PreparedExperiment prepared,
-                        PrepareExperiment(config, *kernel));
-    return std::move(prepared.task);
+Result<std::shared_ptr<ServeSession>> Server::FindSession(
+    const std::string& name) {
+  // Fast path, no lifecycle lock: live sessions answer queries without
+  // ever contending with lifecycle transitions.
+  Result<std::shared_ptr<ServeSession>> live = registry_.Get(name);
+  if (live.ok() || !store_.enabled() || !store_.Saved(name)) return live;
+  // Evicted (or persisted by a previous process): rehydrate lazily. The
+  // expensive load (task rebuild + cleaning replay) runs OUTSIDE the
+  // lifecycle lock so a slow rehydration cannot stall every other
+  // lifecycle transition; publication re-validates under the lock.
+  CP_ASSIGN_OR_RETURN(std::shared_ptr<ServeSession> session,
+                      store_.Load(name));
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  live = registry_.Get(name);  // re-check: another request rehydrated it
+  if (live.ok()) return live;
+  if (!store_.Saved(name)) {
+    // A drop_session raced the load: publishing our copy would resurrect
+    // a session the client was told is gone.
+    return Status::NotFound(StrFormat(
+        "session \"%s\" was dropped while being rehydrated", name.c_str()));
   }
-  if (source == "csv") {
-    // Dirty training CSV (inline text or a file path) plus the label
-    // column; ground truth / validation / test tables are optional — a
-    // default-imputed completion stands in when absent, mirroring the
-    // csv_workflow example. Every parse or schema failure surfaces as a
-    // structured error response.
-    CP_ASSIGN_OR_RETURN(Table dirty, LoadTable(req, "csv_text", "csv_path"));
-    CP_ASSIGN_OR_RETURN(const std::string label, GetString(req, "label"));
-    CP_ASSIGN_OR_RETURN(const int label_col,
-                        dirty.schema().FieldIndex(label));
-    Table clean;
-    if (req.Find("clean_text") != nullptr ||
-        req.Find("clean_path") != nullptr) {
-      CP_ASSIGN_OR_RETURN(clean, LoadTable(req, "clean_text", "clean_path"));
-    } else {
-      CP_ASSIGN_OR_RETURN(clean, DefaultCleanImpute(dirty, label_col));
-    }
-    Table val = clean;
-    if (req.Find("val_text") != nullptr || req.Find("val_path") != nullptr) {
-      CP_ASSIGN_OR_RETURN(val, LoadTable(req, "val_text", "val_path"));
-    }
-    Table test = val;
-    if (req.Find("test_text") != nullptr ||
-        req.Find("test_path") != nullptr) {
-      CP_ASSIGN_OR_RETURN(test, LoadTable(req, "test_text", "test_path"));
-    }
-    return BuildCleaningTask(dirty, clean, val, test, label);
-  }
-  return Status::InvalidArgument(StrFormat(
-      "unknown source \"%s\" (expected paper, synthetic, csv)",
-      source.c_str()));
+  CP_RETURN_NOT_OK(registry_.Insert(session));
+  // Rehydration can push the registry over capacity in turn. Best effort:
+  // if the sweep's victim fails to save, the registry stays briefly over
+  // capacity rather than failing this (unrelated) request — the next
+  // create_session surfaces the store error.
+  (void)store_.EnforceCapacity(registry_);
+  return session;
 }
 
 Result<JsonValue> Server::CreateSession(const JsonValue& req) {
-  CP_ASSIGN_OR_RETURN(const std::string name, GetString(req, "session"));
-  ServeSessionOptions options;
-  CP_ASSIGN_OR_RETURN(options.k, GetIntParam(req, "k", 3));
-  CP_ASSIGN_OR_RETURN(const std::string kernel_name,
-                      GetStringOr(req, "kernel", "neg_euclidean"));
-  CP_ASSIGN_OR_RETURN(options.kernel, KernelKindFromName(kernel_name));
-  CP_ASSIGN_OR_RETURN(options.gamma, GetDoubleOr(req, "gamma", 1.0));
-  CP_ASSIGN_OR_RETURN(options.num_threads,
-                      GetIntParam(req, "num_threads", 0));
-  CP_ASSIGN_OR_RETURN(
-      const int64_t cache_capacity,
-      GetIntOr(req, "cache_capacity",
-               static_cast<int64_t>(options_.default_cache_capacity)));
-  if (cache_capacity < 0) {
-    return Status::InvalidArgument("cache_capacity must be >= 0");
+  CP_ASSIGN_OR_RETURN(const std::string name, RequestString(req, "session"));
+  // Admission before the (expensive) task build: a full session table with
+  // no disk to evict into must refuse loudly, not grow without bound.
+  if (options_.max_sessions > 0 && !store_.enabled() &&
+      registry_.size() >= options_.max_sessions) {
+    return Status::Unavailable(StrFormat(
+        "session table is full (--max-sessions=%d) and no --data-dir is "
+        "configured to evict into",
+        static_cast<int>(options_.max_sessions)));
   }
-  options.cache_capacity = static_cast<size_t>(cache_capacity);
-  CP_ASSIGN_OR_RETURN(
-      const int64_t max_contrib_bytes,
-      GetIntOr(req, "max_contrib_bytes",
-               static_cast<int64_t>(options.max_contrib_bytes)));
-  if (max_contrib_bytes < 1) {
-    return Status::InvalidArgument("max_contrib_bytes must be >= 1");
+  if (registry_.Get(name).ok() || store_.Saved(name)) {
+    return Status::AlreadyExists(
+        StrFormat("session \"%s\" already exists", name.c_str()));
   }
-  options.max_contrib_bytes = static_cast<size_t>(max_contrib_bytes);
-
-  CP_ASSIGN_OR_RETURN(CleaningTask task, BuildTask(req));
+  CP_ASSIGN_OR_RETURN(
+      const ServeSessionOptions options,
+      ServeSessionOptionsFromRequest(req, options_.default_cache_capacity));
+  CP_ASSIGN_OR_RETURN(CleaningTask task, BuildTaskFromSpec(req));
+  // Build AND prime the session outside the lock (task construction and
+  // Make's certainty sweep are the expensive parts); only publish +
+  // capacity sweep are a lifecycle transition. The unlocked admission
+  // pre-check earlier only avoids wasted builds; over-capacity is decided
+  // authoritatively under the lock.
   CP_ASSIGN_OR_RETURN(
       const std::shared_ptr<ServeSession> session,
-      registry_.Create(name, std::move(task), options));
+      ServeSession::Make(name, std::move(task), options,
+                         SpecFromRequest(req)));
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (store_.Saved(name)) {
+    // Re-checked under the lock: the name may have been created AND
+    // evicted by others while we were building the task; creating over
+    // its snapshot would fork two incarnations of one name.
+    return Status::AlreadyExists(
+        StrFormat("session \"%s\" already exists", name.c_str()));
+  }
+  CP_RETURN_NOT_OK(registry_.Insert(session));
+  const Result<std::vector<std::string>> evicted =
+      store_.EnforceCapacity(registry_);
+  if (!evicted.ok()) {
+    // The eviction victim's save failed (disk full, unwritable data dir)
+    // or there is no data dir to evict into: roll the new session back so
+    // an error response never leaves state behind, and the registry
+    // honors --max-sessions.
+    (void)registry_.Drop(session->name());
+    return evicted.status();
+  }
 
   const CleaningTask& bound = session->task();
   JsonValue out = JsonValue::MakeObject();
@@ -321,13 +195,13 @@ Result<JsonValue> Server::CreateSession(const JsonValue& req) {
 
 Result<JsonValue> Server::BatchQuery(const std::string& op,
                                      const JsonValue& req) {
-  CP_ASSIGN_OR_RETURN(const std::string name, GetString(req, "session"));
+  CP_ASSIGN_OR_RETURN(const std::string name, RequestString(req, "session"));
   CP_ASSIGN_OR_RETURN(const std::shared_ptr<ServeSession> session,
-                      registry_.Get(name));
+                      FindSession(name));
   CP_ASSIGN_OR_RETURN(const std::vector<std::vector<double>> points,
                       ResolvePoints(req, *session));
   CP_ASSIGN_OR_RETURN(const int max_cleaned,
-                      GetIntParam(req, "max_cleaned", -1));
+                      RequestIntParam(req, "max_cleaned", -1));
   JsonValue results = JsonValue::MakeArray();
   for (const std::vector<double>& point : points) {
     Result<JsonValue> one =
@@ -345,25 +219,133 @@ Result<JsonValue> Server::BatchQuery(const std::string& op,
 
 Result<JsonValue> Server::CleanOp(const std::string& op,
                                   const JsonValue& req) {
-  CP_ASSIGN_OR_RETURN(const std::string name, GetString(req, "session"));
+  CP_ASSIGN_OR_RETURN(const std::string name, RequestString(req, "session"));
   CP_ASSIGN_OR_RETURN(const std::shared_ptr<ServeSession> session,
-                      registry_.Get(name));
+                      FindSession(name));
   if (op == "clean_step") {
-    CP_ASSIGN_OR_RETURN(const int steps, GetIntParam(req, "steps", 1));
+    CP_ASSIGN_OR_RETURN(const int steps, RequestIntParam(req, "steps", 1));
     return session->CleanStep(steps);
   }
-  CP_ASSIGN_OR_RETURN(const int budget, GetIntParam(req, "budget", -1));
+  CP_ASSIGN_OR_RETURN(const int budget, RequestIntParam(req, "budget", -1));
   return session->CleanRun(budget);
+}
+
+Result<JsonValue> Server::DropSession(const JsonValue& req) {
+  CP_ASSIGN_OR_RETURN(const std::string name, RequestString(req, "session"));
+  // Dropping is a full discard: the snapshot goes too (eviction is the op
+  // that keeps it). Snapshot first, live entry second — the reverse order
+  // would let a concurrent request's lazy rehydration resurrect the
+  // session from the not-yet-deleted snapshot after the registry drop —
+  // and the whole discard is one lifecycle transition, so no concurrent
+  // save or eviction sweep can re-write the snapshot mid-drop.
+  // Either form existing counts as a successful drop.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  bool deleted_snapshot = false;
+  if (store_.enabled() && store_.Saved(name)) {
+    const Status deleted = store_.Delete(name);
+    if (deleted.ok()) {
+      deleted_snapshot = true;
+    } else if (deleted.code() != StatusCode::kNotFound) {
+      // An undeletable snapshot (read-only data dir) must fail the drop:
+      // reporting success while a rehydratable file remains would let the
+      // "discarded" session resurrect on the next request. NotFound just
+      // means another drop raced us — fine.
+      return deleted;
+    }
+  }
+  const Status dropped_live = registry_.Drop(name);
+  if (!dropped_live.ok() && !deleted_snapshot) return dropped_live;
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("dropped", JsonValue(name));
+  out.Set("deleted_snapshot", JsonValue(deleted_snapshot));
+  return out;
+}
+
+Result<JsonValue> Server::SaveSession(const JsonValue& req) {
+  CP_ASSIGN_OR_RETURN(const std::string name, RequestString(req, "session"));
+  if (!store_.enabled()) {
+    return Status::Unavailable(
+        "session persistence is disabled (no --data-dir)");
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("saved", JsonValue(name));
+  out.Set("path", JsonValue(store_.PathFor(name)));
+  const Result<std::shared_ptr<ServeSession>> live = registry_.Get(name);
+  if (!live.ok() && store_.Saved(name)) {
+    // Already evicted: its snapshot IS its current state — rehydrating a
+    // whole session just to rewrite an identical file would be pure waste
+    // (and would churn the LRU sweep).
+    out.Set("state", JsonValue("evicted"));
+    return out;
+  }
+  CP_ASSIGN_OR_RETURN(const std::shared_ptr<ServeSession> session, live);
+  CP_RETURN_NOT_OK(SessionStore::ValidateSavable(*session));
+  // Serialize OUTSIDE the lifecycle lock: it blocks on the session's
+  // shared_mutex (a long clean_run could hold that for a while), and
+  // unrelated lifecycle ops must not queue behind it. Only the file write
+  // is a lifecycle transition, re-validated under the lock.
+  const std::string text = session->SerializeSnapshot();
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!registry_.Get(name).ok()) {
+    if (store_.Saved(name)) {
+      // Evicted while we serialized; the sweep's snapshot is at least as
+      // fresh as ours. Keep it.
+      out.Set("state", JsonValue("evicted"));
+      return out;
+    }
+    // Dropped while we serialized: writing now would resurrect it.
+    return Status::NotFound(StrFormat(
+        "session \"%s\" was dropped while being saved", name.c_str()));
+  }
+  CP_RETURN_NOT_OK(store_.WriteSnapshot(name, text));
+  out.Set("state", JsonValue("live"));
+  return out;
+}
+
+Result<JsonValue> Server::LoadSession(const JsonValue& req) {
+  CP_ASSIGN_OR_RETURN(const std::string name, RequestString(req, "session"));
+  if (registry_.Get(name).ok()) {
+    return Status::AlreadyExists(StrFormat(
+        "session \"%s\" is already live", name.c_str()));
+  }
+  // As in FindSession: load outside the lifecycle lock, publish under it.
+  CP_ASSIGN_OR_RETURN(const std::shared_ptr<ServeSession> session,
+                      store_.Load(name));
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!store_.Saved(name)) {
+    return Status::NotFound(StrFormat(
+        "session \"%s\" was dropped while being rehydrated", name.c_str()));
+  }
+  const Status inserted = registry_.Insert(session);
+  if (!inserted.ok()) return inserted;
+  // Best effort, as in FindSession: the explicit load succeeded even if
+  // the capacity sweep could not save its victim.
+  (void)store_.EnforceCapacity(registry_);
+  // The full session snapshot doubles as the load summary (progress,
+  // resolved options, version).
+  return session->Stats();
 }
 
 Result<JsonValue> Server::Stats(const JsonValue& req) {
   const JsonValue* name = req.Find("session");
   if (name != nullptr) {
     CP_ASSIGN_OR_RETURN(const std::string session_name,
-                        GetString(req, "session"));
-    CP_ASSIGN_OR_RETURN(const std::shared_ptr<ServeSession> session,
-                        registry_.Get(session_name));
-    return session->Stats();
+                        RequestString(req, "session"));
+    // Deliberately NOT FindSession: monitoring an evicted session must not
+    // rehydrate it (a full task rebuild) or stamp it recently-used — a
+    // stats poll over every known session would otherwise churn the LRU
+    // sweep. Evicted sessions answer a stub instead.
+    Result<std::shared_ptr<ServeSession>> live =
+        registry_.Get(session_name);
+    if (live.ok()) return live.value()->Stats();
+    if (store_.enabled() && store_.Saved(session_name)) {
+      JsonValue out = JsonValue::MakeObject();
+      out.Set("name", JsonValue(session_name));
+      out.Set("state", JsonValue("evicted"));
+      out.Set("path", JsonValue(store_.PathFor(session_name)));
+      return out;
+    }
+    return live.status();
   }
   JsonValue out = JsonValue::MakeObject();
   out.Set("sessions", JsonValue(static_cast<int>(registry_.size())));
@@ -371,6 +353,26 @@ Result<JsonValue> Server::Stats(const JsonValue& req) {
   for (const std::string& n : registry_.Names()) names.Append(JsonValue(n));
   out.Set("names", std::move(names));
   out.Set("pool_threads", JsonValue(GlobalThreadPoolThreads()));
+  out.Set("max_sessions",
+          JsonValue(static_cast<uint64_t>(options_.max_sessions)));
+  out.Set("data_dir", JsonValue(options_.data_dir));
+  if (store_.enabled()) {
+    JsonValue saved = JsonValue::MakeArray();
+    for (const std::string& n : store_.SavedNames()) {
+      saved.Append(JsonValue(n));
+    }
+    out.Set("saved", std::move(saved));
+  }
+  JsonValue connections = JsonValue::MakeObject();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections.Set("active", JsonValue(active_connections_));
+  }
+  connections.Set("max", JsonValue(options_.max_connections));
+  connections.Set(
+      "rejected",
+      JsonValue(rejected_connections_.load(std::memory_order_relaxed)));
+  out.Set("connections", std::move(connections));
   return out;
 }
 
@@ -380,22 +382,32 @@ Result<JsonValue> Server::Dispatch(const std::string& op,
   if (op == "create_session") return CreateSession(req);
   if (op == "list_sessions") {
     JsonValue out = JsonValue::MakeObject();
+    const std::vector<std::string> live = registry_.Names();
     JsonValue names = JsonValue::MakeArray();
-    for (const std::string& n : registry_.Names()) names.Append(JsonValue(n));
+    for (const std::string& n : live) names.Append(JsonValue(n));
     out.Set("sessions", std::move(names));
+    if (store_.enabled()) {
+      // Evicted sessions still own their names (create_session refuses
+      // them; any query rehydrates them), so the listing must show them —
+      // a client seeing only the live list would conclude the name is
+      // free.
+      JsonValue evicted = JsonValue::MakeArray();
+      for (const std::string& n : store_.SavedNames()) {
+        if (std::find(live.begin(), live.end(), n) == live.end()) {
+          evicted.Append(JsonValue(n));
+        }
+      }
+      out.Set("evicted", std::move(evicted));
+    }
     return out;
   }
-  if (op == "drop_session") {
-    CP_ASSIGN_OR_RETURN(const std::string name, GetString(req, "session"));
-    CP_RETURN_NOT_OK(registry_.Drop(name));
-    JsonValue out = JsonValue::MakeObject();
-    out.Set("dropped", JsonValue(name));
-    return out;
-  }
+  if (op == "drop_session") return DropSession(req);
   if (op == "certify" || op == "q2" || op == "predict") {
     return BatchQuery(op, req);
   }
   if (op == "clean_step" || op == "clean_run") return CleanOp(op, req);
+  if (op == "save_session") return SaveSession(req);
+  if (op == "load_session") return LoadSession(req);
   if (op == "stats") return Stats(req);
   if (op == "shutdown") {
     // Graceful (not Stop()): the connection that asked must still receive
@@ -418,7 +430,7 @@ JsonValue Server::HandleRequest(const JsonValue& request) {
     if (!request.is_object()) {
       return Status::InvalidArgument("request must be a JSON object");
     }
-    CP_ASSIGN_OR_RETURN(const std::string op, GetString(request, "op"));
+    CP_ASSIGN_OR_RETURN(const std::string op, RequestString(request, "op"));
     return Dispatch(op, request);
   }();
   if (result.ok()) {
@@ -480,8 +492,10 @@ void Server::HandleConnection(int fd) {
       response.push_back('\n');
       size_t sent = 0;
       while (sent < response.size()) {
-        const ssize_t w =
-            ::send(fd, response.data() + sent, response.size() - sent, 0);
+        // MSG_NOSIGNAL: a client that resets mid-response must surface as
+        // a send error on this connection, not a process-killing SIGPIPE.
+        const ssize_t w = ::send(fd, response.data() + sent,
+                                 response.size() - sent, MSG_NOSIGNAL);
         if (w <= 0) break;
         sent += static_cast<size_t>(w);
       }
@@ -537,16 +551,58 @@ Status Server::ServeTcp(int port) {
   listen_fd_.store(fd);
   bound_port_.store(static_cast<int>(ntohs(addr.sin_port)));
 
+  // Pre-rendered overload response: the reject path should not allocate
+  // its way through the JSON codec per attempt under a connection storm.
+  std::string overload;
+  {
+    JsonValue response = JsonValue::MakeObject();
+    response.Set("ok", JsonValue(false));
+    JsonValue error = JsonValue::MakeObject();
+    error.Set("code", JsonValue(StatusCodeToString(StatusCode::kUnavailable)));
+    error.Set("message",
+              JsonValue(StrFormat(
+                  "connection limit (--max-connections=%d) reached; retry "
+                  "when a connection frees up",
+                  options_.max_connections)));
+    response.Set("error", std::move(error));
+    overload = response.Dump();
+    overload.push_back('\n');
+  }
+
   while (!stopping_.load()) {
     const int client = ::accept(fd, nullptr, nullptr);
     if (client < 0) {
       if (errno == EINTR) continue;
       break;  // listener shut down (Stop) or fatal accept error
     }
+    // Admission control: a counting-semaphore try-acquire on the live
+    // connection count. Overload answers with a structured error and
+    // closes — the client sees *why*, instead of a hung or reset socket.
+    bool admitted = true;
     {
       std::lock_guard<std::mutex> lock(conn_mu_);
-      conn_fds_.push_back(client);
-      ++active_connections_;
+      if (options_.max_connections > 0 &&
+          active_connections_ >= options_.max_connections) {
+        admitted = false;
+      } else {
+        conn_fds_.push_back(client);
+        ++active_connections_;
+      }
+    }
+    if (!admitted) {
+      rejected_connections_.fetch_add(1, std::memory_order_relaxed);
+      size_t sent = 0;
+      while (sent < overload.size()) {
+        // MSG_NOSIGNAL: a storm client that already reset must not SIGPIPE
+        // the server out of existence — overload is exactly when this path
+        // runs.
+        const ssize_t w = ::send(client, overload.data() + sent,
+                                 overload.size() - sent, MSG_NOSIGNAL);
+        if (w <= 0) break;
+        sent += static_cast<size_t>(w);
+      }
+      ::close(client);
+      continue;
     }
     // Detached: the handler signs itself off via active_connections_, so
     // a long-lived server never accumulates finished thread handles.

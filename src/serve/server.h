@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <iosfwd>
 #include <mutex>
 #include <string>
@@ -11,12 +12,23 @@
 #include "common/result.h"
 #include "serve/json.h"
 #include "serve/session_registry.h"
+#include "serve/session_store.h"
 
 namespace cpclean {
 
 struct ServerOptions {
   /// Result-cache capacity given to sessions that do not specify their own.
   size_t default_cache_capacity = 1024;
+  /// Directory for session snapshots (`save_session`, eviction, lazy
+  /// rehydration). Empty disables persistence.
+  std::string data_dir;
+  /// Max resident sessions; beyond it the least-recently-used session is
+  /// saved to `data_dir` and dropped from RAM. 0 = unlimited.
+  size_t max_sessions = 0;
+  /// Max concurrent TCP connections; further accepts receive a structured
+  /// Unavailable error and are closed (admission control, so overload
+  /// degrades loudly instead of piling up threads). 0 = unlimited.
+  int max_connections = 0;
 };
 
 /// The CP-query serving layer's request router and transports.
@@ -34,19 +46,32 @@ struct ServerOptions {
 /// `{"id":...,"ok":false,"error":{"code":"Not found","message":"..."}}` on
 /// failure, where `code` is `StatusCodeToString` of the library Status
 /// ("Invalid argument", "Not found", "Out of range", "Parse error",
-/// "Already exists", ...) — every malformed input (bad JSON, unknown op,
-/// missing session, malformed CSV) yields a structured error response,
-/// never a process abort. Blank lines and `#` comment lines are ignored,
-/// so scripted query files can be annotated.
+/// "Already exists", "Unavailable", ...) — every malformed input (bad
+/// JSON, unknown op, missing session, malformed CSV) yields a structured
+/// error response, never a process abort. Blank lines and `#` comment
+/// lines are ignored, so scripted query files can be annotated.
 ///
 /// Ops: create_session, list_sessions, drop_session, certify, q2, predict,
-/// clean_step, clean_run, stats, ping, shutdown. See README "Serving".
+/// clean_step, clean_run, save_session, load_session, stats, ping,
+/// shutdown. See README "Serving".
+///
+/// Concurrency: per-session ops are classified read (q2, predict,
+/// certify, stats — and save_session's snapshot serialization) vs write
+/// (clean_step, clean_run); reads on one session run concurrently on its
+/// shared lock, writes serialize. Lifecycle transitions (create/publish,
+/// drop, the snapshot file write of save, load/rehydration publication,
+/// eviction) additionally serialize on a server-wide lifecycle mutex —
+/// expensive work (task builds, snapshot loads/serialization) happens
+/// outside it. Different sessions always proceed concurrently and share
+/// the process-global thread pool.
+///
+/// Lifecycle: with a `data_dir`, sessions move live → evicted (LRU past
+/// `max_sessions`, saved to disk) → rehydrated (lazily, on the next
+/// request naming them, or explicitly via `load_session`).
 ///
 /// Transports: `RunStdio` (requests on stdin, responses on stdout) and
 /// `ServeTcp` (loopback listener, one thread per connection running the
-/// same line protocol). Requests on different sessions execute
-/// concurrently and share the process-global thread pool; requests on one
-/// session serialize on its mutex.
+/// same line protocol, admission-limited by `max_connections`).
 class Server {
  public:
   explicit Server(ServerOptions options = ServerOptions());
@@ -89,26 +114,46 @@ class Server {
   bool stopping() const { return stopping_.load(); }
 
   SessionRegistry& registry() { return registry_; }
+  SessionStore& store() { return store_; }
 
  private:
   Result<JsonValue> Dispatch(const std::string& op, const JsonValue& req);
   Result<JsonValue> CreateSession(const JsonValue& req);
   Result<JsonValue> BatchQuery(const std::string& op, const JsonValue& req);
   Result<JsonValue> CleanOp(const std::string& op, const JsonValue& req);
+  Result<JsonValue> DropSession(const JsonValue& req);
+  Result<JsonValue> SaveSession(const JsonValue& req);
+  Result<JsonValue> LoadSession(const JsonValue& req);
   Result<JsonValue> Stats(const JsonValue& req);
-  Result<CleaningTask> BuildTask(const JsonValue& req);
+
+  /// Registry lookup with lazy rehydration: a session evicted (or saved by
+  /// a previous server process over the same data dir) is loaded from its
+  /// snapshot on the next request that names it.
+  Result<std::shared_ptr<ServeSession>> FindSession(const std::string& name);
 
   void HandleConnection(int fd);
 
   ServerOptions options_;
   SessionRegistry registry_;
+  SessionStore store_;
+  /// Serializes session lifecycle *transitions* — create/insert+evict,
+  /// drop (snapshot delete + registry drop), explicit save, rehydration —
+  /// so no interleaving can, e.g., re-write a snapshot a concurrent drop
+  /// just deleted or delete the one an eviction just wrote. Per-session
+  /// query/cleaning ops never take it (they run under the session's own
+  /// shared_mutex), and neither does the live-session fast path of
+  /// FindSession, so the data plane is unaffected.
+  std::mutex lifecycle_mu_;
   std::atomic<bool> stopping_{false};
   std::atomic<int> bound_port_{-1};
   std::atomic<int> listen_fd_{-1};
+  std::atomic<uint64_t> rejected_connections_{0};
 
   // Open connections: fds for the shutdown kick, a count + cv so ServeTcp
   // and the destructor can wait for the detached handler threads to drain
   // (threads reap themselves — no per-connection join handle accumulates).
+  // The count doubles as the admission-control semaphore: an accept only
+  // admits (count++ under the lock) while count < max_connections.
   std::mutex conn_mu_;
   std::condition_variable conn_cv_;
   std::vector<int> conn_fds_;

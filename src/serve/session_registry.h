@@ -1,17 +1,20 @@
 #ifndef CPCLEAN_SERVE_SESSION_REGISTRY_H_
 #define CPCLEAN_SERVE_SESSION_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cleaning/cleaning_task.h"
 #include "cleaning/cp_clean.h"
 #include "common/result.h"
-#include "core/fast_q2.h"
 #include "knn/kernel.h"
+#include "serve/engine_pool.h"
 #include "serve/json.h"
 #include "serve/result_cache.h"
 
@@ -35,42 +38,99 @@ struct ServeSessionOptions {
 /// to KernelKind; InvalidArgument for anything else.
 Result<KernelKind> KernelKindFromName(const std::string& name);
 
+/// Resolves a session's options from a `create_session` request (or a
+/// persisted spec — the same resolution runs on rehydration, so a restored
+/// session always carries the options it was created with).
+Result<ServeSessionOptions> ServeSessionOptionsFromRequest(
+    const JsonValue& req, size_t default_cache_capacity);
+
+/// Order-sensitive FNV fingerprint over everything in a CleaningTask that
+/// determines served answers but is NOT covered by the snapshot's working
+/// dataset: the encoded validation/test sets, their labels, and the
+/// oracle's true-candidate answers. Stored in session snapshots and
+/// re-checked on rehydration, so a CSV edited on disk between save and
+/// load fails loudly instead of silently shifting q2/certify bits.
+uint64_t TaskFingerprint(const CleaningTask& task);
+
 /// One named serving session: a CleaningTask (owned), its kernel, a
-/// CleaningSession holding the current cleaning state, a reused FastQ2
-/// engine for Q2 queries (re-bound automatically via the dataset version
-/// counter), and an LRU result cache invalidated by that same counter.
+/// CleaningSession holding the current cleaning state, a version-stamped
+/// `EnginePool` of FastQ2 engines for concurrent Q2 readers, and an
+/// internally-locked LRU result cache invalidated by the dataset's
+/// mutation version.
 ///
-/// Every public operation takes the session mutex, so requests against one
-/// session serialize while different sessions proceed concurrently on the
-/// shared global pool.
+/// Operations are classified read vs write over the working dataset and
+/// synchronized by a `std::shared_mutex`:
+///
+///   read  (shared lock, run concurrently):  q2, predict, certify, stats,
+///                                           snapshot serialization
+///   write (exclusive lock, serialize):      clean_step, clean_run
+///
+/// CP queries are pure reads of the working incomplete dataset, so N
+/// concurrent readers each check out a private engine from the pool and
+/// proceed in parallel; a cleaning step waits for in-flight readers, then
+/// mutates, bumps the dataset version (retiring every cached answer and
+/// engine binding), and lets readers back in. Served answers stay
+/// bit-identical to direct library calls at the same dataset version.
 class ServeSession {
  public:
-  /// Validates options, instantiates the kernel and the cleaning session.
+  /// Validates options, instantiates the kernel and the cleaning session,
+  /// and primes the validation-certainty flags (so `stats` stays a pure
+  /// read). `spec` is the parameter object that recreates the session
+  /// (`create_session` request minus transport fields); the session store
+  /// persists it beside the cleaning state. The store's rehydration path
+  /// passes `prime_certainty = false`: `RestoreCleaning` re-establishes
+  /// freshness itself, so priming here would run the (parallel, full
+  /// validation sweep) Q1 pass twice per load.
   static Result<std::shared_ptr<ServeSession>> Make(
-      std::string name, CleaningTask task, const ServeSessionOptions& options);
+      std::string name, CleaningTask task, const ServeSessionOptions& options,
+      JsonValue spec = JsonValue(), bool prime_certainty = true);
 
   const std::string& name() const { return name_; }
   const CleaningTask& task() const { return task_; }
+  const ServeSessionOptions& options() const { return options_; }
+  const JsonValue& spec() const { return spec_; }
+
+  /// Wall-clock time (unix ms) of the last counted request — creation time
+  /// until one arrives. `stats` reads but does not bump it, so monitoring
+  /// never keeps an idle session resident.
+  int64_t last_request_unix_ms() const {
+    return last_request_ms_.load(std::memory_order_relaxed);
+  }
+  /// Process-wide monotone sequence of the last counted request; the
+  /// eviction policy's LRU order (wall-clock ms ties under bursts).
+  uint64_t last_request_seq() const {
+    return last_request_seq_.load(std::memory_order_relaxed);
+  }
 
   /// Resolves a batched request's points: either explicit feature vectors
   /// or indices into the task's validation set.
   Result<std::vector<double>> ValPoint(int index) const;
 
-  // --- Operations (each serializes on the session mutex) -------------------
+  // --- Read operations (shared lock) ---------------------------------------
 
   /// Greedy per-point cleaning certificate against the *current* working
-  /// dataset. Result: {certified, label, cleaned: [ids]}. Cached.
+  /// dataset. Result: {certified, label, cleaned: [ids], version}. Cached.
   Result<JsonValue> Certify(const std::vector<double>& point,
                             int max_cleaned);
 
   /// Q2 label distribution + entropy for one test point against the
-  /// current working dataset: {probs: [...], entropy}. Cached; computed on
-  /// the session's reused FastQ2 engine.
+  /// current working dataset: {probs: [...], entropy, version}. Cached;
+  /// computed on an engine leased from the session's pool.
   Result<JsonValue> Q2(const std::vector<double>& point);
 
-  /// Q1 checking query: {certain, label} (label -1 when worlds disagree).
-  /// Cached.
+  /// Q1 checking query: {certain, label, version} (label -1 when worlds
+  /// disagree). Cached.
   Result<JsonValue> Predict(const std::vector<double>& point);
+
+  /// Session snapshot: sizes, cleaning progress, the full resolved
+  /// options, last-request timestamp, cache + engine-pool counters.
+  JsonValue Stats();
+
+  /// Serializes the session as a v2 incomplete-dataset document (working
+  /// dataset + "spec" and "cleaning" sections) for the session store.
+  std::string SerializeSnapshot();
+
+  // --- Write operations (exclusive lock) -----------------------------------
 
   /// Advances up to `steps` greedy CPClean steps. Result: {cleaned: [ids],
   /// frac_val_certain, dirty_remaining, version}. Mutates the dataset, so
@@ -81,37 +141,54 @@ class ServeSession {
   /// budget (-1 = unbounded) is exhausted.
   Result<JsonValue> CleanRun(int budget);
 
-  /// Session snapshot: sizes, cleaning progress, cache counters.
-  JsonValue Stats();
+  /// Replays a persisted cleaning order into the (freshly created)
+  /// session, then verifies the rebuilt working dataset is bit-identical
+  /// to `expected` (the dataset stored in the snapshot file) — a changed
+  /// CSV on disk or a drifted generator fails loudly instead of serving
+  /// subtly different answers.
+  Status RestoreCleaning(const std::vector<int>& cleaned_order,
+                         const IncompleteDataset& expected);
 
  private:
   ServeSession(std::string name, CleaningTask task,
-               const ServeSessionOptions& options);
+               const ServeSessionOptions& options, JsonValue spec);
 
-  /// Cache-through helper: returns the cached value for `key` or computes,
-  /// inserts, and returns it. `compute` runs with the lock held.
+  /// Stamps this request into the LRU bookkeeping.
+  void Touch();
+
+  /// Cache-through helper: returns the cached value for `key` at
+  /// `version` or computes, inserts, and returns it. Runs under the
+  /// caller's (shared) lock; concurrent same-key misses recompute the
+  /// same bits.
   template <typename Fn>
-  Result<JsonValue> Cached(const std::string& key, Fn compute);
+  Result<JsonValue> Cached(const std::string& key, uint64_t version,
+                           Fn compute);
 
   const std::string name_;
   CleaningTask task_;
   ServeSessionOptions options_;
+  JsonValue spec_;
   std::unique_ptr<SimilarityKernel> kernel_;
   std::unique_ptr<CleaningSession> cleaner_;
-  std::unique_ptr<FastQ2> q2_engine_;  // lazy; reused across requests
+  std::unique_ptr<EnginePool> engines_;
   ResultCache cache_;
-  uint64_t requests_ = 0;
-  std::mutex mu_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<int64_t> last_request_ms_{0};
+  std::atomic<uint64_t> last_request_seq_{0};
+  std::shared_mutex mu_;
 };
 
 /// The server's directory of live sessions. Thread-safe; sessions are
 /// handed out as shared_ptr so an in-flight request survives a concurrent
-/// drop.
+/// drop or eviction. Lookup is hash-based (an unordered_map — the
+/// directory is on every request's path); `Names()` stays sorted for
+/// stable protocol responses.
 class SessionRegistry {
  public:
-  /// Registers a new session; AlreadyExists if the name is taken.
-  Result<std::shared_ptr<ServeSession>> Create(
-      std::string name, CleaningTask task, const ServeSessionOptions& options);
+  /// Publishes a built session (`ServeSession::Make` output — the
+  /// creation and rehydration paths alike; the server holds its lifecycle
+  /// mutex around publication). AlreadyExists if the name is taken.
+  Status Insert(std::shared_ptr<ServeSession> session);
 
   /// NotFound when no such session.
   Result<std::shared_ptr<ServeSession>> Get(const std::string& name) const;
@@ -121,12 +198,14 @@ class SessionRegistry {
   /// Session names, sorted.
   std::vector<std::string> Names() const;
 
+  /// Every live session (unspecified order) — the eviction sweep's input.
+  std::vector<std::shared_ptr<ServeSession>> All() const;
+
   size_t size() const;
 
  private:
   mutable std::mutex mu_;
-  std::vector<std::pair<std::string, std::shared_ptr<ServeSession>>>
-      sessions_;
+  std::unordered_map<std::string, std::shared_ptr<ServeSession>> sessions_;
 };
 
 }  // namespace cpclean

@@ -1,0 +1,470 @@
+#include "serve/session_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "cleaning/imputers.h"
+#include "common/string_util.h"
+#include "data/csv.h"
+#include "datasets/paper_datasets.h"
+#include "eval/experiment.h"
+#include "incomplete/serialization.h"
+#include "serve/request_params.h"
+
+namespace cpclean {
+
+namespace {
+
+constexpr char kSnapshotSuffix[] = ".cpsession";
+
+Result<Table> LoadTable(const JsonValue& req, const char* text_key,
+                        const char* path_key) {
+  const JsonValue* text = req.Find(text_key);
+  if (text != nullptr) {
+    if (!text->is_string()) {
+      return Status::InvalidArgument(
+          StrFormat("\"%s\" must be a string", text_key));
+    }
+    return ReadCsvString(text->string_value());
+  }
+  CP_ASSIGN_OR_RETURN(const std::string path, RequestString(req, path_key));
+  return ReadCsvFile(path);
+}
+
+/// Session names are arbitrary protocol strings; filenames are not.
+/// Alnum, '-', and '_' pass through, everything else becomes %XX — a
+/// bijection, so `SavedNames` can decode listings.
+std::string EscapeName(const std::string& name) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) != 0 || c == '-' || c == '_') {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xF]);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeName(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    if (i + 2 >= escaped.size()) {
+      return Status::ParseError("truncated %-escape in: " + escaped);
+    }
+    const auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    const int hi = nibble(escaped[i + 1]);
+    const int lo = nibble(escaped[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::ParseError("bad %-escape in: " + escaped);
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<CleaningTask> BuildTaskFromSpec(const JsonValue& spec) {
+  CP_ASSIGN_OR_RETURN(const std::string source,
+                      RequestStringOr(spec, "source", "paper"));
+  if (source == "paper" || source == "synthetic") {
+    ExperimentConfig config;
+    CP_ASSIGN_OR_RETURN(const int train_rows,
+                        RequestIntParam(spec, "train_rows", 300));
+    CP_ASSIGN_OR_RETURN(const int val_size,
+                        RequestIntParam(spec, "val_size", 100));
+    CP_ASSIGN_OR_RETURN(const int test_size,
+                        RequestIntParam(spec, "test_size", 200));
+    CP_ASSIGN_OR_RETURN(const int64_t seed, RequestIntOr(spec, "seed", 42));
+    if (source == "paper") {
+      CP_ASSIGN_OR_RETURN(const std::string dataset,
+                          RequestStringOr(spec, "dataset", "Supreme"));
+      bool known = false;
+      for (const auto& paper_spec : PaperDatasetSuite()) {
+        if (paper_spec.name == dataset) known = true;
+      }
+      if (!known) {
+        return Status::InvalidArgument(StrFormat(
+            "unknown paper dataset \"%s\" (expected BabyProduct, Supreme, "
+            "Bank, Puma)",
+            dataset.c_str()));
+      }
+      config.dataset =
+          PaperDatasetByName(dataset, train_rows, val_size, test_size,
+                             static_cast<uint64_t>(seed));
+    } else {
+      PaperDatasetSpec synthetic;
+      CP_ASSIGN_OR_RETURN(synthetic.name,
+                          RequestStringOr(spec, "dataset", "synthetic"));
+      synthetic.synthetic.name = synthetic.name;
+      CP_ASSIGN_OR_RETURN(const int numeric,
+                          RequestIntParam(spec, "numeric", 6));
+      CP_ASSIGN_OR_RETURN(const int categorical,
+                          RequestIntParam(spec, "categorical", 1));
+      CP_ASSIGN_OR_RETURN(const double noise,
+                          RequestDoubleOr(spec, "noise_sigma", 0.5));
+      CP_ASSIGN_OR_RETURN(const bool nonlinear,
+                          RequestBoolOr(spec, "nonlinear", false));
+      synthetic.synthetic.num_rows = train_rows + val_size + test_size;
+      synthetic.synthetic.num_numeric = numeric;
+      synthetic.synthetic.num_categorical = categorical;
+      synthetic.synthetic.noise_sigma = noise;
+      synthetic.synthetic.nonlinear = nonlinear;
+      synthetic.synthetic.seed = static_cast<uint64_t>(seed);
+      synthetic.val_size = val_size;
+      synthetic.test_size = test_size;
+      config.dataset = std::move(synthetic);
+    }
+    CP_ASSIGN_OR_RETURN(
+        config.dataset.missing_rate,
+        RequestDoubleOr(spec, "missing_rate", config.dataset.missing_rate));
+    CP_ASSIGN_OR_RETURN(config.k, RequestIntParam(spec, "k", 3));
+    config.seed = static_cast<uint64_t>(seed);
+    CP_ASSIGN_OR_RETURN(config.num_threads,
+                        RequestIntParam(spec, "num_threads", 0));
+    CP_ASSIGN_OR_RETURN(const std::string kernel_name,
+                        RequestStringOr(spec, "kernel", "neg_euclidean"));
+    CP_ASSIGN_OR_RETURN(const KernelKind kind,
+                        KernelKindFromName(kernel_name));
+    CP_ASSIGN_OR_RETURN(const double gamma,
+                        RequestDoubleOr(spec, "gamma", 1.0));
+    const std::unique_ptr<SimilarityKernel> kernel = MakeKernel(kind, gamma);
+    CP_ASSIGN_OR_RETURN(PreparedExperiment prepared,
+                        PrepareExperiment(config, *kernel));
+    return std::move(prepared.task);
+  }
+  if (source == "csv") {
+    // Dirty training CSV (inline text or a file path) plus the label
+    // column; ground truth / validation / test tables are optional — a
+    // default-imputed completion stands in when absent, mirroring the
+    // csv_workflow example. Every parse or schema failure surfaces as a
+    // structured error response.
+    CP_ASSIGN_OR_RETURN(Table dirty, LoadTable(spec, "csv_text", "csv_path"));
+    CP_ASSIGN_OR_RETURN(const std::string label, RequestString(spec, "label"));
+    CP_ASSIGN_OR_RETURN(const int label_col,
+                        dirty.schema().FieldIndex(label));
+    Table clean;
+    if (spec.Find("clean_text") != nullptr ||
+        spec.Find("clean_path") != nullptr) {
+      CP_ASSIGN_OR_RETURN(clean, LoadTable(spec, "clean_text", "clean_path"));
+    } else {
+      CP_ASSIGN_OR_RETURN(clean, DefaultCleanImpute(dirty, label_col));
+    }
+    Table val = clean;
+    if (spec.Find("val_text") != nullptr || spec.Find("val_path") != nullptr) {
+      CP_ASSIGN_OR_RETURN(val, LoadTable(spec, "val_text", "val_path"));
+    }
+    Table test = val;
+    if (spec.Find("test_text") != nullptr ||
+        spec.Find("test_path") != nullptr) {
+      CP_ASSIGN_OR_RETURN(test, LoadTable(spec, "test_text", "test_path"));
+    }
+    return BuildCleaningTask(dirty, clean, val, test, label);
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown source \"%s\" (expected paper, synthetic, csv)",
+      source.c_str()));
+}
+
+SessionStore::SessionStore(SessionStoreOptions options)
+    : options_(std::move(options)) {
+  // Crash hygiene: a process that died mid-save (or hit a disk error the
+  // unlink also lost to) leaves uniquely-named temp files behind; nothing
+  // else ever reclaims them, so sweep on startup.
+  if (!enabled()) return;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(options_.data_dir, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    const std::string filename = entry.path().filename().string();
+    if (filename.find(kSnapshotSuffix) != std::string::npos &&
+        filename.size() > 4 &&
+        filename.compare(filename.size() - 4, 4, ".tmp") == 0) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+std::string SessionStore::PathFor(const std::string& name) const {
+  return options_.data_dir + "/" + EscapeName(name) + kSnapshotSuffix;
+}
+
+Status SessionStore::ValidateSavable(const ServeSession& session) {
+  if (!session.spec().is_object()) {
+    return Status::InvalidArgument(StrFormat(
+        "session \"%s\" carries no creation spec; nothing could rebuild "
+        "its task on load",
+        session.name().c_str()));
+  }
+  return Status::OK();
+}
+
+Status SessionStore::Save(ServeSession& session) {
+  if (!enabled()) {
+    return Status::Unavailable(
+        "session persistence is disabled (no --data-dir)");
+  }
+  CP_RETURN_NOT_OK(ValidateSavable(session));
+  return WriteSnapshot(session.name(), session.SerializeSnapshot());
+}
+
+Status SessionStore::WriteSnapshot(const std::string& name,
+                                   const std::string& text) {
+  if (!enabled()) {
+    return Status::Unavailable(
+        "session persistence is disabled (no --data-dir)");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.data_dir, ec);
+  if (ec) {
+    return Status::IoError(StrFormat("cannot create data dir %s: %s",
+                                     options_.data_dir.c_str(),
+                                     ec.message().c_str()));
+  }
+  const std::string path = PathFor(name);
+  // Temp-write + rename so a crash mid-save never leaves a torn snapshot
+  // where a loadable one used to be. The temp name is unique per save:
+  // save_session is a shared-lock read op, so two saves of one session
+  // (or a save racing the eviction sweep) may run concurrently, and a
+  // shared temp path would let one writer truncate the file another is
+  // about to rename into place.
+  static std::atomic<uint64_t> save_seq{0};
+  const std::string tmp = StrFormat(
+      "%s.%llu.tmp", path.c_str(),
+      static_cast<unsigned long long>(
+          save_seq.fetch_add(1, std::memory_order_relaxed)));
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) {
+      return Status::IoError("cannot open for writing: " + tmp);
+    }
+    file << text;
+    // Close explicitly and re-check: the final buffered flush can be the
+    // write that hits ENOSPC, and installing a silently truncated
+    // snapshot would destroy the session's only copy at eviction time.
+    file.close();
+    if (!file) {
+      std::filesystem::remove(tmp, ec);  // don't leak the partial temp
+      return Status::IoError("write failed: " + tmp);
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    const Status status =
+        Status::IoError(StrFormat("rename %s -> %s: %s", tmp.c_str(),
+                                  path.c_str(), ec.message().c_str()));
+    std::filesystem::remove(tmp, ec);
+    return status;
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<ServeSession>> SessionStore::Load(
+    const std::string& name) {
+  if (!enabled()) {
+    return Status::Unavailable(
+        "session persistence is disabled (no --data-dir)");
+  }
+  const std::string path = PathFor(name);
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound(StrFormat(
+        "no snapshot for session \"%s\" (%s)", name.c_str(), path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  CP_ASSIGN_OR_RETURN(DeserializedDatasetV2 parsed,
+                      DeserializeIncompleteDatasetV2(buffer.str()));
+
+  const SerializedSection* spec_section = nullptr;
+  const SerializedSection* cleaning_section = nullptr;
+  const SerializedSection* task_section = nullptr;
+  for (const SerializedSection& section : parsed.sections) {
+    if (section.name == "spec") spec_section = &section;
+    if (section.name == "cleaning") cleaning_section = &section;
+    if (section.name == "task") task_section = &section;
+  }
+  if (spec_section == nullptr || spec_section->lines.size() != 1) {
+    return Status::ParseError(path + ": missing one-line \"spec\" section");
+  }
+  if (cleaning_section == nullptr || cleaning_section->lines.size() != 1) {
+    return Status::ParseError(path +
+                              ": missing one-line \"cleaning\" section");
+  }
+  CP_ASSIGN_OR_RETURN(const JsonValue spec,
+                      ParseJson(spec_section->lines[0]));
+
+  const std::vector<std::string> fields =
+      Split(cleaning_section->lines[0], ' ');
+  if (fields.size() < 2 || fields[0] != "cleaned") {
+    return Status::ParseError(path + ": expected 'cleaned <n> <ids...>'");
+  }
+  CP_ASSIGN_OR_RETURN(const int count, ParseInt(fields[1]));
+  if (count < 0 || static_cast<size_t>(count) != fields.size() - 2) {
+    return Status::ParseError(StrFormat(
+        "%s: cleaning order announces %d ids, carries %d", path.c_str(),
+        count, static_cast<int>(fields.size()) - 2));
+  }
+  std::vector<int> cleaned_order;
+  cleaned_order.reserve(static_cast<size_t>(count));
+  for (size_t f = 2; f < fields.size(); ++f) {
+    CP_ASSIGN_OR_RETURN(const int id, ParseInt(fields[f]));
+    cleaned_order.push_back(id);
+  }
+
+  if (task_section == nullptr || task_section->lines.size() != 1) {
+    return Status::ParseError(path + ": missing one-line \"task\" section");
+  }
+  const std::vector<std::string> task_fields =
+      Split(task_section->lines[0], ' ');
+  if (task_fields.size() != 2 || task_fields[0] != "fingerprint") {
+    return Status::ParseError(path + ": expected 'fingerprint <hex>'");
+  }
+  uint64_t want_fingerprint = 0;
+  {
+    std::istringstream hex_stream(task_fields[1]);
+    hex_stream >> std::hex >> want_fingerprint;
+    if (hex_stream.fail()) {
+      return Status::ParseError(path + ": unparseable task fingerprint");
+    }
+  }
+
+  CP_ASSIGN_OR_RETURN(
+      const ServeSessionOptions options,
+      ServeSessionOptionsFromRequest(spec, options_.default_cache_capacity));
+  CP_ASSIGN_OR_RETURN(CleaningTask task, BuildTaskFromSpec(spec));
+  if (TaskFingerprint(task) != want_fingerprint) {
+    // The working dataset is bit-verified separately (RestoreCleaning);
+    // this catches drift in what that check cannot see — validation/test
+    // CSVs or the oracle changed on disk since the snapshot was saved.
+    return Status::Internal(StrFormat(
+        "session \"%s\": the rebuilt task's validation/test/oracle data "
+        "does not match the snapshot (source files changed since it was "
+        "saved?)",
+        name.c_str()));
+  }
+  CP_ASSIGN_OR_RETURN(
+      std::shared_ptr<ServeSession> session,
+      ServeSession::Make(name, std::move(task), options, spec,
+                         /*prime_certainty=*/false));
+  CP_RETURN_NOT_OK(session->RestoreCleaning(cleaned_order, parsed.dataset));
+  return session;
+}
+
+Status SessionStore::Delete(const std::string& name) {
+  if (!enabled()) {
+    return Status::Unavailable(
+        "session persistence is disabled (no --data-dir)");
+  }
+  std::error_code ec;
+  const bool removed = std::filesystem::remove(PathFor(name), ec);
+  if (ec) {
+    // A snapshot that exists but cannot be deleted (permissions, IO) is a
+    // different failure than one that never existed — the session is
+    // still rehydratable and the operator needs the real error.
+    return Status::IoError(StrFormat("cannot delete snapshot for \"%s\": %s",
+                                     name.c_str(), ec.message().c_str()));
+  }
+  if (!removed) {
+    return Status::NotFound(StrFormat(
+        "no snapshot for session \"%s\"", name.c_str()));
+  }
+  return Status::OK();
+}
+
+bool SessionStore::Saved(const std::string& name) const {
+  if (!enabled()) return false;
+  std::error_code ec;
+  return std::filesystem::exists(PathFor(name), ec);
+}
+
+std::vector<std::string> SessionStore::SavedNames() const {
+  std::vector<std::string> names;
+  if (!enabled()) return names;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(options_.data_dir, ec);
+  if (ec) return names;
+  for (const auto& entry : it) {
+    const std::string filename = entry.path().filename().string();
+    const size_t suffix_len = sizeof(kSnapshotSuffix) - 1;
+    if (filename.size() <= suffix_len ||
+        filename.compare(filename.size() - suffix_len, suffix_len,
+                         kSnapshotSuffix) != 0) {
+      continue;
+    }
+    Result<std::string> name =
+        UnescapeName(filename.substr(0, filename.size() - suffix_len));
+    if (name.ok()) names.push_back(std::move(name).value());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<std::vector<std::string>> SessionStore::EnforceCapacity(
+    SessionRegistry& registry) {
+  std::vector<std::string> evicted;
+  if (options_.max_sessions == 0) return evicted;
+  // Bounds the touched-during-save retries below: under sustained load on
+  // every session the sweep must still terminate, falling back to the
+  // documented small-window drop instead of spinning.
+  size_t retries_left = 2 * registry.size() + 4;
+  while (registry.size() > options_.max_sessions) {
+    if (!enabled()) {
+      return Status::Unavailable(StrFormat(
+          "%d sessions exceed --max-sessions=%d and no --data-dir is "
+          "configured to evict into",
+          static_cast<int>(registry.size()),
+          static_cast<int>(options_.max_sessions)));
+    }
+    // LRU by last-request sequence (monotone process-wide, so bursts
+    // within one wall-clock millisecond still order correctly).
+    std::shared_ptr<ServeSession> victim;
+    for (const std::shared_ptr<ServeSession>& session : registry.All()) {
+      if (!victim ||
+          session->last_request_seq() < victim->last_request_seq()) {
+        victim = session;
+      }
+    }
+    if (!victim) break;  // raced to empty
+    const uint64_t seq_before_save = victim->last_request_seq();
+    CP_RETURN_NOT_OK(Save(*victim));
+    if (victim->last_request_seq() != seq_before_save && retries_left > 0) {
+      --retries_left;
+      // A request (possibly a write the client already saw acknowledged)
+      // landed while the snapshot was being serialized — dropping now
+      // would rehydrate pre-write state. The session is no longer LRU
+      // anyway; re-pick. The harmlessly stale snapshot is overwritten by
+      // the next save and deleted by drop_session. (A request racing into
+      // the residual window between this check and the Drop below still
+      // completes on the detached instance; that sliver is documented in
+      // ROADMAP.)
+      continue;
+    }
+    (void)registry.Drop(victim->name());
+    evicted.push_back(victim->name());
+  }
+  return evicted;
+}
+
+}  // namespace cpclean

@@ -1,0 +1,107 @@
+#ifndef CPCLEAN_SERVE_SESSION_STORE_H_
+#define CPCLEAN_SERVE_SESSION_STORE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cleaning/cleaning_task.h"
+#include "common/result.h"
+#include "serve/json.h"
+#include "serve/session_registry.h"
+
+namespace cpclean {
+
+/// Builds a CleaningTask from a `create_session` parameter object —
+/// `source` = "paper" | "synthetic" (deterministic seeded generators) or
+/// "csv" (inline text or file paths). The same function serves the
+/// create_session op and snapshot rehydration, so a restored session's
+/// task is rebuilt by exactly the code that built the original.
+Result<CleaningTask> BuildTaskFromSpec(const JsonValue& spec);
+
+struct SessionStoreOptions {
+  /// Directory session snapshots are saved to / loaded from. Empty
+  /// disables persistence (and with it eviction-to-disk and rehydration).
+  std::string data_dir;
+  /// Max resident sessions before the eviction sweep saves + drops the
+  /// least-recently-used ones. 0 = unlimited.
+  size_t max_sessions = 0;
+  /// Passed through to option resolution on rehydration (a spec without
+  /// an explicit cache_capacity gets the server default, same as at
+  /// creation).
+  size_t default_cache_capacity = 1024;
+};
+
+/// Snapshot persistence and lifecycle policy for serving sessions: the
+/// piece that turns "sessions live forever in RAM" into
+/// live → evicted (saved to disk, dropped from the registry) →
+/// rehydrated (rebuilt from spec + replayed cleaning order on next
+/// access).
+///
+/// One file per session, `<data-dir>/<escaped-name>.cpsession`, in the v2
+/// incomplete-dataset format: the *working* candidate space (for
+/// bit-identity verification) plus a "spec" section (the create_session
+/// parameter JSON that rebuilds the task), a "cleaning" section
+/// (`cleaned <n> <ids...>`, the replay order), and a "task" section
+/// (`fingerprint <hex>`, hashing the validation/test/oracle data the
+/// working dataset does not cover). Rehydration rebuilds the task from
+/// the spec, replays the cleaning order, and fails loudly if either the
+/// rebuilt working dataset is not bit-identical to the stored one or the
+/// task fingerprint drifted (a CSV edited on disk since the save).
+class SessionStore {
+ public:
+  explicit SessionStore(SessionStoreOptions options);
+
+  bool enabled() const { return !options_.data_dir.empty(); }
+  size_t max_sessions() const { return options_.max_sessions; }
+  const std::string& data_dir() const { return options_.data_dir; }
+
+  /// The snapshot path for `name` (valid whether or not the file exists).
+  std::string PathFor(const std::string& name) const;
+
+  /// InvalidArgument when `session` cannot be persisted (created without
+  /// a spec — nothing could rebuild its task on load). The single source
+  /// of the savability rule, shared by `Save` and the server's
+  /// serialize-outside-lock save path.
+  static Status ValidateSavable(const ServeSession& session);
+
+  /// Serializes `session` to its snapshot file (atomic: temp file +
+  /// rename). Unavailable when persistence is disabled; see
+  /// `ValidateSavable` for the spec requirement.
+  Status Save(ServeSession& session);
+
+  /// The write half of `Save` for callers that serialized the session
+  /// earlier (e.g. outside a lock that must not block on the session):
+  /// writes pre-serialized snapshot `text` for `name` atomically.
+  Status WriteSnapshot(const std::string& name, const std::string& text);
+
+  /// Loads `name`'s snapshot and rebuilds the session (unpublished — the
+  /// caller inserts it into the registry). NotFound when no snapshot
+  /// exists.
+  Result<std::shared_ptr<ServeSession>> Load(const std::string& name);
+
+  /// Deletes `name`'s snapshot file. NotFound when none exists.
+  Status Delete(const std::string& name);
+
+  /// True when a snapshot file exists for `name`.
+  bool Saved(const std::string& name) const;
+
+  /// Names of every saved session, sorted.
+  std::vector<std::string> SavedNames() const;
+
+  /// The eviction sweep: while `registry` holds more than `max_sessions`
+  /// sessions, saves the least-recently-used one (by last-request
+  /// sequence) and drops it. Returns the evicted names (empty when under
+  /// the limit or max_sessions == 0). Fails without evicting when
+  /// persistence is disabled — callers gate admission instead of
+  /// silently discarding state.
+  Result<std::vector<std::string>> EnforceCapacity(SessionRegistry& registry);
+
+ private:
+  SessionStoreOptions options_;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_SERVE_SESSION_STORE_H_

@@ -27,7 +27,7 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
         StatusCode::kNotFound, StatusCode::kAlreadyExists, StatusCode::kIoError,
         StatusCode::kParseError, StatusCode::kNotImplemented,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kUnavailable}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
 }

@@ -92,5 +92,80 @@ TEST(SerializationTest, FileRoundTrip) {
   EXPECT_FALSE(LoadIncompleteDataset("/nonexistent/x.txt").ok());
 }
 
+TEST(SerializationTest, V2RoundTripsDatasetAndSections) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 9;
+  spec.max_candidates = 3;
+  spec.num_labels = 2;
+  spec.dim = 4;
+  spec.seed = 123;
+  const IncompleteDataset original = MakeRandomDataset(spec);
+  const std::vector<SerializedSection> sections = {
+      {"spec", {"{\"session\":\"a\",\"k\":3}"}},
+      {"cleaning", {"cleaned 3 5 1 7"}},
+  };
+  const std::string text = SerializeIncompleteDatasetV2(original, sections);
+  const DeserializedDatasetV2 parsed =
+      DeserializeIncompleteDatasetV2(text).value();
+  EXPECT_TRUE(DatasetsEqual(original, parsed.dataset));
+  EXPECT_TRUE(BitIdentical(original, parsed.dataset));
+  ASSERT_EQ(parsed.sections.size(), 2u);
+  EXPECT_EQ(parsed.sections[0].name, "spec");
+  ASSERT_EQ(parsed.sections[0].lines.size(), 1u);
+  EXPECT_EQ(parsed.sections[0].lines[0], sections[0].lines[0]);
+  EXPECT_EQ(parsed.sections[1].name, "cleaning");
+  EXPECT_EQ(parsed.sections[1].lines, sections[1].lines);
+}
+
+TEST(SerializationTest, V1EntryPointAcceptsV2AndIgnoresSections) {
+  IncompleteDataset dataset(2);
+  CP_CHECK(dataset.AddCleanExample({0.5, 1.5}, 0).ok());
+  const std::string text = SerializeIncompleteDatasetV2(
+      dataset, {{"extra", {"opaque payload"}}});
+  const IncompleteDataset reloaded =
+      DeserializeIncompleteDataset(text).value();
+  EXPECT_TRUE(DatasetsEqual(dataset, reloaded));
+}
+
+TEST(SerializationTest, V2EntryPointAcceptsV1WithNoSections) {
+  IncompleteDataset dataset(2);
+  CP_CHECK(dataset.AddCleanExample({2.25}, 1).ok());
+  const DeserializedDatasetV2 parsed =
+      DeserializeIncompleteDatasetV2(SerializeIncompleteDataset(dataset))
+          .value();
+  EXPECT_TRUE(DatasetsEqual(dataset, parsed.dataset));
+  EXPECT_TRUE(parsed.sections.empty());
+}
+
+TEST(SerializationTest, V2RejectsMalformedSections) {
+  IncompleteDataset dataset(2);
+  CP_CHECK(dataset.AddCleanExample({1.0}, 0).ok());
+  const std::string base = SerializeIncompleteDatasetV2(dataset, {});
+  // Unterminated section.
+  EXPECT_FALSE(
+      DeserializeIncompleteDatasetV2(base + "section hanging\npayload\n")
+          .ok());
+  // An example block after a section violates the trailer layout.
+  EXPECT_FALSE(DeserializeIncompleteDatasetV2(
+                   base + "section s\nx\nend\nexample 0 1\n0x1p+0\n")
+                   .ok());
+  // Sections in a v1 document are malformed example lines.
+  std::string v1 = SerializeIncompleteDataset(dataset);
+  EXPECT_FALSE(
+      DeserializeIncompleteDatasetV2(v1 + "section s\nx\nend\n").ok());
+}
+
+TEST(SerializationTest, BitIdenticalDetectsValueAndShapeDrift) {
+  IncompleteDataset a(2);
+  CP_CHECK(a.AddExample({{{1.0}, {2.0}}, 1}).ok());
+  IncompleteDataset b = a;
+  EXPECT_TRUE(BitIdentical(a, b));
+  b.FixExample(0, 0);
+  EXPECT_FALSE(BitIdentical(a, b));  // candidate-count drift
+  IncompleteDataset c(2);
+  CP_CHECK(c.AddExample({{{1.0}, {2.0000000000000004}}, 1}).ok());
+  EXPECT_FALSE(BitIdentical(a, c));  // one-ulp value drift
+}
+
 }  // namespace
 }  // namespace cpclean

@@ -3,15 +3,10 @@
 // concurrent TCP connections — produce bit-identical certify / Q2 answers
 // and cleaning orders to a serial direct-library run of each session.
 
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
-#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,9 +17,14 @@
 #include "eval/experiment.h"
 #include "knn/kernel.h"
 #include "serve/server.h"
+#include "tests/serve/serve_test_util.h"
 
 namespace cpclean {
 namespace {
+
+using serve_test::LineClient;
+using serve_test::NumberArray;
+using serve_test::ParseOk;
 
 constexpr int kTrain = 40;
 constexpr int kVal = 10;
@@ -94,20 +94,6 @@ SerialTrace MakeSerialTrace(const PreparedExperiment& prepared,
     trace.q2_after.push_back(q2.Fractions());
   }
   return trace;
-}
-
-std::vector<double> NumberArray(const JsonValue& v) {
-  std::vector<double> out;
-  for (const JsonValue& x : v.array()) out.push_back(x.number_value());
-  return out;
-}
-
-JsonValue ParseOk(const std::string& response) {
-  auto parsed = ParseJson(response);
-  EXPECT_TRUE(parsed.ok()) << response;
-  if (!parsed.ok()) return JsonValue();
-  EXPECT_TRUE(parsed.value().Find("ok")->bool_value()) << response;
-  return *parsed.value().Find("result");
 }
 
 /// Drives one session through the server (already created) and checks
@@ -192,53 +178,6 @@ TEST(ConcurrentServeTest, SessionsOnSharedPoolBitMatchSerial) {
   }
   for (std::thread& t : threads) t.join();
 }
-
-// --- TCP client plumbing ----------------------------------------------------
-
-class LineClient {
- public:
-  explicit LineClient(int port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    sockaddr_in addr;
-    std::memset(&addr, 0, sizeof(addr));
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<uint16_t>(port));
-    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
-                           sizeof(addr)) == 0;
-  }
-  ~LineClient() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-  bool connected() const { return connected_; }
-
-  std::string Issue(const std::string& line) {
-    std::string request = line;
-    request.push_back('\n');
-    size_t sent = 0;
-    while (sent < request.size()) {
-      const ssize_t w =
-          ::send(fd_, request.data() + sent, request.size() - sent, 0);
-      if (w <= 0) return "";
-      sent += static_cast<size_t>(w);
-    }
-    size_t newline;
-    while ((newline = buffer_.find('\n')) == std::string::npos) {
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) return "";
-      buffer_.append(chunk, static_cast<size_t>(n));
-    }
-    const std::string response = buffer_.substr(0, newline);
-    buffer_.erase(0, newline + 1);
-    return response;
-  }
-
- private:
-  int fd_ = -1;
-  bool connected_ = false;
-  std::string buffer_;
-};
 
 TEST(ConcurrentServeTest, ConcurrentTcpConnectionsBitMatchSerial) {
   NegativeEuclideanKernel kernel;

@@ -1,0 +1,106 @@
+// Shared plumbing for the serve-layer tests: a blocking line-protocol TCP
+// client and small JSON response helpers.
+
+#ifndef CPCLEAN_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define CPCLEAN_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+
+namespace cpclean {
+namespace serve_test {
+
+/// A synchronous line-protocol client over one loopback TCP connection.
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  /// Reads one response line without sending anything first (e.g. the
+  /// admission-control rejection pushed by the server on accept). Returns
+  /// "" on EOF.
+  std::string ReadLine() {
+    size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    const std::string response = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return response;
+  }
+
+  /// Sends one request line, returns the matching response line ("" on a
+  /// transport failure).
+  std::string Issue(const std::string& line) {
+    std::string request = line;
+    request.push_back('\n');
+    size_t sent = 0;
+    while (sent < request.size()) {
+      // MSG_NOSIGNAL: a racing server-side close must surface as an empty
+      // response, not a SIGPIPE.
+      const ssize_t w = ::send(fd_, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+      if (w <= 0) return "";
+      sent += static_cast<size_t>(w);
+    }
+    return ReadLine();
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+/// Parses a response line, asserts ok:true, and returns its result object
+/// (empty on any malformed/error response, so a server regression shows a
+/// readable test failure instead of a null-deref crash).
+inline JsonValue ParseOk(const std::string& response) {
+  auto parsed = ParseJson(response);
+  EXPECT_TRUE(parsed.ok()) << response;
+  if (!parsed.ok()) return JsonValue();
+  const JsonValue* ok = parsed.value().Find("ok");
+  EXPECT_NE(ok, nullptr) << response;
+  EXPECT_TRUE(ok != nullptr && ok->bool_value()) << response;
+  const JsonValue* result = parsed.value().Find("result");
+  if (result == nullptr) {
+    ADD_FAILURE() << "response carries no result: " << response;
+    return JsonValue();
+  }
+  return *result;
+}
+
+inline std::vector<double> NumberArray(const JsonValue& v) {
+  std::vector<double> out;
+  for (const JsonValue& x : v.array()) out.push_back(x.number_value());
+  return out;
+}
+
+}  // namespace serve_test
+}  // namespace cpclean
+
+#endif  // CPCLEAN_TESTS_SERVE_SERVE_TEST_UTIL_H_

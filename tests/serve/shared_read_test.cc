@@ -1,0 +1,279 @@
+// Shared-read concurrency within ONE session: q2/predict readers hammer a
+// session from threads and TCP connections while a writer advances
+// clean_step. Every answer a reader observes must be bit-identical to the
+// serial replay's answer *at the dataset version stamped into the
+// response* — concurrent readers never see torn state, half-applied
+// cleaning steps, or a cache entry from the wrong version. Also covers
+// the --max-connections admission control.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "serve/server.h"
+#include "tests/serve/serve_test_util.h"
+
+namespace cpclean {
+namespace {
+
+using serve_test::LineClient;
+using serve_test::ParseOk;
+
+constexpr int kTrain = 40;
+constexpr int kVal = 8;
+constexpr int kK = 3;
+constexpr int kWriterSteps = 3;
+constexpr int kReaders = 4;
+constexpr int kReadsPerReader = 32;
+
+std::string CreateRequest(const std::string& name) {
+  return StrFormat(
+      "{\"op\":\"create_session\",\"session\":\"%s\",\"source\":"
+      "\"synthetic\",\"dataset\":\"shared\",\"train_rows\":%d,\"val_size\":"
+      "%d,\"test_size\":8,\"seed\":97,\"numeric\":4,\"categorical\":0,"
+      "\"noise_sigma\":0.3,\"missing_rate\":0.25,\"k\":%d}",
+      name.c_str(), kTrain, kVal, kK);
+}
+
+std::string Q2Request(const std::string& name, int v) {
+  return StrFormat(
+      "{\"op\":\"q2\",\"session\":\"%s\",\"val_indices\":[%d]}",
+      name.c_str(), v);
+}
+
+std::string PredictRequest(const std::string& name, int v) {
+  return StrFormat(
+      "{\"op\":\"predict\",\"session\":\"%s\",\"val_indices\":[%d]}",
+      name.c_str(), v);
+}
+
+/// Per-version serial ground truth: version → per-val-index result dumps.
+struct VersionedExpectations {
+  std::map<uint64_t, std::vector<std::string>> q2;
+  std::map<uint64_t, std::vector<std::string>> predict;
+};
+
+uint64_t ResultVersion(const JsonValue& result) {
+  return static_cast<uint64_t>(result.Find("version")->number_value());
+}
+
+/// Replays the whole cleaning path serially on a twin server, recording
+/// every (version, val index) answer the concurrent run could observe.
+VersionedExpectations MakeExpectations() {
+  VersionedExpectations expected;
+  Server twin;
+  ParseOk(twin.HandleLine(CreateRequest("t")));
+  for (int step = 0; step <= kWriterSteps; ++step) {
+    std::vector<std::string> q2_dumps, predict_dumps;
+    uint64_t version = 0;
+    for (int v = 0; v < kVal; ++v) {
+      const JsonValue q2 = ParseOk(twin.HandleLine(Q2Request("t", v)));
+      const JsonValue& one = q2.Find("results")->array()[0];
+      version = ResultVersion(one);
+      q2_dumps.push_back(one.Dump());
+      const JsonValue predict =
+          ParseOk(twin.HandleLine(PredictRequest("t", v)));
+      predict_dumps.push_back(predict.Find("results")->array()[0].Dump());
+    }
+    expected.q2[version] = std::move(q2_dumps);
+    expected.predict[version] = std::move(predict_dumps);
+    if (step < kWriterSteps) {
+      ParseOk(twin.HandleLine(
+          StrFormat("{\"op\":\"clean_step\",\"session\":\"t\"}")));
+    }
+  }
+  return expected;
+}
+
+/// One reader's loop: issue q2/predict alternately, check each answer
+/// against the serial expectation at the version it reports.
+template <typename IssueFn>
+void ReadAndCheck(const VersionedExpectations& expected,
+                  const std::string& name, int reader, IssueFn issue,
+                  std::atomic<int>* failures) {
+  for (int r = 0; r < kReadsPerReader; ++r) {
+    const int v = (reader + r) % kVal;
+    const bool use_q2 = (r % 2) == 0;
+    const JsonValue result = ParseOk(
+        issue(use_q2 ? Q2Request(name, v) : PredictRequest(name, v)));
+    const JsonValue* one = result.Find("results");
+    if (one == nullptr || one->array().size() != 1) {
+      ++*failures;
+      continue;
+    }
+    const uint64_t version = ResultVersion(one->array()[0]);
+    const auto& table = use_q2 ? expected.q2 : expected.predict;
+    const auto it = table.find(version);
+    if (it == table.end()) {
+      ADD_FAILURE() << "answer at unknown version " << version;
+      ++*failures;
+      continue;
+    }
+    const std::string got = one->array()[0].Dump();
+    if (got != it->second[static_cast<size_t>(v)]) {
+      ADD_FAILURE() << "bit mismatch at version " << version << " val " << v
+                    << "\n got: " << got
+                    << "\nwant: " << it->second[static_cast<size_t>(v)];
+      ++*failures;
+    }
+  }
+}
+
+TEST(SharedReadTest, ParallelReadersUnderWriterBitMatchSerialReplay) {
+  const VersionedExpectations expected = MakeExpectations();
+
+  Server server;
+  ParseOk(server.HandleLine(CreateRequest("s")));
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int reader = 0; reader < kReaders; ++reader) {
+    readers.emplace_back([&server, &expected, &failures, reader] {
+      ReadAndCheck(expected, "s", reader,
+                   [&server](const std::string& line) {
+                     return server.HandleLine(line);
+                   },
+                   &failures);
+    });
+  }
+  std::thread writer([&server] {
+    for (int step = 0; step < kWriterSteps; ++step) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ParseOk(server.HandleLine(
+          "{\"op\":\"clean_step\",\"session\":\"s\"}"));
+    }
+  });
+  for (std::thread& t : readers) t.join();
+  writer.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // After the dust settles, the session sits at the final version and
+  // serves the serial replay's final answers.
+  const JsonValue final_q2 = ParseOk(server.HandleLine(Q2Request("s", 0)));
+  const uint64_t final_version =
+      ResultVersion(final_q2.Find("results")->array()[0]);
+  EXPECT_EQ(expected.q2.rbegin()->first, final_version);
+}
+
+TEST(SharedReadTest, TcpReadersUnderWriterBitMatchSerialReplay) {
+  const VersionedExpectations expected = MakeExpectations();
+
+  Server server;
+  std::thread serving([&server] {
+    const Status status = server.ServeTcp(0);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+  while (server.port() == -1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const int port = server.port();
+  ASSERT_GE(port, 0);
+  {
+    LineClient creator(port);
+    ASSERT_TRUE(creator.connected());
+    ParseOk(creator.Issue(CreateRequest("s")));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int reader = 0; reader < 2; ++reader) {
+    readers.emplace_back([port, &expected, &failures, reader] {
+      LineClient client(port);
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      ReadAndCheck(expected, "s", reader,
+                   [&client](const std::string& line) {
+                     return client.Issue(line);
+                   },
+                   &failures);
+    });
+  }
+  std::thread writer([port, &failures] {
+    LineClient client(port);
+    if (!client.connected()) {
+      ++failures;
+      return;
+    }
+    for (int step = 0; step < kWriterSteps; ++step) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ParseOk(client.Issue("{\"op\":\"clean_step\",\"session\":\"s\"}"));
+    }
+  });
+  for (std::thread& t : readers) t.join();
+  writer.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  server.Stop();
+  serving.join();
+}
+
+TEST(SharedReadTest, ConnectionLimitRejectsWithStructuredError) {
+  ServerOptions options;
+  options.max_connections = 2;
+  Server server(options);
+  std::thread serving([&server] {
+    const Status status = server.ServeTcp(0);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+  while (server.port() == -1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const int port = server.port();
+  ASSERT_GE(port, 0);
+
+  LineClient first(port);
+  auto second = std::make_unique<LineClient>(port);
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(second->connected());
+  ParseOk(first.Issue("{\"op\":\"ping\"}"));
+  ParseOk(second->Issue("{\"op\":\"ping\"}"));
+
+  // The third connection is accepted only to be told why it is refused.
+  LineClient third(port);
+  ASSERT_TRUE(third.connected());
+  const std::string rejection = third.ReadLine();
+  auto parsed = ParseJson(rejection);
+  ASSERT_TRUE(parsed.ok()) << rejection;
+  EXPECT_FALSE(parsed.value().Find("ok")->bool_value());
+  EXPECT_EQ(parsed.value().Find("error")->Find("code")->string_value(),
+            "Unavailable");
+
+  // The admission counter shows up in global stats.
+  const JsonValue stats = ParseOk(first.Issue("{\"op\":\"stats\"}"));
+  EXPECT_GE(
+      stats.Find("connections")->Find("rejected")->number_value(), 1.0);
+  EXPECT_EQ(stats.Find("connections")->Find("max")->number_value(), 2.0);
+
+  // Freeing a slot re-admits: close `second`, then retry until the
+  // detached handler signs off and a fresh connection gets a real answer.
+  second.reset();
+  bool readmitted = false;
+  for (int attempt = 0; attempt < 200 && !readmitted; ++attempt) {
+    LineClient retry(port);
+    ASSERT_TRUE(retry.connected());
+    const std::string response = retry.Issue("{\"op\":\"ping\"}");
+    auto reparsed = ParseJson(response);
+    if (reparsed.ok() && reparsed.value().Find("ok") != nullptr &&
+        reparsed.value().Find("ok")->bool_value()) {
+      readmitted = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  EXPECT_TRUE(readmitted);
+  ParseOk(first.Issue("{\"op\":\"ping\"}"));
+
+  server.Stop();
+  serving.join();
+}
+
+}  // namespace
+}  // namespace cpclean
