@@ -8,6 +8,7 @@
 #include "core/support_tree.h"
 #include "data/csv.h"
 #include "knn/kernel.h"
+#include "knn/kernel_simd.h"
 #include "knn/top_k.h"
 
 namespace cpclean {
@@ -37,6 +38,38 @@ void BM_KernelRbf(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KernelRbf);
+
+// One batched neg-Euclidean scan per dispatch level, pinned via
+// TableForLevel (not the env override), so a single run records the
+// per-ISA trajectory side by side in BENCH_micro.json. Levels the host or
+// binary lacks are skipped loudly. Outputs are bit-identical across
+// levels by contract — only the ns_per_op may differ.
+void BM_SimilarityBatch_Dispatch(benchmark::State& state) {
+  const auto level = static_cast<SimdLevel>(state.range(0));
+  const int n = 4096;
+  const int dim = static_cast<int>(state.range(1));
+  const simd::KernelBatchTable* table = simd::TableForLevel(level);
+  if (table == nullptr) {
+    state.SkipWithError("dispatch level unavailable on this host/binary");
+    return;
+  }
+  Rng rng(6);
+  std::vector<double> rows(static_cast<size_t>(n) * dim);
+  std::vector<double> t(static_cast<size_t>(dim));
+  for (auto& v : rows) v = rng.NextDouble(-2, 2);
+  for (auto& v : t) v = rng.NextDouble(-2, 2);
+  std::vector<double> out(static_cast<size_t>(n));
+  for (auto _ : state) {
+    table->neg_euclidean(rows.data(), n, dim, t.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(SimdLevelName(level));
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimilarityBatch_Dispatch)
+    ->ArgsProduct({{0, 1, 2}, {8, 64, 512}});
 
 void BM_SelectTopK(benchmark::State& state) {
   Rng rng(2);

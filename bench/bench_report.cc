@@ -9,6 +9,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "knn/kernel_simd.h"
+
 namespace cpclean {
 namespace benchreport {
 namespace {
@@ -98,7 +100,11 @@ class CollectingReporter : public benchmark::ConsoleReporter {
       std::cerr << "bench_report: cannot write " << path << "\n";
       return false;
     }
-    out << "{\"benchmarks\": [\n";
+    // Which similarity-kernel dispatch level produced these numbers —
+    // without it, a committed per-ISA trajectory is unreadable.
+    out << "{\"simd_level\": \""
+        << SimdLevelName(simd::ActiveSimdLevel()) << "\",\n";
+    out << " \"benchmarks\": [\n";
     for (size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       out << "  {\"name\": \"" << JsonEscape(r.name)

@@ -9,10 +9,15 @@ namespace benchreport {
 /// `report_path` (conventionally `BENCH_<suite>.json`, committed per PR so
 /// the perf trajectory is diffable across the repo's history):
 ///
-///   {"benchmarks": [
+///   {"simd_level": "scalar|avx2|avx512",
+///    "benchmarks": [
 ///     {"name": "...", "iterations": N, "ns_per_op": R, "cpu_ns_per_op": C,
 ///      "threads": T},
 ///     ...]}
+///
+/// `simd_level` is the resolved similarity-kernel dispatch level the run
+/// used (hardware detection ∧ `CPCLEAN_SIMD` override), so committed
+/// reports record the per-ISA trajectory.
 ///
 /// User counters set via `state.counters` (e.g. bench_serve's latency
 /// percentiles) appear as additional per-row fields.

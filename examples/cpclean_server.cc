@@ -5,8 +5,8 @@
 //   cpclean_server --stdio                 # line protocol on stdin/stdout
 //   cpclean_server --port=7071             # TCP listener on 127.0.0.1
 //   cpclean_server --port=0 --threads=8    # ephemeral port, 8-thread pool
-//   cpclean_server --stdio --data-dir=/var/lib/cpclean \
-//                  --max-sessions=64       # snapshot persistence + eviction
+//   cpclean_server --stdio --data-dir=/var/lib/cpclean --max-sessions=64
+//                                          # snapshot persistence + eviction
 //
 // Protocol reference: README.md "Serving" (one JSON request per line, one
 // JSON response per line). `--threads=N` sizes the global pool every
@@ -27,6 +27,7 @@
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "knn/kernel_simd.h"
 #include "serve/server.h"
 
 namespace {
@@ -107,6 +108,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", pool_status.ToString().c_str());
     return 2;
   }
+
+  // Resolve the similarity-kernel dispatch table NOW: a bad CPCLEAN_SIMD
+  // override must fail the launch, not abort a serving process at its
+  // first kernel use after connections and sessions already exist.
+  std::fprintf(stderr, "cpclean_server: similarity kernels at %s\n",
+               SimdLevelName(simd::ActiveSimdLevel()));
 
   ServerOptions options;
   options.default_cache_capacity =

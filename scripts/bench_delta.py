@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Committed-vs-fresh ns_per_op delta table for BENCH_*.json reports.
+
+Usage: bench_delta.py COMMITTED.json FRESH.json [--threshold PCT]
+
+Report-only (always exits 0): CI containers are noisy — shared cores,
+frequency scaling, cold caches — so this prints the per-benchmark delta
+and emits a GitHub Actions ::warning:: for rows beyond the threshold
+(default ±50%) instead of failing the build. A hard gate would need a
+quieter fleet; the committed JSON history is the real perf record.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_delta: cannot read {path}: {err}")
+        return None, {}
+    level = doc.get("simd_level", "?")
+    return level, {row["name"]: row for row in doc.get("benchmarks", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("committed")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=50.0,
+                        help="warn when |delta%%| exceeds this (default 50)")
+    args = parser.parse_args()
+
+    committed_level, committed = load_rows(args.committed)
+    fresh_level, fresh = load_rows(args.fresh)
+    if not committed or not fresh:
+        print("bench_delta: nothing to compare (report-only, not failing)")
+        return 0
+
+    name_width = max(len(n) for n in fresh) + 2
+    print(f"\nbench_delta: {args.committed} (simd={committed_level}) vs "
+          f"{args.fresh} (simd={fresh_level}), warn at ±{args.threshold:g}%")
+    print(f"{'benchmark':<{name_width}}{'committed':>14}{'fresh':>14}"
+          f"{'delta':>10}")
+    warnings = 0
+    for name, row in fresh.items():
+        fresh_ns = row.get("ns_per_op", 0.0)
+        base = committed.get(name)
+        if base is None or base.get("ns_per_op", 0.0) <= 0.0:
+            print(f"{name:<{name_width}}{'-':>14}{fresh_ns:>14.1f}"
+                  f"{'new':>10}")
+            continue
+        base_ns = base["ns_per_op"]
+        delta = 100.0 * (fresh_ns - base_ns) / base_ns
+        flag = ""
+        if abs(delta) > args.threshold:
+            warnings += 1
+            flag = "  <-- beyond threshold"
+            print(f"::warning title=bench regression smoke::"
+                  f"{name}: {base_ns:.1f} -> {fresh_ns:.1f} ns/op "
+                  f"({delta:+.1f}%)")
+        print(f"{name:<{name_width}}{base_ns:>14.1f}{fresh_ns:>14.1f}"
+              f"{delta:>+9.1f}%{flag}")
+    dropped = sorted(set(committed) - set(fresh))
+    for name in dropped:
+        print(f"{name:<{name_width}}{committed[name]['ns_per_op']:>14.1f}"
+              f"{'-':>14}{'gone':>10}")
+    print(f"bench_delta: {warnings} row(s) beyond ±{args.threshold:g}% "
+          f"(report-only)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

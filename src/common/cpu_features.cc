@@ -1,0 +1,112 @@
+#include "common/cpu_features.h"
+
+#include <cstdint>
+
+#include "common/string_util.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CPCLEAN_CPU_FEATURES_X86 1
+#include <cpuid.h>
+#endif
+
+namespace cpclean {
+
+namespace {
+
+#ifdef CPCLEAN_CPU_FEATURES_X86
+
+/// XGETBV without `-mxsave` (the intrinsic would force the flag onto this
+/// whole TU): the raw opcode reads extended control register `index`.
+uint64_t Xgetbv(uint32_t index) {
+  uint32_t eax = 0, edx = 0;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0" : "=a"(eax), "=d"(edx)
+                   : "c"(index));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+SimdLevel DetectSimdLevelX86() {
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return SimdLevel::kScalar;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  const bool fma = (ecx & (1u << 12)) != 0;
+  if (!osxsave || !avx || !fma) return SimdLevel::kScalar;
+  // XCR0: the OS must save xmm (bit 1) and ymm (bit 2) state; AVX-512
+  // additionally needs opmask (bit 5) and the zmm halves (bits 6-7).
+  const uint64_t xcr0 = Xgetbv(0);
+  if ((xcr0 & 0x6) != 0x6) return SimdLevel::kScalar;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) {
+    return SimdLevel::kScalar;
+  }
+  const bool avx2 = (ebx & (1u << 5)) != 0;
+  if (!avx2) return SimdLevel::kScalar;
+  const bool avx512f = (ebx & (1u << 16)) != 0;
+  if (avx512f && (xcr0 & 0xe6) == 0xe6) return SimdLevel::kAvx512;
+  return SimdLevel::kAvx2;
+}
+
+#endif  // CPCLEAN_CPU_FEATURES_X86
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Result<SimdLevel> ParseSimdLevel(const std::string& name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  return Status::InvalidArgument(StrFormat(
+      "unknown SIMD level \"%s\" (expected scalar, avx2, avx512)",
+      name.c_str()));
+}
+
+SimdLevel DetectSimdLevel() {
+#ifdef CPCLEAN_CPU_FEATURES_X86
+  return DetectSimdLevelX86();
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+Result<SimdLevel> ResolveSimdLevel(const char* env_value, SimdLevel detected,
+                                   SimdLevel compiled_max) {
+  SimdLevel usable = detected < compiled_max ? detected : compiled_max;
+  if (env_value == nullptr || env_value[0] == '\0') {
+    // Auto-select caps at AVX2: with the fixed 8-lane accumulation shape
+    // (one zmm dependency chain vs the AVX2 pair) the committed
+    // BM_SimilarityBatch_Dispatch numbers show AVX-512 trailing AVX2 at
+    // every measured dim, and 512-bit ops downclock on many parts —
+    // so AVX-512 is opt-in via CPCLEAN_SIMD=avx512, never a default.
+    if (usable > SimdLevel::kAvx2) usable = SimdLevel::kAvx2;
+    return usable;
+  }
+  CP_ASSIGN_OR_RETURN(const SimdLevel requested,
+                      ParseSimdLevel(env_value));
+  if (requested > detected) {
+    return Status::InvalidArgument(StrFormat(
+        "CPCLEAN_SIMD=%s rejected: this host supports at most \"%s\"",
+        SimdLevelName(requested), SimdLevelName(detected)));
+  }
+  if (requested > compiled_max) {
+    return Status::InvalidArgument(StrFormat(
+        "CPCLEAN_SIMD=%s rejected: this binary was built without the %s "
+        "kernels (compiler lacked the ISA flags); highest compiled level "
+        "is \"%s\"",
+        SimdLevelName(requested), SimdLevelName(requested),
+        SimdLevelName(compiled_max)));
+  }
+  return requested;
+}
+
+}  // namespace cpclean

@@ -1,0 +1,46 @@
+#ifndef CPCLEAN_COMMON_CPU_FEATURES_H_
+#define CPCLEAN_COMMON_CPU_FEATURES_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace cpclean {
+
+/// The ISA tiers the batched similarity kernels dispatch across. Ordered:
+/// a level implies every lower one, so comparisons express capability.
+enum class SimdLevel { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// "scalar", "avx2", "avx512" — the spelling `CPCLEAN_SIMD` accepts and
+/// `stats` / bench reports emit.
+const char* SimdLevelName(SimdLevel level);
+
+/// Inverse of `SimdLevelName`; InvalidArgument on anything else.
+Result<SimdLevel> ParseSimdLevel(const std::string& name);
+
+/// Probes the hardware: CPUID feature leaves gated on OS state support via
+/// XGETBV (an OS that does not save ymm/zmm registers across context
+/// switches makes the ISA unusable even when the silicon has it). AVX2
+/// additionally requires FMA — the AVX2 translation unit is compiled with
+/// `-mfma`, so the compiler may emit fused ops anywhere in it. Always
+/// kScalar on non-x86 builds. The probe itself is cheap and stateless;
+/// callers cache.
+SimdLevel DetectSimdLevel();
+
+/// Resolution policy for the dispatch table, pure so the rejection paths
+/// are unit-testable: `env_value` is the `CPCLEAN_SIMD` override (null or
+/// empty = auto-select `min(detected, compiled_max)` capped at kAvx2 —
+/// the single-chain lane shape makes AVX-512 measurably slower than AVX2
+/// on the kernels, so it is opt-in, never a default), `detected` the
+/// hardware probe, `compiled_max` the highest level this binary has a
+/// translation unit for. An override naming a level the hardware cannot
+/// run or the binary does not carry is an error, never a silent downgrade
+/// — a fleet operator forcing `avx512` must find out on the spot, not in
+/// a perf regression. Overrides *below* the detected level are always
+/// honored (forcing `scalar` on any host is how CI proves bit-identity).
+Result<SimdLevel> ResolveSimdLevel(const char* env_value, SimdLevel detected,
+                                   SimdLevel compiled_max);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_COMMON_CPU_FEATURES_H_

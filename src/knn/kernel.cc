@@ -3,25 +3,15 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "knn/kernel_simd.h"
+
+// The batched entry points dispatch through simd::ActiveTable() — the
+// runtime-selected scalar/AVX2/AVX-512 implementations, bit-identical
+// across levels (see kernel_simd.h for the shared accumulation shape).
+// The per-pair SimilarityRaw paths use the same lane-structured scalar
+// helpers, so raw-vs-batch agreement is exact, not ulp-approximate.
 
 namespace cpclean {
-
-namespace {
-double SquaredDistanceRaw(const double* a, const double* b, int dim) {
-  double sum = 0.0;
-  for (int d = 0; d < dim; ++d) {
-    const double diff = a[d] - b[d];
-    sum += diff * diff;
-  }
-  return sum;
-}
-
-double DotRaw(const double* a, const double* b, int dim) {
-  double sum = 0.0;
-  for (int d = 0; d < dim; ++d) sum += a[d] * b[d];
-  return sum;
-}
-}  // namespace
 
 double SimilarityKernel::Similarity(const std::vector<double>& a,
                                     const std::vector<double>& b) const {
@@ -48,21 +38,13 @@ void SimilarityKernel::SimilarityBatchNorms(const double* rows,
 
 double NegativeEuclideanKernel::SimilarityRaw(const double* a, const double* b,
                                               int dim) const {
-  return -SquaredDistanceRaw(a, b, dim);
+  return -simd::LaneSqDist(a, b, dim);
 }
 
 void NegativeEuclideanKernel::SimilarityBatch(const double* rows, int n,
                                               int dim, const double* t,
                                               double* out) const {
-  for (int r = 0; r < n; ++r) {
-    const double* a = rows + static_cast<size_t>(r) * dim;
-    double sum = 0.0;
-    for (int d = 0; d < dim; ++d) {
-      const double diff = a[d] - t[d];
-      sum += diff * diff;
-    }
-    out[r] = -sum;
-  }
+  simd::ActiveTable().neg_euclidean(rows, n, dim, t, out);
 }
 
 void NegativeEuclideanKernel::SimilarityBatchNorms(const double* rows,
@@ -74,38 +56,19 @@ void NegativeEuclideanKernel::SimilarityBatchNorms(const double* rows,
     SimilarityBatch(rows, n, dim, t, out);
     return;
   }
-  const double t_norm = DotRaw(t, t, dim);
-  for (int r = 0; r < n; ++r) {
-    const double* a = rows + static_cast<size_t>(r) * dim;
-    double dot = 0.0;
-    for (int d = 0; d < dim; ++d) dot += a[d] * t[d];
-    // ||a - t||^2 expanded; cancellation can dip epsilon-negative, and a
-    // similarity above "identical" would poison the descending scan order.
-    double d2 = row_sq_norms[r] - 2.0 * dot + t_norm;
-    if (d2 < 0.0) d2 = 0.0;
-    out[r] = -d2;
-  }
+  simd::ActiveTable().neg_euclidean_norms(rows, row_sq_norms, n, dim, t, out);
 }
 
 // --- RBF --------------------------------------------------------------------
 
 double RbfKernel::SimilarityRaw(const double* a, const double* b,
                                 int dim) const {
-  return std::exp(-gamma_ * SquaredDistanceRaw(a, b, dim));
+  return std::exp(-gamma_ * simd::LaneSqDist(a, b, dim));
 }
 
 void RbfKernel::SimilarityBatch(const double* rows, int n, int dim,
                                 const double* t, double* out) const {
-  for (int r = 0; r < n; ++r) {
-    const double* a = rows + static_cast<size_t>(r) * dim;
-    double sum = 0.0;
-    for (int d = 0; d < dim; ++d) {
-      const double diff = a[d] - t[d];
-      sum += diff * diff;
-    }
-    out[r] = -gamma_ * sum;  // exponentiated in a second sweep below
-  }
-  for (int r = 0; r < n; ++r) out[r] = std::exp(out[r]);
+  simd::ActiveTable().rbf(rows, n, dim, t, gamma_, out);
 }
 
 void RbfKernel::SimilarityBatchNorms(const double* rows,
@@ -116,62 +79,35 @@ void RbfKernel::SimilarityBatchNorms(const double* rows,
     SimilarityBatch(rows, n, dim, t, out);
     return;
   }
-  const double t_norm = DotRaw(t, t, dim);
-  for (int r = 0; r < n; ++r) {
-    const double* a = rows + static_cast<size_t>(r) * dim;
-    double dot = 0.0;
-    for (int d = 0; d < dim; ++d) dot += a[d] * t[d];
-    double d2 = row_sq_norms[r] - 2.0 * dot + t_norm;
-    if (d2 < 0.0) d2 = 0.0;
-    out[r] = -gamma_ * d2;
-  }
-  for (int r = 0; r < n; ++r) out[r] = std::exp(out[r]);
+  simd::ActiveTable().rbf_norms(rows, row_sq_norms, n, dim, t, gamma_, out);
 }
 
 // --- Linear -----------------------------------------------------------------
 
 double LinearKernel::SimilarityRaw(const double* a, const double* b,
                                    int dim) const {
-  return DotRaw(a, b, dim);
+  return simd::LaneDot(a, b, dim);
 }
 
 void LinearKernel::SimilarityBatch(const double* rows, int n, int dim,
                                    const double* t, double* out) const {
-  for (int r = 0; r < n; ++r) {
-    const double* a = rows + static_cast<size_t>(r) * dim;
-    double dot = 0.0;
-    for (int d = 0; d < dim; ++d) dot += a[d] * t[d];
-    out[r] = dot;
-  }
+  simd::ActiveTable().linear(rows, n, dim, t, out);
 }
 
 // --- Cosine -----------------------------------------------------------------
 
 double CosineKernel::SimilarityRaw(const double* a, const double* b,
                                    int dim) const {
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (int d = 0; d < dim; ++d) {
-    dot += a[d] * b[d];
-    na += a[d] * a[d];
-    nb += b[d] * b[d];
-  }
+  double dot = 0.0, na = 0.0;
+  simd::LaneDotNorm(a, b, dim, &dot, &na);
+  const double nb = simd::LaneDot(b, b, dim);
   if (na <= 0.0 || nb <= 0.0) return 0.0;
   return dot / std::sqrt(na * nb);
 }
 
 void CosineKernel::SimilarityBatch(const double* rows, int n, int dim,
                                    const double* t, double* out) const {
-  double t_norm = 0.0;
-  for (int d = 0; d < dim; ++d) t_norm += t[d] * t[d];
-  for (int r = 0; r < n; ++r) {
-    const double* a = rows + static_cast<size_t>(r) * dim;
-    double dot = 0.0, na = 0.0;
-    for (int d = 0; d < dim; ++d) {
-      dot += a[d] * t[d];
-      na += a[d] * a[d];
-    }
-    out[r] = (na <= 0.0 || t_norm <= 0.0) ? 0.0 : dot / std::sqrt(na * t_norm);
-  }
+  simd::ActiveTable().cosine(rows, n, dim, t, out);
 }
 
 void CosineKernel::SimilarityBatchNorms(const double* rows,
@@ -182,15 +118,7 @@ void CosineKernel::SimilarityBatchNorms(const double* rows,
     SimilarityBatch(rows, n, dim, t, out);
     return;
   }
-  double t_norm = 0.0;
-  for (int d = 0; d < dim; ++d) t_norm += t[d] * t[d];
-  for (int r = 0; r < n; ++r) {
-    const double* a = rows + static_cast<size_t>(r) * dim;
-    double dot = 0.0;
-    for (int d = 0; d < dim; ++d) dot += a[d] * t[d];
-    const double na = row_sq_norms[r];
-    out[r] = (na <= 0.0 || t_norm <= 0.0) ? 0.0 : dot / std::sqrt(na * t_norm);
-  }
+  simd::ActiveTable().cosine_norms(rows, row_sq_norms, n, dim, t, out);
 }
 
 std::unique_ptr<SimilarityKernel> MakeKernel(KernelKind kind, double gamma) {

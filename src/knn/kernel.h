@@ -13,16 +13,21 @@ namespace cpclean {
 /// Batch contract: `SimilarityBatch(rows, n, dim, t, out)` scores `n`
 /// row-major contiguous rows (`rows[r*dim .. r*dim+dim)`) against one test
 /// point and writes `out[r]`, with no virtual dispatch, allocation, or
-/// bounds checks inside the loop — the inner loops are written to
-/// autovectorize. `SimilarityBatchNorms` additionally takes the cached
+/// bounds checks inside the loop. The built-in kernels route the batch
+/// through the runtime-dispatched scalar/AVX2/AVX-512 implementations in
+/// knn/kernel_simd.h — every dispatch level returns **bit-identical**
+/// doubles (all levels share one fixed 8-lane accumulation shape), and the
+/// per-pair `SimilarityRaw` uses the same shape, so raw-vs-batch agreement
+/// is exact too. `SimilarityBatchNorms` additionally takes the cached
 /// squared L2 norm of every row (as maintained by
 /// `IncompleteDataset::flat_sq_norms()`); kernels that can exploit it —
 /// neg-Euclidean and RBF via ||a - t||² = ||a||² - 2⟨a,t⟩ + ||t||², cosine
 /// via its denominator — override it, the rest fall back to
-/// `SimilarityBatch`. Batched scores may differ from the scalar path by a
-/// few ulps (different summation shapes); every scorer in this repo — the
-/// CP engines *and* KnnClassifier — goes through the same norm-accelerated
-/// entry points, so certified labels and actual predictions always agree
+/// `SimilarityBatch`. The norm expansion reassociates, so norm-accelerated
+/// scores may differ from the plain path by ulps — but identically so on
+/// every dispatch level, and every scorer in this repo — the CP engines
+/// *and* KnnClassifier — goes through the same norm-accelerated entry
+/// points, so certified labels and actual predictions always agree
 /// exactly.
 class SimilarityKernel {
  public:

@@ -1,0 +1,69 @@
+#include "knn/kernel_simd.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace cpclean {
+namespace simd {
+
+SimdLevel MaxCompiledSimdLevel() {
+#if defined(CPCLEAN_SIMD_HAVE_AVX512)
+  return SimdLevel::kAvx512;
+#elif defined(CPCLEAN_SIMD_HAVE_AVX2)
+  return SimdLevel::kAvx2;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+const KernelBatchTable* TableForLevel(SimdLevel level) {
+  if (level != SimdLevel::kScalar && DetectSimdLevel() < level) {
+    return nullptr;  // compiled in, maybe — but this CPU cannot run it
+  }
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &internal::kTableScalar;
+    case SimdLevel::kAvx2:
+#if defined(CPCLEAN_SIMD_HAVE_AVX2)
+      return &internal::kTableAvx2;
+#else
+      return nullptr;
+#endif
+    case SimdLevel::kAvx512:
+#if defined(CPCLEAN_SIMD_HAVE_AVX512)
+      return &internal::kTableAvx512;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const KernelBatchTable& ActiveTable() {
+  // Resolved once per process, before any concurrent use (magic-static
+  // init is thread-safe). Every batched similarity call after this is one
+  // indirect call into the chosen TU — no per-call cpuid, no env reads.
+  static const KernelBatchTable* const table = [] {
+    const char* env = std::getenv("CPCLEAN_SIMD");
+    const Result<SimdLevel> level =
+        ResolveSimdLevel(env, DetectSimdLevel(), MaxCompiledSimdLevel());
+    CP_CHECK(level.ok()) << level.status().message();
+    const KernelBatchTable* resolved = TableForLevel(level.value());
+    CP_CHECK(resolved != nullptr)
+        << "no kernel table for resolved SIMD level "
+        << SimdLevelName(level.value());
+    if (env != nullptr && env[0] != '\0') {
+      CP_LOG(Info) << "CPCLEAN_SIMD=" << env
+                   << ": similarity kernels pinned to "
+                   << SimdLevelName(resolved->level);
+    }
+    return resolved;
+  }();
+  return *table;
+}
+
+SimdLevel ActiveSimdLevel() { return ActiveTable().level; }
+
+}  // namespace simd
+}  // namespace cpclean

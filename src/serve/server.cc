@@ -16,6 +16,7 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "knn/kernel_simd.h"
 #include "serve/request_params.h"
 
 namespace cpclean {
@@ -353,6 +354,10 @@ Result<JsonValue> Server::Stats(const JsonValue& req) {
   for (const std::string& n : registry_.Names()) names.Append(JsonValue(n));
   out.Set("names", std::move(names));
   out.Set("pool_threads", JsonValue(GlobalThreadPoolThreads()));
+  // The similarity-kernel dispatch level every session on this process
+  // runs at (bit-identical across levels, but operators of a forced fleet
+  // need to see what resolved).
+  out.Set("simd_level", JsonValue(SimdLevelName(simd::ActiveSimdLevel())));
   out.Set("max_sessions",
           JsonValue(static_cast<uint64_t>(options_.max_sessions)));
   out.Set("data_dir", JsonValue(options_.data_dir));

@@ -67,7 +67,13 @@ struct ServerOptions {
 ///
 /// Lifecycle: with a `data_dir`, sessions move live → evicted (LRU past
 /// `max_sessions`, saved to disk) → rehydrated (lazily, on the next
-/// request naming them, or explicitly via `load_session`).
+/// request naming them, or explicitly via `load_session`). The eviction
+/// sweep retires its victim (draining in-flight writers) before the
+/// registry drop: a write acknowledged during the snapshot serialization
+/// triggers a dirty re-save, and a write arriving on the detached
+/// instance afterwards answers Unavailable("evicted; retry") — the retry
+/// lands on the rehydrated incarnation, so acknowledged writes survive
+/// eviction in every interleaving.
 ///
 /// Transports: `RunStdio` (requests on stdin, responses on stdout) and
 /// `ServeTcp` (loopback listener, one thread per connection running the

@@ -237,12 +237,19 @@ Result<JsonValue> ServeSession::CleanStep(int steps) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   requests_.fetch_add(1, std::memory_order_relaxed);
   Touch();
+  if (retired_) {
+    return Status::Unavailable(StrFormat(
+        "session \"%s\" was evicted; retry the request", name_.c_str()));
+  }
   if (steps < 1) return Status::InvalidArgument("steps must be >= 1");
   std::vector<int> cleaned;
   for (int s = 0; s < steps; ++s) {
     const int example = cleaner_->StepGreedy();
     if (example < 0) break;
     cleaned.push_back(example);
+  }
+  if (!cleaned.empty()) {
+    write_seq_.fetch_add(1, std::memory_order_relaxed);
   }
   JsonValue out = JsonValue::MakeObject();
   out.Set("cleaned", JsonValue::FromInts(cleaned));
@@ -256,11 +263,18 @@ Result<JsonValue> ServeSession::CleanRun(int budget) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   requests_.fetch_add(1, std::memory_order_relaxed);
   Touch();
+  if (retired_) {
+    return Status::Unavailable(StrFormat(
+        "session \"%s\" was evicted; retry the request", name_.c_str()));
+  }
   std::vector<int> cleaned;
   while (budget < 0 || static_cast<int>(cleaned.size()) < budget) {
     const int example = cleaner_->StepGreedy();
     if (example < 0) break;
     cleaned.push_back(example);
+  }
+  if (!cleaned.empty()) {
+    write_seq_.fetch_add(1, std::memory_order_relaxed);
   }
   JsonValue out = JsonValue::MakeObject();
   out.Set("cleaned", JsonValue::FromInts(cleaned));
@@ -324,8 +338,17 @@ JsonValue ServeSession::Stats() {
   return out;
 }
 
-std::string ServeSession::SerializeSnapshot() {
+std::string ServeSession::SerializeSnapshot(uint64_t* write_seq_out) {
   std::shared_lock<std::shared_mutex> lock(mu_);
+  return SerializeSnapshotLocked(write_seq_out);
+}
+
+std::string ServeSession::SerializeSnapshotLocked(uint64_t* write_seq_out) {
+  // Coherent with the bits below: mutations need the exclusive lock, so
+  // under either lock mode the counter cannot move mid-serialization.
+  if (write_seq_out != nullptr) {
+    *write_seq_out = write_seq_.load(std::memory_order_relaxed);
+  }
   std::vector<SerializedSection> sections;
   if (spec_.is_object()) {
     sections.push_back(SerializedSection{"spec", {spec_.Dump()}});
@@ -344,6 +367,24 @@ std::string ServeSession::SerializeSnapshot() {
       {StrFormat("fingerprint %016llx",
                  static_cast<unsigned long long>(TaskFingerprint(task_)))}});
   return SerializeIncompleteDatasetV2(cleaner_->working(), sections);
+}
+
+std::optional<std::string> ServeSession::RetireAndResnapshot(
+    uint64_t since_write_seq) {
+  // The exclusive lock drains in-flight writers before the retired flag
+  // flips, so every acknowledged mutation is visible to the dirty check —
+  // and any writer queued behind us observes retired_ and refuses.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  retired_ = true;
+  if (write_seq_.load(std::memory_order_relaxed) == since_write_seq) {
+    return std::nullopt;
+  }
+  return SerializeSnapshotLocked(nullptr);
+}
+
+void ServeSession::Unretire() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  retired_ = false;
 }
 
 Status ServeSession::RestoreCleaning(const std::vector<int>& cleaned_order,

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -102,6 +103,15 @@ class ServeSession {
     return last_request_seq_.load(std::memory_order_relaxed);
   }
 
+  /// Monotone count of completed mutations (clean_step/clean_run that
+  /// cleaned at least one tuple). `SerializeSnapshot` reports the count
+  /// its snapshot captured; comparing the two is the eviction sweep's
+  /// dirty flag — a mismatch means an acknowledged write postdates the
+  /// snapshot and a re-save must run before the session may be dropped.
+  uint64_t write_seq() const {
+    return write_seq_.load(std::memory_order_relaxed);
+  }
+
   /// Resolves a batched request's points: either explicit feature vectors
   /// or indices into the task's validation set.
   Result<std::vector<double>> ValPoint(int index) const;
@@ -128,7 +138,10 @@ class ServeSession {
 
   /// Serializes the session as a v2 incomplete-dataset document (working
   /// dataset + "spec" and "cleaning" sections) for the session store.
-  std::string SerializeSnapshot();
+  /// When `write_seq_out` is non-null it receives the `write_seq()` the
+  /// snapshot captured — coherent with the serialized bits because writes
+  /// take the exclusive lock, so no mutation can interleave.
+  std::string SerializeSnapshot(uint64_t* write_seq_out = nullptr);
 
   // --- Write operations (exclusive lock) -----------------------------------
 
@@ -149,6 +162,27 @@ class ServeSession {
   Status RestoreCleaning(const std::vector<int>& cleaned_order,
                          const IncompleteDataset& expected);
 
+  // --- Eviction handshake (exclusive lock) ----------------------------------
+
+  /// The eviction sweep's commit point, called BEFORE the registry drop
+  /// (the ordering `Unretire` rollback correctness depends on — retiring
+  /// after the drop would strand a failed re-save on an unreachable
+  /// instance): takes the exclusive lock (draining in-flight writers),
+  /// marks the session retired — every later write op answers
+  /// Unavailable("evicted; retry") instead of mutating an instance about
+  /// to be dropped — and, if `write_seq()` advanced past
+  /// `since_write_seq` (a write was acknowledged after the sweep's
+  /// snapshot was serialized), returns a fresh snapshot for the sweep to
+  /// re-save. Returns nullopt when the saved snapshot is already current.
+  /// Together with the dirty check this closes the save→drop window: an
+  /// acknowledged write is either in the first snapshot, in the re-save,
+  /// or was never acknowledged.
+  std::optional<std::string> RetireAndResnapshot(uint64_t since_write_seq);
+
+  /// Rolls back `RetireAndResnapshot` when the re-save could not be
+  /// written (the sweep re-publishes the session instead of dropping it).
+  void Unretire();
+
  private:
   ServeSession(std::string name, CleaningTask task,
                const ServeSessionOptions& options, JsonValue spec);
@@ -164,6 +198,9 @@ class ServeSession {
   Result<JsonValue> Cached(const std::string& key, uint64_t version,
                            Fn compute);
 
+  /// `SerializeSnapshot` body; the caller holds `mu_` (either mode).
+  std::string SerializeSnapshotLocked(uint64_t* write_seq_out);
+
   const std::string name_;
   CleaningTask task_;
   ServeSessionOptions options_;
@@ -175,6 +212,10 @@ class ServeSession {
   std::atomic<uint64_t> requests_{0};
   std::atomic<int64_t> last_request_ms_{0};
   std::atomic<uint64_t> last_request_seq_{0};
+  std::atomic<uint64_t> write_seq_{0};
+  /// Set (under the exclusive lock) once the eviction sweep has committed
+  /// to dropping this instance; write ops refuse from then on.
+  bool retired_ = false;
   std::shared_mutex mu_;
 };
 

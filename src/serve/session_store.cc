@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -220,13 +222,14 @@ Status SessionStore::ValidateSavable(const ServeSession& session) {
   return Status::OK();
 }
 
-Status SessionStore::Save(ServeSession& session) {
+Status SessionStore::Save(ServeSession& session, uint64_t* write_seq_out) {
   if (!enabled()) {
     return Status::Unavailable(
         "session persistence is disabled (no --data-dir)");
   }
   CP_RETURN_NOT_OK(ValidateSavable(session));
-  return WriteSnapshot(session.name(), session.SerializeSnapshot());
+  return WriteSnapshot(session.name(),
+                       session.SerializeSnapshot(write_seq_out));
 }
 
 Status SessionStore::WriteSnapshot(const std::string& name,
@@ -426,8 +429,10 @@ Result<std::vector<std::string>> SessionStore::EnforceCapacity(
   std::vector<std::string> evicted;
   if (options_.max_sessions == 0) return evicted;
   // Bounds the touched-during-save retries below: under sustained load on
-  // every session the sweep must still terminate, falling back to the
-  // documented small-window drop instead of spinning.
+  // every session the sweep must still terminate. Exhaustion only costs
+  // LRU accuracy (a recently-touched victim gets evicted anyway) — never
+  // a write: the retire handshake below protects those in every
+  // interleaving.
   size_t retries_left = 2 * registry.size() + 4;
   while (registry.size() > options_.max_sessions) {
     if (!enabled()) {
@@ -448,18 +453,30 @@ Result<std::vector<std::string>> SessionStore::EnforceCapacity(
     }
     if (!victim) break;  // raced to empty
     const uint64_t seq_before_save = victim->last_request_seq();
-    CP_RETURN_NOT_OK(Save(*victim));
+    uint64_t snapshot_write_seq = 0;
+    CP_RETURN_NOT_OK(Save(*victim, &snapshot_write_seq));
     if (victim->last_request_seq() != seq_before_save && retries_left > 0) {
       --retries_left;
-      // A request (possibly a write the client already saw acknowledged)
-      // landed while the snapshot was being serialized — dropping now
-      // would rehydrate pre-write state. The session is no longer LRU
-      // anyway; re-pick. The harmlessly stale snapshot is overwritten by
-      // the next save and deleted by drop_session. (A request racing into
-      // the residual window between this check and the Drop below still
-      // completes on the detached instance; that sliver is documented in
-      // ROADMAP.)
+      // A request landed while the snapshot was being serialized — the
+      // session is no longer LRU; re-pick. (Purely a policy retry: even
+      // without it, the retire handshake below would keep any write safe.
+      // The harmlessly stale snapshot is overwritten by the next save and
+      // deleted by drop_session.)
       continue;
+    }
+    // Commit point, BEFORE the registry drop so failure can roll back to
+    // a fully live session: retire the victim (the exclusive lock drains
+    // in-flight writers; later writes on this instance answer Unavailable
+    // and are never acknowledged) and, if a write slipped in between the
+    // snapshot serialization above and retirement — acknowledged to its
+    // client, so it must not be lost — re-save the now-final state.
+    if (std::optional<std::string> resnapshot =
+            victim->RetireAndResnapshot(snapshot_write_seq)) {
+      const Status resaved = WriteSnapshot(victim->name(), *resnapshot);
+      if (!resaved.ok()) {
+        victim->Unretire();
+        return resaved;
+      }
     }
     (void)registry.Drop(victim->name());
     evicted.push_back(victim->name());

@@ -2,6 +2,7 @@
 #define CPCLEAN_SERVE_SESSION_STORE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -68,8 +69,10 @@ class SessionStore {
 
   /// Serializes `session` to its snapshot file (atomic: temp file +
   /// rename). Unavailable when persistence is disabled; see
-  /// `ValidateSavable` for the spec requirement.
-  Status Save(ServeSession& session);
+  /// `ValidateSavable` for the spec requirement. `write_seq_out`, when
+  /// non-null, receives the session `write_seq()` the snapshot captured —
+  /// the eviction sweep's dirty-flag baseline.
+  Status Save(ServeSession& session, uint64_t* write_seq_out = nullptr);
 
   /// The write half of `Save` for callers that serialized the session
   /// earlier (e.g. outside a lock that must not block on the session):
@@ -92,10 +95,13 @@ class SessionStore {
 
   /// The eviction sweep: while `registry` holds more than `max_sessions`
   /// sessions, saves the least-recently-used one (by last-request
-  /// sequence) and drops it. Returns the evicted names (empty when under
-  /// the limit or max_sessions == 0). Fails without evicting when
-  /// persistence is disabled — callers gate admission instead of
-  /// silently discarding state.
+  /// sequence), retires it (in-flight writers drain; a write acknowledged
+  /// during snapshot serialization triggers a dirty re-save, and any later
+  /// write on the detached instance is refused with Unavailable — so an
+  /// acknowledged write is never lost to eviction), and drops it. Returns
+  /// the evicted names (empty when under the limit or max_sessions == 0).
+  /// Fails without evicting when persistence is disabled — callers gate
+  /// admission instead of silently discarding state.
   Result<std::vector<std::string>> EnforceCapacity(SessionRegistry& registry);
 
  private:

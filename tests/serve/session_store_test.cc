@@ -7,14 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/string_util.h"
 #include "serve/server.h"
+#include "serve/session_store.h"
 #include "tests/serve/serve_test_util.h"
 
 namespace cpclean {
@@ -294,6 +298,95 @@ TEST(SessionStoreTest, TamperedTaskFingerprintFailsRehydration) {
       << response;
   EXPECT_NE(response.find("does not match the snapshot"), std::string::npos)
       << response;
+}
+
+TEST(SessionStoreTest, EvictedSessionRefusesLateWritesOnDetachedInstance) {
+  // The eviction sweep retires its victim: a request handler that grabbed
+  // the shared_ptr before the registry drop must NOT be able to apply a
+  // write to the detached instance — such a write would be acknowledged
+  // and then silently lost, because rehydration reads the snapshot.
+  const std::string dir = FreshDataDir("retire");
+  Server server = MakeServer(dir, /*max_sessions=*/1);
+  ParseOk(server.HandleLine(CreateRequest("w1", 81)));
+  const std::shared_ptr<ServeSession> detached =
+      server.registry().Get("w1").value();
+  // Creating w2 evicts w1 (the LRU) to disk.
+  ParseOk(server.HandleLine(CreateRequest("w2", 82)));
+  EXPECT_FALSE(server.registry().Get("w1").ok());
+
+  // A late write through the detached pointer is refused, never applied.
+  const Result<JsonValue> late = detached->CleanStep(1);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(late.status().message().find("evicted"), std::string::npos);
+  // Reads on the detached instance still answer (harmless, and version-
+  // stamped like any read).
+  EXPECT_TRUE(detached->Q2(std::vector<double>(4, 0.0)).ok());
+
+  // The retried write lands on the rehydrated incarnation and cleans the
+  // exact tuple the refused write would have — nothing was lost or
+  // double-applied.
+  Server twin = MakeServer("");
+  ParseOk(twin.HandleLine(CreateRequest("w1", 81)));
+  const JsonValue twin_step = ParseOk(
+      twin.HandleLine("{\"op\":\"clean_step\",\"session\":\"w1\"}"));
+  const JsonValue retried = ParseOk(
+      server.HandleLine("{\"op\":\"clean_step\",\"session\":\"w1\"}"));
+  EXPECT_EQ(CleanedIds(retried), CleanedIds(twin_step));
+}
+
+TEST(SessionStoreTest, WriteDuringEvictionSnapshotTriggersDirtyResave) {
+  // Deterministic replay of the sweep's interleaving: snapshot serialized,
+  // then a write lands (acknowledged), then the sweep retires. The dirty
+  // flag (write_seq advanced past the snapshot's) must force a re-save
+  // that contains the write.
+  const std::string dir = FreshDataDir("dirty_resave");
+  SessionStore store(SessionStoreOptions{dir, 0, 1024});
+  const JsonValue spec =
+      ParseJson(StrFormat(
+                    "{\"session\":\"d\",\"source\":\"synthetic\",\"dataset\":"
+                    "\"store\",\"train_rows\":%d,\"val_size\":%d,"
+                    "\"test_size\":6,\"seed\":83,\"numeric\":4,"
+                    "\"categorical\":0,\"noise_sigma\":0.3,"
+                    "\"missing_rate\":0.25,\"k\":%d}",
+                    kTrain, kVal, kK))
+          .value();
+  const ServeSessionOptions options =
+      ServeSessionOptionsFromRequest(spec, 1024).value();
+  CleaningTask task = BuildTaskFromSpec(spec).value();
+  const std::shared_ptr<ServeSession> session =
+      ServeSession::Make("d", std::move(task), options, spec).value();
+
+  // Sweep phase 1: serialize + write the snapshot, note the write seq.
+  uint64_t snapshot_write_seq = 0;
+  ASSERT_TRUE(store.Save(*session, &snapshot_write_seq).ok());
+  // The racing write: acknowledged to its client.
+  const JsonValue stepped = session->CleanStep(2).value();
+  const size_t steps_applied = stepped.Find("cleaned")->array().size();
+  ASSERT_GT(steps_applied, 0u);
+  EXPECT_GT(session->write_seq(), snapshot_write_seq);
+
+  // Sweep phase 2: retire. The dirty flag must demand a re-save...
+  const std::optional<std::string> resnapshot =
+      session->RetireAndResnapshot(snapshot_write_seq);
+  ASSERT_TRUE(resnapshot.has_value());
+  ASSERT_TRUE(store.WriteSnapshot("d", *resnapshot).ok());
+  // ...and the re-saved snapshot carries the acknowledged write.
+  const std::shared_ptr<ServeSession> rehydrated = store.Load("d").value();
+  const JsonValue stats = rehydrated->Stats();
+  EXPECT_EQ(static_cast<size_t>(stats.Find("num_cleaned")->number_value()),
+            steps_applied);
+
+  // A clean (no write since serialization) retire needs no re-save.
+  uint64_t clean_seq = 0;
+  ASSERT_TRUE(store.Save(*rehydrated, &clean_seq).ok());
+  EXPECT_FALSE(rehydrated->RetireAndResnapshot(clean_seq).has_value());
+  // Retired instances refuse writes; Unretire (the sweep's rollback when
+  // the re-save fails) restores them.
+  EXPECT_EQ(rehydrated->CleanStep(1).status().code(),
+            StatusCode::kUnavailable);
+  rehydrated->Unretire();
+  EXPECT_TRUE(rehydrated->CleanStep(1).ok());
 }
 
 TEST(SessionStoreTest, MaxSessionsWithoutDataDirRefusesCreation) {
