@@ -6,9 +6,14 @@
 // the committed BENCH_serve.json.
 
 #include <benchmark/benchmark.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -172,6 +177,95 @@ BENCHMARK(BM_Serve_Q2_ConcurrentReaders)
     ->Arg(4)
     ->Arg(8)
     ->UseManualTime();
+
+/// Ping round-trips over the real epoll TCP transport while ~1000 OTHER
+/// connections sit idle on the same poller. Measures what the event-loop
+/// transport is for: per-request latency must not scale with resident
+/// connection count, because idle connections cost one epoll registration,
+/// not one thread. Reports the usual p50/p99/qps plus how many idle
+/// connections were actually parked (fd-limit permitting).
+void BM_Serve_Ping_IdleConnections(benchmark::State& state) {
+  // Ask for headroom: 1000 idle fds + the server's accepted twins + slack.
+  rlimit limit;
+  if (getrlimit(RLIMIT_NOFILE, &limit) == 0 && limit.rlim_cur < 2300) {
+    limit.rlim_cur = std::min<rlim_t>(2300, limit.rlim_max);
+    setrlimit(RLIMIT_NOFILE, &limit);
+    getrlimit(RLIMIT_NOFILE, &limit);
+  }
+  const int idle_target = static_cast<int>(
+      std::min<rlim_t>(1000, (limit.rlim_cur - 128) / 2));
+
+  Server server;
+  std::thread serving([&server] { (void)server.ServeTcp(0); });
+  while (server.port() == -1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const int port = server.port();
+  const auto connect_one = [port] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  };
+
+  std::vector<int> idle;
+  idle.reserve(static_cast<size_t>(idle_target));
+  for (int i = 0; i < idle_target; ++i) {
+    const int fd = connect_one();
+    if (fd < 0) break;
+    idle.push_back(fd);
+  }
+  const int probe = connect_one();
+
+  const std::string request = "{\"op\":\"ping\"}\n";
+  std::vector<double> latencies_ns;
+  char buffer[512];
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    (void)::send(probe, request.data(), request.size(), MSG_NOSIGNAL);
+    std::string response;
+    while (response.find('\n') == std::string::npos) {
+      const ssize_t n = ::recv(probe, buffer, sizeof(buffer), 0);
+      if (n <= 0) {
+        state.SkipWithError("transport closed mid-benchmark");
+        break;
+      }
+      response.append(buffer, static_cast<size_t>(n));
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(response.data());
+    latencies_ns.push_back(
+        std::chrono::duration<double, std::nano>(stop - start).count());
+    if (response.find('\n') == std::string::npos) break;
+  }
+
+  ::close(probe);
+  for (const int fd : idle) ::close(fd);
+  server.Stop();
+  serving.join();
+
+  if (!latencies_ns.empty()) {
+    std::sort(latencies_ns.begin(), latencies_ns.end());
+    double total = 0.0;
+    for (const double ns : latencies_ns) total += ns;
+    state.counters["p50_ns"] = latencies_ns[latencies_ns.size() / 2];
+    state.counters["p99_ns"] =
+        latencies_ns[std::min(latencies_ns.size() - 1,
+                              latencies_ns.size() * 99 / 100)];
+    state.counters["qps"] =
+        1e9 * static_cast<double>(latencies_ns.size()) / total;
+  }
+  state.counters["idle_connections"] = static_cast<double>(idle.size());
+}
+BENCHMARK(BM_Serve_Ping_IdleConnections);
 
 void BM_Serve_CleanStep(benchmark::State& state) {
   // Cleaning consumes the session; replenish with a fresh one (untimed)

@@ -14,8 +14,16 @@
 // per-session result-cache capacity. `--data-dir=PATH` enables session
 // snapshot persistence (save_session/load_session, eviction, lazy
 // rehydration across restarts); `--max-sessions=N` bounds resident
-// sessions (LRU eviction into the data dir); `--max-connections=N` bounds
-// concurrent TCP connections (overload gets a structured error).
+// sessions (LRU eviction into the data dir).
+//
+// TCP transport knobs: `--max-connections=N` bounds concurrent TCP
+// connections (an fd-table guard; overload gets a structured error),
+// `--max-inflight=N` bounds dispatched-but-unanswered requests (the real
+// admission control — idle connections are nearly free),
+// `--poller-threads=N` sets how many event-loop threads hold the
+// connections, `--request-workers=N` sizes the request execution pool
+// (0 = hardware concurrency), and `--no-coalesce` disables merging of
+// identical concurrent q2 requests into one engine evaluation.
 
 #include <chrono>
 #include <csignal>
@@ -65,6 +73,10 @@ int main(int argc, char** argv) {
   long cache = 1024;
   long max_sessions = 0;
   long max_connections = 0;
+  long max_inflight = 0;
+  long poller_threads = 1;
+  long request_workers = 0;
+  bool coalesce = true;
   std::string data_dir;
   bool stdio = true;
   for (int i = 1; i < argc; ++i) {
@@ -84,21 +96,36 @@ int main(int argc, char** argv) {
       max_sessions = value;
     } else if (ParseIntFlag(arg, "--max-connections", &value)) {
       max_connections = value;
+    } else if (ParseIntFlag(arg, "--max-inflight", &value)) {
+      max_inflight = value;
+    } else if (ParseIntFlag(arg, "--poller-threads", &value)) {
+      poller_threads = value;
+    } else if (ParseIntFlag(arg, "--request-workers", &value)) {
+      request_workers = value;
+    } else if (std::strcmp(arg, "--no-coalesce") == 0) {
+      coalesce = false;
     } else if (ParseStringFlag(arg, "--data-dir", &data_dir)) {
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: cpclean_server [--stdio | --port=N] [--threads=N] "
           "[--cache=N] [--data-dir=PATH] [--max-sessions=N] "
-          "[--max-connections=N]\n");
+          "[--max-connections=N] [--max-inflight=N] [--poller-threads=N] "
+          "[--request-workers=N] [--no-coalesce]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
       return 2;
     }
   }
-  if (max_sessions < 0 || max_connections < 0) {
+  if (max_sessions < 0 || max_connections < 0 || max_inflight < 0 ||
+      request_workers < 0) {
     std::fprintf(stderr,
-                 "--max-sessions/--max-connections must be >= 0\n");
+                 "--max-sessions/--max-connections/--max-inflight/"
+                 "--request-workers must be >= 0\n");
+    return 2;
+  }
+  if (poller_threads < 1) {
+    std::fprintf(stderr, "--poller-threads must be >= 1\n");
     return 2;
   }
 
@@ -121,6 +148,10 @@ int main(int argc, char** argv) {
   options.data_dir = data_dir;
   options.max_sessions = static_cast<size_t>(max_sessions);
   options.max_connections = static_cast<int>(max_connections);
+  options.max_inflight = static_cast<int>(max_inflight);
+  options.poller_threads = static_cast<int>(poller_threads);
+  options.request_workers = static_cast<int>(request_workers);
+  options.coalesce_q2 = coalesce;
   Server server(options);
 
   if (stdio) {

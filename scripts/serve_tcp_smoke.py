@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""TCP smoke replay for cpclean_server's epoll transport.
+
+Replays the scripted stdio smoke queries through a real TCP connection and
+diffs the responses (floats / timestamps / simd level normalized, exactly
+like the stdio smoke job) against the committed expectation, then replays
+the same script over several concurrent connections with per-connection
+session names and checks every connection gets byte-identical answers.
+
+Two phases:
+
+  1. Single connection, fully pipelined: every request line is sent in ONE
+     write before any response is read, so the server's incremental framing
+     and ordered response queue are exercised end to end. Responses must
+     match tests/serve/smoke_expected.jsonl byte-for-byte after
+     normalization -- except the global stats line (id 14), whose
+     connections object legitimately reflects the live TCP connection
+     (active=1, inflight=1); that line is only checked structurally.
+
+  2. N concurrent connections, each replaying the script with its session
+     names suffixed (_cK). After renormalizing the names back, every
+     connection's transcript must be byte-identical to connection 0's and
+     to the stdio expectation -- bit-identical under load is the repo-wide
+     invariant, not a best effort. Cross-connection-visible responses
+     (list_sessions ids 4/21, global stats id 14) are excluded: they see
+     the other connections' sessions by design.
+
+Stdlib only; exits non-zero with a unified diff on any mismatch.
+"""
+
+import argparse
+import difflib
+import json
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+# Session names the smoke script uses (including the ones that only appear
+# on error paths). Rewritten per connection in phase 2; reverse-mapped
+# longest-first so error-message text renormalizes too.
+SESSION_NAMES = ("alpha", "beta", "badcsv", "ghost")
+
+# Same normalization the CI stdio smoke applies with sed.
+FLOAT_RE = re.compile(r"-?[0-9]+\.[0-9]+(e[+-]?[0-9]+)?")
+TS_RE = re.compile(r"[0-9]{12,}")
+SIMD_RE = re.compile(r'"simd_level":"[a-z0-9]+"')
+
+LISTEN_RE = re.compile(r"listening on 127\.0\.0\.1:([0-9]+)")
+
+
+def normalize(line):
+    line = FLOAT_RE.sub("<float>", line)
+    line = TS_RE.sub("<ts>", line)
+    return SIMD_RE.sub('"simd_level":"<simd>"', line)
+
+
+def load_requests(path):
+    """Returns the request lines (comments and blanks dropped)."""
+    requests = []
+    with open(path, "r", encoding="utf-8") as f:
+        for raw in f:
+            line = raw.rstrip("\n")
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            requests.append(line)
+    return requests
+
+
+def replay(port, request_lines):
+    """Pipelines every request in one write, returns the response lines."""
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        sock.sendall(("\n".join(request_lines) + "\n").encode())
+        buffer = b""
+        responses = []
+        while len(responses) < len(request_lines):
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise RuntimeError(
+                    "server closed after %d/%d responses"
+                    % (len(responses), len(request_lines))
+                )
+            buffer += chunk
+            while b"\n" in buffer and len(responses) < len(request_lines):
+                line, buffer = buffer.split(b"\n", 1)
+                responses.append(line.decode())
+        return responses
+
+
+def response_id(line):
+    try:
+        return json.loads(line).get("id")
+    except ValueError:
+        return None
+
+
+def diff_or_none(expected, actual, label):
+    if expected == actual:
+        return None
+    return "".join(
+        difflib.unified_diff(
+            [l + "\n" for l in expected],
+            [l + "\n" for l in actual],
+            fromfile="expected(%s)" % label,
+            tofile="actual(%s)" % label,
+        )
+    )
+
+
+def check_structurally_ok(line):
+    parsed = json.loads(line)
+    if parsed.get("ok") is not True:
+        raise SystemExit("structural check failed, not ok:true: %s" % line)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--server", required=True, help="cpclean_server binary")
+    parser.add_argument("--queries", required=True, help="smoke_queries.jsonl")
+    parser.add_argument("--expected", required=True, help="smoke_expected.jsonl")
+    parser.add_argument("--connections", type=int, default=4,
+                        help="concurrent connections in phase 2")
+    parser.add_argument("--threads", type=int, default=2,
+                        help="--threads passed to the server (pins the "
+                             "pool_threads field the stats op reports)")
+    args = parser.parse_args()
+
+    requests = load_requests(args.queries)
+    with open(args.expected, "r", encoding="utf-8") as f:
+        expected = [l.rstrip("\n") for l in f if l.strip()]
+    if len(expected) != len(requests):
+        raise SystemExit(
+            "expected %d responses for %d requests"
+            % (len(expected), len(requests))
+        )
+
+    proc = subprocess.Popen(
+        [args.server, "--port=0", "--threads=%d" % args.threads],
+        stderr=subprocess.PIPE,
+    )
+    try:
+        port = None
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            line = proc.stderr.readline().decode()
+            if not line:
+                raise SystemExit("server exited before announcing its port")
+            match = LISTEN_RE.search(line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            raise SystemExit("server never announced its port")
+        # Drain the rest of stderr in the background so the server can't
+        # block on a full pipe.
+        threading.Thread(
+            target=proc.stderr.read, daemon=True
+        ).start()
+
+        # Phase 1: single pipelined connection against the stdio golden.
+        responses = [normalize(r) for r in replay(port, requests)]
+        failures = []
+        phase1_expected, phase1_actual = [], []
+        for want, got in zip(expected, responses):
+            if response_id(want) == 14:
+                # Global stats sees this very connection (active=1,
+                # inflight=1): structurally checked, not byte-compared.
+                check_structurally_ok(got)
+                continue
+            phase1_expected.append(want)
+            phase1_actual.append(got)
+        diff = diff_or_none(phase1_expected, phase1_actual, "phase1")
+        if diff:
+            failures.append("phase 1 (single pipelined connection):\n" + diff)
+        else:
+            print("phase 1 OK: %d responses match the stdio golden "
+                  "(id 14 structural)" % len(phase1_actual))
+
+        # Phase 2: concurrent connections, per-connection session names.
+        per_conn = [None] * args.connections
+        errors = []
+
+        def run_one(index):
+            renamed = requests
+            for name in SESSION_NAMES:
+                renamed = [r.replace('"%s"' % name, '"%s_c%d"' % (name, index))
+                           for r in renamed]
+            try:
+                per_conn[index] = replay(port, renamed)
+            except Exception as exc:  # surfaced after join
+                errors.append("connection %d: %s" % (index, exc))
+
+        workers = [threading.Thread(target=run_one, args=(i,))
+                   for i in range(args.connections)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        if errors:
+            raise SystemExit("\n".join(errors))
+
+        cross_sensitive = {4, 14, 21}
+        golden = [want for want in expected
+                  if response_id(want) not in cross_sensitive]
+        raw_baseline = None
+        for index, raw in enumerate(per_conn):
+            denamed = raw
+            for name in sorted(SESSION_NAMES, key=len, reverse=True):
+                denamed = [r.replace("%s_c%d" % (name, index), name)
+                           for r in denamed]
+            kept = [normalize(r) for r in denamed
+                    if response_id(r) not in cross_sensitive]
+            diff = diff_or_none(golden, kept, "conn%d" % index)
+            if diff:
+                failures.append(
+                    "phase 2 connection %d diverges from the stdio "
+                    "golden:\n%s" % (index, diff))
+            # Floats-raw bit-identity across concurrent connections: only
+            # wall-clock timestamps masked, every float mantissa compared
+            # bit-for-bit against connection 0's answers.
+            raw_kept = [TS_RE.sub("<ts>", r) for r in denamed
+                        if response_id(r) not in cross_sensitive]
+            if raw_baseline is None:
+                raw_baseline = raw_kept
+            else:
+                diff = diff_or_none(raw_baseline, raw_kept,
+                                    "conn%d-raw" % index)
+                if diff:
+                    failures.append(
+                        "phase 2 connection %d floats-raw transcript "
+                        "diverges from connection 0's:\n%s" % (index, diff))
+        if not failures or all(f.startswith("phase 1") for f in failures):
+            print("phase 2 OK: %d concurrent connections bit-identical "
+                  "to the stdio golden and to each other floats-raw "
+                  "(%d responses each)" % (args.connections, len(golden)))
+
+        if failures:
+            sys.stderr.write("\n".join(failures))
+            return 1
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

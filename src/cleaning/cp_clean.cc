@@ -234,9 +234,13 @@ std::vector<double> CleaningSession::FastSelectionScores(
               continue;
             }
             const int m = working_.num_candidates(i);
+            // One sweep shares the boundary-scan prefix across all m
+            // candidates; summing its entries in candidate order keeps the
+            // reduction bit-identical to m separate EntropyPinned calls.
+            const std::vector<double>& pinned = q2.EntropyPinnedSweep(i);
             double sum = 0.0;
             for (int j = 0; j < m; ++j) {
-              sum += q2.EntropyPinned(i, j);
+              sum += pinned[static_cast<size_t>(j)];
             }
             row[p] = sum / static_cast<double>(m);
           }

@@ -1,7 +1,6 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <memory>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -30,7 +29,7 @@ ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) num_threads = HardwareThreads();
   workers_.reserve(static_cast<size_t>(num_threads - 1));
   for (int w = 1; w < num_threads; ++w) {
-    workers_.emplace_back([this, w] { WorkerLoop(w); });
+    workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
@@ -39,32 +38,34 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
-  start_cv_.notify_all();
+  work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::RecordError() {
+void ThreadPool::RecordError(Job& job) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!error_) error_ = std::current_exception();
-  // Drain the remaining indices so every thread finishes promptly.
-  next_.store(n_, std::memory_order_relaxed);
+  if (!job.error) job.error = std::current_exception();
+  // Drain the job's remaining indices so every participant finishes
+  // promptly. Only this job is affected; concurrent jobs keep running.
+  job.next.store(job.n, std::memory_order_relaxed);
 }
 
-void ThreadPool::RunChunks(int worker) {
+void ThreadPool::RunJobChunks(Job& job, int slot) {
   const bool was_inside = tl_inside_parallel_for;
   const void* const was_pool = tl_active_pool;
   const int was_worker = tl_worker_id;
   tl_inside_parallel_for = true;
   tl_active_pool = this;
-  tl_worker_id = worker;
+  tl_worker_id = slot;
   while (true) {
-    const int64_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
-    if (begin >= n_) break;
-    const int64_t end = std::min(begin + chunk_, n_);
+    const int64_t begin =
+        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.n) break;
+    const int64_t end = std::min(begin + job.chunk, job.n);
     try {
-      for (int64_t i = begin; i < end; ++i) (*fn_)(i, worker);
+      for (int64_t i = begin; i < end; ++i) (*job.fn)(i, slot);
     } catch (...) {
-      RecordError();
+      RecordError(job);
     }
   }
   tl_inside_parallel_for = was_inside;
@@ -72,23 +73,39 @@ void ThreadPool::RunChunks(int worker) {
   tl_worker_id = was_worker;
 }
 
-void ThreadPool::WorkerLoop(int worker) {
-  uint64_t seen_generation = 0;
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
-      if (stop_) return;
-      seen_generation = generation_;
+    // Steal from the oldest job that still has indices left and a free
+    // worker slot. Claiming the slot and joining the participant count
+    // happen under the same lock hold as the scan, so a submitter that
+    // sees `participants == 0 && next >= n` knows no late joiner exists.
+    std::shared_ptr<Job> job;
+    int slot = -1;
+    work_cv_.wait(lock, [&] {
+      if (stop_) return true;
+      for (const std::shared_ptr<Job>& candidate : jobs_) {
+        if (candidate->next.load(std::memory_order_relaxed) < candidate->n &&
+            candidate->slots < num_threads()) {
+          job = candidate;
+          slot = candidate->slots;
+          return true;
+        }
+      }
+      return false;
+    });
+    if (stop_) return;
+    ++job->slots;
+    ++job->participants;
+    lock.unlock();
+    RunJobChunks(*job, slot);
+    lock.lock();
+    --job->participants;
+    if (job->participants == 0 &&
+        job->next.load(std::memory_order_relaxed) >= job->n) {
+      done_cv_.notify_all();
     }
-    RunChunks(worker);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --active_workers_;
-    }
-    done_cv_.notify_one();
+    job.reset();
   }
 }
 
@@ -114,34 +131,37 @@ void ThreadPool::ParallelFor(int64_t n,
     return;
   }
 
-  // One job at a time: a second submitting thread queues here until the
-  // current job (including its error propagation) has fully drained, then
-  // runs with the complete worker set — identical to a private pool.
-  std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
+  // Publish this call as its own job. Concurrent submitters each publish
+  // theirs; idle workers steal from whichever job has work (oldest first).
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  // ~8 chunks per thread balances scheduling overhead against skew from
+  // uneven per-item cost. Depends only on (n, pool size), never on load,
+  // so the chunking — irrelevant to results anyway — is reproducible.
+  job->chunk =
+      std::max<int64_t>(1, n / (static_cast<int64_t>(num_threads()) * 8));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    CP_CHECK_EQ(active_workers_, 0) << "concurrent ParallelFor on one pool";
-    fn_ = &fn;
-    n_ = n;
-    // ~8 chunks per thread balances scheduling overhead against skew from
-    // uneven per-item cost.
-    chunk_ = std::max<int64_t>(1, n / (static_cast<int64_t>(num_threads()) * 8));
-    next_.store(0, std::memory_order_relaxed);
-    error_ = nullptr;
-    active_workers_ = static_cast<int>(workers_.size());
-    ++generation_;
+    jobs_.push_back(job);
   }
-  start_cv_.notify_all();
+  work_cv_.notify_all();
 
-  RunChunks(/*worker=*/0);
+  // The submitter is always its job's worker slot 0 and works only its own
+  // job — it never steals, so it can return the moment its job is done.
+  RunJobChunks(*job, /*slot=*/0);
 
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
-    fn_ = nullptr;
-    error = error_;
-    error_ = nullptr;
+    done_cv_.wait(lock, [&] {
+      return job->participants == 0 &&
+             job->next.load(std::memory_order_relaxed) >= job->n;
+    });
+    // No worker can join past this point (the index queue is empty), so
+    // retiring the job from the active list is safe.
+    jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
+    error = job->error;
   }
   if (error) std::rethrow_exception(error);
 }

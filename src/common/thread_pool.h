@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -20,8 +21,8 @@ namespace cpclean {
 ///  * `ParallelFor(n, fn)` invokes `fn(index, worker)` exactly once for every
 ///    `index` in `[0, n)` and blocks until all invocations return. `worker`
 ///    is in `[0, num_threads())` and is unique per concurrently-executing
-///    thread, so callers can keep one scratch object (e.g. one FastQ2
-///    engine) per worker slot without locking.
+///    thread *within one job*, so callers can keep one scratch object (e.g.
+///    one FastQ2 engine) per worker slot without locking.
 ///  * Determinism is the *caller's* contract: workers must write only to
 ///    per-index (or per-worker) slots; any order-sensitive reduction happens
 ///    serially afterwards. Used this way, results are bit-identical for
@@ -38,14 +39,20 @@ namespace cpclean {
 ///    workers can do this concurrently, do not key scratch on the inner
 ///    pool's worker index — worker 0 would be shared.
 ///  * Exceptions thrown by `fn` are captured; the first one is rethrown on
-///    the calling thread after every in-flight invocation has finished. The
-///    pool remains usable afterwards.
+///    the calling thread after every in-flight invocation of *that job* has
+///    finished. The pool remains usable afterwards, and concurrent jobs are
+///    unaffected — errors stay with the job that raised them.
 ///  * `ParallelFor` may be called from several threads at once (e.g. many
-///    server sessions sharing `GlobalThreadPool()`): jobs are admitted one
-///    at a time — a second caller blocks until the current job drains, then
-///    runs its own with the full worker set. Each job therefore executes
-///    exactly as it would on a private pool, so sharing a pool never
-///    changes results, it only shares the cores.
+///    server sessions sharing `GlobalThreadPool()`): each call is its own
+///    job with a private index queue and a private worker-slot space. Jobs
+///    run concurrently — the submitting thread always works its own job
+///    (slot 0), and idle pool workers steal chunks from whichever active
+///    job still has indices left, oldest job first. A worker that drains
+///    one job's queue moves on to the next active job, so cores never sit
+///    idle while any job has work. Because every job still hands out worker
+///    slots in `[0, num_threads())` unique to itself and callers reduce
+///    serially from per-index slots, each job's result is bit-identical to
+///    a run on a private pool — sharing the pool only shares the cores.
 class ThreadPool {
  public:
   /// `num_threads <= 0` selects the hardware concurrency (at least 1).
@@ -66,31 +73,38 @@ class ThreadPool {
   void ParallelFor(int64_t n, const std::function<void(int64_t, int)>& fn);
 
  private:
-  void WorkerLoop(int worker);
-  /// Pulls chunks of the current job until its index space is exhausted.
-  void RunChunks(int worker);
-  void RecordError();
+  /// One ParallelFor call in flight: a private index queue (`next`), a
+  /// private worker-slot allocator (`slots`; the submitter is slot 0), and
+  /// the job's own error. Lifetime is managed by shared_ptr so a worker
+  /// holding a reference can never outlive the submitting frame's state.
+  struct Job {
+    const std::function<void(int64_t, int)>* fn = nullptr;
+    int64_t n = 0;
+    int64_t chunk = 1;
+    std::atomic<int64_t> next{0};
+    // Guarded by the pool mutex: next worker slot to hand out (slot 0 is
+    // taken by the submitter) and the number of threads currently running
+    // loop bodies of this job.
+    int slots = 1;
+    int participants = 0;
+    std::exception_ptr error;  // first error, guarded by the pool mutex
+  };
+
+  void WorkerLoop();
+  /// Pulls chunks of `job` until its index space is exhausted, running as
+  /// worker slot `slot` of that job.
+  void RunJobChunks(Job& job, int slot);
+  void RecordError(Job& job);
 
   std::vector<std::thread> workers_;
 
-  // Admits one ParallelFor job at a time; held by the submitting caller for
-  // the whole job so concurrent callers queue instead of corrupting the
-  // shared job slots below.
-  std::mutex jobs_mu_;
-
   std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  uint64_t generation_ = 0;  // bumped per ParallelFor to wake workers
-  int active_workers_ = 0;
+  std::condition_variable work_cv_;  // workers: a job may have work for you
+  std::condition_variable done_cv_;  // submitters: a job may have finished
   bool stop_ = false;
-
-  // Current job (valid while active_workers_ > 0 or the caller is running).
-  const std::function<void(int64_t, int)>* fn_ = nullptr;
-  int64_t n_ = 0;
-  int64_t chunk_ = 1;
-  std::atomic<int64_t> next_{0};
-  std::exception_ptr error_;
+  // Active jobs, oldest first. A job leaves the list when its submitter
+  // observes it complete (all indices handed out, no participants left).
+  std::vector<std::shared_ptr<Job>> jobs_;
 };
 
 /// The process-global shared pool: every component that is handed

@@ -56,6 +56,7 @@ void FastQ2::Rebind() {
   }
   InitTrees();
   above_.assign(static_cast<size_t>(n), 0);
+  sweep_mark_.assign(static_cast<size_t>(n), 0);
   tuple_min_.assign(static_cast<size_t>(n), 0.0);
   tuple_max_.assign(static_cast<size_t>(n), 0.0);
   scan_.clear();
@@ -201,18 +202,53 @@ double FastQ2::RunQuery(int pin_tuple, int pin_cand) {
 }
 
 template <int W>
-double FastQ2::RunQueryImpl(int pin_tuple, int pin_cand) {
+void FastQ2::ProcessEntry(const ScoredCandidate& entry, bool pinned_here,
+                          double* total) {
   const int w = W == 0 ? width_ : W;
+  const int num_labels = num_labels_;
+  const int i = entry.tuple;
+  const int b = label_of_[static_cast<size_t>(i)];
+  const int slot = slot_of_[static_cast<size_t>(i)];
+  const int m = dataset_->num_candidates(i);
+
+  // scratch_a_ is clobbered by SetLeaf; boundary polynomials need their own
+  // storage that survives the tally loop.
+  double boundary[kMaxK + 1];
+
+  // Boundary support for this candidate: tuples scanned earlier are
+  // "above" (more similar); the current tuple is pinned to this value.
+  ProductExcept<W>(b, slot, boundary);
+  const double pin_weight = pinned_here ? 1.0 : 1.0 / static_cast<double>(m);
+  for (const Tally& tally : tallies_) {
+    const int gb = tally.gamma[static_cast<size_t>(b)];
+    if (gb < 1) continue;
+    double support = pin_weight * boundary[gb - 1];
+    if (support == 0.0) continue;
+    for (int l = 0; l < num_labels && support != 0.0; ++l) {
+      if (l == b) continue;
+      const auto& buf = nodes_[static_cast<size_t>(l)];
+      support *=
+          buf[static_cast<size_t>(w + tally.gamma[static_cast<size_t>(l)])];
+    }
+    result_[static_cast<size_t>(tally.winner)] += support;
+    *total += support;
+  }
+
+  // Move this candidate into the "above" region for later boundaries.
+  if (above_[static_cast<size_t>(i)] == 0) touched_.push_back(i);
+  const int above = ++above_[static_cast<size_t>(i)];
+  const double frac_above =
+      pinned_here ? 1.0 : static_cast<double>(above) / static_cast<double>(m);
+  SetLeaf<W>(b, slot, 1.0 - frac_above, frac_above);
+}
+
+template <int W>
+double FastQ2::RunQueryImpl(int pin_tuple, int pin_cand) {
   CP_CHECK(!scan_.empty()) << "call SetTestPoint first";
   std::fill(result_.begin(), result_.end(), 0.0);
   touched_.clear();
   double total = 0.0;
   const double target = 1.0 - epsilon_;
-  const int num_labels = num_labels_;
-
-  // scratch_a_ is clobbered by SetLeaf; boundary polynomials need their own
-  // storage that survives the tally loop.
-  double boundary[kMaxK + 1];
   bool done = false;
 
   // Two-level loop: materialize a sorted block, then scan it with a tight
@@ -223,41 +259,9 @@ double FastQ2::RunQueryImpl(int pin_tuple, int pin_cand) {
     const size_t block_end = sorted_end_;
     for (; idx < block_end; ++idx) {
       const ScoredCandidate& entry = scan_[idx];
-      const int i = entry.tuple;
-      if (pin_tuple == i && entry.candidate != pin_cand) continue;
-      const int b = label_of_[static_cast<size_t>(i)];
-      const int slot = slot_of_[static_cast<size_t>(i)];
-      const int m = dataset_->num_candidates(i);
-      const bool pinned_here = pin_tuple == i;
-
-      // Boundary support for this candidate: tuples scanned earlier are
-      // "above" (more similar); the current tuple is pinned to this value.
-      ProductExcept<W>(b, slot, boundary);
-      const double pin_weight =
-          pinned_here ? 1.0 : 1.0 / static_cast<double>(m);
-      for (const Tally& tally : tallies_) {
-        const int gb = tally.gamma[static_cast<size_t>(b)];
-        if (gb < 1) continue;
-        double support = pin_weight * boundary[gb - 1];
-        if (support == 0.0) continue;
-        for (int l = 0; l < num_labels && support != 0.0; ++l) {
-          if (l == b) continue;
-          const auto& buf = nodes_[static_cast<size_t>(l)];
-          support *= buf[static_cast<size_t>(
-              w + tally.gamma[static_cast<size_t>(l)])];
-        }
-        result_[static_cast<size_t>(tally.winner)] += support;
-        total += support;
-      }
-
-      // Move this candidate into the "above" region for later boundaries.
-      if (above_[static_cast<size_t>(i)] == 0) touched_.push_back(i);
-      const int above = ++above_[static_cast<size_t>(i)];
-      const double frac_above =
-          pinned_here ? 1.0
-                      : static_cast<double>(above) / static_cast<double>(m);
-      SetLeaf<W>(b, slot, 1.0 - frac_above, frac_above);
-
+      if (pin_tuple == entry.tuple && entry.candidate != pin_cand) continue;
+      ProcessEntry<W>(entry, /*pinned_here=*/pin_tuple == entry.tuple,
+                      &total);
       if (total >= target) {
         done = true;
         break;
@@ -272,6 +276,137 @@ double FastQ2::RunQueryImpl(int pin_tuple, int pin_cand) {
     above_[static_cast<size_t>(i)] = 0;
   }
   return total;
+}
+
+const std::vector<double>& FastQ2::EntropyPinnedSweep(int i) {
+  switch (width_) {
+    case 2:
+      SweepImpl<2>(i);
+      break;
+    case 3:
+      SweepImpl<3>(i);
+      break;
+    case 4:
+      SweepImpl<4>(i);
+      break;
+    case 6:
+      SweepImpl<6>(i);
+      break;
+    case 8:
+      SweepImpl<8>(i);
+      break;
+    default:
+      SweepImpl<0>(i);
+      break;
+  }
+  return sweep_out_;
+}
+
+template <int W>
+void FastQ2::SweepImpl(int pin_tuple) {
+  CP_CHECK(!scan_.empty()) << "call SetTestPoint first";
+  const int m = dataset_->num_candidates(pin_tuple);
+  sweep_out_.assign(static_cast<size_t>(m), 0.0);
+  if (m == 0) return;
+  std::fill(result_.begin(), result_.end(), 0.0);
+  touched_.clear();
+  double total = 0.0;
+  const double target = 1.0 - epsilon_;
+  bool done = false;
+  bool at_pin = false;
+  size_t idx = 0;
+
+  // Shared prefix: every entry strictly more similar than tuple i's best
+  // candidate. No tuple-i entry exists here, so a pinned run processes the
+  // prefix exactly as the unpinned scan does — once for all candidates.
+  while (idx < scan_.size() && !done && !at_pin) {
+    EnsureSorted(idx);
+    const size_t block_end = sorted_end_;
+    for (; idx < block_end; ++idx) {
+      const ScoredCandidate& entry = scan_[idx];
+      if (entry.tuple == pin_tuple) {
+        at_pin = true;
+        break;
+      }
+      ProcessEntry<W>(entry, /*pinned_here=*/false, &total);
+      if (total >= target) {
+        done = true;
+        break;
+      }
+    }
+  }
+
+  if (!at_pin) {
+    // The scan terminated (mass target or exhaustion) before tuple i's
+    // first entry: every pinned run stops at the same point with the same
+    // masses, so all candidates share one entropy.
+    const double entropy = ResultEntropy(total);
+    std::fill(sweep_out_.begin(), sweep_out_.end(), entropy);
+  } else {
+    // Checkpoint the engine at the prefix boundary, then replay only the
+    // suffix per candidate and roll back in between. The rollback restores
+    // every leaf to bits identical to the checkpoint (same above/m
+    // division), and a segment tree node recomputed from bit-identical
+    // children reproduces its coefficients exactly — the same argument
+    // that makes the end-of-query restore in RunQueryImpl sound.
+    sweep_result_.assign(result_.begin(), result_.end());
+    const double prefix_total = total;
+    const size_t prefix_touched = touched_.size();
+    const size_t prefix_idx = idx;
+    for (int j = 0; j < m; ++j) {
+      sweep_log_.clear();
+      double run_total = prefix_total;
+      bool run_done = false;
+      size_t run_idx = prefix_idx;
+      while (run_idx < scan_.size() && !run_done) {
+        EnsureSorted(run_idx);
+        const size_t block_end = sorted_end_;
+        for (; run_idx < block_end; ++run_idx) {
+          const ScoredCandidate& entry = scan_[run_idx];
+          if (entry.tuple == pin_tuple && entry.candidate != j) continue;
+          sweep_log_.push_back(entry.tuple);
+          ProcessEntry<W>(entry, /*pinned_here=*/entry.tuple == pin_tuple,
+                          &run_total);
+          if (run_total >= target) {
+            run_done = true;
+            break;
+          }
+        }
+      }
+      sweep_out_[static_cast<size_t>(j)] = ResultEntropy(run_total);
+
+      // Roll back to the checkpoint: reverse the above_ increments, then
+      // restore each distinct suffix-touched leaf to its checkpoint
+      // fraction (above == 0 gives the pristine (1, 0) leaf, which also
+      // covers the pinned tuple itself).
+      for (size_t t = sweep_log_.size(); t-- > 0;) {
+        --above_[static_cast<size_t>(sweep_log_[t])];
+      }
+      for (const int tuple : sweep_log_) {
+        if (sweep_mark_[static_cast<size_t>(tuple)] != 0) continue;
+        sweep_mark_[static_cast<size_t>(tuple)] = 1;
+        const int above = above_[static_cast<size_t>(tuple)];
+        const double frac =
+            static_cast<double>(above) /
+            static_cast<double>(dataset_->num_candidates(tuple));
+        SetLeaf<W>(label_of_[static_cast<size_t>(tuple)],
+                   slot_of_[static_cast<size_t>(tuple)], 1.0 - frac, frac);
+      }
+      for (const int tuple : sweep_log_) {
+        sweep_mark_[static_cast<size_t>(tuple)] = 0;
+      }
+      touched_.resize(prefix_touched);
+      std::copy(sweep_result_.begin(), sweep_result_.end(), result_.begin());
+      total = prefix_total;
+    }
+  }
+
+  // Standard end-of-query restore of the (prefix) touched leaves.
+  for (int t : touched_) {
+    SetLeaf<W>(label_of_[static_cast<size_t>(t)],
+               slot_of_[static_cast<size_t>(t)], 1.0, 0.0);
+    above_[static_cast<size_t>(t)] = 0;
+  }
 }
 
 std::vector<double> FastQ2::Run(int pin_tuple, int pin_cand) {

@@ -2,6 +2,7 @@
 #define CPCLEAN_CORE_FAST_Q2_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "incomplete/incomplete_dataset.h"
@@ -71,6 +72,16 @@ class FastQ2 {
   double EntropyUnpinned() { return ResultEntropy(RunQuery(-1, -1)); }
   double EntropyPinned(int i, int j) { return ResultEntropy(RunQuery(i, j)); }
 
+  /// `EntropyPinned(i, j)` for every candidate j of tuple `i` in one sweep,
+  /// bit-identical to m separate calls. The scan prefix strictly above
+  /// tuple i's first entry in similarity order contains no tuple-i
+  /// candidates, so every pinned run processes it identically: the sweep
+  /// pays it once, checkpoints the engine there, and replays only the
+  /// suffix per candidate (rolling the trees back between candidates).
+  /// Returns a reference to an internal buffer of `num_candidates(i)`
+  /// entries, valid until the next query on this engine.
+  const std::vector<double>& EntropyPinnedSweep(int i);
+
   /// Least / most similar candidate of tuple `i` for the bound test point.
   double MinSimilarity(int i) const { return tuple_min_[static_cast<size_t>(i)]; }
   double MaxSimilarity(int i) const { return tuple_max_[static_cast<size_t>(i)]; }
@@ -94,6 +105,14 @@ class FastQ2 {
   /// fallback reading width_.
   template <int W>
   double RunQueryImpl(int pin_tuple, int pin_cand);
+  /// The per-entry scan body shared by RunQueryImpl and SweepImpl: tallies
+  /// the boundary supports into result_ / `total` and moves the entry's
+  /// candidate into the "above" region.
+  template <int W>
+  void ProcessEntry(const ScoredCandidate& entry, bool pinned_here,
+                    double* total);
+  template <int W>
+  void SweepImpl(int pin_tuple);
   std::vector<double> Run(int pin_tuple, int pin_cand);
   /// Entropy of result_ masses given their total (mirrors common Entropy).
   double ResultEntropy(double total) const;
@@ -136,6 +155,14 @@ class FastQ2 {
   mutable std::vector<double> floor_scratch_;
   std::vector<int> touched_;
   std::vector<double> result_;
+
+  // EntropyPinnedSweep scratch: per-candidate entropies, the suffix replay
+  // log (one tuple id per processed entry), dedup marks for the leaf
+  // rollback, and the checkpointed per-label masses.
+  std::vector<double> sweep_out_;
+  std::vector<int> sweep_log_;
+  std::vector<uint8_t> sweep_mark_;
+  std::vector<double> sweep_result_;
 };
 
 }  // namespace cpclean

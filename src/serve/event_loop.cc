@@ -1,0 +1,591 @@
+#include "serve/event_loop.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "serve/server.h"
+
+namespace cpclean {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 100;  // stop-flag backstop; wakes are prompt
+
+/// The request without its `id` member: the coalescing key (two requests
+/// that differ only in id are the same work) and the base request a
+/// coalesced group executes once.
+JsonValue StripId(const JsonValue& request) {
+  JsonValue out = JsonValue::MakeObject();
+  for (const JsonValue::Member& member : request.object()) {
+    if (member.first == "id") continue;
+    out.Set(member.first, member.second);
+  }
+  return out;
+}
+
+/// A structured error line mirroring HandleRequest's rendering exactly
+/// (id first when present, then ok/error) so transport-level rejections
+/// are indistinguishable in shape from engine-level errors.
+std::string ErrorLine(const JsonValue* id, StatusCode code,
+                      const std::string& message) {
+  JsonValue response = JsonValue::MakeObject();
+  if (id != nullptr) response.Set("id", *id);
+  response.Set("ok", JsonValue(false));
+  JsonValue error = JsonValue::MakeObject();
+  error.Set("code", JsonValue(StatusCodeToString(code)));
+  error.Set("message", JsonValue(message));
+  response.Set("error", std::move(error));
+  std::string line = response.Dump();
+  line.push_back('\n');
+  return line;
+}
+
+bool BlankOrComment(const std::string& line) {
+  const size_t begin = line.find_first_not_of(" \t\r");
+  return begin == std::string::npos || line[begin] == '#';
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a client that already reset must not SIGPIPE the
+    // server out of existence.
+    const ssize_t w =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      break;
+    }
+    sent += static_cast<size_t>(w);
+  }
+}
+
+}  // namespace
+
+EventLoop::EventLoop(Server* server, int listen_fd, EventLoopOptions options)
+    : server_(server), listen_fd_(listen_fd), options_(options) {
+  if (options_.poller_threads < 1) options_.poller_threads = 1;
+  num_workers_ = options_.request_workers > 0 ? options_.request_workers
+                                              : ThreadPool::HardwareThreads();
+  overload_line_ = ErrorLine(
+      nullptr, StatusCode::kUnavailable,
+      StrFormat("connection limit (--max-connections=%d) reached; retry "
+                "when a connection frees up",
+                options_.max_connections));
+}
+
+EventLoop::~EventLoop() {
+  // The epoll/wake fds close HERE, not in Run()'s teardown: Server::Stop
+  // calls Wake() through its published loop pointer under conn_mu_, and
+  // ServeTcp unpublishes that pointer (same mutex) after Run returns but
+  // before this destructor — so no Wake can race a close and write into a
+  // recycled descriptor.
+  for (const std::unique_ptr<Poller>& p : pollers_) {
+    if (p->epoll_fd >= 0) ::close(p->epoll_fd);
+    if (p->wake_fd >= 0) ::close(p->wake_fd);
+  }
+}
+
+void EventLoop::Wake() {
+  for (const std::unique_ptr<Poller>& p : pollers_) {
+    if (p == nullptr || p->wake_fd < 0) continue;
+    const uint64_t one = 1;
+    // write(2) only: callable from a signal handler. A full eventfd
+    // counter (EAGAIN) already guarantees a pending wake.
+    (void)!::write(p->wake_fd, &one, sizeof(one));
+  }
+}
+
+void EventLoop::HardStop() {
+  hard_stop_.store(true);
+  Wake();
+}
+
+Status EventLoop::Run() {
+  // The listener must be non-blocking: AcceptReady drains it until EAGAIN,
+  // and a blocking accept4 would wedge poller 0 once the backlog empties.
+  {
+    const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+    ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+  }
+  pollers_.reserve(static_cast<size_t>(options_.poller_threads));
+  for (int i = 0; i < options_.poller_threads; ++i) {
+    auto p = std::make_unique<Poller>();
+    p->epoll_fd = ::epoll_create1(0);
+    p->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+    if (p->epoll_fd < 0 || p->wake_fd < 0) {
+      const Status status = Status::IoError(
+          StrFormat("event loop setup: %s", std::strerror(errno)));
+      if (p->epoll_fd >= 0) ::close(p->epoll_fd);
+      if (p->wake_fd >= 0) ::close(p->wake_fd);
+      // Already-built pollers stay in pollers_; the destructor closes
+      // their fds after the loop is unpublished (see ~EventLoop).
+      ::close(listen_fd_);
+      return status;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = p->wake_fd;
+    ::epoll_ctl(p->epoll_fd, EPOLL_CTL_ADD, p->wake_fd, &ev);
+    pollers_.push_back(std::move(p));
+  }
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(pollers_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+    listener_open_.store(true);
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    workers.emplace_back([this] { WorkerLoop(); });
+  }
+  std::vector<std::thread> pollers;
+  pollers.reserve(static_cast<size_t>(options_.poller_threads - 1));
+  for (int i = 1; i < options_.poller_threads; ++i) {
+    pollers.emplace_back([this, i] { PollerLoop(i); });
+  }
+  PollerLoop(0);  // the caller is poller 0
+  for (std::thread& t : pollers) t.join();
+
+  // Pollers are done, so the queue can only shrink: let the workers drain
+  // whatever is left (responses to already-closed connections are simply
+  // discarded) and exit.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers) t.join();
+
+  if (listener_open_.exchange(false)) ::close(listen_fd_);
+  // Poller epoll/wake fds intentionally stay open until ~EventLoop runs,
+  // after ServeTcp unpublishes the loop: a late Server::Stop may still
+  // Wake() them.
+  return Status::OK();
+}
+
+void EventLoop::PollerLoop(int index) {
+  Poller& p = *pollers_[static_cast<size_t>(index)];
+  std::vector<epoll_event> events(256);
+  bool announced_stop = false;
+  while (true) {
+    const bool hard = hard_stop_.load();
+    const bool stopping = hard || server_->stopping();
+    if (stopping) {
+      if (!announced_stop) {
+        announced_stop = true;
+        Wake();  // every poller should notice now, not at its timeout
+      }
+      if (index == 0 && listener_open_.exchange(false)) {
+        ::epoll_ctl(p.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        ::close(listen_fd_);
+      }
+      // Graceful: stop reading (lines already framed still get answers,
+      // unread socket bytes are dropped — the thread-per-connection
+      // semantics). Hard: drop everything now.
+      std::vector<std::shared_ptr<Connection>> snapshot;
+      snapshot.reserve(p.conns.size());
+      for (const auto& entry : p.conns) snapshot.push_back(entry.second);
+      for (const std::shared_ptr<Connection>& conn : snapshot) {
+        if (hard) {
+          CloseConnection(p, conn);
+          continue;
+        }
+        if (conn->reading) {
+          conn->reading = false;
+          UpdateInterest(p, *conn);
+        }
+        // Drain: framed lines still get dispatched and answered; closes
+        // the connection once everything has flushed.
+        DispatchLines(p, conn);
+      }
+      bool inbox_empty;
+      {
+        std::lock_guard<std::mutex> lock(p.mu);
+        inbox_empty = p.incoming.empty() && p.completions.empty();
+      }
+      if (p.conns.empty() && inbox_empty) return;
+    }
+
+    const int n = ::epoll_wait(p.epoll_fd, events.data(),
+                               static_cast<int>(events.size()),
+                               kPollTimeoutMs);
+    for (int e = 0; e < n; ++e) {
+      const int fd = events[static_cast<size_t>(e)].data.fd;
+      const uint32_t mask = events[static_cast<size_t>(e)].events;
+      if (fd == p.wake_fd) {
+        uint64_t drain = 0;
+        (void)!::read(p.wake_fd, &drain, sizeof(drain));
+        continue;
+      }
+      if (index == 0 && fd == listen_fd_ && listener_open_.load()) {
+        AcceptReady(p);
+        continue;
+      }
+      const auto it = p.conns.find(fd);
+      if (it == p.conns.end()) continue;  // closed earlier in this batch
+      const std::shared_ptr<Connection> conn = it->second;
+      // EPOLLHUP/EPOLLERR arrive with no interest bits set; route them
+      // through the read path (recv observes the EOF/error) while the
+      // connection is reading, otherwise through the flush path (send
+      // observes the reset).
+      if (conn->reading &&
+          (mask & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        ReadReady(p, conn);
+      }
+      if (conn->closed) continue;
+      if ((mask & EPOLLOUT) != 0 ||
+          (!conn->reading && (mask & (EPOLLERR | EPOLLHUP)) != 0)) {
+        FlushConnection(p, conn);
+      }
+    }
+
+    // Cross-thread inboxes: adopted connections (dealt by poller 0) and
+    // completed responses (signed off by workers).
+    std::vector<std::shared_ptr<Connection>> incoming;
+    std::vector<std::shared_ptr<Connection>> completions;
+    {
+      std::lock_guard<std::mutex> lock(p.mu);
+      incoming.swap(p.incoming);
+      completions.swap(p.completions);
+    }
+    for (const std::shared_ptr<Connection>& conn : incoming) {
+      AdoptConnection(p, conn);
+    }
+    for (const std::shared_ptr<Connection>& conn : completions) {
+      if (conn->closed) continue;
+      conn->executing = false;
+      // The head response just became ready: flush it and dispatch the
+      // next pending line, if any.
+      DispatchLines(p, conn);
+    }
+  }
+}
+
+void EventLoop::AcceptReady(Poller& p) {
+  while (true) {
+    const int client =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // Listener shut down (RequestStop) or fatal accept error: wind the
+      // whole transport down, as the blocking accept loop did.
+      server_->RequestStop();
+      return;
+    }
+    if (server_->stopping() || hard_stop_.load()) {
+      ::close(client);
+      continue;
+    }
+    Server::TransportCounters& counters = server_->transport_counters();
+    if (options_.max_connections > 0 &&
+        counters.active_connections.load(std::memory_order_relaxed) >=
+            options_.max_connections) {
+      // Admission control bounds *connections* here only as a fd-table
+      // guard; the request-level bound below is what protects the engine.
+      // Overload answers loudly: the client sees why, not a hung socket.
+      counters.rejected_connections.fetch_add(1, std::memory_order_relaxed);
+      SendAll(client, overload_line_);
+      ::close(client);
+      continue;
+    }
+    counters.active_connections.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = client;
+    conn->poller = static_cast<int>(next_poller_.fetch_add(1) %
+                                    static_cast<uint64_t>(pollers_.size()));
+    if (conn->poller == 0) {
+      AdoptConnection(p, conn);
+    } else {
+      Poller& target = *pollers_[static_cast<size_t>(conn->poller)];
+      {
+        std::lock_guard<std::mutex> lock(target.mu);
+        target.incoming.push_back(conn);
+      }
+      const uint64_t one = 1;
+      (void)!::write(target.wake_fd, &one, sizeof(one));
+    }
+  }
+}
+
+void EventLoop::AdoptConnection(Poller& p,
+                                const std::shared_ptr<Connection>& conn) {
+  p.conns.emplace(conn->fd, conn);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(p.epoll_fd, EPOLL_CTL_ADD, conn->fd, &ev);
+}
+
+void EventLoop::UpdateInterest(Poller& p, Connection& conn) {
+  epoll_event ev{};
+  ev.events = (conn.reading ? EPOLLIN : 0u) |
+              (conn.want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(p.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void EventLoop::ReadReady(Poller& p, const std::shared_ptr<Connection>& conn) {
+  // Bounded rounds per tick so one flooding connection cannot starve the
+  // rest of this poller; level-triggered epoll re-arms leftovers.
+  char chunk[16384];
+  for (int round = 0; round < 16; ++round) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->in_buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      // EOF: the peer may have half-closed and still expect the answers
+      // to everything it pipelined — keep the write side until drained.
+      conn->reading = false;
+      UpdateInterest(p, *conn);
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(p, conn);
+    return;
+  }
+  // Incremental line framing: whatever newline-terminated lines the buffer
+  // now holds become pending requests; a partial tail stays buffered.
+  size_t newline;
+  while ((newline = conn->in_buffer.find('\n')) != std::string::npos) {
+    conn->pending_lines.push_back(conn->in_buffer.substr(0, newline));
+    conn->in_buffer.erase(0, newline + 1);
+  }
+  DispatchLines(p, conn);
+}
+
+void EventLoop::DispatchLines(Poller& p,
+                              const std::shared_ptr<Connection>& conn) {
+  Server::TransportCounters& counters = server_->transport_counters();
+  // Serial per connection: dispatch the head line only once the previous
+  // request's response slot exists — pipelined requests on one connection
+  // keep blocking-transport semantics (and response order).
+  while (!conn->executing && !conn->pending_lines.empty()) {
+    const std::string line = std::move(conn->pending_lines.front());
+    conn->pending_lines.pop_front();
+    if (BlankOrComment(line)) continue;
+
+    auto slot = std::make_shared<Response>();
+    Result<JsonValue> parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      // Replay the raw line through HandleLine on a worker: its parse
+      // error rendering is the canonical one, byte for byte.
+      auto item = std::make_shared<WorkItem>();
+      item->raw = true;
+      item->line = line;
+      item->waiters.push_back(WorkItem::Waiter{conn, slot, false, {}});
+      conn->outgoing.push_back(std::move(slot));
+      conn->executing = true;
+      counters.inflight_requests.fetch_add(1, std::memory_order_relaxed);
+      Enqueue(std::move(item));
+      break;
+    }
+    const JsonValue* id =
+        parsed.value().is_object() ? parsed.value().Find("id") : nullptr;
+
+    // Request-level admission: in-flight requests — not connections — are
+    // the bounded resource. Overflow answers immediately (with the
+    // request's own id) instead of queueing unboundedly.
+    if (options_.max_inflight > 0 &&
+        counters.inflight_requests.load(std::memory_order_relaxed) >=
+            options_.max_inflight) {
+      counters.rejected_requests.fetch_add(1, std::memory_order_relaxed);
+      slot->text = ErrorLine(
+          id, StatusCode::kUnavailable,
+          StrFormat("request limit (--max-inflight=%d) reached; retry "
+                    "when in-flight requests drain",
+                    options_.max_inflight));
+      slot->ready.store(true, std::memory_order_release);
+      conn->outgoing.push_back(std::move(slot));
+      continue;
+    }
+    counters.inflight_requests.fetch_add(1, std::memory_order_relaxed);
+
+    const JsonValue* op =
+        parsed.value().is_object() ? parsed.value().Find("op") : nullptr;
+    const bool coalescable = options_.coalesce_q2 && op != nullptr &&
+                             op->is_string() && op->string_value() == "q2";
+    WorkItem::Waiter waiter{conn, slot, id != nullptr,
+                            id != nullptr ? *id : JsonValue()};
+    conn->outgoing.push_back(slot);
+    conn->executing = true;
+    if (coalescable) {
+      const std::string key = StripId(parsed.value()).Dump();
+      bool merged = false;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        const auto it = pending_q2_.find(key);
+        if (it != pending_q2_.end()) {
+          it->second->waiters.push_back(std::move(waiter));
+          merged = true;
+        }
+      }
+      if (merged) {
+        counters.coalesced_requests.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      auto item = std::make_shared<WorkItem>();
+      item->request = std::move(parsed).value();
+      item->coalesce_key = key;
+      item->waiters.push_back(std::move(waiter));
+      Enqueue(std::move(item));
+      break;
+    }
+    auto item = std::make_shared<WorkItem>();
+    item->request = std::move(parsed).value();
+    item->waiters.push_back(std::move(waiter));
+    Enqueue(std::move(item));
+    break;
+  }
+  FlushConnection(p, conn);
+}
+
+void EventLoop::FlushConnection(Poller& p,
+                                const std::shared_ptr<Connection>& conn) {
+  if (conn->closed) return;
+  while (!conn->outgoing.empty()) {
+    Response& front = *conn->outgoing.front();
+    if (!front.ready.load(std::memory_order_acquire)) break;
+    while (conn->out_offset < front.text.size()) {
+      const ssize_t w = ::send(conn->fd, front.text.data() + conn->out_offset,
+                               front.text.size() - conn->out_offset,
+                               MSG_NOSIGNAL);
+      if (w > 0) {
+        conn->out_offset += static_cast<size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Backpressure: park the rest of this response until EPOLLOUT.
+        if (!conn->want_write) {
+          conn->want_write = true;
+          UpdateInterest(p, *conn);
+        }
+        return;
+      }
+      CloseConnection(p, conn);  // peer reset mid-response
+      return;
+    }
+    conn->outgoing.pop_front();
+    conn->out_offset = 0;
+  }
+  if (conn->want_write) {
+    conn->want_write = false;
+    UpdateInterest(p, *conn);
+  }
+  // Nothing further can ever flow: no reads coming (EOF or stop), nothing
+  // pending, nothing executing, nothing to flush.
+  if (!conn->reading && conn->outgoing.empty() &&
+      conn->pending_lines.empty() && !conn->executing) {
+    CloseConnection(p, conn);
+  }
+}
+
+void EventLoop::CloseConnection(Poller& p,
+                                const std::shared_ptr<Connection>& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  ::epoll_ctl(p.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  p.conns.erase(conn->fd);
+  server_->transport_counters().active_connections.fetch_sub(
+      1, std::memory_order_relaxed);
+}
+
+void EventLoop::Enqueue(std::shared_ptr<WorkItem> item) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!item->coalesce_key.empty()) {
+      pending_q2_.emplace(item->coalesce_key, item);
+    }
+    queue_.push_back(std::move(item));
+  }
+  queue_cv_.notify_one();
+}
+
+void EventLoop::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<WorkItem> item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return workers_stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // workers_stop_ and fully drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      // Started items stop accepting coalesce joiners: a request arriving
+      // now may be ordered after a write this evaluation won't see.
+      if (!item->coalesce_key.empty()) {
+        pending_q2_.erase(item->coalesce_key);
+      }
+    }
+    Execute(*item);
+    Complete(*item);
+  }
+}
+
+void EventLoop::Execute(WorkItem& item) {
+  if (item.raw) {
+    std::string text = server_->HandleLine(item.line);
+    if (!text.empty()) text.push_back('\n');
+    item.waiters[0].slot->text = std::move(text);
+    return;
+  }
+  if (item.waiters.size() == 1) {
+    std::string text = server_->HandleRequest(item.request).Dump();
+    text.push_back('\n');
+    item.waiters[0].slot->text = std::move(text);
+    return;
+  }
+  // Coalesced group: evaluate once without any id, then fan the response
+  // back out with each waiter's own id in the canonical first position.
+  const JsonValue base = server_->HandleRequest(StripId(item.request));
+  for (WorkItem::Waiter& waiter : item.waiters) {
+    std::string text;
+    if (!waiter.has_id) {
+      text = base.Dump();
+    } else {
+      JsonValue response = JsonValue::MakeObject();
+      response.Set("id", waiter.id);
+      for (const JsonValue::Member& member : base.object()) {
+        response.Set(member.first, member.second);
+      }
+      text = response.Dump();
+    }
+    text.push_back('\n');
+    waiter.slot->text = std::move(text);
+  }
+}
+
+void EventLoop::Complete(WorkItem& item) {
+  Server::TransportCounters& counters = server_->transport_counters();
+  counters.inflight_requests.fetch_sub(
+      static_cast<int>(item.waiters.size()), std::memory_order_relaxed);
+  for (WorkItem::Waiter& waiter : item.waiters) {
+    waiter.slot->ready.store(true, std::memory_order_release);
+    Poller& p = *pollers_[static_cast<size_t>(waiter.conn->poller)];
+    {
+      std::lock_guard<std::mutex> lock(p.mu);
+      p.completions.push_back(std::move(waiter.conn));
+    }
+  }
+  Wake();
+}
+
+}  // namespace cpclean

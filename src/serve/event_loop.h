@@ -1,0 +1,175 @@
+#ifndef CPCLEAN_SERVE_EVENT_LOOP_H_
+#define CPCLEAN_SERVE_EVENT_LOOP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/json.h"
+
+namespace cpclean {
+
+class Server;
+
+/// Transport knobs, filled from `ServerOptions` by `Server::ServeTcp`.
+struct EventLoopOptions {
+  /// Event-loop threads holding the connections. One poller comfortably
+  /// multiplexes thousands of mostly idle connections; more pollers only
+  /// spread the read/write/framing work.
+  int poller_threads = 1;
+  /// Threads executing dispatched requests. 0 = hardware concurrency.
+  int request_workers = 0;
+  /// Accept-time admission: connections beyond this receive a structured
+  /// Unavailable line and are closed. 0 = unlimited.
+  int max_connections = 0;
+  /// Request-level admission: dispatched-but-unanswered requests beyond
+  /// this bound are answered Unavailable immediately instead of queueing.
+  /// 0 = unlimited. This — not the connection count — is what bounds the
+  /// work in flight: thousands of idle connections cost only their fds.
+  int max_inflight = 0;
+  /// Merge identical `q2` requests that are waiting at the same time into
+  /// one engine evaluation, fanned back to every waiter with its own id.
+  bool coalesce_q2 = true;
+};
+
+/// The epoll transport behind `Server::ServeTcp`.
+///
+/// Architecture: `poller_threads` event-loop threads own the connections
+/// (non-blocking sockets, per-connection read/write buffers, incremental
+/// newline framing); poller 0 also owns the listener and deals accepted
+/// connections round-robin. Completed request lines are dispatched to a
+/// bounded pool of `request_workers` threads through one shared work
+/// queue; responses travel back through per-connection ordered slots, so
+/// each connection sees its responses in request order even though
+/// different connections' requests execute concurrently.
+///
+/// Per-connection execution is serial — at most one request of a
+/// connection is in flight at a time, exactly like the thread-per-
+/// connection transport it replaces — so pipelined requests on one
+/// connection observe each other's effects and every response line is
+/// byte-identical to the blocking transport's.
+///
+/// While an identical `q2` request (same request object, ids aside) is
+/// still waiting in the work queue, later arrivals merge into it: the
+/// engine evaluates once and the response fans back to every waiter with
+/// its own id. The coalescing window is therefore the head request's
+/// queueing delay — under no load requests are never merged, under
+/// overload identical points collapse into one evaluation.
+class EventLoop {
+ public:
+  /// Borrows `server` for dispatch and counters; takes ownership of
+  /// `listen_fd` (already bound and listening, closed by `Run`).
+  EventLoop(Server* server, int listen_fd, EventLoopOptions options);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Runs the transport until the server is stopping and every connection
+  /// has drained (graceful), or until `HardStop`. Blocks the caller (it
+  /// becomes poller 0).
+  Status Run();
+
+  /// Kicks every poller so a stop flag set elsewhere is noticed now
+  /// instead of at the next poll timeout. Async-signal-safe (write(2)).
+  void Wake();
+
+  /// Close every connection without waiting for pending responses, then
+  /// unwind `Run`. (Graceful stop is `Server::RequestStop` + `Wake`.)
+  void HardStop();
+
+ private:
+  /// One response slot in a connection's ordered outgoing queue. Workers
+  /// fill `text` then flip `ready`; the owning poller flushes slots
+  /// strictly front to back, so responses keep request order.
+  struct Response {
+    std::string text;  // includes the trailing '\n'
+    std::atomic<bool> ready{false};
+  };
+
+  /// Connection state, owned by exactly one poller thread; workers touch
+  /// only the Response slots.
+  struct Connection {
+    int fd = -1;
+    int poller = 0;
+    bool closed = false;
+    bool reading = true;     // cleared on EOF or graceful stop
+    bool want_write = false; // EPOLLOUT armed (partial write pending)
+    bool executing = false;  // head request dispatched, response pending
+    std::string in_buffer;
+    std::deque<std::string> pending_lines;
+    std::deque<std::shared_ptr<Response>> outgoing;
+    size_t out_offset = 0;   // bytes of outgoing.front() already sent
+  };
+
+  struct WorkItem {
+    struct Waiter {
+      std::shared_ptr<Connection> conn;
+      std::shared_ptr<Response> slot;
+      bool has_id = false;
+      JsonValue id;
+    };
+    bool raw = false;          // unparseable line: replay via HandleLine
+    std::string line;          // raw == true
+    JsonValue request;         // raw == false
+    std::string coalesce_key;  // non-empty: mergeable while queued
+    std::vector<Waiter> waiters;
+  };
+
+  struct Poller {
+    int epoll_fd = -1;
+    int wake_fd = -1;  // eventfd
+    std::unordered_map<int, std::shared_ptr<Connection>> conns;
+    // Cross-thread inboxes, drained after every poll round.
+    std::mutex mu;
+    std::vector<std::shared_ptr<Connection>> incoming;
+    std::vector<std::shared_ptr<Connection>> completions;
+  };
+
+  void PollerLoop(int index);
+  void WorkerLoop();
+  void AcceptReady(Poller& p);
+  void AdoptConnection(Poller& p, const std::shared_ptr<Connection>& conn);
+  void ReadReady(Poller& p, const std::shared_ptr<Connection>& conn);
+  /// Dispatches the connection's head pending line (serial per connection)
+  /// and flushes whatever is ready.
+  void DispatchLines(Poller& p, const std::shared_ptr<Connection>& conn);
+  void FlushConnection(Poller& p, const std::shared_ptr<Connection>& conn);
+  void CloseConnection(Poller& p, const std::shared_ptr<Connection>& conn);
+  void UpdateInterest(Poller& p, Connection& conn);
+  void Enqueue(std::shared_ptr<WorkItem> item);
+  void Execute(WorkItem& item);
+  /// Hands the completed response back to each waiter's poller.
+  void Complete(WorkItem& item);
+
+  Server* server_;
+  int listen_fd_;
+  EventLoopOptions options_;
+  int num_workers_ = 1;
+  std::string overload_line_;  // pre-rendered accept-time rejection
+
+  std::vector<std::unique_ptr<Poller>> pollers_;
+  std::atomic<bool> hard_stop_{false};
+  std::atomic<bool> listener_open_{false};
+  std::atomic<uint64_t> next_poller_{0};  // round-robin connection deal
+
+  // The shared request-work queue (all pollers feed it, all workers drain
+  // it) plus the pending-coalesce index over queued-but-unstarted q2 items.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<WorkItem>> queue_;
+  std::unordered_map<std::string, std::shared_ptr<WorkItem>> pending_q2_;
+  bool workers_stop_ = false;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_SERVE_EVENT_LOOP_H_

@@ -17,6 +17,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "knn/kernel_simd.h"
+#include "serve/event_loop.h"
 #include "serve/request_params.h"
 
 namespace cpclean {
@@ -96,10 +97,10 @@ Server::Server(ServerOptions options)
 Server::~Server() {
   Stop();
   // Backstop for destruction while ServeTcp is still winding down on
-  // another thread: connection handlers are detached and reference this
-  // object, so wait for the last one to sign off.
+  // another thread: the event loop references this object, so wait for
+  // ServeTcp to sign off.
   std::unique_lock<std::mutex> lock(conn_mu_);
-  conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  conn_cv_.wait(lock, [this] { return !serving_; });
 }
 
 Result<std::shared_ptr<ServeSession>> Server::FindSession(
@@ -114,21 +115,25 @@ Result<std::shared_ptr<ServeSession>> Server::FindSession(
   // lifecycle transition; publication re-validates under the lock.
   CP_ASSIGN_OR_RETURN(std::shared_ptr<ServeSession> session,
                       store_.Load(name));
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
-  live = registry_.Get(name);  // re-check: another request rehydrated it
-  if (live.ok()) return live;
-  if (!store_.Saved(name)) {
-    // A drop_session raced the load: publishing our copy would resurrect
-    // a session the client was told is gone.
-    return Status::NotFound(StrFormat(
-        "session \"%s\" was dropped while being rehydrated", name.c_str()));
+  {
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+    live = registry_.Get(name);  // re-check: another request rehydrated it
+    if (live.ok()) return live;
+    if (!store_.Saved(name)) {
+      // A drop_session raced the load: publishing our copy would resurrect
+      // a session the client was told is gone.
+      return Status::NotFound(StrFormat(
+          "session \"%s\" was dropped while being rehydrated", name.c_str()));
+    }
+    CP_RETURN_NOT_OK(registry_.Insert(session));
   }
-  CP_RETURN_NOT_OK(registry_.Insert(session));
-  // Rehydration can push the registry over capacity in turn. Best effort:
-  // if the sweep's victim fails to save, the registry stays briefly over
-  // capacity rather than failing this (unrelated) request — the next
-  // create_session surfaces the store error.
-  (void)store_.EnforceCapacity(registry_);
+  // Rehydration can push the registry over capacity in turn; the sweep
+  // runs after the lifecycle lock is released (it takes the lock itself
+  // around its commit). Best effort: if the sweep's victim fails to save,
+  // the registry stays briefly over capacity rather than failing this
+  // (unrelated) request — the next create_session surfaces the store
+  // error.
+  (void)store_.EnforceCapacity(registry_, lifecycle_mu_);
   return session;
 }
 
@@ -160,22 +165,38 @@ Result<JsonValue> Server::CreateSession(const JsonValue& req) {
       const std::shared_ptr<ServeSession> session,
       ServeSession::Make(name, std::move(task), options,
                          SpecFromRequest(req)));
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
-  if (store_.Saved(name)) {
-    // Re-checked under the lock: the name may have been created AND
-    // evicted by others while we were building the task; creating over
-    // its snapshot would fork two incarnations of one name.
-    return Status::AlreadyExists(
-        StrFormat("session \"%s\" already exists", name.c_str()));
+  {
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+    if (store_.Saved(name)) {
+      // Re-checked under the lock: the name may have been created AND
+      // evicted by others while we were building the task; creating over
+      // its snapshot would fork two incarnations of one name.
+      return Status::AlreadyExists(
+          StrFormat("session \"%s\" already exists", name.c_str()));
+    }
+    CP_RETURN_NOT_OK(registry_.Insert(session));
+    if (options_.max_sessions > 0 && !store_.enabled() &&
+        registry_.size() > options_.max_sessions) {
+      // Authoritative admission, decided under the lock (the unlocked
+      // pre-check earlier only avoids wasted builds): with no disk to
+      // evict into, over-capacity rolls the insert back and refuses.
+      (void)registry_.Drop(session->name());
+      return Status::Unavailable(StrFormat(
+          "session table is full (--max-sessions=%d) and no --data-dir is "
+          "configured to evict into",
+          static_cast<int>(options_.max_sessions)));
+    }
   }
-  CP_RETURN_NOT_OK(registry_.Insert(session));
+  // The capacity sweep runs outside the lifecycle lock (snapshot
+  // serialization and writer drain are the expensive parts; the sweep
+  // takes the lock itself around its commit).
   const Result<std::vector<std::string>> evicted =
-      store_.EnforceCapacity(registry_);
+      store_.EnforceCapacity(registry_, lifecycle_mu_);
   if (!evicted.ok()) {
-    // The eviction victim's save failed (disk full, unwritable data dir)
-    // or there is no data dir to evict into: roll the new session back so
-    // an error response never leaves state behind, and the registry
-    // honors --max-sessions.
+    // The eviction victim's save failed (disk full, unwritable data dir):
+    // roll the new session back so an error response never leaves state
+    // behind, and the registry honors --max-sessions.
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
     (void)registry_.Drop(session->name());
     return evicted.status();
   }
@@ -312,16 +333,18 @@ Result<JsonValue> Server::LoadSession(const JsonValue& req) {
   // As in FindSession: load outside the lifecycle lock, publish under it.
   CP_ASSIGN_OR_RETURN(const std::shared_ptr<ServeSession> session,
                       store_.Load(name));
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
-  if (!store_.Saved(name)) {
-    return Status::NotFound(StrFormat(
-        "session \"%s\" was dropped while being rehydrated", name.c_str()));
+  {
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+    if (!store_.Saved(name)) {
+      return Status::NotFound(StrFormat(
+          "session \"%s\" was dropped while being rehydrated", name.c_str()));
+    }
+    const Status inserted = registry_.Insert(session);
+    if (!inserted.ok()) return inserted;
   }
-  const Status inserted = registry_.Insert(session);
-  if (!inserted.ok()) return inserted;
   // Best effort, as in FindSession: the explicit load succeeded even if
   // the capacity sweep could not save its victim.
-  (void)store_.EnforceCapacity(registry_);
+  (void)store_.EnforceCapacity(registry_, lifecycle_mu_);
   // The full session snapshot doubles as the load summary (progress,
   // resolved options, version).
   return session->Stats();
@@ -369,14 +392,27 @@ Result<JsonValue> Server::Stats(const JsonValue& req) {
     out.Set("saved", std::move(saved));
   }
   JsonValue connections = JsonValue::MakeObject();
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    connections.Set("active", JsonValue(active_connections_));
-  }
+  connections.Set("active",
+                  JsonValue(transport_counters_.active_connections.load(
+                      std::memory_order_relaxed)));
   connections.Set("max", JsonValue(options_.max_connections));
-  connections.Set(
-      "rejected",
-      JsonValue(rejected_connections_.load(std::memory_order_relaxed)));
+  connections.Set("rejected",
+                  JsonValue(transport_counters_.rejected_connections.load(
+                      std::memory_order_relaxed)));
+  connections.Set("pollers", JsonValue(options_.poller_threads));
+  // As configured (0 = hardware concurrency), NOT resolved: stats output
+  // stays machine-independent, which the scripted smoke diffs rely on.
+  connections.Set("request_workers", JsonValue(options_.request_workers));
+  connections.Set("max_inflight", JsonValue(options_.max_inflight));
+  connections.Set("inflight",
+                  JsonValue(transport_counters_.inflight_requests.load(
+                      std::memory_order_relaxed)));
+  connections.Set("rejected_requests",
+                  JsonValue(transport_counters_.rejected_requests.load(
+                      std::memory_order_relaxed)));
+  connections.Set("coalesced_q2",
+                  JsonValue(transport_counters_.coalesced_requests.load(
+                      std::memory_order_relaxed)));
   out.Set("connections", std::move(connections));
   return out;
 }
@@ -416,7 +452,7 @@ Result<JsonValue> Server::Dispatch(const std::string& op,
   if (op == "stats") return Stats(req);
   if (op == "shutdown") {
     // Graceful (not Stop()): the connection that asked must still receive
-    // this response before its handler notices stopping_ and closes.
+    // this response before the event loop drains and closes it.
     RequestStop();
     JsonValue out = JsonValue::MakeObject();
     out.Set("stopping", JsonValue(true));
@@ -478,51 +514,6 @@ void Server::RunStdio(std::istream& in, std::ostream& out) {
   }
 }
 
-void Server::HandleConnection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  // The stopping_ check sits *after* draining buffered lines, so a
-  // pipelined `shutdown` request still gets its response before the
-  // handler closes the socket.
-  while (true) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t newline;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
-      const std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      std::string response = HandleLine(line);
-      if (response.empty()) continue;
-      response.push_back('\n');
-      size_t sent = 0;
-      while (sent < response.size()) {
-        // MSG_NOSIGNAL: a client that resets mid-response must surface as
-        // a send error on this connection, not a process-killing SIGPIPE.
-        const ssize_t w = ::send(fd, response.data() + sent,
-                                 response.size() - sent, MSG_NOSIGNAL);
-        if (w <= 0) break;
-        sent += static_cast<size_t>(w);
-      }
-    }
-    if (stopping_.load()) break;
-  }
-  // Sign off entirely under the lock — erase before close (so Stop never
-  // kicks a recycled descriptor), notify before unlocking (so the last
-  // signal lands strictly before ~Server can tear the cv down) — and touch
-  // no member afterwards: this thread is detached.
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
-    if (*it == fd) {
-      conn_fds_.erase(it);
-      break;
-    }
-  }
-  ::close(fd);
-  --active_connections_;
-  conn_cv_.notify_all();
-}
-
 Status Server::ServeTcp(int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -544,7 +535,7 @@ Status Server::ServeTcp(int port) {
     bound_port_.store(-2);
     return status;
   }
-  if (::listen(fd, 64) != 0) {
+  if (::listen(fd, SOMAXCONN) != 0) {
     const Status status =
         Status::IoError(StrFormat("listen: %s", std::strerror(errno)));
     ::close(fd);
@@ -556,76 +547,30 @@ Status Server::ServeTcp(int port) {
   listen_fd_.store(fd);
   bound_port_.store(static_cast<int>(ntohs(addr.sin_port)));
 
-  // Pre-rendered overload response: the reject path should not allocate
-  // its way through the JSON codec per attempt under a connection storm.
-  std::string overload;
+  EventLoopOptions loop_options;
+  loop_options.poller_threads = options_.poller_threads;
+  loop_options.request_workers = options_.request_workers;
+  loop_options.max_connections = options_.max_connections;
+  loop_options.max_inflight = options_.max_inflight;
+  loop_options.coalesce_q2 = options_.coalesce_q2;
+  EventLoop loop(this, fd, loop_options);
   {
-    JsonValue response = JsonValue::MakeObject();
-    response.Set("ok", JsonValue(false));
-    JsonValue error = JsonValue::MakeObject();
-    error.Set("code", JsonValue(StatusCodeToString(StatusCode::kUnavailable)));
-    error.Set("message",
-              JsonValue(StrFormat(
-                  "connection limit (--max-connections=%d) reached; retry "
-                  "when a connection frees up",
-                  options_.max_connections)));
-    response.Set("error", std::move(error));
-    overload = response.Dump();
-    overload.push_back('\n');
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    loop_ = &loop;
+    serving_ = true;
   }
-
-  while (!stopping_.load()) {
-    const int client = ::accept(fd, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener shut down (Stop) or fatal accept error
-    }
-    // Admission control: a counting-semaphore try-acquire on the live
-    // connection count. Overload answers with a structured error and
-    // closes — the client sees *why*, instead of a hung or reset socket.
-    bool admitted = true;
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      if (options_.max_connections > 0 &&
-          active_connections_ >= options_.max_connections) {
-        admitted = false;
-      } else {
-        conn_fds_.push_back(client);
-        ++active_connections_;
-      }
-    }
-    if (!admitted) {
-      rejected_connections_.fetch_add(1, std::memory_order_relaxed);
-      size_t sent = 0;
-      while (sent < overload.size()) {
-        // MSG_NOSIGNAL: a storm client that already reset must not SIGPIPE
-        // the server out of existence — overload is exactly when this path
-        // runs.
-        const ssize_t w = ::send(client, overload.data() + sent,
-                                 overload.size() - sent, MSG_NOSIGNAL);
-        if (w <= 0) break;
-        sent += static_cast<size_t>(w);
-      }
-      ::close(client);
-      continue;
-    }
-    // Detached: the handler signs itself off via active_connections_, so
-    // a long-lived server never accumulates finished thread handles.
-    std::thread([this, client] { HandleConnection(client); }).detach();
-  }
-
-  ::close(fd);
+  // The event loop owns the listener fd from here (it closes it); this
+  // thread becomes poller 0 until the transport winds down.
+  const Status status = loop.Run();
   listen_fd_.store(-1);
   {
-    std::unique_lock<std::mutex> lock(conn_mu_);
-    // SHUT_RD, not RDWR: blocked recv calls return 0, but the send half
-    // stays open so a response in flight (e.g. the shutdown ack itself)
-    // still reaches its client before the handler closes.
-    for (const int client : conn_fds_) ::shutdown(client, SHUT_RD);
-    conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    loop_ = nullptr;
+    serving_ = false;
   }
+  conn_cv_.notify_all();
   bound_port_.store(-2);
-  return Status::OK();
+  return status;
 }
 
 void Server::RequestStop() {
@@ -642,9 +587,7 @@ void Server::RequestStop() {
 void Server::Stop() {
   RequestStop();
   std::lock_guard<std::mutex> lock(conn_mu_);
-  for (const int client : conn_fds_) {
-    ::shutdown(client, SHUT_RDWR);
-  }
+  if (loop_ != nullptr) loop_->HardStop();
 }
 
 }  // namespace cpclean

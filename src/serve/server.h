@@ -16,6 +16,8 @@
 
 namespace cpclean {
 
+class EventLoop;
+
 struct ServerOptions {
   /// Result-cache capacity given to sessions that do not specify their own.
   size_t default_cache_capacity = 1024;
@@ -26,9 +28,23 @@ struct ServerOptions {
   /// saved to `data_dir` and dropped from RAM. 0 = unlimited.
   size_t max_sessions = 0;
   /// Max concurrent TCP connections; further accepts receive a structured
-  /// Unavailable error and are closed (admission control, so overload
-  /// degrades loudly instead of piling up threads). 0 = unlimited.
+  /// Unavailable error and are closed. This guards the fd table only —
+  /// idle connections are nearly free under the event loop, so the limit
+  /// can sit orders of magnitude above `max_inflight`. 0 = unlimited.
   int max_connections = 0;
+  /// Event-loop threads holding the connections (listener + framing +
+  /// response flushing). One poller multiplexes thousands of mostly idle
+  /// connections; add pollers only for framing/flush throughput.
+  int poller_threads = 1;
+  /// Threads executing dispatched requests. 0 = hardware concurrency.
+  int request_workers = 0;
+  /// Request-level admission: dispatched-but-unanswered requests beyond
+  /// this bound answer Unavailable immediately instead of queueing. This —
+  /// not `max_connections` — is what bounds work in flight. 0 = unlimited.
+  int max_inflight = 0;
+  /// Merge identical `q2` requests waiting at the same instant into one
+  /// engine evaluation fanned back to every waiter with its own id.
+  bool coalesce_q2 = true;
 };
 
 /// The CP-query serving layer's request router and transports.
@@ -76,8 +92,13 @@ struct ServerOptions {
 /// eviction in every interleaving.
 ///
 /// Transports: `RunStdio` (requests on stdin, responses on stdout) and
-/// `ServeTcp` (loopback listener, one thread per connection running the
-/// same line protocol, admission-limited by `max_connections`).
+/// `ServeTcp` (loopback listener on an epoll event loop: `poller_threads`
+/// event-loop threads hold the connections and frame lines, a bounded pool
+/// of `request_workers` threads executes requests, and per-connection
+/// ordered response slots keep every connection's responses in request
+/// order and byte-identical to a blocking transport. Admission is
+/// two-level: `max_connections` guards the fd table at accept time,
+/// `max_inflight` bounds dispatched-but-unanswered requests).
 class Server {
  public:
   explicit Server(ServerOptions options = ServerOptions());
@@ -98,9 +119,10 @@ class Server {
   void RunStdio(std::istream& in, std::ostream& out);
 
   /// Listens on 127.0.0.1:`port` (0 = ephemeral; see `port()`) and blocks
-  /// until `Stop()`/`RequestStop()` or a `shutdown` request. One detached
-  /// thread per connection, reaped through a live-connection count; the
-  /// call returns only after every connection has drained.
+  /// until `Stop()`/`RequestStop()` or a `shutdown` request, running the
+  /// epoll event loop (the caller becomes poller 0). The call returns only
+  /// after every connection has drained (graceful) or been dropped
+  /// (`Stop`).
   Status ServeTcp(int port);
 
   /// The bound TCP port once `ServeTcp` is listening; -1 before, -2 once
@@ -108,19 +130,30 @@ class Server {
   int port() const { return bound_port_.load(); }
 
   /// Graceful wind-down: marks the server stopping and unblocks the
-  /// listener. Connection threads finish sending the responses for lines
-  /// they have already read, then close. Async-signal-safe (atomics and a
-  /// `shutdown(2)` call only), so it may run from a signal handler.
+  /// listener. Lines already framed still receive their responses, then
+  /// connections close. Async-signal-safe (atomics and a `shutdown(2)`
+  /// call only), so it may run from a signal handler.
   void RequestStop();
 
-  /// `RequestStop` plus an immediate kick of every open connection
-  /// (in-flight recv calls return right away). Not signal-safe.
+  /// `RequestStop` plus an immediate drop of every open connection
+  /// (pending responses are abandoned). Not signal-safe.
   void Stop();
 
   bool stopping() const { return stopping_.load(); }
 
   SessionRegistry& registry() { return registry_; }
   SessionStore& store() { return store_; }
+
+  /// Live transport gauges and counters, updated by the event loop and
+  /// reported by the global `stats` op.
+  struct TransportCounters {
+    std::atomic<int> active_connections{0};
+    std::atomic<int> inflight_requests{0};
+    std::atomic<uint64_t> rejected_connections{0};
+    std::atomic<uint64_t> rejected_requests{0};
+    std::atomic<uint64_t> coalesced_requests{0};
+  };
+  TransportCounters& transport_counters() { return transport_counters_; }
 
  private:
   Result<JsonValue> Dispatch(const std::string& op, const JsonValue& req);
@@ -137,8 +170,6 @@ class Server {
   /// snapshot on the next request that names it.
   Result<std::shared_ptr<ServeSession>> FindSession(const std::string& name);
 
-  void HandleConnection(int fd);
-
   ServerOptions options_;
   SessionRegistry registry_;
   SessionStore store_;
@@ -153,17 +184,15 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<int> bound_port_{-1};
   std::atomic<int> listen_fd_{-1};
-  std::atomic<uint64_t> rejected_connections_{0};
+  TransportCounters transport_counters_;
 
-  // Open connections: fds for the shutdown kick, a count + cv so ServeTcp
-  // and the destructor can wait for the detached handler threads to drain
-  // (threads reap themselves — no per-connection join handle accumulates).
-  // The count doubles as the admission-control semaphore: an accept only
-  // admits (count++ under the lock) while count < max_connections.
+  // The running event loop (while ServeTcp is live): `Stop` hard-stops it
+  // through this pointer, and the destructor waits for ServeTcp to sign
+  // off before the Server goes away under it.
   std::mutex conn_mu_;
   std::condition_variable conn_cv_;
-  std::vector<int> conn_fds_;
-  int active_connections_ = 0;
+  EventLoop* loop_ = nullptr;
+  bool serving_ = false;
 };
 
 }  // namespace cpclean

@@ -425,14 +425,17 @@ std::vector<std::string> SessionStore::SavedNames() const {
 }
 
 Result<std::vector<std::string>> SessionStore::EnforceCapacity(
-    SessionRegistry& registry) {
+    SessionRegistry& registry, std::mutex& lifecycle_mu) {
   std::vector<std::string> evicted;
   if (options_.max_sessions == 0) return evicted;
-  // Bounds the touched-during-save retries below: under sustained load on
-  // every session the sweep must still terminate. Exhaustion only costs
-  // LRU accuracy (a recently-touched victim gets evicted anyway) — never
-  // a write: the retire handshake below protects those in every
-  // interleaving.
+  // One sweep at a time: concurrent sweeps would race to retire the same
+  // LRU victim. Callers must NOT hold `lifecycle_mu` — the sweep takes it
+  // only around its commit below.
+  std::lock_guard<std::mutex> sweep(sweep_mu_);
+  // Bounds the retry paths below: under sustained load on every session
+  // the sweep must still terminate. Exhaustion only costs LRU accuracy
+  // (a recently-touched victim gets evicted anyway) — never a write: the
+  // retire handshake below protects those in every interleaving.
   size_t retries_left = 2 * registry.size() + 4;
   while (registry.size() > options_.max_sessions) {
     if (!enabled()) {
@@ -452,33 +455,52 @@ Result<std::vector<std::string>> SessionStore::EnforceCapacity(
       }
     }
     if (!victim) break;  // raced to empty
+    // The expensive half runs OUTSIDE the lifecycle mutex (the same split
+    // save_session uses): snapshot serialization blocks on the victim's
+    // shared lock (a long clean_run could hold that for a while) and
+    // retirement drains its in-flight writers — neither may stall every
+    // unrelated lifecycle transition.
+    CP_RETURN_NOT_OK(ValidateSavable(*victim));
     const uint64_t seq_before_save = victim->last_request_seq();
     uint64_t snapshot_write_seq = 0;
-    CP_RETURN_NOT_OK(Save(*victim, &snapshot_write_seq));
+    std::string text = victim->SerializeSnapshot(&snapshot_write_seq);
     if (victim->last_request_seq() != seq_before_save && retries_left > 0) {
       --retries_left;
       // A request landed while the snapshot was being serialized — the
-      // session is no longer LRU; re-pick. (Purely a policy retry: even
-      // without it, the retire handshake below would keep any write safe.
-      // The harmlessly stale snapshot is overwritten by the next save and
-      // deleted by drop_session.)
+      // session is no longer LRU; re-pick.
       continue;
     }
-    // Commit point, BEFORE the registry drop so failure can roll back to
-    // a fully live session: retire the victim (the exclusive lock drains
-    // in-flight writers; later writes on this instance answer Unavailable
-    // and are never acknowledged) and, if a write slipped in between the
-    // snapshot serialization above and retirement — acknowledged to its
-    // client, so it must not be lost — re-save the now-final state.
+    // Retire BEFORE the registry drop so failure can roll back to a fully
+    // live session: the exclusive lock drains in-flight writers; later
+    // writes on this instance answer Unavailable and are never
+    // acknowledged. A write that slipped in between the serialization
+    // above and retirement — acknowledged to its client, so it must not
+    // be lost — replaces the snapshot with the now-final state.
     if (std::optional<std::string> resnapshot =
             victim->RetireAndResnapshot(snapshot_write_seq)) {
-      const Status resaved = WriteSnapshot(victim->name(), *resnapshot);
-      if (!resaved.ok()) {
-        victim->Unretire();
-        return resaved;
-      }
+      text = std::move(*resnapshot);
     }
-    (void)registry.Drop(victim->name());
+    // Commit under the lifecycle mutex: re-validate that the registry
+    // still holds this exact instance (a drop_session racing the
+    // serialization deleted the name — writing our snapshot back would
+    // resurrect it), write the snapshot, drop the live entry.
+    {
+      std::lock_guard<std::mutex> lifecycle(lifecycle_mu);
+      const Result<std::shared_ptr<ServeSession>> live =
+          registry.Get(victim->name());
+      if (!live.ok() || live.value().get() != victim.get()) {
+        victim->Unretire();  // detached instance; the registry moved on
+        if (retries_left == 0) break;
+        --retries_left;
+        continue;
+      }
+      const Status written = WriteSnapshot(victim->name(), text);
+      if (!written.ok()) {
+        victim->Unretire();
+        return written;
+      }
+      (void)registry.Drop(victim->name());
+    }
     evicted.push_back(victim->name());
   }
   return evicted;

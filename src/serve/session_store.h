@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -96,16 +97,25 @@ class SessionStore {
   /// The eviction sweep: while `registry` holds more than `max_sessions`
   /// sessions, saves the least-recently-used one (by last-request
   /// sequence), retires it (in-flight writers drain; a write acknowledged
-  /// during snapshot serialization triggers a dirty re-save, and any later
-  /// write on the detached instance is refused with Unavailable — so an
-  /// acknowledged write is never lost to eviction), and drops it. Returns
-  /// the evicted names (empty when under the limit or max_sessions == 0).
-  /// Fails without evicting when persistence is disabled — callers gate
-  /// admission instead of silently discarding state.
-  Result<std::vector<std::string>> EnforceCapacity(SessionRegistry& registry);
+  /// during snapshot serialization replaces the snapshot with the final
+  /// state, and any later write on the detached instance is refused with
+  /// Unavailable — so an acknowledged write is never lost to eviction),
+  /// and drops it. Returns the evicted names (empty when under the limit
+  /// or max_sessions == 0). Fails without evicting when persistence is
+  /// disabled — callers gate admission instead of silently discarding
+  /// state.
+  ///
+  /// The caller must NOT hold `lifecycle_mu`: the expensive half
+  /// (serialization, writer drain) runs outside it, and only the commit
+  /// (snapshot write + registry drop, re-validated against a racing drop)
+  /// takes it. Concurrent sweeps serialize on an internal mutex.
+  Result<std::vector<std::string>> EnforceCapacity(SessionRegistry& registry,
+                                                   std::mutex& lifecycle_mu);
 
  private:
   SessionStoreOptions options_;
+  /// Serializes eviction sweeps (two sweeps would retire the same victim).
+  std::mutex sweep_mu_;
 };
 
 }  // namespace cpclean

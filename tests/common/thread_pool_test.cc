@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cmath>
+#include <cstring>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -141,8 +144,8 @@ TEST(ThreadPoolTest, DefaultSizeUsesHardwareConcurrency) {
 
 TEST(ThreadPoolTest, ConcurrentSubmittersShareOnePool) {
   // Many threads submitting ParallelFor jobs to one pool at once (the
-  // serving-layer pattern: N sessions on the global pool). Jobs are
-  // admitted one at a time, each runs complete and correct.
+  // serving-layer pattern: N sessions on the global pool). Jobs run
+  // concurrently with work-stealing; each runs complete and correct.
   ThreadPool pool(4);
   constexpr int kSubmitters = 6;
   constexpr int kRounds = 20;
@@ -186,6 +189,79 @@ TEST(ThreadPoolTest, ConcurrentSubmitterExceptionsStayWithTheirJob) {
   for (std::thread& t : submitters) t.join();
   EXPECT_EQ(caught.load(), 10);   // only submitter 0's jobs throw
   EXPECT_EQ(clean.load(), 30);
+}
+
+TEST(ThreadPoolTest, ConcurrentJobsRunSimultaneously) {
+  // Regression for the seed-era one-job-at-a-time admission: while job A
+  // is blocked mid-flight, a second submitter's job B must still run to
+  // completion on the same pool. Under single-job admission this test
+  // never finishes (B queues behind A, and A waits on a flag only set
+  // after B completes).
+  ThreadPool pool(3);
+  std::atomic<bool> a_started{false};
+  std::atomic<bool> release_a{false};
+  std::thread submitter_a([&] {
+    pool.ParallelFor(4, [&](int64_t i, int) {
+      if (i == 0) {
+        a_started = true;
+        while (!release_a.load()) std::this_thread::yield();
+      }
+    });
+  });
+  while (!a_started.load()) std::this_thread::yield();
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, [&](int64_t i, int) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950);
+  release_a = true;
+  submitter_a.join();
+}
+
+TEST(ThreadPoolTest, ConcurrentJobsBitIdenticalToSerial) {
+  // Two simultaneously submitted jobs must each produce bit-identical
+  // results to a serial run: bodies fill per-index slots, the reduction
+  // replays serially in index order (the repo-wide determinism contract).
+  constexpr int64_t kItems = 4096;
+  const auto body = [](int job, int64_t i) {
+    const double x = std::sin(static_cast<double>(i) * 1e-3 +
+                              static_cast<double>(job));
+    return x / (std::sqrt(std::abs(x) + 1.0) + static_cast<double>(job));
+  };
+  const auto reduce = [](const std::vector<double>& slots) {
+    double sum = 0.0;
+    for (const double v : slots) sum += v;
+    return sum;
+  };
+  std::array<double, 2> want{};
+  for (int job = 0; job < 2; ++job) {
+    std::vector<double> slots(static_cast<size_t>(kItems));
+    for (int64_t i = 0; i < kItems; ++i) {
+      slots[static_cast<size_t>(i)] = body(job + 1, i);
+    }
+    want[static_cast<size_t>(job)] = reduce(slots);
+  }
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::array<double, 2> got{};
+    std::vector<std::thread> submitters;
+    for (int job = 0; job < 2; ++job) {
+      submitters.emplace_back([&, job] {
+        std::vector<double> slots(static_cast<size_t>(kItems));
+        pool.ParallelFor(kItems, [&](int64_t i, int) {
+          slots[static_cast<size_t>(i)] = body(job + 1, i);
+        });
+        got[static_cast<size_t>(job)] = reduce(slots);
+      });
+    }
+    for (std::thread& t : submitters) t.join();
+    for (int job = 0; job < 2; ++job) {
+      uint64_t got_bits = 0;
+      uint64_t want_bits = 0;
+      std::memcpy(&got_bits, &got[static_cast<size_t>(job)], sizeof(double));
+      std::memcpy(&want_bits, &want[static_cast<size_t>(job)],
+                  sizeof(double));
+      EXPECT_EQ(got_bits, want_bits) << "job " << job << " round " << round;
+    }
+  }
 }
 
 TEST(ThreadPoolTest, GlobalPoolIsSharedAndConfigurationIsSticky) {

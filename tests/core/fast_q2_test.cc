@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/stats.h"
 #include "core/brute_force.h"
 #include "core/ss_dc.h"
@@ -74,6 +76,59 @@ TEST_P(FastQ2Test, MatchesReferenceEngine) {
   const std::vector<double> again = truncated.Fractions();
   for (size_t y = 0; y < want.size(); ++y) {
     EXPECT_NEAR(again[y], want[y], 1e-6);
+  }
+}
+
+uint64_t Bits(double x) {
+  uint64_t b = 0;
+  std::memcpy(&b, &x, sizeof(double));
+  return b;
+}
+
+TEST_P(FastQ2Test, EntropyPinnedSweepBitMatchesPerCandidateCalls) {
+  // The shared-prefix sweep must reproduce m separate EntropyPinned(i, j)
+  // calls bit for bit — including under aggressive early termination
+  // (which can end inside the shared prefix) — and must leave the engine
+  // state pristine so later queries on the same engine are unaffected.
+  const int seed = std::get<0>(GetParam());
+  const int k = std::get<1>(GetParam());
+  const int num_labels = std::get<2>(GetParam());
+
+  RandomDatasetSpec spec;
+  spec.num_examples = 12;
+  spec.max_candidates = 3;
+  spec.num_labels = num_labels;
+  spec.seed = static_cast<uint64_t>(seed);
+  IncompleteDataset dataset = MakeRandomDataset(spec);
+  const std::vector<double> t =
+      MakeRandomTestPoint(spec.dim, static_cast<uint64_t>(seed));
+  NegativeEuclideanKernel kernel;
+
+  for (const double epsilon : {0.0, 1e-9, 1e-3}) {
+    FastQ2 sweep_engine(&dataset, k, epsilon);
+    FastQ2 ref_engine(&dataset, k, epsilon);
+    sweep_engine.SetTestPoint(t, kernel);
+    ref_engine.SetTestPoint(t, kernel);
+    for (int i = 0; i < dataset.num_examples(); ++i) {
+      const int m = dataset.num_candidates(i);
+      const std::vector<double> got = sweep_engine.EntropyPinnedSweep(i);
+      ASSERT_EQ(static_cast<int>(got.size()), m);
+      for (int j = 0; j < m; ++j) {
+        const double want = ref_engine.EntropyPinned(i, j);
+        EXPECT_EQ(Bits(got[static_cast<size_t>(j)]), Bits(want))
+            << "epsilon " << epsilon << " pin (" << i << "," << j << ")";
+      }
+    }
+    // State restoration: the engine that ran every sweep must answer
+    // per-candidate queries (and repeat sweeps) with the same bits.
+    for (const int i : {0, 5, 11}) {
+      const std::vector<double> again = sweep_engine.EntropyPinnedSweep(i);
+      for (int j = 0; j < dataset.num_candidates(i); ++j) {
+        EXPECT_EQ(Bits(again[static_cast<size_t>(j)]),
+                  Bits(sweep_engine.EntropyPinned(i, j)))
+            << "epsilon " << epsilon << " pin (" << i << "," << j << ")";
+      }
+    }
   }
 }
 

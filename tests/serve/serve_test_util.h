@@ -53,6 +53,19 @@ class LineClient {
     return response;
   }
 
+  /// Sends raw bytes without waiting for a response (pipelining and
+  /// partial-line framing tests). Returns false on a transport failure.
+  bool Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t w = ::send(fd_, bytes.data() + sent,
+                               bytes.size() - sent, MSG_NOSIGNAL);
+      if (w <= 0) return false;
+      sent += static_cast<size_t>(w);
+    }
+    return true;
+  }
+
   /// Sends one request line, returns the matching response line ("" on a
   /// transport failure).
   std::string Issue(const std::string& line) {
