@@ -24,6 +24,15 @@
 // connections, `--request-workers=N` sizes the request execution pool
 // (0 = hardware concurrency), and `--no-coalesce` disables merging of
 // identical concurrent q2 requests into one engine evaluation.
+//
+// Resilience knobs (README "Resilience"): `--request-timeout-ms=N`
+// answers DeadlineExceeded for requests unanswered after N ms (0 = no
+// deadline), `--idle-timeout-ms=N` closes connections idle for N ms
+// (0 = never), `--max-request-bytes=N` bounds a request line (0 =
+// unlimited), `--output-hwm-bytes=N` / `--max-output-bytes=N` bound a
+// slow client's queued responses (pause reads / close). Deterministic
+// fault injection arms via the CPCLEAN_FAULTS environment variable
+// (see src/common/fault_injection.h for the syntax).
 
 #include <chrono>
 #include <csignal>
@@ -76,6 +85,11 @@ int main(int argc, char** argv) {
   long max_inflight = 0;
   long poller_threads = 1;
   long request_workers = 0;
+  long request_timeout_ms = 0;
+  long idle_timeout_ms = 0;
+  long max_request_bytes = 1 << 20;
+  long output_hwm_bytes = 4 << 20;
+  long max_output_bytes = 32 << 20;
   bool coalesce = true;
   std::string data_dir;
   bool stdio = true;
@@ -102,6 +116,16 @@ int main(int argc, char** argv) {
       poller_threads = value;
     } else if (ParseIntFlag(arg, "--request-workers", &value)) {
       request_workers = value;
+    } else if (ParseIntFlag(arg, "--request-timeout-ms", &value)) {
+      request_timeout_ms = value;
+    } else if (ParseIntFlag(arg, "--idle-timeout-ms", &value)) {
+      idle_timeout_ms = value;
+    } else if (ParseIntFlag(arg, "--max-request-bytes", &value)) {
+      max_request_bytes = value;
+    } else if (ParseIntFlag(arg, "--output-hwm-bytes", &value)) {
+      output_hwm_bytes = value;
+    } else if (ParseIntFlag(arg, "--max-output-bytes", &value)) {
+      max_output_bytes = value;
     } else if (std::strcmp(arg, "--no-coalesce") == 0) {
       coalesce = false;
     } else if (ParseStringFlag(arg, "--data-dir", &data_dir)) {
@@ -110,7 +134,10 @@ int main(int argc, char** argv) {
           "usage: cpclean_server [--stdio | --port=N] [--threads=N] "
           "[--cache=N] [--data-dir=PATH] [--max-sessions=N] "
           "[--max-connections=N] [--max-inflight=N] [--poller-threads=N] "
-          "[--request-workers=N] [--no-coalesce]\n");
+          "[--request-workers=N] [--no-coalesce] "
+          "[--request-timeout-ms=N] [--idle-timeout-ms=N] "
+          "[--max-request-bytes=N] [--output-hwm-bytes=N] "
+          "[--max-output-bytes=N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
@@ -122,6 +149,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--max-sessions/--max-connections/--max-inflight/"
                  "--request-workers must be >= 0\n");
+    return 2;
+  }
+  if (request_timeout_ms < 0 || idle_timeout_ms < 0 ||
+      max_request_bytes < 0 || output_hwm_bytes < 0 ||
+      max_output_bytes < 0) {
+    std::fprintf(stderr,
+                 "--request-timeout-ms/--idle-timeout-ms/"
+                 "--max-request-bytes/--output-hwm-bytes/"
+                 "--max-output-bytes must be >= 0\n");
     return 2;
   }
   if (poller_threads < 1) {
@@ -152,6 +188,11 @@ int main(int argc, char** argv) {
   options.poller_threads = static_cast<int>(poller_threads);
   options.request_workers = static_cast<int>(request_workers);
   options.coalesce_q2 = coalesce;
+  options.request_timeout_ms = static_cast<int>(request_timeout_ms);
+  options.idle_timeout_ms = static_cast<int>(idle_timeout_ms);
+  options.max_request_bytes = static_cast<size_t>(max_request_bytes);
+  options.output_hwm_bytes = static_cast<size_t>(output_hwm_bytes);
+  options.max_output_bytes = static_cast<size_t>(max_output_bytes);
   Server server(options);
 
   if (stdio) {

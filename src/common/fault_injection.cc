@@ -1,0 +1,247 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cpclean {
+
+namespace {
+
+struct Rule {
+  enum class Kind { kOff, kOnce, kAlways, kNth, kEvery, kAfter, kProb, kSleep };
+  Kind kind = Rule::Kind::kOff;
+  uint64_t n = 0;    // nth / every / after / sleep-ms parameter
+  double p = 0.0;    // prob parameter
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Rule> rules;  // ordered: Stats() comes out sorted
+  uint64_t seed = 1;
+};
+
+// Intentionally leaked (never destroyed): FaultHit may run on any thread
+// at any point of shutdown, and a destructed registry would be UB there.
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// The hot-path gate: false ⇒ FaultHit returns immediately, no lock taken.
+std::atomic<bool> g_active{false};
+std::atomic<bool> g_ops_armed{false};
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(const std::string& site) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (const char c : site) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+Result<Rule> ParseRule(const std::string& site, const std::string& spec) {
+  Rule rule;
+  const size_t colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? std::string() : spec.substr(colon + 1);
+  const auto need_count = [&](Rule::Kind kind) -> Result<Rule> {
+    CP_ASSIGN_OR_RETURN(const int n, ParseInt(arg));
+    if (n < 1) {
+      return Status::InvalidArgument(StrFormat(
+          "fault rule \"%s=%s\": count must be >= 1", site.c_str(),
+          spec.c_str()));
+    }
+    rule.kind = kind;
+    rule.n = static_cast<uint64_t>(n);
+    return rule;
+  };
+  if (head == "off" && arg.empty()) return rule;
+  if (head == "once" && arg.empty()) {
+    rule.kind = Rule::Kind::kOnce;
+    return rule;
+  }
+  if (head == "always" && arg.empty()) {
+    rule.kind = Rule::Kind::kAlways;
+    return rule;
+  }
+  if (head == "nth") return need_count(Rule::Kind::kNth);
+  if (head == "every") return need_count(Rule::Kind::kEvery);
+  if (head == "after") {
+    CP_ASSIGN_OR_RETURN(const int n, ParseInt(arg));
+    if (n < 0) {
+      return Status::InvalidArgument(StrFormat(
+          "fault rule \"%s=%s\": count must be >= 0", site.c_str(),
+          spec.c_str()));
+    }
+    rule.kind = Rule::Kind::kAfter;
+    rule.n = static_cast<uint64_t>(n);
+    return rule;
+  }
+  if (head == "sleep") return need_count(Rule::Kind::kSleep);
+  if (head == "p") {
+    char* end = nullptr;
+    const double p = std::strtod(arg.c_str(), &end);
+    if (end == nullptr || *end != '\0' || arg.empty() || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument(StrFormat(
+          "fault rule \"%s=%s\": probability must be in [0, 1]",
+          site.c_str(), spec.c_str()));
+    }
+    rule.kind = Rule::Kind::kProb;
+    rule.p = p;
+    return rule;
+  }
+  return Status::InvalidArgument(StrFormat(
+      "unknown fault rule \"%s\" for site \"%s\" (expected off, once, "
+      "always, nth:K, every:K, after:K, p:X, sleep:MS)",
+      spec.c_str(), site.c_str()));
+}
+
+}  // namespace
+
+Status FaultInjection::Configure(const std::string& config) {
+  std::map<std::string, Rule> rules;
+  uint64_t seed = 1;
+  for (const std::string& raw : Split(config, ';')) {
+    // Tolerate stray whitespace and empty clauses ("a=once; b=nth:2;").
+    std::string clause = raw;
+    const size_t begin = clause.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const size_t end = clause.find_last_not_of(" \t");
+    clause = clause.substr(begin, end - begin + 1);
+    const size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= clause.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "fault clause \"%s\" is not site=rule", clause.c_str()));
+    }
+    const std::string site = clause.substr(0, eq);
+    const std::string spec = clause.substr(eq + 1);
+    if (site == "seed") {
+      CP_ASSIGN_OR_RETURN(const int parsed, ParseInt(spec));
+      seed = static_cast<uint64_t>(parsed);
+      continue;
+    }
+    CP_ASSIGN_OR_RETURN(const Rule rule, ParseRule(site, spec));
+    if (rule.kind == Rule::Kind::kOff) {
+      rules.erase(site);
+      continue;
+    }
+    rules[site] = rule;
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.rules = std::move(rules);
+  registry.seed = seed;
+  g_active.store(!registry.rules.empty(), std::memory_order_release);
+  return Status::OK();
+}
+
+void FaultInjection::Clear() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.rules.clear();
+  g_active.store(false, std::memory_order_release);
+}
+
+bool FaultInjection::Active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+void FaultInjection::ArmOps() { g_ops_armed.store(true); }
+
+bool FaultInjection::OpsArmed() {
+  return g_ops_armed.load() || std::getenv("CPCLEAN_FAULTS") != nullptr;
+}
+
+void FaultInjection::InitFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("CPCLEAN_FAULTS");
+    if (env == nullptr) return;
+    const Status status = Configure(env);
+    // A typo'd CPCLEAN_FAULTS must not silently run the suite fault-free.
+    CP_CHECK(status.ok()) << "CPCLEAN_FAULTS: " << status.ToString();
+  });
+}
+
+std::vector<FaultInjection::SiteStats> FaultInjection::Stats() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<SiteStats> out;
+  out.reserve(registry.rules.size());
+  for (const auto& entry : registry.rules) {
+    out.push_back(SiteStats{entry.first, entry.second.hits,
+                            entry.second.fires});
+  }
+  return out;
+}
+
+bool FaultHit(const char* site) {
+  if (!g_active.load(std::memory_order_acquire)) return false;
+  uint64_t sleep_ms = 0;
+  bool fired = false;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    const auto it = registry.rules.find(site);
+    if (it == registry.rules.end()) return false;
+    Rule& rule = it->second;
+    ++rule.hits;
+    switch (rule.kind) {
+      case Rule::Kind::kOff:
+        break;
+      case Rule::Kind::kOnce:
+        fired = rule.hits == 1;
+        break;
+      case Rule::Kind::kAlways:
+        fired = true;
+        break;
+      case Rule::Kind::kNth:
+        fired = rule.hits == rule.n;
+        break;
+      case Rule::Kind::kEvery:
+        fired = rule.hits % rule.n == 0;
+        break;
+      case Rule::Kind::kAfter:
+        fired = rule.hits > rule.n;
+        break;
+      case Rule::Kind::kProb: {
+        // Deterministic in (seed, site, hit index): replaying a run with
+        // the same config replays the exact fault schedule.
+        const uint64_t bits =
+            SplitMix64(registry.seed ^ HashSite(it->first) ^ rule.hits);
+        fired = static_cast<double>(bits >> 11) * 0x1.0p-53 < rule.p;
+        break;
+      }
+      case Rule::Kind::kSleep:
+        sleep_ms = rule.n;
+        ++rule.fires;
+        break;
+    }
+    if (fired) ++rule.fires;
+  }
+  if (sleep_ms > 0) {
+    // Outside the lock: a stalled site must not stall every other site.
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return fired;
+}
+
+}  // namespace cpclean

@@ -18,6 +18,7 @@ enum class StatusCode {
   kNotImplemented,
   kInternal,
   kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for a status code ("Invalid argument").
@@ -64,6 +65,11 @@ class Status {
   /// limits); the caller may retry later.
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// The caller's deadline passed before the operation produced a result;
+  /// whatever work was in flight is discarded, never partially delivered.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,10 +6,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "serve/server.h"
@@ -81,6 +84,9 @@ EventLoop::EventLoop(Server* server, int listen_fd, EventLoopOptions options)
       StrFormat("connection limit (--max-connections=%d) reached; retry "
                 "when a connection frees up",
                 options_.max_connections));
+  fd_exhausted_line_ = ErrorLine(
+      nullptr, StatusCode::kUnavailable,
+      "server file descriptors exhausted; retry shortly");
 }
 
 EventLoop::~EventLoop() {
@@ -117,6 +123,10 @@ Status EventLoop::Run() {
     const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
     ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
   }
+  // The EMFILE reserve: one fd held in escrow so accept-at-the-limit can
+  // briefly free a slot, accept the surplus connection, and turn it away
+  // with a structured line instead of leaving it dangling in the backlog.
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
   pollers_.reserve(static_cast<size_t>(options_.poller_threads));
   for (int i = 0; i < options_.poller_threads; ++i) {
     auto p = std::make_unique<Poller>();
@@ -170,6 +180,10 @@ Status EventLoop::Run() {
   for (std::thread& t : workers) t.join();
 
   if (listener_open_.exchange(false)) ::close(listen_fd_);
+  if (spare_fd_ >= 0) {
+    ::close(spare_fd_);
+    spare_fd_ = -1;
+  }
   // Poller epoll/wake fds intentionally stay open until ~EventLoop runs,
   // after ServeTcp unpublishes the loop: a late Server::Stop may still
   // Wake() them.
@@ -267,25 +281,143 @@ void EventLoop::PollerLoop(int index) {
     for (const std::shared_ptr<Connection>& conn : completions) {
       if (conn->closed) continue;
       conn->executing = false;
+      conn->exec_slot.reset();
+      conn->exec_has_id = false;
       // The head response just became ready: flush it and dispatch the
       // next pending line, if any.
       DispatchLines(p, conn);
     }
+
+    Housekeeping(p, index);
   }
+}
+
+void EventLoop::Housekeeping(Poller& p, int index) {
+  const bool timers_armed =
+      options_.request_timeout_ms > 0 || options_.idle_timeout_ms > 0;
+  if (!timers_armed && !(index == 0 && listener_parked_)) return;
+  const auto now = std::chrono::steady_clock::now();
+
+  if (index == 0 && listener_parked_ && listener_open_.load() &&
+      now >= listener_retry_at_) {
+    listener_parked_ = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(p.epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+  if (!timers_armed) return;
+
+  Server::TransportCounters& counters = server_->transport_counters();
+  // Collect first, act second: both actions mutate p.conns (via
+  // CloseConnection) and must not run mid-iteration.
+  std::vector<std::shared_ptr<Connection>> expired;
+  std::vector<std::shared_ptr<Connection>> idle;
+  for (const auto& entry : p.conns) {
+    const std::shared_ptr<Connection>& conn = entry.second;
+    if (options_.request_timeout_ms > 0 && conn->executing &&
+        conn->exec_slot != nullptr && now >= conn->exec_deadline) {
+      expired.push_back(conn);
+    }
+    if (options_.idle_timeout_ms > 0 && !conn->executing &&
+        conn->outgoing.empty() && conn->pending_lines.empty() &&
+        now - conn->last_activity >=
+            std::chrono::milliseconds(options_.idle_timeout_ms)) {
+      idle.push_back(conn);
+    }
+  }
+  for (const std::shared_ptr<Connection>& conn : expired) {
+    // Claim the slot out from under the worker. Winning the CAS means the
+    // worker had not yet installed its result — when it finishes, it
+    // discards the rendering whole. Losing means the result just landed
+    // (or a previous tick already expired this slot); either way the slot
+    // is someone else's to fill.
+    int unclaimed = 0;
+    if (!conn->exec_slot->owner.compare_exchange_strong(
+            unclaimed, 2, std::memory_order_acq_rel)) {
+      continue;
+    }
+    conn->exec_slot->text = ErrorLine(
+        conn->exec_has_id ? &conn->exec_id : nullptr,
+        StatusCode::kDeadlineExceeded,
+        StrFormat("request exceeded --request-timeout-ms=%d; its result "
+                  "was discarded",
+                  options_.request_timeout_ms));
+    conn->exec_slot->ready.store(true, std::memory_order_release);
+    counters.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    // `executing` stays true until the worker actually finishes: the
+    // next pipelined request must not run concurrently with the
+    // abandoned one (per-connection serial semantics hold even across a
+    // deadline).
+    FlushConnection(p, conn);
+  }
+  for (const std::shared_ptr<Connection>& conn : idle) {
+    if (conn->closed) continue;
+    counters.idle_reaped.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(p, conn);
+  }
+}
+
+void EventLoop::ParkListener(Poller& p) {
+  if (listener_parked_ || !listener_open_.load()) return;
+  // Accept keeps failing even with the spare fd freed: re-arming EPOLLIN
+  // would spin the poller at 100% re-reporting the same condition.
+  // Unhook the listener and retry on a doubling clock; pending clients
+  // wait in the kernel backlog meanwhile.
+  listener_parked_ = true;
+  ::epoll_ctl(p.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  accept_backoff_ms_ =
+      accept_backoff_ms_ == 0 ? 10 : std::min(accept_backoff_ms_ * 2, 2000);
+  listener_retry_at_ = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(accept_backoff_ms_);
 }
 
 void EventLoop::AcceptReady(Poller& p) {
   while (true) {
+    // el.accept simulates fd-table exhaustion: the pending connection is
+    // handled by the EMFILE recovery below, exactly as a real EMFILE
+    // would be.
+    const bool injected_emfile = FaultHit("el.accept");
     const int client =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+        injected_emfile
+            ? -1
+            : ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
     if (client < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (!injected_emfile && errno == EINTR) continue;
+      if (!injected_emfile && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return;
+      }
+      if (injected_emfile || errno == EMFILE || errno == ENFILE) {
+        // Out of fds. Briefly cash in the reserve fd so the surplus
+        // connection can be accepted and turned away with a structured
+        // line — otherwise it would sit in the backlog seeing neither
+        // service nor an error.
+        server_->transport_counters().rejected_connections.fetch_add(
+            1, std::memory_order_relaxed);
+        if (spare_fd_ >= 0) {
+          ::close(spare_fd_);
+          spare_fd_ = -1;
+        }
+        const int victim =
+            ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+        const bool backlog_empty =
+            victim < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+        if (victim >= 0) {
+          SendAll(victim, fd_exhausted_line_);
+          ::close(victim);
+        }
+        spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        if (victim >= 0) continue;  // rejected one; keep draining
+        if (backlog_empty) return;
+        ParkListener(p);  // even the spare didn't help: stop busy-spinning
+        return;
+      }
       // Listener shut down (RequestStop) or fatal accept error: wind the
       // whole transport down, as the blocking accept loop did.
       server_->RequestStop();
       return;
     }
+    accept_backoff_ms_ = 0;  // forward progress resets the EMFILE backoff
     if (server_->stopping() || hard_stop_.load()) {
       ::close(client);
       continue;
@@ -305,6 +437,7 @@ void EventLoop::AcceptReady(Poller& p) {
     counters.active_connections.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<Connection>();
     conn->fd = client;
+    conn->last_activity = std::chrono::steady_clock::now();
     conn->poller = static_cast<int>(next_poller_.fetch_add(1) %
                                     static_cast<uint64_t>(pollers_.size()));
     if (conn->poller == 0) {
@@ -332,19 +465,24 @@ void EventLoop::AdoptConnection(Poller& p,
 
 void EventLoop::UpdateInterest(Poller& p, Connection& conn) {
   epoll_event ev{};
-  ev.events = (conn.reading ? EPOLLIN : 0u) |
+  ev.events = ((conn.reading && !conn.read_paused) ? EPOLLIN : 0u) |
               (conn.want_write ? EPOLLOUT : 0u);
   ev.data.fd = conn.fd;
   ::epoll_ctl(p.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
 }
 
 void EventLoop::ReadReady(Poller& p, const std::shared_ptr<Connection>& conn) {
+  if (FaultHit("el.recv")) {  // injected connection reset on read
+    CloseConnection(p, conn);
+    return;
+  }
   // Bounded rounds per tick so one flooding connection cannot starve the
   // rest of this poller; level-triggered epoll re-arms leftovers.
   char chunk[16384];
   for (int round = 0; round < 16; ++round) {
     const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
+      conn->last_activity = std::chrono::steady_clock::now();
       conn->in_buffer.append(chunk, static_cast<size_t>(n));
       continue;
     }
@@ -363,9 +501,43 @@ void EventLoop::ReadReady(Poller& p, const std::shared_ptr<Connection>& conn) {
   // Incremental line framing: whatever newline-terminated lines the buffer
   // now holds become pending requests; a partial tail stays buffered.
   size_t newline;
-  while ((newline = conn->in_buffer.find('\n')) != std::string::npos) {
+  bool oversized = false;
+  while (!oversized &&
+         (newline = conn->in_buffer.find('\n')) != std::string::npos) {
+    if (options_.max_request_bytes > 0 &&
+        newline > options_.max_request_bytes) {
+      oversized = true;
+      break;
+    }
     conn->pending_lines.push_back(conn->in_buffer.substr(0, newline));
     conn->in_buffer.erase(0, newline + 1);
+  }
+  // A newline-less tail past the limit can never become a valid request;
+  // without this check it would grow the in_buffer without bound.
+  if (!oversized && options_.max_request_bytes > 0 &&
+      conn->in_buffer.size() > options_.max_request_bytes) {
+    oversized = true;
+  }
+  if (oversized) {
+    server_->transport_counters().oversized_requests.fetch_add(
+        1, std::memory_order_relaxed);
+    auto slot = std::make_shared<Response>();
+    slot->owner.store(1, std::memory_order_relaxed);
+    slot->text = ErrorLine(
+        nullptr, StatusCode::kInvalidArgument,
+        StrFormat("request line exceeds --max-request-bytes=%llu; closing "
+                  "connection",
+                  static_cast<unsigned long long>(
+                      options_.max_request_bytes)));
+    slot->ready.store(true, std::memory_order_release);
+    conn->outgoing.push_back(std::move(slot));
+    // The stream is mid-garbage — resynchronizing on the next newline
+    // would be a guess. Drop buffered input, stop reading; the connection
+    // closes once the error line (and any in-flight response) flushes.
+    conn->in_buffer.clear();
+    conn->pending_lines.clear();
+    conn->reading = false;
+    UpdateInterest(p, *conn);
   }
   DispatchLines(p, conn);
 }
@@ -389,9 +561,16 @@ void EventLoop::DispatchLines(Poller& p,
       auto item = std::make_shared<WorkItem>();
       item->raw = true;
       item->line = line;
-      item->waiters.push_back(WorkItem::Waiter{conn, slot, false, {}});
-      conn->outgoing.push_back(std::move(slot));
+      item->waiters.push_back(WorkItem::Waiter{conn, slot, false, {}, {}});
+      conn->outgoing.push_back(slot);
       conn->executing = true;
+      conn->exec_slot = std::move(slot);
+      conn->exec_has_id = false;
+      if (options_.request_timeout_ms > 0) {
+        conn->exec_deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(options_.request_timeout_ms);
+      }
       counters.inflight_requests.fetch_add(1, std::memory_order_relaxed);
       Enqueue(std::move(item));
       break;
@@ -422,9 +601,17 @@ void EventLoop::DispatchLines(Poller& p,
     const bool coalescable = options_.coalesce_q2 && op != nullptr &&
                              op->is_string() && op->string_value() == "q2";
     WorkItem::Waiter waiter{conn, slot, id != nullptr,
-                            id != nullptr ? *id : JsonValue()};
+                            id != nullptr ? *id : JsonValue(), {}};
     conn->outgoing.push_back(slot);
     conn->executing = true;
+    conn->exec_slot = std::move(slot);
+    conn->exec_has_id = id != nullptr;
+    if (id != nullptr) conn->exec_id = *id;
+    if (options_.request_timeout_ms > 0) {
+      conn->exec_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(options_.request_timeout_ms);
+    }
     if (coalescable) {
       const std::string key = StripId(parsed.value()).Dump();
       bool merged = false;
@@ -459,35 +646,79 @@ void EventLoop::DispatchLines(Poller& p,
 void EventLoop::FlushConnection(Poller& p,
                                 const std::shared_ptr<Connection>& conn) {
   if (conn->closed) return;
+  bool blocked = false;  // hit EAGAIN: the rest waits for EPOLLOUT
   while (!conn->outgoing.empty()) {
     Response& front = *conn->outgoing.front();
     if (!front.ready.load(std::memory_order_acquire)) break;
     while (conn->out_offset < front.text.size()) {
+      if (FaultHit("el.send")) {  // injected peer reset mid-response
+        CloseConnection(p, conn);
+        return;
+      }
+      if (FaultHit("el.send_eagain")) {  // injected full socket buffer
+        blocked = true;
+        break;
+      }
+      size_t len = front.text.size() - conn->out_offset;
+      if (len > 1 && FaultHit("el.send_short")) len = 1;  // partial write
       const ssize_t w = ::send(conn->fd, front.text.data() + conn->out_offset,
-                               front.text.size() - conn->out_offset,
-                               MSG_NOSIGNAL);
+                               len, MSG_NOSIGNAL);
       if (w > 0) {
+        conn->last_activity = std::chrono::steady_clock::now();
         conn->out_offset += static_cast<size_t>(w);
         continue;
       }
       if (w < 0 && errno == EINTR) continue;
       if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        // Backpressure: park the rest of this response until EPOLLOUT.
-        if (!conn->want_write) {
-          conn->want_write = true;
-          UpdateInterest(p, *conn);
-        }
-        return;
+        blocked = true;
+        break;
       }
       CloseConnection(p, conn);  // peer reset mid-response
       return;
     }
+    if (blocked) break;
     conn->outgoing.pop_front();
     conn->out_offset = 0;
   }
-  if (conn->want_write) {
+  if (blocked) {
+    // Backpressure: park the rest of this response until EPOLLOUT.
+    if (!conn->want_write) {
+      conn->want_write = true;
+      UpdateInterest(p, *conn);
+    }
+  } else if (conn->want_write) {
     conn->want_write = false;
     UpdateInterest(p, *conn);
+  }
+
+  // Slow-client bounds. Only ready slots are counted (an unready slot's
+  // text belongs to the worker until the owner CAS resolves — and by
+  // serial execution it is always the back slot, so the sum below sees
+  // every flushable byte).
+  size_t queued = 0;
+  for (const std::shared_ptr<Response>& slot : conn->outgoing) {
+    if (!slot->ready.load(std::memory_order_acquire)) break;
+    queued += slot->text.size();
+  }
+  queued -= std::min(queued, conn->out_offset);
+  if (options_.max_output_bytes > 0 && queued >= options_.max_output_bytes) {
+    // A reader this far behind costs memory on every queued response; the
+    // cap converts "unbounded buffering" into a loud disconnect.
+    server_->transport_counters().output_overflow_closed.fetch_add(
+        1, std::memory_order_relaxed);
+    CloseConnection(p, conn);
+    return;
+  }
+  if (options_.output_hwm_bytes > 0) {
+    if (!conn->read_paused && queued >= options_.output_hwm_bytes) {
+      // Soft bound: stop reading new requests until the backlog halves —
+      // the client feels the stall as TCP backpressure, not a close.
+      conn->read_paused = true;
+      UpdateInterest(p, *conn);
+    } else if (conn->read_paused && queued <= options_.output_hwm_bytes / 2) {
+      conn->read_paused = false;
+      UpdateInterest(p, *conn);
+    }
   }
   // Nothing further can ever flow: no reads coming (EOF or stop), nothing
   // pending, nothing executing, nothing to flush.
@@ -541,16 +772,29 @@ void EventLoop::WorkerLoop() {
 }
 
 void EventLoop::Execute(WorkItem& item) {
+  // Deadline fast path: when every waiter's slot was already claimed by
+  // the reaper (a long queueing delay ate the whole budget), the answer
+  // would be discarded anyway — skip the evaluation. Racing a reaper that
+  // claims mid-execute is fine: the CAS in Complete discards the result.
+  bool any_unclaimed = false;
+  for (const WorkItem::Waiter& waiter : item.waiters) {
+    if (waiter.slot->owner.load(std::memory_order_acquire) == 0) {
+      any_unclaimed = true;
+      break;
+    }
+  }
+  if (!any_unclaimed) return;
+  (void)FaultHit("serve.exec");  // sleep rules stall execution here
   if (item.raw) {
     std::string text = server_->HandleLine(item.line);
     if (!text.empty()) text.push_back('\n');
-    item.waiters[0].slot->text = std::move(text);
+    item.waiters[0].rendered = std::move(text);
     return;
   }
   if (item.waiters.size() == 1) {
     std::string text = server_->HandleRequest(item.request).Dump();
     text.push_back('\n');
-    item.waiters[0].slot->text = std::move(text);
+    item.waiters[0].rendered = std::move(text);
     return;
   }
   // Coalesced group: evaluate once without any id, then fan the response
@@ -569,7 +813,7 @@ void EventLoop::Execute(WorkItem& item) {
       text = response.Dump();
     }
     text.push_back('\n');
-    waiter.slot->text = std::move(text);
+    waiter.rendered = std::move(text);
   }
 }
 
@@ -578,7 +822,18 @@ void EventLoop::Complete(WorkItem& item) {
   counters.inflight_requests.fetch_sub(
       static_cast<int>(item.waiters.size()), std::memory_order_relaxed);
   for (WorkItem::Waiter& waiter : item.waiters) {
-    waiter.slot->ready.store(true, std::memory_order_release);
+    // The owner CAS against the deadline reaper: install the rendering
+    // only if the slot is still ours. A lost race means the poller
+    // already answered DeadlineExceeded — the result is discarded whole,
+    // never half-written over the error line.
+    int unclaimed = 0;
+    if (waiter.slot->owner.compare_exchange_strong(
+            unclaimed, 1, std::memory_order_acq_rel)) {
+      waiter.slot->text = std::move(waiter.rendered);
+      waiter.slot->ready.store(true, std::memory_order_release);
+    }
+    // The completion is handed back either way: it is what releases the
+    // connection's serial-execution latch.
     Poller& p = *pollers_[static_cast<size_t>(waiter.conn->poller)];
     {
       std::lock_guard<std::mutex> lock(p.mu);

@@ -2,7 +2,9 @@
 #define CPCLEAN_SERVE_EVENT_LOOP_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -38,6 +40,28 @@ struct EventLoopOptions {
   /// Merge identical `q2` requests that are waiting at the same time into
   /// one engine evaluation, fanned back to every waiter with its own id.
   bool coalesce_q2 = true;
+  /// Per-request deadline: a request still unanswered this long after
+  /// dispatch is answered DeadlineExceeded (with its own id) and the
+  /// worker's eventual result is discarded whole — never half-written.
+  /// The connection survives. 0 = no deadline. Granularity is the poll
+  /// tick (~100 ms).
+  int request_timeout_ms = 0;
+  /// Connections with no traffic in either direction for this long (and
+  /// nothing pending) are closed. 0 = never.
+  int idle_timeout_ms = 0;
+  /// Largest accepted request line; longer ones are answered with a
+  /// structured InvalidArgument and the connection is closed (it is
+  /// mid-garbage — resynchronizing on the next newline would be a guess).
+  /// Bounds per-connection input memory. 0 = unlimited.
+  size_t max_request_bytes = 1 << 20;
+  /// Slow-client backpressure, soft bound: once this many response bytes
+  /// are queued on a connection, its reads pause (EPOLLIN off) until the
+  /// backlog halves. 0 = never pause.
+  size_t output_hwm_bytes = 4 << 20;
+  /// Slow-client backpressure, hard cap: a connection whose queued
+  /// response bytes reach this is closed — a stalled reader bounds its
+  /// cost at this number, never at "all of RAM". 0 = unlimited.
+  size_t max_output_bytes = 32 << 20;
 };
 
 /// The epoll transport behind `Server::ServeTcp`.
@@ -90,9 +114,16 @@ class EventLoop {
   /// One response slot in a connection's ordered outgoing queue. Workers
   /// fill `text` then flip `ready`; the owning poller flushes slots
   /// strictly front to back, so responses keep request order.
+  ///
+  /// `owner` is the deadline handshake: 0 = unclaimed, 1 = the worker won
+  /// (its rendered result is installed), 2 = the deadline reaper won (the
+  /// slot holds a DeadlineExceeded line; the worker's result is discarded
+  /// whole). Whoever wins the CAS writes `text` and flips `ready` — a slot
+  /// is never half-written.
   struct Response {
     std::string text;  // includes the trailing '\n'
     std::atomic<bool> ready{false};
+    std::atomic<int> owner{0};
   };
 
   /// Connection state, owned by exactly one poller thread; workers touch
@@ -102,12 +133,22 @@ class EventLoop {
     int poller = 0;
     bool closed = false;
     bool reading = true;     // cleared on EOF or graceful stop
+    bool read_paused = false;  // EPOLLIN off: output backlog over the hwm
     bool want_write = false; // EPOLLOUT armed (partial write pending)
     bool executing = false;  // head request dispatched, response pending
     std::string in_buffer;
     std::deque<std::string> pending_lines;
     std::deque<std::shared_ptr<Response>> outgoing;
     size_t out_offset = 0;   // bytes of outgoing.front() already sent
+    /// Idle-reap clock: last time a byte moved in either direction.
+    std::chrono::steady_clock::time_point last_activity{};
+    /// Deadline bookkeeping for the executing request (valid while
+    /// `executing`): its slot, its expiry, and its id for the
+    /// DeadlineExceeded line.
+    std::shared_ptr<Response> exec_slot;
+    std::chrono::steady_clock::time_point exec_deadline{};
+    bool exec_has_id = false;
+    JsonValue exec_id;
   };
 
   struct WorkItem {
@@ -116,6 +157,10 @@ class EventLoop {
       std::shared_ptr<Response> slot;
       bool has_id = false;
       JsonValue id;
+      /// The worker renders here, then installs into `slot` only after
+      /// winning the owner CAS — a deadline-reaped slot never sees a
+      /// partial (or late) result.
+      std::string rendered;
     };
     bool raw = false;          // unparseable line: replay via HandleLine
     std::string line;          // raw == true
@@ -137,6 +182,12 @@ class EventLoop {
   void PollerLoop(int index);
   void WorkerLoop();
   void AcceptReady(Poller& p);
+  /// Deadline expiry, idle reaping, parked-listener retry — runs once per
+  /// poll tick, and only when one of those features is armed.
+  void Housekeeping(Poller& p, int index);
+  /// Takes the listener out of epoll after persistent accept failure and
+  /// schedules a doubling-backoff retry (no busy-spin on EMFILE).
+  void ParkListener(Poller& p);
   void AdoptConnection(Poller& p, const std::shared_ptr<Connection>& conn);
   void ReadReady(Poller& p, const std::shared_ptr<Connection>& conn);
   /// Dispatches the connection's head pending line (serial per connection)
@@ -154,12 +205,21 @@ class EventLoop {
   int listen_fd_;
   EventLoopOptions options_;
   int num_workers_ = 1;
-  std::string overload_line_;  // pre-rendered accept-time rejection
+  std::string overload_line_;      // pre-rendered accept-time rejection
+  std::string fd_exhausted_line_;  // pre-rendered EMFILE rejection
 
   std::vector<std::unique_ptr<Poller>> pollers_;
   std::atomic<bool> hard_stop_{false};
   std::atomic<bool> listener_open_{false};
   std::atomic<uint64_t> next_poller_{0};  // round-robin connection deal
+
+  // Poller-0 state: the EMFILE reserve fd (closed to free a slot so the
+  // victim can be accepted and told why it is being turned away) and the
+  // parked-listener backoff.
+  int spare_fd_ = -1;
+  bool listener_parked_ = false;
+  std::chrono::steady_clock::time_point listener_retry_at_{};
+  int accept_backoff_ms_ = 0;
 
   // The shared request-work queue (all pollers feed it, all workers drain
   // it) plus the pending-coalesce index over queued-but-unstarted q2 items.

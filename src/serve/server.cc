@@ -14,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "knn/kernel_simd.h"
@@ -92,7 +93,11 @@ JsonValue SpecFromRequest(const JsonValue& req) {
 Server::Server(ServerOptions options)
     : options_(options),
       store_(SessionStoreOptions{options.data_dir, options.max_sessions,
-                                 options.default_cache_capacity}) {}
+                                 options.default_cache_capacity}) {
+  // Faults asked for in the environment apply to every transport this
+  // server runs (a no-op unless CPCLEAN_FAULTS is set).
+  FaultInjection::InitFromEnv();
+}
 
 Server::~Server() {
   Stop();
@@ -391,6 +396,11 @@ Result<JsonValue> Server::Stats(const JsonValue& req) {
     }
     out.Set("saved", std::move(saved));
   }
+  // Degraded read-only mode: true while the data dir is unwritable (saves
+  // and eviction fail; queries keep serving). Polling stats doubles as the
+  // heal check — once the write backoff elapses, this call re-probes the
+  // disk, so a healed dir clears here without waiting for the next save.
+  out.Set("degraded", JsonValue(store_.CheckDegraded()));
   JsonValue connections = JsonValue::MakeObject();
   connections.Set("active",
                   JsonValue(transport_counters_.active_connections.load(
@@ -413,7 +423,51 @@ Result<JsonValue> Server::Stats(const JsonValue& req) {
   connections.Set("coalesced_q2",
                   JsonValue(transport_counters_.coalesced_requests.load(
                       std::memory_order_relaxed)));
+  connections.Set("deadline_expired",
+                  JsonValue(transport_counters_.deadline_expired.load(
+                      std::memory_order_relaxed)));
+  connections.Set("idle_reaped",
+                  JsonValue(transport_counters_.idle_reaped.load(
+                      std::memory_order_relaxed)));
+  connections.Set("oversized_requests",
+                  JsonValue(transport_counters_.oversized_requests.load(
+                      std::memory_order_relaxed)));
+  connections.Set("overflow_closed",
+                  JsonValue(transport_counters_.output_overflow_closed.load(
+                      std::memory_order_relaxed)));
   out.Set("connections", std::move(connections));
+  return out;
+}
+
+Result<JsonValue> Server::FaultInject(const JsonValue& req) {
+  // Test-only: refused unless the operator opted in (CPCLEAN_FAULTS in the
+  // environment, even empty) or a test armed it in-process — a production
+  // client must not be able to start injecting faults over the wire.
+  if (!FaultInjection::OpsArmed()) {
+    return Status::Unavailable(
+        "fault_inject is disabled (start the server with CPCLEAN_FAULTS "
+        "set to arm it)");
+  }
+  const JsonValue* config = req.Find("config");
+  if (config != nullptr) {
+    if (!config->is_string()) {
+      return Status::InvalidArgument("\"config\" must be a string");
+    }
+    // Replaces all rules; "" clears them. Syntax: see fault_injection.h
+    // (e.g. "seed=7;store.rename=once;el.send=p:0.25").
+    CP_RETURN_NOT_OK(FaultInjection::Configure(config->string_value()));
+  }
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("active", JsonValue(FaultInjection::Active()));
+  JsonValue sites = JsonValue::MakeArray();
+  for (const FaultInjection::SiteStats& stats : FaultInjection::Stats()) {
+    JsonValue site = JsonValue::MakeObject();
+    site.Set("site", JsonValue(stats.site));
+    site.Set("hits", JsonValue(stats.hits));
+    site.Set("fires", JsonValue(stats.fires));
+    sites.Append(std::move(site));
+  }
+  out.Set("sites", std::move(sites));
   return out;
 }
 
@@ -450,6 +504,7 @@ Result<JsonValue> Server::Dispatch(const std::string& op,
   if (op == "save_session") return SaveSession(req);
   if (op == "load_session") return LoadSession(req);
   if (op == "stats") return Stats(req);
+  if (op == "fault_inject") return FaultInject(req);
   if (op == "shutdown") {
     // Graceful (not Stop()): the connection that asked must still receive
     // this response before the event loop drains and closes it.
@@ -553,6 +608,11 @@ Status Server::ServeTcp(int port) {
   loop_options.max_connections = options_.max_connections;
   loop_options.max_inflight = options_.max_inflight;
   loop_options.coalesce_q2 = options_.coalesce_q2;
+  loop_options.request_timeout_ms = options_.request_timeout_ms;
+  loop_options.idle_timeout_ms = options_.idle_timeout_ms;
+  loop_options.max_request_bytes = options_.max_request_bytes;
+  loop_options.output_hwm_bytes = options_.output_hwm_bytes;
+  loop_options.max_output_bytes = options_.max_output_bytes;
   EventLoop loop(this, fd, loop_options);
   {
     std::lock_guard<std::mutex> lock(conn_mu_);

@@ -45,6 +45,22 @@ struct ServerOptions {
   /// Merge identical `q2` requests waiting at the same instant into one
   /// engine evaluation fanned back to every waiter with its own id.
   bool coalesce_q2 = true;
+  /// Per-request deadline on the TCP transport: a request unanswered this
+  /// long after dispatch returns DeadlineExceeded (with its id) and the
+  /// worker's late result is discarded whole. The connection survives.
+  /// 0 = no deadline.
+  int request_timeout_ms = 0;
+  /// TCP connections idle (no bytes either way, nothing pending) this long
+  /// are closed. 0 = never.
+  int idle_timeout_ms = 0;
+  /// Largest accepted request line on the TCP transport; longer ones get a
+  /// structured InvalidArgument and the connection closes. 0 = unlimited.
+  size_t max_request_bytes = 1 << 20;
+  /// Slow-client backpressure (TCP): pause reading a connection once this
+  /// many response bytes are queued on it (soft), close it at
+  /// `max_output_bytes` (hard). 0 disables either bound.
+  size_t output_hwm_bytes = 4 << 20;
+  size_t max_output_bytes = 32 << 20;
 };
 
 /// The CP-query serving layer's request router and transports.
@@ -152,6 +168,10 @@ class Server {
     std::atomic<uint64_t> rejected_connections{0};
     std::atomic<uint64_t> rejected_requests{0};
     std::atomic<uint64_t> coalesced_requests{0};
+    std::atomic<uint64_t> deadline_expired{0};
+    std::atomic<uint64_t> idle_reaped{0};
+    std::atomic<uint64_t> oversized_requests{0};
+    std::atomic<uint64_t> output_overflow_closed{0};
   };
   TransportCounters& transport_counters() { return transport_counters_; }
 
@@ -164,6 +184,10 @@ class Server {
   Result<JsonValue> SaveSession(const JsonValue& req);
   Result<JsonValue> LoadSession(const JsonValue& req);
   Result<JsonValue> Stats(const JsonValue& req);
+  /// Test-only fault-rule installer (see common/fault_injection.h);
+  /// refused unless CPCLEAN_FAULTS is in the environment or a test armed
+  /// the op in-process.
+  Result<JsonValue> FaultInject(const JsonValue& req);
 
   /// Registry lookup with lazy rehydration: a session evicted (or saved by
   /// a previous server process over the same data dir) is loaded from its

@@ -8,9 +8,11 @@
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "cleaning/imputers.h"
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "data/csv.h"
 #include "datasets/paper_datasets.h"
@@ -23,6 +25,9 @@ namespace cpclean {
 namespace {
 
 constexpr char kSnapshotSuffix[] = ".cpsession";
+/// Degraded-mode probe file (written + removed inside the data dir; never
+/// matches the snapshot suffix, so listings ignore it).
+constexpr char kProbeName[] = ".cpclean_probe";
 
 Result<Table> LoadTable(const JsonValue& req, const char* text_key,
                         const char* path_key) {
@@ -200,9 +205,15 @@ SessionStore::SessionStore(SessionStoreOptions options)
   if (ec) return;
   for (const auto& entry : it) {
     const std::string filename = entry.path().filename().string();
-    if (filename.find(kSnapshotSuffix) != std::string::npos &&
+    const bool snapshot_tmp =
+        filename.find(kSnapshotSuffix) != std::string::npos &&
         filename.size() > 4 &&
-        filename.compare(filename.size() - 4, 4, ".tmp") == 0) {
+        filename.compare(filename.size() - 4, 4, ".tmp") == 0;
+    // Probe files (and their temps) are transient by construction; one
+    // left behind means the process died mid-probe.
+    const bool probe_leftover =
+        filename.compare(0, sizeof(kProbeName) - 1, kProbeName) == 0;
+    if (snapshot_tmp || probe_leftover) {
       std::filesystem::remove(entry.path(), ec);
     }
   }
@@ -238,49 +249,119 @@ Status SessionStore::WriteSnapshot(const std::string& name,
     return Status::Unavailable(
         "session persistence is disabled (no --data-dir)");
   }
-  std::error_code ec;
-  std::filesystem::create_directories(options_.data_dir, ec);
-  if (ec) {
-    return Status::IoError(StrFormat("cannot create data dir %s: %s",
-                                     options_.data_dir.c_str(),
-                                     ec.message().c_str()));
-  }
-  const std::string path = PathFor(name);
-  // Temp-write + rename so a crash mid-save never leaves a torn snapshot
-  // where a loadable one used to be. The temp name is unique per save:
-  // save_session is a shared-lock read op, so two saves of one session
-  // (or a save racing the eviction sweep) may run concurrently, and a
-  // shared temp path would let one writer truncate the file another is
-  // about to rename into place.
-  static std::atomic<uint64_t> save_seq{0};
-  const std::string tmp = StrFormat(
-      "%s.%llu.tmp", path.c_str(),
-      static_cast<unsigned long long>(
-          save_seq.fetch_add(1, std::memory_order_relaxed)));
+  return WriteFileAtomic(PathFor(name), text);
+}
+
+Status SessionStore::WriteFileAtomic(const std::string& path,
+                                     const std::string& text) {
   {
-    std::ofstream file(tmp, std::ios::trunc);
-    if (!file) {
-      return Status::IoError("cannot open for writing: " + tmp);
-    }
-    file << text;
-    // Close explicitly and re-check: the final buffered flush can be the
-    // write that hits ENOSPC, and installing a silently truncated
-    // snapshot would destroy the session's only copy at eviction time.
-    file.close();
-    if (!file) {
-      std::filesystem::remove(tmp, ec);  // don't leak the partial temp
-      return Status::IoError("write failed: " + tmp);
+    // Degraded fast-fail: a disk that just failed will almost certainly
+    // fail again; don't pay (or retry-storm) the IO until the backoff
+    // window elapses. The first write after the window probes for real.
+    std::lock_guard<std::mutex> lock(degraded_mu_);
+    if (degraded_ && std::chrono::steady_clock::now() < next_probe_) {
+      return Status::IoError(StrFormat(
+          "data dir %s is degraded (a recent write failed); retrying in "
+          "<= %d ms",
+          options_.data_dir.c_str(), backoff_ms_));
     }
   }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    const Status status =
-        Status::IoError(StrFormat("rename %s -> %s: %s", tmp.c_str(),
-                                  path.c_str(), ec.message().c_str()));
-    std::filesystem::remove(tmp, ec);
-    return status;
+  const Status written = [&]() -> Status {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.data_dir, ec);
+    if (ec) {
+      return Status::IoError(StrFormat("cannot create data dir %s: %s",
+                                       options_.data_dir.c_str(),
+                                       ec.message().c_str()));
+    }
+    // Temp-write + rename so a crash mid-save never leaves a torn snapshot
+    // where a loadable one used to be. The temp name is unique per save:
+    // save_session is a shared-lock read op, so two saves of one session
+    // (or a save racing the eviction sweep) may run concurrently, and a
+    // shared temp path would let one writer truncate the file another is
+    // about to rename into place.
+    static std::atomic<uint64_t> save_seq{0};
+    const std::string tmp = StrFormat(
+        "%s.%llu.tmp", path.c_str(),
+        static_cast<unsigned long long>(
+            save_seq.fetch_add(1, std::memory_order_relaxed)));
+    if (FaultHit("store.open")) {
+      return Status::IoError("cannot open for writing (injected): " + tmp);
+    }
+    {
+      std::ofstream file(tmp, std::ios::trunc);
+      if (!file) {
+        return Status::IoError("cannot open for writing: " + tmp);
+      }
+      if (FaultHit("store.write")) {
+        // Injected short write: half the bytes land, then the device
+        // fails. The torn temp must be reclaimed and the error surfaced.
+        file << std::string_view(text).substr(0, text.size() / 2);
+        file.close();
+        std::filesystem::remove(tmp, ec);
+        return Status::IoError("short write (injected): " + tmp);
+      }
+      file << text;
+      // Close explicitly and re-check: the final buffered flush can be the
+      // write that hits ENOSPC, and installing a silently truncated
+      // snapshot would destroy the session's only copy at eviction time.
+      file.close();
+      if (!file || FaultHit("store.flush")) {
+        std::filesystem::remove(tmp, ec);  // don't leak the partial temp
+        return Status::IoError("write failed: " + tmp);
+      }
+    }
+    if (FaultHit("store.rename")) {
+      std::filesystem::remove(tmp, ec);
+      return Status::IoError(StrFormat("rename %s -> %s: injected failure",
+                                       tmp.c_str(), path.c_str()));
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      const Status status =
+          Status::IoError(StrFormat("rename %s -> %s: %s", tmp.c_str(),
+                                    path.c_str(), ec.message().c_str()));
+      std::filesystem::remove(tmp, ec);
+      return status;
+    }
+    return Status::OK();
+  }();
+  NoteWriteResult(written.ok());
+  return written;
+}
+
+void SessionStore::NoteWriteResult(bool ok) {
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  if (ok) {
+    degraded_ = false;
+    backoff_ms_ = 0;
+    return;
   }
-  return Status::OK();
+  degraded_ = true;
+  backoff_ms_ = backoff_ms_ == 0
+                    ? options_.degraded_backoff_initial_ms
+                    : std::min(backoff_ms_ * 2, options_.degraded_backoff_max_ms);
+  next_probe_ =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(backoff_ms_);
+}
+
+bool SessionStore::CheckDegraded() {
+  if (!enabled()) return false;
+  {
+    std::lock_guard<std::mutex> lock(degraded_mu_);
+    if (!degraded_) return false;
+    if (std::chrono::steady_clock::now() < next_probe_) return true;
+  }
+  // Backoff elapsed: probe through the real write path (same fault sites,
+  // same state machine) so a healed disk clears degraded on the next
+  // stats poll instead of waiting for the next save to come along.
+  const std::string probe_path = options_.data_dir + "/" + kProbeName;
+  if (WriteFileAtomic(probe_path, "ok\n").ok()) {
+    std::error_code ec;
+    std::filesystem::remove(probe_path, ec);
+  }
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  return degraded_;
 }
 
 Result<std::shared_ptr<ServeSession>> SessionStore::Load(

@@ -1,6 +1,7 @@
 #ifndef CPCLEAN_SERVE_SESSION_STORE_H_
 #define CPCLEAN_SERVE_SESSION_STORE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -33,6 +34,11 @@ struct SessionStoreOptions {
   /// an explicit cache_capacity gets the server default, same as at
   /// creation).
   size_t default_cache_capacity = 1024;
+  /// Degraded-mode probe backoff: after a snapshot write fails, the store
+  /// fast-fails further writes and re-probes the disk after this long,
+  /// doubling (up to the max) on every failed probe until a write heals.
+  int degraded_backoff_initial_ms = 100;
+  int degraded_backoff_max_ms = 5000;
 };
 
 /// Snapshot persistence and lifecycle policy for serving sessions: the
@@ -112,10 +118,36 @@ class SessionStore {
   Result<std::vector<std::string>> EnforceCapacity(SessionRegistry& registry,
                                                    std::mutex& lifecycle_mu);
 
+  /// Degraded read-only mode. The store enters it when a snapshot (or
+  /// probe) write fails with an IO error: further writes fast-fail with
+  /// IoError until an exponential-backoff window elapses, then the next
+  /// write — or this accessor — probes the disk with a small atomic write.
+  /// Reads (Load/Saved/SavedNames) never consult it: a server with an
+  /// unwritable data dir keeps serving queries, it just cannot save.
+  /// `CheckDegraded` probes when the backoff window has elapsed, so a
+  /// healed disk clears on the next stats poll, not only on the next save.
+  bool CheckDegraded();
+
  private:
+  /// Temp-write + close-check + rename, the single disk-write path
+  /// (snapshots and degraded-mode probes alike). Carries the
+  /// fault-injection sites store.open / store.write / store.flush /
+  /// store.rename and feeds the degraded-mode state machine: any IO
+  /// failure degrades the store, any success heals it. Fast-fails without
+  /// touching the disk while degraded and inside the backoff window.
+  Status WriteFileAtomic(const std::string& path, const std::string& text);
+
+  /// Marks the store degraded (extending the backoff) or healed.
+  void NoteWriteResult(bool ok);
+
   SessionStoreOptions options_;
   /// Serializes eviction sweeps (two sweeps would retire the same victim).
   std::mutex sweep_mu_;
+  /// Degraded-mode state (see CheckDegraded).
+  std::mutex degraded_mu_;
+  bool degraded_ = false;
+  std::chrono::steady_clock::time_point next_probe_{};
+  int backoff_ms_ = 0;
 };
 
 }  // namespace cpclean

@@ -1,0 +1,126 @@
+// The fault-injection registry's contract: rules parse (and reject)
+// exactly as documented, fire schedules are deterministic in the seed,
+// sleep rules stall without failing, and with no rules installed a site
+// is a no-op.
+
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace cpclean {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  // Registry state is process-global; every test starts and ends clean.
+  void SetUp() override { FaultInjection::Clear(); }
+  void TearDown() override { FaultInjection::Clear(); }
+};
+
+TEST_F(FaultInjectionTest, InactiveSitesNeverFire) {
+  EXPECT_FALSE(FaultInjection::Active());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(FaultHit("store.rename"));
+  }
+  // Unruled sites are not even counted — that is the zero-cost path.
+  EXPECT_TRUE(FaultInjection::Stats().empty());
+}
+
+TEST_F(FaultInjectionTest, OnceFiresExactlyOnce) {
+  ASSERT_TRUE(FaultInjection::Configure("store.rename=once").ok());
+  EXPECT_TRUE(FaultInjection::Active());
+  EXPECT_TRUE(FaultHit("store.rename"));
+  EXPECT_FALSE(FaultHit("store.rename"));
+  EXPECT_FALSE(FaultHit("store.rename"));
+  const std::vector<FaultInjection::SiteStats> stats =
+      FaultInjection::Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].site, "store.rename");
+  EXPECT_EQ(stats[0].hits, 3u);
+  EXPECT_EQ(stats[0].fires, 1u);
+}
+
+TEST_F(FaultInjectionTest, CountedRulesFollowTheirSchedules) {
+  ASSERT_TRUE(
+      FaultInjection::Configure("a=nth:3;b=every:2;c=after:2;d=always").ok());
+  std::string nth, every, after, always;
+  for (int i = 0; i < 6; ++i) {
+    nth.push_back(FaultHit("a") ? 'X' : '.');
+    every.push_back(FaultHit("b") ? 'X' : '.');
+    after.push_back(FaultHit("c") ? 'X' : '.');
+    always.push_back(FaultHit("d") ? 'X' : '.');
+  }
+  EXPECT_EQ(nth, "..X...");
+  EXPECT_EQ(every, ".X.X.X");
+  EXPECT_EQ(after, "..XXXX");
+  EXPECT_EQ(always, "XXXXXX");
+}
+
+TEST_F(FaultInjectionTest, ProbabilityScheduleIsDeterministicInTheSeed) {
+  const auto schedule = [](const std::string& config) {
+    EXPECT_TRUE(FaultInjection::Configure(config).ok());
+    std::string out;
+    for (int i = 0; i < 64; ++i) out.push_back(FaultHit("s") ? 'X' : '.');
+    return out;
+  };
+  const std::string first = schedule("seed=7;s=p:0.3");
+  const std::string replay = schedule("seed=7;s=p:0.3");
+  const std::string reseeded = schedule("seed=8;s=p:0.3");
+  EXPECT_EQ(first, replay);
+  EXPECT_NE(first, reseeded);  // astronomically unlikely to collide
+  EXPECT_NE(first.find('X'), std::string::npos);
+  EXPECT_NE(first.find('.'), std::string::npos);
+  // Extremes stay extremes.
+  EXPECT_EQ(schedule("s=p:0").find('X'), std::string::npos);
+  EXPECT_EQ(schedule("s=p:1").find('.'), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, SleepStallsWithoutFiring) {
+  ASSERT_TRUE(FaultInjection::Configure("slow=sleep:50").ok());
+  const auto begin = std::chrono::steady_clock::now();
+  EXPECT_FALSE(FaultHit("slow"));
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            45);
+  const std::vector<FaultInjection::SiteStats> stats =
+      FaultInjection::Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].fires, 1u);  // a stall counts as a fire for reporting
+}
+
+TEST_F(FaultInjectionTest, OffErasesAndEmptyConfigClears) {
+  ASSERT_TRUE(FaultInjection::Configure("a=always;b=always").ok());
+  ASSERT_TRUE(FaultInjection::Configure("a=always;b=always;a=off").ok());
+  EXPECT_FALSE(FaultHit("a"));
+  EXPECT_TRUE(FaultHit("b"));
+  ASSERT_TRUE(FaultInjection::Configure("").ok());
+  EXPECT_FALSE(FaultInjection::Active());
+  EXPECT_FALSE(FaultHit("b"));
+}
+
+TEST_F(FaultInjectionTest, ConfigureToleratesWhitespaceAndEmptyClauses) {
+  ASSERT_TRUE(
+      FaultInjection::Configure(" a=once ; ; seed=3 ;b=nth:2; ").ok());
+  EXPECT_TRUE(FaultHit("a"));
+  EXPECT_FALSE(FaultHit("b"));
+  EXPECT_TRUE(FaultHit("b"));
+}
+
+TEST_F(FaultInjectionTest, MalformedConfigsRejectAndLeaveRulesUntouched) {
+  ASSERT_TRUE(FaultInjection::Configure("keep=always").ok());
+  for (const char* bad :
+       {"nope", "=once", "a=", "a=sometimes", "a=nth:0", "a=every:x",
+        "a=p:1.5", "a=p:", "a=after:-1", "seed=x"}) {
+    EXPECT_FALSE(FaultInjection::Configure(bad).ok()) << bad;
+  }
+  // The failed Configure calls above must not have dropped the live rule.
+  EXPECT_TRUE(FaultHit("keep"));
+}
+
+}  // namespace
+}  // namespace cpclean

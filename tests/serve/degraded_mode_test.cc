@@ -1,0 +1,218 @@
+// The degraded read-only mode and snapshot write atomicity under
+// injected disk faults: a failed write (open / short write / flush /
+// rename) never touches the previous snapshot and never leaves a temp
+// file behind; the store then fast-fails further writes inside an
+// exponential-backoff window, probes the disk when it elapses, and heals
+// on the first success; and at the server level an unwritable data dir
+// flips stats to degraded:true while reads keep serving bit-identical
+// answers, and heals back to degraded:false once the disk recovers.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+#include "serve/server.h"
+#include "serve/session_store.h"
+#include "tests/serve/serve_test_util.h"
+
+namespace cpclean {
+namespace {
+
+using serve_test::ParseOk;
+
+class DegradedModeTest : public ::testing::Test {
+ protected:
+  // Fault rules are process-global; every test starts and ends clean.
+  void SetUp() override { FaultInjection::Clear(); }
+  void TearDown() override { FaultInjection::Clear(); }
+};
+
+/// A fresh empty data dir under the test tmpdir.
+std::string FreshDataDir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/cpclean_" + leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Files in `dir` whose name contains `needle`.
+std::vector<std::string> FilesContaining(const std::string& dir,
+                                         const std::string& needle) {
+  std::vector<std::string> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(needle) != std::string::npos) out.push_back(name);
+  }
+  return out;
+}
+
+std::string CreateRequest(const std::string& name, int seed) {
+  return StrFormat(
+      "{\"op\":\"create_session\",\"session\":\"%s\",\"source\":"
+      "\"synthetic\",\"dataset\":\"store\",\"train_rows\":30,\"val_size\":4,"
+      "\"test_size\":4,\"seed\":%d,\"numeric\":4,\"categorical\":0,"
+      "\"noise_sigma\":0.3,\"missing_rate\":0.25,\"k\":3}",
+      name.c_str(), seed);
+}
+
+/// Serialized q2 responses (exact JSON bits) for every validation index.
+std::vector<std::string> Q2Sweep(Server* server, const std::string& name) {
+  std::vector<std::string> out;
+  for (int v = 0; v < 4; ++v) {
+    const JsonValue result = ParseOk(server->HandleLine(
+        StrFormat("{\"op\":\"q2\",\"session\":\"%s\",\"val_indices\":[%d]}",
+                  name.c_str(), v)));
+    out.push_back(result.Find("results")->array()[0].Dump());
+  }
+  return out;
+}
+
+bool StatsDegraded(Server* server) {
+  return ParseOk(server->HandleLine("{\"op\":\"stats\"}"))
+      .Find("degraded")
+      ->bool_value();
+}
+
+TEST_F(DegradedModeTest, FailedWritesLeavePreviousSnapshotIntact) {
+  const std::string dir = FreshDataDir("atomic");
+  // Short backoff so the store is writable again quickly after each
+  // injected failure.
+  SessionStore store({dir, 0, 1024, 30, 120});
+
+  ASSERT_TRUE(store.WriteSnapshot("s", "v1\n").ok());
+  const std::string path = store.PathFor("s");
+  ASSERT_EQ(ReadFile(path), "v1\n");
+
+  // Every stage of the temp-write + rename pipeline fails in turn. None
+  // may corrupt or replace the committed snapshot, and none may leave its
+  // temp file behind.
+  for (const char* fault :
+       {"store.open=once", "store.write=once", "store.flush=once",
+        "store.rename=once"}) {
+    ASSERT_TRUE(FaultInjection::Configure(fault).ok());
+    const Status failed = store.WriteSnapshot("s", "v2 must never land\n");
+    EXPECT_EQ(failed.code(), StatusCode::kIoError) << fault;
+    EXPECT_EQ(ReadFile(path), "v1\n") << fault;
+    EXPECT_TRUE(FilesContaining(dir, ".tmp").empty()) << fault;
+
+    // Heal: clear the fault, wait out the backoff window, and prove the
+    // store writes again — then restore v1 for the next round.
+    FaultInjection::Clear();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(store.WriteSnapshot("s", "v1\n").ok()) << fault;
+    EXPECT_FALSE(store.CheckDegraded()) << fault;
+  }
+}
+
+TEST_F(DegradedModeTest, DegradedModeFastFailsThenProbesAndHeals) {
+  const std::string dir = FreshDataDir("degraded_fsm");
+  SessionStore store({dir, 0, 1024, 50, 200});
+
+  const auto site_hits = [] {
+    for (const auto& s : FaultInjection::Stats()) {
+      if (s.site == "store.open") return s.hits;
+    }
+    return uint64_t{0};
+  };
+
+  ASSERT_TRUE(FaultInjection::Configure("store.open=always").ok());
+  EXPECT_EQ(store.WriteSnapshot("s", "x\n").code(), StatusCode::kIoError);
+  EXPECT_EQ(site_hits(), 1u);
+  EXPECT_TRUE(store.CheckDegraded());
+  // Inside the backoff window: writes fast-fail without touching the disk
+  // (the fault site is never reached) and without extending the backoff.
+  EXPECT_EQ(store.WriteSnapshot("s", "x\n").code(), StatusCode::kIoError);
+  EXPECT_EQ(site_hits(), 1u);
+
+  // Window elapses → CheckDegraded probes (a real disk attempt, so the
+  // site fires again), fails, and doubles the backoff.
+  std::this_thread::sleep_for(std::chrono::milliseconds(70));
+  EXPECT_TRUE(store.CheckDegraded());
+  EXPECT_EQ(site_hits(), 2u);
+
+  // Disk recovers; the next probe after the (now 100ms) window heals.
+  FaultInjection::Clear();
+  bool healed = false;
+  for (int i = 0; i < 40 && !healed; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    healed = !store.CheckDegraded();
+  }
+  EXPECT_TRUE(healed);
+  // The probe cleans up after itself.
+  EXPECT_TRUE(FilesContaining(dir, ".cpclean_probe").empty());
+  EXPECT_TRUE(store.WriteSnapshot("s", "x\n").ok());
+}
+
+TEST_F(DegradedModeTest, ServerKeepsServingBitIdenticalWhileDegraded) {
+  const std::string dir = FreshDataDir("degraded_server");
+  ServerOptions options;
+  options.data_dir = dir;
+  Server server(options);
+  ParseOk(server.HandleLine(CreateRequest("s", 11)));
+  const std::vector<std::string> baseline = Q2Sweep(&server, "s");
+  ParseOk(server.HandleLine("{\"op\":\"save_session\",\"session\":\"s\"}"));
+  EXPECT_FALSE(StatsDegraded(&server));
+
+  // The data dir becomes unwritable: saves fail with IoError, stats
+  // report it, and queries are bit-identical to the healthy baseline.
+  ASSERT_TRUE(FaultInjection::Configure("store.open=always").ok());
+  const std::string failed =
+      server.HandleLine("{\"op\":\"save_session\",\"session\":\"s\"}");
+  EXPECT_NE(failed.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(failed.find("IO error"), std::string::npos);
+  EXPECT_TRUE(StatsDegraded(&server));
+  EXPECT_EQ(Q2Sweep(&server, "s"), baseline);
+  ParseOk(server.HandleLine(
+      "{\"op\":\"clean_step\",\"session\":\"s\",\"steps\":1}"));
+  EXPECT_TRUE(StatsDegraded(&server));
+
+  // Disk recovers: the stats poll's probe heals the store (possibly after
+  // a couple of backoff windows), and saves work again.
+  FaultInjection::Clear();
+  bool healed = false;
+  for (int i = 0; i < 60 && !healed; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    healed = !StatsDegraded(&server);
+  }
+  EXPECT_TRUE(healed);
+  ParseOk(server.HandleLine("{\"op\":\"save_session\",\"session\":\"s\"}"));
+}
+
+TEST_F(DegradedModeTest, EvictionSurfacesIoErrorWhileDegraded) {
+  const std::string dir = FreshDataDir("degraded_evict");
+  ServerOptions options;
+  options.data_dir = dir;
+  options.max_sessions = 1;
+  Server server(options);
+  ParseOk(server.HandleLine(CreateRequest("a", 1)));
+  const std::vector<std::string> baseline = Q2Sweep(&server, "a");
+
+  // Admitting a second session requires evicting (saving) the first; with
+  // the disk unwritable that save fails, and create_session must surface
+  // the IoError instead of silently discarding "a".
+  ASSERT_TRUE(FaultInjection::Configure("store.open=always").ok());
+  const std::string rejected = server.HandleLine(CreateRequest("b", 2));
+  EXPECT_NE(rejected.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(rejected.find("IO error"), std::string::npos);
+
+  // "a" is still resident and still bit-identical.
+  EXPECT_EQ(Q2Sweep(&server, "a"), baseline);
+}
+
+}  // namespace
+}  // namespace cpclean
