@@ -33,6 +33,12 @@
 // slow client's queued responses (pause reads / close). Deterministic
 // fault injection arms via the CPCLEAN_FAULTS environment variable
 // (see src/common/fault_injection.h for the syntax).
+//
+// Observability knobs (README "Observability", TCP only):
+// `--metrics-port=N` serves Prometheus text on a loopback HTTP
+// `GET /metrics` listener (0 = ephemeral, announced on stderr);
+// `--slow-request-ms=N` logs one structured JSON line with the full span
+// phase breakdown for every request slower than N ms.
 
 #include <chrono>
 #include <csignal>
@@ -90,6 +96,8 @@ int main(int argc, char** argv) {
   long max_request_bytes = 1 << 20;
   long output_hwm_bytes = 4 << 20;
   long max_output_bytes = 32 << 20;
+  long metrics_port = -1;
+  long slow_request_ms = 0;
   bool coalesce = true;
   std::string data_dir;
   bool stdio = true;
@@ -126,6 +134,10 @@ int main(int argc, char** argv) {
       output_hwm_bytes = value;
     } else if (ParseIntFlag(arg, "--max-output-bytes", &value)) {
       max_output_bytes = value;
+    } else if (ParseIntFlag(arg, "--metrics-port", &value)) {
+      metrics_port = value;
+    } else if (ParseIntFlag(arg, "--slow-request-ms", &value)) {
+      slow_request_ms = value;
     } else if (std::strcmp(arg, "--no-coalesce") == 0) {
       coalesce = false;
     } else if (ParseStringFlag(arg, "--data-dir", &data_dir)) {
@@ -137,7 +149,8 @@ int main(int argc, char** argv) {
           "[--request-workers=N] [--no-coalesce] "
           "[--request-timeout-ms=N] [--idle-timeout-ms=N] "
           "[--max-request-bytes=N] [--output-hwm-bytes=N] "
-          "[--max-output-bytes=N]\n");
+          "[--max-output-bytes=N] [--metrics-port=N] "
+          "[--slow-request-ms=N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
@@ -162,6 +175,15 @@ int main(int argc, char** argv) {
   }
   if (poller_threads < 1) {
     std::fprintf(stderr, "--poller-threads must be >= 1\n");
+    return 2;
+  }
+  if (slow_request_ms < 0) {
+    std::fprintf(stderr, "--slow-request-ms must be >= 0\n");
+    return 2;
+  }
+  if (metrics_port >= 0 && stdio) {
+    std::fprintf(stderr,
+                 "--metrics-port requires the TCP transport (--port=N)\n");
     return 2;
   }
 
@@ -193,6 +215,8 @@ int main(int argc, char** argv) {
   options.max_request_bytes = static_cast<size_t>(max_request_bytes);
   options.output_hwm_bytes = static_cast<size_t>(output_hwm_bytes);
   options.max_output_bytes = static_cast<size_t>(max_output_bytes);
+  options.metrics_port = static_cast<int>(metrics_port);
+  options.slow_request_ms = static_cast<int>(slow_request_ms);
   Server server(options);
 
   if (stdio) {
@@ -219,6 +243,12 @@ int main(int argc, char** argv) {
     if (server.port() >= 0) {
       std::fprintf(stderr, "cpclean_server: listening on 127.0.0.1:%d\n",
                    server.port());
+      // Scrape scripts parse this line (the metrics port is bound before
+      // the main port is published, so it is final here).
+      if (server.metrics_port() >= 0) {
+        std::fprintf(stderr, "cpclean_server: metrics on 127.0.0.1:%d\n",
+                     server.metrics_port());
+      }
     }
   });
   const Status status = server.ServeTcp(static_cast<int>(port));

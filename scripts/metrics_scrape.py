@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""Scrapes cpclean_server's /metrics endpoint during a smoke replay.
+
+Launches the server with an ephemeral main port, an ephemeral metrics
+port, and a low slow-request threshold, then:
+
+  1. Replays the scripted smoke queries over TCP while a background
+     thread polls HTTP GET /metrics. Every scrape must be well-formed
+     Prometheus text exposition: each line is a `# TYPE`/`# HELP` comment
+     or `name{labels} value`, every histogram family's `_bucket` series is
+     cumulative-monotone in `le` order, and `le="+Inf"` equals `_count`.
+
+  2. After the replay, requires the required series to exist with nonzero
+     request histograms (the replay just served dozens of requests).
+
+  3. Forces a slow request — fault rule `serve.exec=sleep:MS` through the
+     fault_inject op (armed via CPCLEAN_FAULTS="" in the environment) —
+     and requires a slow_requests_total increment plus a span with the
+     matching total and a phase breakdown via the `metrics` op.
+
+Stdlib only; exits non-zero on the first violation.
+"""
+
+import argparse
+import json
+import re
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+LISTEN_RE = re.compile(r"listening on 127\.0\.0\.1:([0-9]+)")
+METRICS_RE = re.compile(r"metrics on 127\.0\.0\.1:([0-9]+)")
+
+# One sample line: metric name, optional {labels}, and a number. The
+# exposition format is line-oriented, so validating it is line grammar +
+# family-level invariants.
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? "
+    r"(-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN)$"
+)
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                     r"(counter|gauge|histogram|summary|untyped)$")
+
+REQUIRED_SERIES = (
+    "cpclean_serve_accepts_total",
+    "cpclean_serve_requests_total",
+    "cpclean_serve_http_scrapes_total",
+    "cpclean_serve_active_connections",
+    "cpclean_serve_inflight",
+    "cpclean_serve_queue_depth",
+)
+REQUIRED_HISTOGRAMS = (
+    "cpclean_serve_request_ns",
+    "cpclean_serve_queue_wait_ns",
+    "cpclean_serve_exec_ns",
+)
+
+
+def parse_exposition(text):
+    """Validates the text, returns {series_name_with_labels: value}."""
+    samples = {}
+    for line in text.splitlines():
+        if not line:
+            raise SystemExit("malformed exposition: empty line")
+        if line.startswith("#"):
+            if line.startswith("# TYPE") and not TYPE_RE.match(line):
+                raise SystemExit("malformed TYPE comment: %r" % line)
+            continue
+        if not SAMPLE_RE.match(line):
+            raise SystemExit("malformed sample line: %r" % line)
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    if not samples:
+        raise SystemExit("empty exposition")
+    return samples
+
+
+def check_histograms(samples):
+    """Cumulative-monotone buckets; +Inf bucket == _count; _sum present."""
+    families = {}
+    bucket_re = re.compile(r'^(.+)_bucket\{le="([^"]+)"\}$')
+    for name, value in samples.items():
+        match = bucket_re.match(name)
+        if match:
+            families.setdefault(match.group(1), []).append(
+                (match.group(2), value))
+    for family, buckets in families.items():
+        def le_key(item):
+            return float("inf") if item[0] == "+Inf" else float(item[0])
+        ordered = sorted(buckets, key=le_key)
+        last = -1.0
+        for le, value in ordered:
+            if value < last:
+                raise SystemExit(
+                    "%s buckets not cumulative at le=%s (%g < %g)"
+                    % (family, le, value, last))
+            last = value
+        if ordered[-1][0] != "+Inf":
+            raise SystemExit("%s has no +Inf bucket" % family)
+        count = samples.get(family + "_count")
+        if count is None or family + "_sum" not in samples:
+            raise SystemExit("%s lacks _count/_sum" % family)
+        if ordered[-1][1] != count:
+            raise SystemExit(
+                "%s +Inf bucket %g != _count %g"
+                % (family, ordered[-1][1], count))
+    return families
+
+
+def scrape(port):
+    with urllib.request.urlopen(
+            "http://127.0.0.1:%d/metrics" % port, timeout=10) as response:
+        if response.status != 200:
+            raise SystemExit("scrape returned HTTP %d" % response.status)
+        return response.read().decode()
+
+
+def load_requests(path):
+    requests = []
+    with open(path, "r", encoding="utf-8") as f:
+        for raw in f:
+            line = raw.rstrip("\n")
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            requests.append(line)
+    return requests
+
+
+class LineClient:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self.buffer = b""
+
+    def issue(self, line):
+        self.sock.sendall((line + "\n").encode())
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise SystemExit("server closed mid-response")
+            self.buffer += chunk
+        response, self.buffer = self.buffer.split(b"\n", 1)
+        return json.loads(response.decode())
+
+    def close(self):
+        self.sock.close()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--server", required=True, help="cpclean_server binary")
+    parser.add_argument("--queries", required=True, help="smoke_queries.jsonl")
+    parser.add_argument("--sleep-ms", type=int, default=25,
+                        help="injected serve.exec stall")
+    args = parser.parse_args()
+
+    requests = load_requests(args.queries)
+    proc = subprocess.Popen(
+        [args.server, "--port=0", "--metrics-port=0", "--slow-request-ms=5",
+         "--threads=2"],
+        stderr=subprocess.PIPE,
+        # Empty CPCLEAN_FAULTS arms the fault_inject op without installing
+        # any rule; the slow request below is injected over the wire.
+        env={"CPCLEAN_FAULTS": ""},
+    )
+    try:
+        port = metrics_port = None
+        deadline = time.time() + 30
+        while time.time() < deadline and metrics_port is None:
+            line = proc.stderr.readline().decode()
+            if not line:
+                raise SystemExit("server exited before announcing its ports")
+            match = LISTEN_RE.search(line)
+            if match:
+                port = int(match.group(1))
+            match = METRICS_RE.search(line)
+            if match:
+                metrics_port = int(match.group(1))
+        if port is None or metrics_port is None:
+            raise SystemExit("server never announced both ports")
+        threading.Thread(target=proc.stderr.read, daemon=True).start()
+
+        # Phase 1: replay the smoke script while a poller scrapes.
+        scrape_count = [0]
+        replay_done = threading.Event()
+        scrape_errors = []
+
+        def poll():
+            try:
+                while not replay_done.is_set():
+                    check_histograms(parse_exposition(scrape(metrics_port)))
+                    scrape_count[0] += 1
+                    time.sleep(0.02)
+            except BaseException as exc:  # surfaced after join
+                scrape_errors.append(str(exc))
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        client = LineClient(port)
+        served = 0
+        for request in requests:
+            response = client.issue(request)
+            if "ok" not in response:
+                raise SystemExit("response without ok: %r" % response)
+            served += 1
+        replay_done.set()
+        poller.join()
+        if scrape_errors:
+            raise SystemExit("mid-replay scrape failed: " + scrape_errors[0])
+        print("phase 1 OK: %d requests served, %d well-formed scrapes "
+              "during replay" % (served, scrape_count[0]))
+
+        # Phase 2: the post-replay scrape must carry the required series
+        # with nonzero request histograms.
+        samples = parse_exposition(scrape(metrics_port))
+        families = check_histograms(samples)
+        for name in REQUIRED_SERIES:
+            if name not in samples:
+                raise SystemExit("required series missing: %s" % name)
+        for family in REQUIRED_HISTOGRAMS:
+            if family not in families:
+                raise SystemExit("required histogram missing: %s" % family)
+            if samples[family + "_count"] < served:
+                raise SystemExit(
+                    "%s_count %g < %d requests served"
+                    % (family, samples[family + "_count"], served))
+        if samples["cpclean_serve_requests_total"] < served:
+            raise SystemExit("requests_total below the replay count")
+        print("phase 2 OK: %d series, request histograms nonzero "
+              "(request_ns count=%g)"
+              % (len(samples), samples["cpclean_serve_request_ns_count"]))
+
+        # Phase 3: inject a serve.exec stall, require the slow-request
+        # counter and a span breakdown showing the stalled request.
+        before = samples.get("cpclean_serve_slow_requests_total", 0.0)
+        injected = client.issue(
+            json.dumps({"op": "fault_inject",
+                        "config": "serve.exec=sleep:%d" % args.sleep_ms}))
+        if injected.get("ok") is not True:
+            raise SystemExit("fault_inject refused: %r" % injected)
+        if client.issue('{"op":"ping"}').get("ok") is not True:
+            raise SystemExit("stalled ping failed")
+        client.issue('{"op":"fault_inject","config":""}')
+
+        metrics_op = client.issue('{"op":"metrics"}')
+        if metrics_op.get("ok") is not True:
+            raise SystemExit("metrics op failed: %r" % metrics_op)
+        spans = metrics_op["result"]["spans"]
+        want_ns = args.sleep_ms * 1e6 * 0.8  # monotonic clock, some slack
+        slow_spans = [s for s in spans
+                      if s["op"] == "ping" and s["total_ns"] >= want_ns]
+        if not slow_spans:
+            raise SystemExit(
+                "no ping span with total >= %.0fms among %d spans"
+                % (args.sleep_ms * 0.8, len(spans)))
+        if not all("queue_wait" in s["phases"] and "flush" in s["phases"]
+                   for s in slow_spans):
+            raise SystemExit("slow span lacks a phase breakdown")
+        # The counter moves once the stalled response has flushed; the
+        # flush happens-before our read of that response, but give the
+        # scrape a couple of tries anyway.
+        after = before
+        for _ in range(50):
+            samples = parse_exposition(scrape(metrics_port))
+            after = samples.get("cpclean_serve_slow_requests_total", 0.0)
+            if after > before:
+                break
+            time.sleep(0.02)
+        if after <= before:
+            raise SystemExit(
+                "slow_requests_total did not move (%g -> %g)"
+                % (before, after))
+        print("phase 3 OK: injected %dms stall logged "
+              "(slow_requests_total %g -> %g, span total %.1fms)"
+              % (args.sleep_ms, before, after,
+                 slow_spans[-1]["total_ns"] / 1e6))
+        client.close()
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,11 @@ SESSION_NAMES = ("alpha", "beta", "badcsv", "ghost")
 FLOAT_RE = re.compile(r"-?[0-9]+\.[0-9]+(e[+-]?[0-9]+)?")
 TS_RE = re.compile(r"[0-9]{12,}")
 SIMD_RE = re.compile(r'"simd_level":"[a-z0-9]+"')
+# Timing-valued stats fields (machine- and run-dependent); float result
+# bits stay raw. Quoted placeholders keep the masked line valid JSON (the
+# id-based line exclusions parse it).
+WORKERS_RE = re.compile(r'"request_workers_actual":[0-9]+')
+UPTIME_RE = re.compile(r'"uptime_ms":[0-9]+')
 
 LISTEN_RE = re.compile(r"listening on 127\.0\.0\.1:([0-9]+)")
 
@@ -54,6 +59,8 @@ LISTEN_RE = re.compile(r"listening on 127\.0\.0\.1:([0-9]+)")
 def normalize(line):
     line = FLOAT_RE.sub("<float>", line)
     line = TS_RE.sub("<ts>", line)
+    line = WORKERS_RE.sub('"request_workers_actual":"<workers>"', line)
+    line = UPTIME_RE.sub('"uptime_ms":"<ms>"', line)
     return SIMD_RE.sub('"simd_level":"<simd>"', line)
 
 

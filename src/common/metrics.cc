@@ -1,0 +1,306 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+
+namespace cpclean {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace metrics_internal {
+
+int MetricShard() {
+  static std::atomic<unsigned> next{0};
+  // Round-robin at thread birth beats hashing the thread id: consecutive
+  // workers land on distinct shards by construction.
+  thread_local const int shard = static_cast<int>(
+      next.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<unsigned>(kMetricShards));
+  return shard;
+}
+
+}  // namespace metrics_internal
+
+int MetricHistogram::BucketIndex(uint64_t value) {
+  if (value < 4) return static_cast<int>(value);
+  const int top = 63 - __builtin_clzll(value);  // >= 2 here
+  const int sub = static_cast<int>((value >> (top - 2)) & 3);
+  return 4 + (top - 2) * kSubBuckets + sub;
+}
+
+uint64_t MetricHistogram::BucketLowerBound(int index) {
+  if (index < 4) return static_cast<uint64_t>(index);
+  const int top = (index - 4) / kSubBuckets + 2;
+  const uint64_t sub = static_cast<uint64_t>((index - 4) % kSubBuckets);
+  return (4ULL + sub) << (top - 2);
+}
+
+uint64_t MetricHistogram::BucketUpperBound(int index) {
+  if (index < 4) return static_cast<uint64_t>(index) + 1;
+  if (index >= kNumBuckets - 1) return UINT64_MAX;  // top bucket is open
+  const int top = (index - 4) / kSubBuckets + 2;
+  const uint64_t sub = static_cast<uint64_t>((index - 4) % kSubBuckets);
+  return (5ULL + sub) << (top - 2);
+}
+
+HistogramSnapshot MetricHistogram::Snapshot() const {
+  HistogramSnapshot out;
+  out.buckets.assign(kNumBuckets, 0);
+  uint64_t min_seen = UINT64_MAX;
+  for (const Shard& shard : shards_) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      out.buckets[static_cast<size_t>(b)] +=
+          shard.buckets[static_cast<size_t>(b)].load(
+              std::memory_order_relaxed);
+    }
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+    min_seen = std::min(min_seen, shard.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, shard.max.load(std::memory_order_relaxed));
+  }
+  // Count derives from the buckets so count and quantiles can never
+  // disagree, even with writers racing the snapshot.
+  for (const uint64_t b : out.buckets) out.count += b;
+  out.min = (out.count == 0 || min_seen == UINT64_MAX) ? 0 : min_seen;
+  if (out.count == 0) out.max = 0;
+  return out;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank in [1, count]: position q of the way through the ordered sample.
+  const double target =
+      std::max(1.0, q * static_cast<double>(count));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target) {
+      const double lower = static_cast<double>(
+          MetricHistogram::BucketLowerBound(static_cast<int>(b)));
+      const double upper = static_cast<double>(
+          MetricHistogram::BucketUpperBound(static_cast<int>(b)));
+      // Ranks before+1 .. before+bucket map onto [lower, upper): rank
+      // before+1 sits at the lower edge, so Quantile(0) is exactly min.
+      const double frac = std::max(
+          0.0, (target - before - 1.0) / static_cast<double>(buckets[b]));
+      double value = lower + frac * (upper - lower);
+      value = std::min(value, static_cast<double>(max));
+      value = std::max(value, static_cast<double>(min));
+      return value;
+    }
+  }
+  return static_cast<double>(max);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (size_t b = 0; b < other.buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  sum += other.sum;
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  // Leaked deliberately (like the global thread pool): instruments may be
+  // touched by detached threads during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+template <typename T>
+T& FindOrCreate(std::vector<std::pair<std::string, T*>>& instruments,
+                const std::string& name) {
+  for (auto& entry : instruments) {
+    if (entry.first == name) return *entry.second;
+  }
+  instruments.emplace_back(name, new T());  // leaked: lives forever
+  return *instruments.back().second;
+}
+
+}  // namespace
+
+MetricCounter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(counters_, name);
+}
+
+MetricGauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(gauges_, name);
+}
+
+MetricHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(histograms_, name);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.counters.reserve(counters_.size());
+    for (const auto& entry : counters_) {
+      out.counters.emplace_back(entry.first, entry.second->Value());
+    }
+    out.gauges.reserve(gauges_.size());
+    for (const auto& entry : gauges_) {
+      out.gauges.emplace_back(entry.first, entry.second->Value());
+    }
+    out.histograms.reserve(histograms_.size());
+    for (const auto& entry : histograms_) {
+      out.histograms.emplace_back(entry.first, entry.second->Snapshot());
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  return out;
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "cpclean_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsPrometheusText() {
+  const MetricsSnapshot snapshot = MetricsRegistry::Get().Snapshot();
+  std::string out;
+  for (const auto& entry : snapshot.counters) {
+    const std::string name = PrometheusName(entry.first);
+    out += StrFormat("# TYPE %s counter\n%s %llu\n", name.c_str(),
+                     name.c_str(),
+                     static_cast<unsigned long long>(entry.second));
+  }
+  for (const auto& entry : snapshot.gauges) {
+    const std::string name = PrometheusName(entry.first);
+    out += StrFormat("# TYPE %s gauge\n%s %lld\n", name.c_str(),
+                     name.c_str(), static_cast<long long>(entry.second));
+  }
+  for (const auto& entry : snapshot.histograms) {
+    const std::string name = PrometheusName(entry.first);
+    const HistogramSnapshot& h = entry.second;
+    out += StrFormat("# TYPE %s histogram\n", name.c_str());
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      // The bucket's exclusive upper bound doubles as the Prometheus
+      // inclusive `le` edge — within the bucket's resolution either
+      // reading is correct.
+      const uint64_t upper =
+          MetricHistogram::BucketUpperBound(static_cast<int>(b));
+      out += StrFormat("%s_bucket{le=\"%llu\"} %llu\n", name.c_str(),
+                       static_cast<unsigned long long>(upper),
+                       static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(h.count));
+    out += StrFormat("%s_sum %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(h.sum));
+    out += StrFormat("%s_count %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(h.count));
+  }
+  // Fault-injection sites (PR 7): which sites actually fired, so torture
+  // runs can assert their faults landed. Only ruled sites are tracked.
+  for (const FaultInjection::SiteStats& site : FaultInjection::Stats()) {
+    const std::string label = StrFormat("{site=\"%s\"}", site.site.c_str());
+    out += StrFormat(
+        "cpclean_fault_site_hits_total%s %llu\n"
+        "cpclean_fault_site_fires_total%s %llu\n",
+        label.c_str(), static_cast<unsigned long long>(site.hits),
+        label.c_str(), static_cast<unsigned long long>(site.fires));
+  }
+  return out;
+}
+
+const char* SpanPhaseName(int phase) {
+  switch (phase) {
+    case kSpanQueueWait:
+      return "queue_wait";
+    case kSpanCacheLookup:
+      return "cache_lookup";
+    case kSpanEngineAcquire:
+      return "engine_acquire";
+    case kSpanKernelCompute:
+      return "kernel_compute";
+    case kSpanSerialize:
+      return "serialize";
+    case kSpanFlush:
+      return "flush";
+    default:
+      return "unknown";
+  }
+}
+
+namespace {
+thread_local RequestSpan* tl_active_span = nullptr;
+}  // namespace
+
+RequestSpan* ActiveRequestSpan() { return tl_active_span; }
+
+ScopedActiveSpan::ScopedActiveSpan(RequestSpan* span)
+    : previous_(tl_active_span) {
+  tl_active_span = span;
+}
+
+ScopedActiveSpan::~ScopedActiveSpan() { tl_active_span = previous_; }
+
+SpanRing::SpanRing(size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void SpanRing::Push(const RequestSpan& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = span;
+  next_ = (next_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+}
+
+std::vector<RequestSpan> SpanRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestSpan> out;
+  out.reserve(size_);
+  const size_t begin = (next_ + ring_.size() - size_) % ring_.size();
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(begin + i) % ring_.size()]);
+  }
+  return out;
+}
+
+SpanRing& GlobalSpanRing() {
+  static SpanRing* ring = new SpanRing(256);  // leaked: see MetricsRegistry
+  return *ring;
+}
+
+}  // namespace cpclean

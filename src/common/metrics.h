@@ -1,0 +1,292 @@
+#ifndef CPCLEAN_COMMON_METRICS_H_
+#define CPCLEAN_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cpclean {
+
+/// Process-wide telemetry: named counters, gauges, and log-bucketed
+/// latency histograms, plus per-request span tracing for the serve
+/// pipeline.
+///
+/// Design constraints (the serve hot path runs through here):
+///
+///   - Writes are wait-free relaxed atomics on per-thread shards; no
+///     locks, no allocation, no syscalls.
+///   - Instruments live forever once registered, so callers cache a
+///     reference (one static-local lookup per call site, then pointer
+///     chasing only).
+///   - Snapshots are taken while writers keep writing. Each shard cell is
+///     individually atomic, so a snapshot is a consistent-enough view: a
+///     histogram's count is *derived* from its bucket sum, never read from
+///     a separate counter that could disagree with the buckets.
+///
+/// Write-path cost, measured in operations: a Counter::Add is one relaxed
+/// fetch_add on a cache line owned (statistically) by the calling thread;
+/// a Histogram::Record is a bucket-index computation (a few shifts), two
+/// relaxed fetch_adds, and two bounded CAS loops for min/max.
+
+/// Monotonic clock, nanoseconds. The zero point is unspecified (use only
+/// for differences).
+uint64_t MonotonicNowNs();
+
+/// Shard count for per-thread write paths. Threads are assigned
+/// round-robin at first use; more shards than this only buys contention
+/// relief past ~kMetricShards concurrently-writing threads.
+constexpr int kMetricShards = 8;
+
+namespace metrics_internal {
+/// One cache line per shard cell: two threads on different shards never
+/// bounce a line between cores.
+struct alignas(64) PaddedAtomic {
+  std::atomic<uint64_t> value{0};
+};
+/// This thread's shard, assigned round-robin on first use.
+int MetricShard();
+}  // namespace metrics_internal
+
+/// Monotonically increasing event count (requests served, cache hits).
+class MetricCounter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[metrics_internal::MetricShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const metrics_internal::PaddedAtomic& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<metrics_internal::PaddedAtomic, kMetricShards> shards_;
+};
+
+/// Instantaneous signed level (inflight requests, queue depth). A single
+/// atomic: gauges are delta-updated from many threads but their value is a
+/// level, so sharding would only complicate the read.
+class MetricGauge {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Sub(int64_t delta) { value_.fetch_sub(delta, std::memory_order_relaxed); }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A histogram snapshot: bucket counts plus derived aggregates, safe to
+/// keep, merge, and query after the fact.
+struct HistogramSnapshot {
+  uint64_t count = 0;  // always == sum of buckets
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when count == 0
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  // size MetricHistogram::kNumBuckets
+
+  /// Value at quantile `q` in [0, 1], linearly interpolated inside the
+  /// containing bucket and clamped to [min, max]. 0 when empty.
+  double Quantile(double q) const;
+
+  /// Accumulates `other` into this snapshot (test and multi-process use;
+  /// the live shards merge on snapshot automatically).
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Log-bucketed value histogram (latencies in ns, sizes in bytes).
+///
+/// Bucketing is log-linear: values 0..3 get exact buckets, then every
+/// power of two is split into 4 sub-buckets, so the relative width of any
+/// bucket is at most 25% — quantiles interpolated inside a bucket are
+/// within ~12.5% of the true value, at 252 buckets total covering the
+/// full uint64 range.
+class MetricHistogram {
+ public:
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kNumBuckets = 4 + 62 * kSubBuckets;  // 252
+
+  void Record(uint64_t value) {
+    Shard& shard = shards_[static_cast<size_t>(
+        metrics_internal::MetricShard())];
+    shard.buckets[static_cast<size_t>(BucketIndex(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    // Bounded CAS races: each loop usually settles in one try, and only
+    // ever runs when the new value actually extends the extreme.
+    uint64_t seen = shard.min.load(std::memory_order_relaxed);
+    while (value < seen && !shard.min.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+    seen = shard.max.load(std::memory_order_relaxed);
+    while (value > seen && !shard.max.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Merged view over every shard. Concurrent writers keep writing; the
+  /// snapshot is internally consistent (count derives from the buckets).
+  HistogramSnapshot Snapshot() const;
+
+  /// Bucket index for `value` in [0, kNumBuckets).
+  static int BucketIndex(uint64_t value);
+  /// Inclusive lower / exclusive upper value bound of bucket `index`.
+  static uint64_t BucketLowerBound(int index);
+  static uint64_t BucketUpperBound(int index);
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Everything the registry knows, exported at one instant. Sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// The process-wide instrument registry. Instruments are created on first
+/// use and never destroyed, so the returned references stay valid for the
+/// process lifetime — cache them in a static local at the call site:
+///
+///   static MetricCounter& hits =
+///       MetricsRegistry::Get().GetCounter("engine_pool.hits_total");
+///   hits.Add(1);
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  MetricCounter& GetCounter(const std::string& name);
+  MetricGauge& GetGauge(const std::string& name);
+  MetricHistogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mu_;
+  // Instrument storage never moves or shrinks (pointers are handed out).
+  std::vector<std::pair<std::string, MetricCounter*>> counters_;
+  std::vector<std::pair<std::string, MetricGauge*>> gauges_;
+  std::vector<std::pair<std::string, MetricHistogram*>> histograms_;
+};
+
+/// Prometheus text exposition (version 0.0.4) of the full registry plus
+/// the fault-injection site counters: counters as `cpclean_<name>`,
+/// gauges likewise, histograms as `_bucket{le=...}`/`_sum`/`_count`
+/// families. Instrument names sanitize '.' (and anything else outside
+/// [a-zA-Z0-9_]) to '_'.
+std::string MetricsPrometheusText();
+
+// ---------------------------------------------------------------------------
+// Per-request span tracing.
+
+/// The serve-pipeline phases one request passes through. Phase times are
+/// recorded *into the active span* by the layer that owns the phase; a
+/// request not under tracing (stdio transport, direct HandleRequest) has
+/// no active span and pays one thread-local load per phase.
+enum SpanPhase {
+  kSpanQueueWait = 0,      // dispatch -> worker pickup
+  kSpanCacheLookup,        // result-cache probe
+  kSpanEngineAcquire,      // engine-pool checkout (may create/rebind)
+  kSpanKernelCompute,      // similarity kernel + CP evaluation
+  kSpanSerialize,          // response JSON rendering
+  kSpanFlush,              // worker completion -> last byte on the socket
+  kSpanPhaseCount
+};
+const char* SpanPhaseName(int phase);
+
+/// One request's timing record. Fixed-size (the op name is a bounded char
+/// buffer, the phases an array), so recording allocates nothing.
+struct RequestSpan {
+  uint64_t start_ns = 0;  // monotonic; set at transport dispatch
+  uint64_t ready_ns = 0;  // worker finished; flush begins
+  uint64_t total_ns = 0;  // set at flush completion
+  uint64_t phase_ns[kSpanPhaseCount] = {};
+  char op[24] = {};
+
+  void SetOp(const char* name) {
+    std::strncpy(op, name, sizeof(op) - 1);
+    op[sizeof(op) - 1] = '\0';
+  }
+};
+
+/// The span the calling thread is currently recording into, or nullptr.
+RequestSpan* ActiveRequestSpan();
+
+/// Installs `span` as the calling thread's active span for the scope
+/// (nullptr is fine: phases become no-ops). Restores the previous span on
+/// destruction, so nesting is safe.
+class ScopedActiveSpan {
+ public:
+  explicit ScopedActiveSpan(RequestSpan* span);
+  ~ScopedActiveSpan();
+  ScopedActiveSpan(const ScopedActiveSpan&) = delete;
+  ScopedActiveSpan& operator=(const ScopedActiveSpan&) = delete;
+
+ private:
+  RequestSpan* previous_;
+};
+
+/// Accumulates the scope's duration into the active span's phase. When no
+/// span is active the constructor is a thread-local load and the
+/// destructor a branch — no clock reads.
+class ScopedSpanPhase {
+ public:
+  explicit ScopedSpanPhase(SpanPhase phase)
+      : span_(ActiveRequestSpan()),
+        phase_(phase),
+        start_(span_ != nullptr ? MonotonicNowNs() : 0) {}
+  ~ScopedSpanPhase() {
+    if (span_ != nullptr) {
+      span_->phase_ns[phase_] += MonotonicNowNs() - start_;
+    }
+  }
+  ScopedSpanPhase(const ScopedSpanPhase&) = delete;
+  ScopedSpanPhase& operator=(const ScopedSpanPhase&) = delete;
+
+ private:
+  RequestSpan* span_;
+  SpanPhase phase_;
+  uint64_t start_;
+};
+
+/// Bounded ring of recently completed spans, pushed by the transport at
+/// flush completion and drained by the `metrics` op. The mutex is off the
+/// hot path (one lock per *completed* request, never per phase) and the
+/// ring is preallocated, so pushes never allocate.
+class SpanRing {
+ public:
+  explicit SpanRing(size_t capacity = 256);
+
+  void Push(const RequestSpan& span);
+  /// Retained spans, oldest first.
+  std::vector<RequestSpan> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RequestSpan> ring_;
+  size_t next_ = 0;
+  size_t size_ = 0;
+};
+
+/// The process-wide ring the serve transport records into.
+SpanRing& GlobalSpanRing();
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_COMMON_METRICS_H_

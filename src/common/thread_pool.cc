@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace cpclean {
@@ -95,6 +96,10 @@ void ThreadPool::WorkerLoop() {
       return false;
     });
     if (stop_) return;
+    // Each worker joining a published job is one steal.
+    static MetricCounter& steals =
+        MetricsRegistry::Get().GetCounter("pool.steals_total");
+    steals.Add(1);
     ++job->slots;
     ++job->participants;
     lock.unlock();
@@ -142,6 +147,9 @@ void ThreadPool::ParallelFor(int64_t n,
   job->chunk =
       std::max<int64_t>(1, n / (static_cast<int64_t>(num_threads()) * 8));
   {
+    static MetricCounter& jobs_published =
+        MetricsRegistry::Get().GetCounter("pool.jobs_total");
+    jobs_published.Add(1);
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(job);
   }

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/metrics.h"
+
 namespace cpclean {
 
 EnginePool::EnginePool(const IncompleteDataset* dataset, int k,
@@ -9,6 +11,12 @@ EnginePool::EnginePool(const IncompleteDataset* dataset, int k,
     : dataset_(dataset), k_(k), epsilon_(epsilon), max_idle_(max_idle) {}
 
 EnginePool::Lease EnginePool::Acquire() {
+  static MetricCounter& hits =
+      MetricsRegistry::Get().GetCounter("engine_pool.hits_total");
+  static MetricCounter& rebinds =
+      MetricsRegistry::Get().GetCounter("engine_pool.rebinds_total");
+  static MetricCounter& misses =
+      MetricsRegistry::Get().GetCounter("engine_pool.misses_total");
   // Safe to read under the caller's shared dataset lock: writers hold it
   // exclusively while mutating.
   const uint64_t current = dataset_->version();
@@ -23,14 +31,20 @@ EnginePool::Lease EnginePool::Acquire() {
         engine = std::move(idle_[i]);
         idle_[i] = std::move(idle_.back());
         idle_.pop_back();
+        hits.Add(1);
         break;
       }
     }
     if (!engine && !idle_.empty()) {
       engine = std::move(idle_.back());
       idle_.pop_back();
+      // A stale engine: the next SetTestPoint rebinds it to `current`.
+      rebinds.Add(1);
     }
-    if (!engine) ++created_;
+    if (!engine) {
+      ++created_;
+      misses.Add(1);
+    }
   }
   if (!engine) {
     // Construction reads the dataset's structure; done outside the pool

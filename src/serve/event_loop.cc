@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -140,6 +141,7 @@ Status EventLoop::Run() {
       // Already-built pollers stay in pollers_; the destructor closes
       // their fds after the loop is unpublished (see ~EventLoop).
       ::close(listen_fd_);
+      if (options_.metrics_listen_fd >= 0) ::close(options_.metrics_listen_fd);
       return status;
     }
     epoll_event ev{};
@@ -154,6 +156,18 @@ Status EventLoop::Run() {
     ev.data.fd = listen_fd_;
     ::epoll_ctl(pollers_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
     listener_open_.store(true);
+  }
+  if (options_.metrics_listen_fd >= 0) {
+    // The /metrics listener shares poller 0 with the main listener; its
+    // connections are one-shot HTTP GETs and never touch the work queue.
+    const int flags = ::fcntl(options_.metrics_listen_fd, F_GETFL, 0);
+    ::fcntl(options_.metrics_listen_fd, F_SETFL, flags | O_NONBLOCK);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = options_.metrics_listen_fd;
+    ::epoll_ctl(pollers_[0]->epoll_fd, EPOLL_CTL_ADD,
+                options_.metrics_listen_fd, &ev);
+    metrics_listener_open_.store(true);
   }
 
   std::vector<std::thread> workers;
@@ -180,6 +194,9 @@ Status EventLoop::Run() {
   for (std::thread& t : workers) t.join();
 
   if (listener_open_.exchange(false)) ::close(listen_fd_);
+  if (metrics_listener_open_.exchange(false)) {
+    ::close(options_.metrics_listen_fd);
+  }
   if (spare_fd_ >= 0) {
     ::close(spare_fd_);
     spare_fd_ = -1;
@@ -205,6 +222,11 @@ void EventLoop::PollerLoop(int index) {
       if (index == 0 && listener_open_.exchange(false)) {
         ::epoll_ctl(p.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
         ::close(listen_fd_);
+      }
+      if (index == 0 && metrics_listener_open_.exchange(false)) {
+        ::epoll_ctl(p.epoll_fd, EPOLL_CTL_DEL, options_.metrics_listen_fd,
+                    nullptr);
+        ::close(options_.metrics_listen_fd);
       }
       // Graceful: stop reading (lines already framed still get answers,
       // unread socket bytes are dropped — the thread-per-connection
@@ -246,6 +268,11 @@ void EventLoop::PollerLoop(int index) {
       }
       if (index == 0 && fd == listen_fd_ && listener_open_.load()) {
         AcceptReady(p);
+        continue;
+      }
+      if (index == 0 && fd == options_.metrics_listen_fd &&
+          metrics_listener_open_.load()) {
+        AcceptMetricsReady(p);
         continue;
       }
       const auto it = p.conns.find(fd);
@@ -435,6 +462,12 @@ void EventLoop::AcceptReady(Poller& p) {
       continue;
     }
     counters.active_connections.fetch_add(1, std::memory_order_relaxed);
+    static MetricCounter& accepts =
+        MetricsRegistry::Get().GetCounter("serve.accepts_total");
+    static MetricGauge& active =
+        MetricsRegistry::Get().GetGauge("serve.active_connections");
+    accepts.Add(1);
+    active.Add(1);
     auto conn = std::make_shared<Connection>();
     conn->fd = client;
     conn->last_activity = std::chrono::steady_clock::now();
@@ -452,6 +485,72 @@ void EventLoop::AcceptReady(Poller& p) {
       (void)!::write(target.wake_fd, &one, sizeof(one));
     }
   }
+}
+
+void EventLoop::AcceptMetricsReady(Poller& p) {
+  while (true) {
+    const int client = ::accept4(options_.metrics_listen_fd, nullptr,
+                                 nullptr, SOCK_NONBLOCK);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, EMFILE, ...: try again on the next EPOLLIN
+    }
+    if (server_->stopping() || hard_stop_.load()) {
+      ::close(client);
+      continue;
+    }
+    // Not admission-controlled and not counted as a transport connection:
+    // the scrape path must keep working while the serve side is saturated.
+    auto conn = std::make_shared<Connection>();
+    conn->fd = client;
+    conn->http = true;
+    conn->poller = 0;
+    conn->last_activity = std::chrono::steady_clock::now();
+    AdoptConnection(p, conn);
+  }
+}
+
+bool EventLoop::HandleHttpRequest(Poller& p,
+                                  const std::shared_ptr<Connection>& conn) {
+  // Wait for the complete request head; scrapers send no body.
+  size_t head_end = conn->in_buffer.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    head_end = conn->in_buffer.find("\n\n");
+  }
+  if (head_end == std::string::npos) {
+    if (conn->in_buffer.size() > 8192) CloseConnection(p, conn);
+    return false;
+  }
+  const bool is_metrics = conn->in_buffer.rfind("GET /metrics", 0) == 0;
+  conn->in_buffer.clear();
+  std::string head;
+  std::string body;
+  if (is_metrics) {
+    static MetricCounter& scrapes =
+        MetricsRegistry::Get().GetCounter("serve.http_scrapes_total");
+    scrapes.Add(1);
+    body = MetricsPrometheusText();
+    head =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  } else {
+    body = "not found (try GET /metrics)\n";
+    head =
+        "HTTP/1.1 404 Not Found\r\n"
+        "Content-Type: text/plain; charset=utf-8\r\n";
+  }
+  head += StrFormat("Content-Length: %llu\r\nConnection: close\r\n\r\n",
+                    static_cast<unsigned long long>(body.size()));
+  auto slot = std::make_shared<Response>();
+  slot->owner.store(1, std::memory_order_relaxed);
+  slot->text = head + body;
+  slot->ready.store(true, std::memory_order_release);
+  conn->outgoing.push_back(std::move(slot));
+  // One-shot: stop reading; the flush path closes once the response (and
+  // nothing else — http connections never execute requests) drains.
+  conn->reading = false;
+  UpdateInterest(p, *conn);
+  return true;
 }
 
 void EventLoop::AdoptConnection(Poller& p,
@@ -496,6 +595,13 @@ void EventLoop::ReadReady(Poller& p, const std::shared_ptr<Connection>& conn) {
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     CloseConnection(p, conn);
+    return;
+  }
+  if (conn->http) {
+    if (!conn->closed) {
+      HandleHttpRequest(p, conn);
+      FlushConnection(p, conn);
+    }
     return;
   }
   // Incremental line framing: whatever newline-terminated lines the buffer
@@ -545,6 +651,10 @@ void EventLoop::ReadReady(Poller& p, const std::shared_ptr<Connection>& conn) {
 void EventLoop::DispatchLines(Poller& p,
                               const std::shared_ptr<Connection>& conn) {
   Server::TransportCounters& counters = server_->transport_counters();
+  static MetricGauge& inflight =
+      MetricsRegistry::Get().GetGauge("serve.inflight");
+  static MetricCounter& coalesce_hits =
+      MetricsRegistry::Get().GetCounter("serve.coalesce_hits_total");
   // Serial per connection: dispatch the head line only once the previous
   // request's response slot exists — pipelined requests on one connection
   // keep blocking-transport semantics (and response order).
@@ -554,8 +664,11 @@ void EventLoop::DispatchLines(Poller& p,
     if (BlankOrComment(line)) continue;
 
     auto slot = std::make_shared<Response>();
+    slot->span.start_ns = MonotonicNowNs();
+    slot->has_span = true;
     Result<JsonValue> parsed = ParseJson(line);
     if (!parsed.ok()) {
+      slot->span.SetOp("invalid");
       // Replay the raw line through HandleLine on a worker: its parse
       // error rendering is the canonical one, byte for byte.
       auto item = std::make_shared<WorkItem>();
@@ -572,6 +685,7 @@ void EventLoop::DispatchLines(Poller& p,
             std::chrono::milliseconds(options_.request_timeout_ms);
       }
       counters.inflight_requests.fetch_add(1, std::memory_order_relaxed);
+      inflight.Add(1);
       Enqueue(std::move(item));
       break;
     }
@@ -595,9 +709,13 @@ void EventLoop::DispatchLines(Poller& p,
       continue;
     }
     counters.inflight_requests.fetch_add(1, std::memory_order_relaxed);
+    inflight.Add(1);
 
     const JsonValue* op =
         parsed.value().is_object() ? parsed.value().Find("op") : nullptr;
+    slot->span.SetOp(op != nullptr && op->is_string()
+                         ? op->string_value().c_str()
+                         : "unknown");
     const bool coalescable = options_.coalesce_q2 && op != nullptr &&
                              op->is_string() && op->string_value() == "q2";
     WorkItem::Waiter waiter{conn, slot, id != nullptr,
@@ -625,6 +743,7 @@ void EventLoop::DispatchLines(Poller& p,
       }
       if (merged) {
         counters.coalesced_requests.fetch_add(1, std::memory_order_relaxed);
+        coalesce_hits.Add(1);
         break;
       }
       auto item = std::make_shared<WorkItem>();
@@ -677,6 +796,12 @@ void EventLoop::FlushConnection(Poller& p,
       return;
     }
     if (blocked) break;
+    // Flush completion finalizes the span — but only when the worker won
+    // the owner handshake: after a deadline reap the worker may still be
+    // writing the span fields, and a reaped request's timings are moot.
+    if (front.has_span && front.owner.load(std::memory_order_acquire) == 1) {
+      FinalizeSpan(front.span);
+    }
     conn->outgoing.pop_front();
     conn->out_offset = 0;
   }
@@ -701,6 +826,13 @@ void EventLoop::FlushConnection(Poller& p,
     queued += slot->text.size();
   }
   queued -= std::min(queued, conn->out_offset);
+  if (queued != conn->backlog_gauge) {
+    static MetricGauge& backlog =
+        MetricsRegistry::Get().GetGauge("serve.output_backlog_bytes");
+    backlog.Add(static_cast<int64_t>(queued) -
+                static_cast<int64_t>(conn->backlog_gauge));
+    conn->backlog_gauge = queued;
+  }
   if (options_.max_output_bytes > 0 && queued >= options_.max_output_bytes) {
     // A reader this far behind costs memory on every queued response; the
     // cap converts "unbounded buffering" into a loud disconnect.
@@ -735,11 +867,26 @@ void EventLoop::CloseConnection(Poller& p,
   ::epoll_ctl(p.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
   p.conns.erase(conn->fd);
+  if (conn->backlog_gauge > 0) {
+    static MetricGauge& backlog =
+        MetricsRegistry::Get().GetGauge("serve.output_backlog_bytes");
+    backlog.Sub(static_cast<int64_t>(conn->backlog_gauge));
+    conn->backlog_gauge = 0;
+  }
+  // Metrics-listener connections were never admitted as transport
+  // connections, so they must not drain the transport's count either.
+  if (conn->http) return;
   server_->transport_counters().active_connections.fetch_sub(
       1, std::memory_order_relaxed);
+  static MetricGauge& active =
+      MetricsRegistry::Get().GetGauge("serve.active_connections");
+  active.Sub(1);
 }
 
 void EventLoop::Enqueue(std::shared_ptr<WorkItem> item) {
+  static MetricGauge& depth =
+      MetricsRegistry::Get().GetGauge("serve.queue_depth");
+  depth.Add(1);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (!item->coalesce_key.empty()) {
@@ -760,6 +907,9 @@ void EventLoop::WorkerLoop() {
       if (queue_.empty()) return;  // workers_stop_ and fully drained
       item = std::move(queue_.front());
       queue_.pop_front();
+      static MetricGauge& depth =
+          MetricsRegistry::Get().GetGauge("serve.queue_depth");
+      depth.Sub(1);
       // Started items stop accepting coalesce joiners: a request arriving
       // now may be ordered after a write this evaluation won't see.
       if (!item->coalesce_key.empty()) {
@@ -784,43 +934,75 @@ void EventLoop::Execute(WorkItem& item) {
     }
   }
   if (!any_unclaimed) return;
+  static MetricHistogram& exec_ns =
+      MetricsRegistry::Get().GetHistogram("serve.exec_ns");
+  // Execution detail lands on the head waiter's span; coalesced joiners
+  // share the evaluation, so their spans carry dispatch/flush times only.
+  // The worker owns these span fields until the owner CAS in Complete —
+  // the poller reads them only after winning slots flip ready (and skips
+  // deadline-reaped slots entirely).
+  RequestSpan* span = item.waiters[0].slot->has_span
+                          ? &item.waiters[0].slot->span
+                          : nullptr;
+  const uint64_t exec_start = MonotonicNowNs();
+  if (span != nullptr) {
+    span->phase_ns[kSpanQueueWait] = exec_start - span->start_ns;
+  }
+  ScopedActiveSpan active(span);
   (void)FaultHit("serve.exec");  // sleep rules stall execution here
   if (item.raw) {
     std::string text = server_->HandleLine(item.line);
     if (!text.empty()) text.push_back('\n');
     item.waiters[0].rendered = std::move(text);
+    exec_ns.Record(MonotonicNowNs() - exec_start);
     return;
   }
   if (item.waiters.size() == 1) {
-    std::string text = server_->HandleRequest(item.request).Dump();
+    const JsonValue response = server_->HandleRequest(item.request);
+    std::string text;
+    {
+      ScopedSpanPhase phase(kSpanSerialize);
+      text = response.Dump();
+    }
     text.push_back('\n');
     item.waiters[0].rendered = std::move(text);
+    exec_ns.Record(MonotonicNowNs() - exec_start);
     return;
   }
   // Coalesced group: evaluate once without any id, then fan the response
   // back out with each waiter's own id in the canonical first position.
   const JsonValue base = server_->HandleRequest(StripId(item.request));
-  for (WorkItem::Waiter& waiter : item.waiters) {
-    std::string text;
-    if (!waiter.has_id) {
-      text = base.Dump();
-    } else {
-      JsonValue response = JsonValue::MakeObject();
-      response.Set("id", waiter.id);
-      for (const JsonValue::Member& member : base.object()) {
-        response.Set(member.first, member.second);
+  {
+    ScopedSpanPhase phase(kSpanSerialize);
+    for (WorkItem::Waiter& waiter : item.waiters) {
+      std::string text;
+      if (!waiter.has_id) {
+        text = base.Dump();
+      } else {
+        JsonValue response = JsonValue::MakeObject();
+        response.Set("id", waiter.id);
+        for (const JsonValue::Member& member : base.object()) {
+          response.Set(member.first, member.second);
+        }
+        text = response.Dump();
       }
-      text = response.Dump();
+      text.push_back('\n');
+      waiter.rendered = std::move(text);
     }
-    text.push_back('\n');
-    waiter.rendered = std::move(text);
   }
+  exec_ns.Record(MonotonicNowNs() - exec_start);
 }
 
 void EventLoop::Complete(WorkItem& item) {
   Server::TransportCounters& counters = server_->transport_counters();
+  static MetricCounter& requests =
+      MetricsRegistry::Get().GetCounter("serve.requests_total");
+  static MetricGauge& inflight =
+      MetricsRegistry::Get().GetGauge("serve.inflight");
   counters.inflight_requests.fetch_sub(
       static_cast<int>(item.waiters.size()), std::memory_order_relaxed);
+  requests.Add(item.waiters.size());
+  inflight.Sub(static_cast<int64_t>(item.waiters.size()));
   for (WorkItem::Waiter& waiter : item.waiters) {
     // The owner CAS against the deadline reaper: install the rendering
     // only if the slot is still ours. A lost race means the poller
@@ -830,6 +1012,9 @@ void EventLoop::Complete(WorkItem& item) {
     if (waiter.slot->owner.compare_exchange_strong(
             unclaimed, 1, std::memory_order_acq_rel)) {
       waiter.slot->text = std::move(waiter.rendered);
+      if (waiter.slot->has_span) {
+        waiter.slot->span.ready_ns = MonotonicNowNs();
+      }
       waiter.slot->ready.store(true, std::memory_order_release);
     }
     // The completion is handed back either way: it is what releases the
@@ -841,6 +1026,47 @@ void EventLoop::Complete(WorkItem& item) {
     }
   }
   Wake();
+}
+
+void EventLoop::FinalizeSpan(RequestSpan& span) {
+  static MetricHistogram& request_ns =
+      MetricsRegistry::Get().GetHistogram("serve.request_ns");
+  static MetricHistogram& queue_wait_ns =
+      MetricsRegistry::Get().GetHistogram("serve.queue_wait_ns");
+  const uint64_t now = MonotonicNowNs();
+  if (span.ready_ns != 0) {
+    span.phase_ns[kSpanFlush] = now - span.ready_ns;
+  }
+  span.total_ns = now - span.start_ns;
+  request_ns.Record(span.total_ns);
+  queue_wait_ns.Record(span.phase_ns[kSpanQueueWait]);
+  GlobalSpanRing().Push(span);
+  if (options_.slow_request_ms <= 0 ||
+      span.total_ns <
+          static_cast<uint64_t>(options_.slow_request_ms) * 1000000ULL) {
+    return;
+  }
+  static MetricCounter& slow =
+      MetricsRegistry::Get().GetCounter("serve.slow_requests_total");
+  slow.Add(1);
+  JsonValue entry = JsonValue::MakeObject();
+  entry.Set("event", JsonValue("slow_request"));
+  entry.Set("op", JsonValue(std::string(span.op)));
+  entry.Set("threshold_ms", JsonValue(options_.slow_request_ms));
+  entry.Set("total_ms",
+            JsonValue(static_cast<double>(span.total_ns) / 1e6));
+  JsonValue phases = JsonValue::MakeObject();
+  for (int ph = 0; ph < kSpanPhaseCount; ++ph) {
+    phases.Set(SpanPhaseName(ph),
+               JsonValue(static_cast<double>(span.phase_ns[ph]) / 1e6));
+  }
+  entry.Set("phases_ms", std::move(phases));
+  const std::string line = entry.Dump();
+  if (options_.slow_log) {
+    options_.slow_log(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace cpclean

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -14,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "serve/json.h"
 
@@ -62,6 +64,16 @@ struct EventLoopOptions {
   /// response bytes reach this is closed — a stalled reader bounds its
   /// cost at this number, never at "all of RAM". 0 = unlimited.
   size_t max_output_bytes = 32 << 20;
+  /// An already-listening loopback fd serving HTTP `GET /metrics`
+  /// (Prometheus text) on poller 0, or -1 for none. Owned by the loop
+  /// (closed by `Run`). Metrics connections bypass `max_connections`:
+  /// observability must keep working under overload.
+  int metrics_listen_fd = -1;
+  /// Requests whose span total exceeds this emit one structured JSON log
+  /// line with the full phase breakdown. 0 = disabled.
+  int slow_request_ms = 0;
+  /// Sink for slow-request lines; defaults to stderr when empty.
+  std::function<void(const std::string&)> slow_log;
 };
 
 /// The epoll transport behind `Server::ServeTcp`.
@@ -124,6 +136,13 @@ class EventLoop {
     std::string text;  // includes the trailing '\n'
     std::atomic<bool> ready{false};
     std::atomic<int> owner{0};
+    /// Per-request span, recorded by the worker while it owns the slot and
+    /// finalized by the poller at flush completion — but only when the
+    /// worker won the owner CAS (`owner == 1`): after a deadline reap the
+    /// worker may still be writing these fields. Embedded by value so
+    /// tracing allocates nothing.
+    RequestSpan span;
+    bool has_span = false;
   };
 
   /// Connection state, owned by exactly one poller thread; workers touch
@@ -132,6 +151,10 @@ class EventLoop {
     int fd = -1;
     int poller = 0;
     bool closed = false;
+    bool http = false;       // metrics-listener connection (GET /metrics)
+    /// Output bytes this connection has contributed to the process-wide
+    /// backlog gauge (kept so close can subtract exactly what was added).
+    size_t backlog_gauge = 0;
     bool reading = true;     // cleared on EOF or graceful stop
     bool read_paused = false;  // EPOLLIN off: output backlog over the hwm
     bool want_write = false; // EPOLLOUT armed (partial write pending)
@@ -182,6 +205,11 @@ class EventLoop {
   void PollerLoop(int index);
   void WorkerLoop();
   void AcceptReady(Poller& p);
+  /// Accepts connections on the metrics listener (poller 0 only).
+  void AcceptMetricsReady(Poller& p);
+  /// Parses a complete HTTP request head and queues the response; returns
+  /// false when more bytes are needed.
+  bool HandleHttpRequest(Poller& p, const std::shared_ptr<Connection>& conn);
   /// Deadline expiry, idle reaping, parked-listener retry — runs once per
   /// poll tick, and only when one of those features is armed.
   void Housekeeping(Poller& p, int index);
@@ -198,6 +226,10 @@ class EventLoop {
   void UpdateInterest(Poller& p, Connection& conn);
   void Enqueue(std::shared_ptr<WorkItem> item);
   void Execute(WorkItem& item);
+  /// Completes `span` at last-byte-flushed time: flush/total durations,
+  /// the request histograms, the global span ring, and (over threshold)
+  /// the slow-request log line.
+  void FinalizeSpan(RequestSpan& span);
   /// Hands the completed response back to each waiter's poller.
   void Complete(WorkItem& item);
 
@@ -211,6 +243,7 @@ class EventLoop {
   std::vector<std::unique_ptr<Poller>> pollers_;
   std::atomic<bool> hard_stop_{false};
   std::atomic<bool> listener_open_{false};
+  std::atomic<bool> metrics_listener_open_{false};
   std::atomic<uint64_t> next_poller_{0};  // round-robin connection deal
 
   // Poller-0 state: the EMFILE reserve fd (closed to free a slot so the

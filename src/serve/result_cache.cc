@@ -2,16 +2,26 @@
 
 #include <cstring>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace cpclean {
 
 std::optional<JsonValue> ResultCache::Lookup(const std::string& key,
                                              uint64_t version) {
+  // Process-wide rollups across every cache instance; the per-instance
+  // atomics below feed the `stats` op as before.
+  static MetricCounter& hit_count =
+      MetricsRegistry::Get().GetCounter("serve.cache_hits_total");
+  static MetricCounter& miss_count =
+      MetricsRegistry::Get().GetCounter("serve.cache_misses_total");
+  static MetricCounter& invalidation_count =
+      MetricsRegistry::Get().GetCounter("serve.cache_invalidations_total");
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    miss_count.Add(1);
     return std::nullopt;
   }
   if (it->second->second.version != version) {
@@ -20,10 +30,13 @@ std::optional<JsonValue> ResultCache::Lookup(const std::string& key,
     map_.erase(it);
     invalidations_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
+    invalidation_count.Add(1);
+    miss_count.Add(1);
     return std::nullopt;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  hit_count.Add(1);
   // Copy under the lock: the JsonValue must not be read while another
   // reader's insert or splice touches the list node.
   return it->second->second.value;
@@ -42,9 +55,12 @@ void ResultCache::Insert(const std::string& key, uint64_t version,
   lru_.emplace_front(key, Entry{version, std::move(value)});
   map_[key] = lru_.begin();
   while (map_.size() > capacity_) {
+    static MetricCounter& eviction_count =
+        MetricsRegistry::Get().GetCounter("serve.cache_evictions_total");
     map_.erase(lru_.back().first);
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    eviction_count.Add(1);
   }
 }
 

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "knn/kernel_simd.h"
@@ -93,7 +94,8 @@ JsonValue SpecFromRequest(const JsonValue& req) {
 Server::Server(ServerOptions options)
     : options_(options),
       store_(SessionStoreOptions{options.data_dir, options.max_sessions,
-                                 options.default_cache_capacity}) {
+                                 options.default_cache_capacity}),
+      start_ns_(MonotonicNowNs()) {
   // Faults asked for in the environment apply to every transport this
   // server runs (a no-op unless CPCLEAN_FAULTS is set).
   FaultInjection::InitFromEnv();
@@ -413,6 +415,13 @@ Result<JsonValue> Server::Stats(const JsonValue& req) {
   // As configured (0 = hardware concurrency), NOT resolved: stats output
   // stays machine-independent, which the scripted smoke diffs rely on.
   connections.Set("request_workers", JsonValue(options_.request_workers));
+  // The thread count actually running (configured value resolved against
+  // hardware concurrency) — what capacity planning needs; the smoke
+  // normalizer masks it.
+  connections.Set("request_workers_actual",
+                  JsonValue(options_.request_workers > 0
+                                ? options_.request_workers
+                                : ThreadPool::HardwareThreads()));
   connections.Set("max_inflight", JsonValue(options_.max_inflight));
   connections.Set("inflight",
                   JsonValue(transport_counters_.inflight_requests.load(
@@ -436,6 +445,72 @@ Result<JsonValue> Server::Stats(const JsonValue& req) {
                   JsonValue(transport_counters_.output_overflow_closed.load(
                       std::memory_order_relaxed)));
   out.Set("connections", std::move(connections));
+  out.Set("uptime_ms",
+          JsonValue(static_cast<uint64_t>((MonotonicNowNs() - start_ns_) /
+                                          1000000ULL)));
+  return out;
+}
+
+Result<JsonValue> Server::Metrics(const JsonValue& req) {
+  (void)req;
+  const MetricsSnapshot snapshot = MetricsRegistry::Get().Snapshot();
+  JsonValue out = JsonValue::MakeObject();
+  JsonValue counters = JsonValue::MakeObject();
+  for (const auto& c : snapshot.counters) {
+    counters.Set(c.first, JsonValue(c.second));
+  }
+  out.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::MakeObject();
+  for (const auto& g : snapshot.gauges) {
+    gauges.Set(g.first, JsonValue(g.second));
+  }
+  out.Set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::MakeObject();
+  for (const auto& h : snapshot.histograms) {
+    JsonValue hist = JsonValue::MakeObject();
+    hist.Set("count", JsonValue(h.second.count));
+    hist.Set("sum_ns", JsonValue(h.second.sum));
+    hist.Set("min_ns", JsonValue(h.second.count > 0 ? h.second.min : 0));
+    hist.Set("max_ns", JsonValue(h.second.count > 0 ? h.second.max : 0));
+    hist.Set("p50_ns",
+             JsonValue(static_cast<uint64_t>(h.second.Quantile(0.5))));
+    hist.Set("p90_ns",
+             JsonValue(static_cast<uint64_t>(h.second.Quantile(0.9))));
+    hist.Set("p99_ns",
+             JsonValue(static_cast<uint64_t>(h.second.Quantile(0.99))));
+    hist.Set("p999_ns",
+             JsonValue(static_cast<uint64_t>(h.second.Quantile(0.999))));
+    histograms.Set(h.first, std::move(hist));
+  }
+  out.Set("histograms", std::move(histograms));
+  // Newest-last ring of completed request spans (TCP transport only — the
+  // stdio transport has no flush phase to time).
+  JsonValue spans = JsonValue::MakeArray();
+  for (const RequestSpan& s : GlobalSpanRing().Snapshot()) {
+    JsonValue span = JsonValue::MakeObject();
+    span.Set("op", JsonValue(std::string(s.op)));
+    span.Set("total_ns", JsonValue(s.total_ns));
+    JsonValue phases = JsonValue::MakeObject();
+    for (int p = 0; p < kSpanPhaseCount; ++p) {
+      phases.Set(SpanPhaseName(static_cast<SpanPhase>(p)),
+                 JsonValue(s.phase_ns[p]));
+    }
+    span.Set("phases", std::move(phases));
+    spans.Append(std::move(span));
+  }
+  out.Set("spans", std::move(spans));
+  // Per-site fault-injection hit/fire counts, mirrored from fault_inject
+  // so monitoring never has to arm the (gated) fault op just to read them.
+  JsonValue sites = JsonValue::MakeArray();
+  for (const FaultInjection::SiteStats& stats : FaultInjection::Stats()) {
+    JsonValue site = JsonValue::MakeObject();
+    site.Set("site", JsonValue(stats.site));
+    site.Set("hits", JsonValue(stats.hits));
+    site.Set("fires", JsonValue(stats.fires));
+    sites.Append(std::move(site));
+  }
+  out.Set("fault_sites", std::move(sites));
+  out.Set("slow_request_ms", JsonValue(options_.slow_request_ms));
   return out;
 }
 
@@ -504,6 +579,7 @@ Result<JsonValue> Server::Dispatch(const std::string& op,
   if (op == "save_session") return SaveSession(req);
   if (op == "load_session") return LoadSession(req);
   if (op == "stats") return Stats(req);
+  if (op == "metrics") return Metrics(req);
   if (op == "fault_inject") return FaultInject(req);
   if (op == "shutdown") {
     // Graceful (not Stop()): the connection that asked must still receive
@@ -599,6 +675,40 @@ Status Server::ServeTcp(int port) {
   }
   socklen_t len = sizeof(addr);
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+
+  // The /metrics HTTP listener (loopback, same event loop). Bound before
+  // the main port is published so a client that saw both ports can scrape
+  // immediately.
+  int metrics_fd = -1;
+  if (options_.metrics_port >= 0) {
+    metrics_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (metrics_fd < 0) {
+      ::close(fd);
+      bound_port_.store(-2);
+      return Status::IoError(
+          StrFormat("metrics socket: %s", std::strerror(errno)));
+    }
+    ::setsockopt(metrics_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in maddr;
+    std::memset(&maddr, 0, sizeof(maddr));
+    maddr.sin_family = AF_INET;
+    maddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    maddr.sin_port = htons(static_cast<uint16_t>(options_.metrics_port));
+    if (::bind(metrics_fd, reinterpret_cast<sockaddr*>(&maddr),
+               sizeof(maddr)) != 0 ||
+        ::listen(metrics_fd, SOMAXCONN) != 0) {
+      const Status status = Status::IoError(
+          StrFormat("metrics bind/listen: %s", std::strerror(errno)));
+      ::close(metrics_fd);
+      ::close(fd);
+      bound_port_.store(-2);
+      return status;
+    }
+    socklen_t mlen = sizeof(maddr);
+    ::getsockname(metrics_fd, reinterpret_cast<sockaddr*>(&maddr), &mlen);
+    bound_metrics_port_.store(static_cast<int>(ntohs(maddr.sin_port)));
+  }
+
   listen_fd_.store(fd);
   bound_port_.store(static_cast<int>(ntohs(addr.sin_port)));
 
@@ -613,6 +723,9 @@ Status Server::ServeTcp(int port) {
   loop_options.max_request_bytes = options_.max_request_bytes;
   loop_options.output_hwm_bytes = options_.output_hwm_bytes;
   loop_options.max_output_bytes = options_.max_output_bytes;
+  loop_options.metrics_listen_fd = metrics_fd;  // loop owns it from here
+  loop_options.slow_request_ms = options_.slow_request_ms;
+  loop_options.slow_log = options_.slow_log;
   EventLoop loop(this, fd, loop_options);
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -630,6 +743,7 @@ Status Server::ServeTcp(int port) {
   }
   conn_cv_.notify_all();
   bound_port_.store(-2);
+  bound_metrics_port_.store(-1);
   return status;
 }
 

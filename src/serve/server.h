@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <mutex>
 #include <string>
@@ -61,6 +62,16 @@ struct ServerOptions {
   /// `max_output_bytes` (hard). 0 disables either bound.
   size_t output_hwm_bytes = 4 << 20;
   size_t max_output_bytes = 32 << 20;
+  /// Loopback HTTP `GET /metrics` listener (Prometheus text exposition) on
+  /// this port, served by the same event loop as the main transport
+  /// (0 = ephemeral, see `metrics_port()`; -1 disables). TCP only.
+  int metrics_port = -1;
+  /// TCP requests whose span total exceeds this emit one structured JSON
+  /// log line with the full phase breakdown. 0 = disabled.
+  int slow_request_ms = 0;
+  /// Sink for slow-request log lines (tests capture them here); empty
+  /// means stderr.
+  std::function<void(const std::string&)> slow_log;
 };
 
 /// The CP-query serving layer's request router and transports.
@@ -145,6 +156,10 @@ class Server {
   /// the listener has failed or terminated.
   int port() const { return bound_port_.load(); }
 
+  /// The bound `/metrics` HTTP port once `ServeTcp` is listening with
+  /// `metrics_port >= 0`; -1 otherwise.
+  int metrics_port() const { return bound_metrics_port_.load(); }
+
   /// Graceful wind-down: marks the server stopping and unblocks the
   /// listener. Lines already framed still receive their responses, then
   /// connections close. Async-signal-safe (atomics and a `shutdown(2)`
@@ -184,6 +199,9 @@ class Server {
   Result<JsonValue> SaveSession(const JsonValue& req);
   Result<JsonValue> LoadSession(const JsonValue& req);
   Result<JsonValue> Stats(const JsonValue& req);
+  /// The telemetry snapshot: counters/gauges/histogram quantiles from the
+  /// process-wide registry, recent request spans, fault-site fires.
+  Result<JsonValue> Metrics(const JsonValue& req);
   /// Test-only fault-rule installer (see common/fault_injection.h);
   /// refused unless CPCLEAN_FAULTS is in the environment or a test armed
   /// the op in-process.
@@ -207,8 +225,11 @@ class Server {
   std::mutex lifecycle_mu_;
   std::atomic<bool> stopping_{false};
   std::atomic<int> bound_port_{-1};
+  std::atomic<int> bound_metrics_port_{-1};
   std::atomic<int> listen_fd_{-1};
   TransportCounters transport_counters_;
+  /// Construction time, for the `stats` op's uptime_ms.
+  const uint64_t start_ns_;
 
   // The running event loop (while ServeTcp is live): `Stop` hard-stops it
   // through this pointer, and the destructor waits for ServeTcp to sign

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "cleaning/certify.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "core/certain_predictor.h"
@@ -147,8 +148,11 @@ Result<std::vector<double>> ServeSession::ValPoint(int index) const {
 template <typename Fn>
 Result<JsonValue> ServeSession::Cached(const std::string& key,
                                        uint64_t version, Fn compute) {
-  if (std::optional<JsonValue> hit = cache_.Lookup(key, version)) {
-    return *std::move(hit);
+  {
+    ScopedSpanPhase phase(kSpanCacheLookup);
+    if (std::optional<JsonValue> hit = cache_.Lookup(key, version)) {
+      return *std::move(hit);
+    }
   }
   Result<JsonValue> computed = compute();
   if (computed.ok()) cache_.Insert(key, version, computed.value());
@@ -168,6 +172,7 @@ Result<JsonValue> ServeSession::Certify(const std::vector<double>& point,
     certify_options.k = options_.k;
     certify_options.max_cleaned = max_cleaned;
     certify_options.num_threads = options_.num_threads;
+    ScopedSpanPhase compute_phase(kSpanKernelCompute);
     CP_ASSIGN_OR_RETURN(
         const CertifyResult certified,
         CertifyOnDataset(cleaner_->working(), task_.true_candidate, point,
@@ -197,9 +202,14 @@ Result<JsonValue> ServeSession::Q2(const std::vector<double>& point) {
   return Cached(key, version, [&]() -> Result<JsonValue> {
     // A private engine per concurrent reader; SetTestPoint re-binds when
     // the lease is stamped with a superseded dataset version.
-    EnginePool::Lease engine = engines_->Acquire();
-    engine->SetTestPoint(point, *kernel_);
-    const std::vector<double> probs = engine->Fractions();
+    std::optional<EnginePool::Lease> engine;
+    {
+      ScopedSpanPhase phase(kSpanEngineAcquire);
+      engine.emplace(engines_->Acquire());
+    }
+    ScopedSpanPhase compute_phase(kSpanKernelCompute);
+    (*engine)->SetTestPoint(point, *kernel_);
+    const std::vector<double> probs = (*engine)->Fractions();
     JsonValue out = JsonValue::MakeObject();
     out.Set("probs", JsonValue::FromDoubles(probs));
     out.Set("entropy", JsonValue(Entropy(probs)));
@@ -223,6 +233,7 @@ Result<JsonValue> ServeSession::Predict(const std::vector<double>& point) {
       QueryCacheKey("predict", kernel_->name(), options_.k, -1, point);
   return Cached(key, version, [&]() -> Result<JsonValue> {
     const CertainPredictor predictor(kernel_.get(), options_.k);
+    ScopedSpanPhase compute_phase(kSpanKernelCompute);
     const CheckResult check = predictor.Check(working, point);
     const int label = check.CertainLabel();
     JsonValue out = JsonValue::MakeObject();

@@ -13,6 +13,7 @@
 
 #include "cleaning/imputers.h"
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "data/csv.h"
 #include "datasets/paper_datasets.h"
@@ -266,6 +267,9 @@ Status SessionStore::WriteFileAtomic(const std::string& path,
           options_.data_dir.c_str(), backoff_ms_));
     }
   }
+  // Timed from first IO to rename; the degraded fast-fail above is a
+  // deliberate non-write and never counts as a save failure.
+  const uint64_t start_ns = MonotonicNowNs();
   const Status written = [&]() -> Status {
     std::error_code ec;
     std::filesystem::create_directories(options_.data_dir, ec);
@@ -326,6 +330,18 @@ Status SessionStore::WriteFileAtomic(const std::string& path,
     }
     return Status::OK();
   }();
+  if (written.ok()) {
+    static MetricCounter& saves =
+        MetricsRegistry::Get().GetCounter("store.saves_total");
+    static MetricHistogram& save_ns =
+        MetricsRegistry::Get().GetHistogram("store.save_ns");
+    saves.Add(1);
+    save_ns.Record(MonotonicNowNs() - start_ns);
+  } else {
+    static MetricCounter& failures =
+        MetricsRegistry::Get().GetCounter("store.save_failures_total");
+    failures.Add(1);
+  }
   NoteWriteResult(written.ok());
   return written;
 }
@@ -336,6 +352,13 @@ void SessionStore::NoteWriteResult(bool ok) {
     degraded_ = false;
     backoff_ms_ = 0;
     return;
+  }
+  if (!degraded_) {
+    // Healthy -> degraded edge only; repeat failures extend the backoff
+    // but are not new transitions.
+    static MetricCounter& transitions = MetricsRegistry::Get().GetCounter(
+        "store.degraded_transitions_total");
+    transitions.Add(1);
   }
   degraded_ = true;
   backoff_ms_ = backoff_ms_ == 0
@@ -370,6 +393,9 @@ Result<std::shared_ptr<ServeSession>> SessionStore::Load(
     return Status::Unavailable(
         "session persistence is disabled (no --data-dir)");
   }
+  const uint64_t start_ns = MonotonicNowNs();
+  Result<std::shared_ptr<ServeSession>> result =
+      [&]() -> Result<std::shared_ptr<ServeSession>> {
   const std::string path = PathFor(name);
   std::ifstream file(path);
   if (!file) {
@@ -454,6 +480,20 @@ Result<std::shared_ptr<ServeSession>> SessionStore::Load(
                          /*prime_certainty=*/false));
   CP_RETURN_NOT_OK(session->RestoreCleaning(cleaned_order, parsed.dataset));
   return session;
+  }();
+  if (result.ok()) {
+    static MetricCounter& loads =
+        MetricsRegistry::Get().GetCounter("store.loads_total");
+    static MetricHistogram& load_ns =
+        MetricsRegistry::Get().GetHistogram("store.load_ns");
+    loads.Add(1);
+    load_ns.Record(MonotonicNowNs() - start_ns);
+  } else {
+    static MetricCounter& failures =
+        MetricsRegistry::Get().GetCounter("store.load_failures_total");
+    failures.Add(1);
+  }
+  return result;
 }
 
 Status SessionStore::Delete(const std::string& name) {

@@ -1,0 +1,411 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cpclean {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket math.
+
+TEST(MetricHistogramTest, SmallValuesGetExactBuckets) {
+  for (uint64_t v = 0; v < 4; ++v) {
+    const int idx = MetricHistogram::BucketIndex(v);
+    EXPECT_EQ(idx, static_cast<int>(v));
+    EXPECT_EQ(MetricHistogram::BucketLowerBound(idx), v);
+    EXPECT_EQ(MetricHistogram::BucketUpperBound(idx), v + 1);
+  }
+}
+
+TEST(MetricHistogramTest, EveryBucketContainsItsValue) {
+  const std::vector<uint64_t> probes = {
+      0,       1,       2,          3,          4,      5,     6,
+      7,       8,       9,          15,         16,     17,    31,
+      32,      33,      63,         64,         65,     100,   1000,
+      1023,    1024,    1025,       999999,     1u << 20,
+      (1u << 20) + 1,   (1u << 31), UINT32_MAX, 1ULL << 40,
+      (1ULL << 62) - 1, 1ULL << 62, UINT64_MAX - 1, UINT64_MAX};
+  for (const uint64_t v : probes) {
+    const int idx = MetricHistogram::BucketIndex(v);
+    ASSERT_GE(idx, 0) << v;
+    ASSERT_LT(idx, MetricHistogram::kNumBuckets) << v;
+    EXPECT_LE(MetricHistogram::BucketLowerBound(idx), v) << v;
+    // Upper bounds are exclusive except the top bucket, which is capped
+    // at (and includes) UINT64_MAX.
+    if (v == UINT64_MAX) {
+      EXPECT_EQ(MetricHistogram::BucketUpperBound(idx), UINT64_MAX);
+    } else {
+      EXPECT_GT(MetricHistogram::BucketUpperBound(idx), v) << v;
+    }
+  }
+}
+
+TEST(MetricHistogramTest, PowerOfTwoBoundaries) {
+  for (int shift = 2; shift < 63; ++shift) {
+    const uint64_t pow2 = 1ULL << shift;
+    // 2^k-1 and 2^k land in adjacent groups; 2^k starts its own bucket.
+    const int below = MetricHistogram::BucketIndex(pow2 - 1);
+    const int at = MetricHistogram::BucketIndex(pow2);
+    const int above = MetricHistogram::BucketIndex(pow2 + 1);
+    EXPECT_EQ(at, below + 1) << shift;
+    EXPECT_EQ(MetricHistogram::BucketLowerBound(at), pow2) << shift;
+    // 2^k and 2^k+1 share a bucket once the sub-bucket width exceeds 1.
+    EXPECT_EQ(above, shift <= 2 ? at + 1 : at) << shift;
+  }
+}
+
+TEST(MetricHistogramTest, BucketIndexIsMonotonicAndBoundsTile) {
+  uint64_t prev_lower = 0;
+  for (int idx = 0; idx < MetricHistogram::kNumBuckets; ++idx) {
+    const uint64_t lower = MetricHistogram::BucketLowerBound(idx);
+    EXPECT_EQ(MetricHistogram::BucketIndex(lower), idx);
+    if (idx > 0) {
+      EXPECT_GT(lower, prev_lower);
+      // Buckets tile the axis: this lower bound is the previous upper.
+      EXPECT_EQ(MetricHistogram::BucketUpperBound(idx - 1), lower);
+    }
+    prev_lower = lower;
+  }
+  EXPECT_EQ(
+      MetricHistogram::BucketUpperBound(MetricHistogram::kNumBuckets - 1),
+      UINT64_MAX);
+}
+
+TEST(MetricHistogramTest, RelativeBucketWidthIsBounded) {
+  // For values >= 4 the bucket width is at most 25% of the lower bound —
+  // the guarantee the quantile interpolation accuracy rests on.
+  for (int idx = 4; idx < MetricHistogram::kNumBuckets - 1; ++idx) {
+    const double lower =
+        static_cast<double>(MetricHistogram::BucketLowerBound(idx));
+    const double upper =
+        static_cast<double>(MetricHistogram::BucketUpperBound(idx));
+    EXPECT_LE(upper - lower, lower * 0.25 + 1e-9) << idx;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recording and quantiles.
+
+TEST(MetricHistogramTest, AggregatesAreExact) {
+  MetricHistogram h;
+  uint64_t want_sum = 0;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v * 7);
+    want_sum += v * 7;
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.sum, want_sum);
+  EXPECT_EQ(snap.min, 7u);
+  EXPECT_EQ(snap.max, 7000u);
+}
+
+TEST(MetricHistogramTest, EmptySnapshotIsZero) {
+  MetricHistogram h;
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+}
+
+TEST(MetricHistogramTest, QuantilesOnUniformDistribution) {
+  MetricHistogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  // Bucket width is <= 25% of the value, so an interpolated quantile is
+  // within 25% of the true order statistic.
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double truth = q * 10000.0;
+    const double got = snap.Quantile(q);
+    EXPECT_NEAR(got, truth, truth * 0.25) << q;
+  }
+  EXPECT_EQ(snap.Quantile(0.0), 1.0);   // clamped to min
+  EXPECT_EQ(snap.Quantile(1.0), 10000.0);  // clamped to max
+}
+
+TEST(MetricHistogramTest, QuantileOfSingleValueIsThatValue) {
+  MetricHistogram h;
+  h.Record(4242);
+  const HistogramSnapshot snap = h.Snapshot();
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(snap.Quantile(q), 4242.0) << q;
+  }
+}
+
+TEST(MetricHistogramTest, MergeMatchesCombinedRecording) {
+  MetricHistogram a;
+  MetricHistogram b;
+  MetricHistogram combined;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng() % 1000000;
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  const HistogramSnapshot want = combined.Snapshot();
+  EXPECT_EQ(merged.count, want.count);
+  EXPECT_EQ(merged.sum, want.sum);
+  EXPECT_EQ(merged.min, want.min);
+  EXPECT_EQ(merged.max, want.max);
+  EXPECT_EQ(merged.buckets, want.buckets);
+}
+
+TEST(MetricHistogramTest, MergeIntoEmptyAdoptsOther) {
+  MetricHistogram h;
+  h.Record(10);
+  h.Record(90);
+  HistogramSnapshot empty;
+  empty.Merge(h.Snapshot());
+  EXPECT_EQ(empty.count, 2u);
+  EXPECT_EQ(empty.min, 10u);
+  EXPECT_EQ(empty.max, 90u);
+  HistogramSnapshot merged = h.Snapshot();
+  merged.Merge(HistogramSnapshot{});  // merging empty is a no-op
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_EQ(merged.min, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: exactness after join, and data-race freedom (TSan) while a
+// snapshotter races the writers.
+
+TEST(MetricsConcurrencyTest, ConcurrentWritersAreExactAfterJoin) {
+  MetricHistogram h;
+  MetricCounter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, &c] {
+      for (uint64_t i = 1; i <= kPerThread; ++i) {
+        h.Record(i % 1024);
+        c.Add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 1023u);
+}
+
+TEST(MetricsConcurrencyTest, SnapshotWhileWritingIsInternallyConsistent) {
+  MetricHistogram h;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop] {
+      uint64_t v = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.Record(v++ % 4096);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    const HistogramSnapshot snap = h.Snapshot();
+    uint64_t bucket_total = 0;
+    for (const uint64_t b : snap.buckets) bucket_total += b;
+    // The invariant the export relies on: count IS the bucket sum.
+    EXPECT_EQ(snap.count, bucket_total);
+    if (snap.count > 0) {
+      EXPECT_LE(snap.min, snap.max);
+      EXPECT_LT(snap.max, 4096u);
+    }
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Counter / gauge basics.
+
+TEST(MetricCounterTest, AddsAccumulate) {
+  MetricCounter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(MetricGaugeTest, DeltaAndSet) {
+  MetricGauge g;
+  g.Add(10);
+  g.Sub(3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.Value(), -5);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(MetricsRegistryTest, SameNameSameInstrument) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  MetricCounter& a = reg.GetCounter("test.registry_identity_total");
+  MetricCounter& b = reg.GetCounter("test.registry_identity_total");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3u);
+  MetricHistogram& ha = reg.GetHistogram("test.registry_identity_ns");
+  MetricHistogram& hb = reg.GetHistogram("test.registry_identity_ns");
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.GetCounter("test.snapshot_b_total").Add(2);
+  reg.GetCounter("test.snapshot_a_total").Add(1);
+  reg.GetGauge("test.snapshot_gauge").Set(9);
+  reg.GetHistogram("test.snapshot_ns").Record(100);
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      snap.counters.begin(), snap.counters.end(),
+      [](const auto& x, const auto& y) { return x.first < y.first; }));
+  bool saw_a = false;
+  bool saw_b = false;
+  for (const auto& entry : snap.counters) {
+    if (entry.first == "test.snapshot_a_total") {
+      saw_a = true;
+      EXPECT_EQ(entry.second, 1u);
+    }
+    if (entry.first == "test.snapshot_b_total") {
+      saw_b = true;
+      EXPECT_EQ(entry.second, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition.
+
+TEST(MetricsPrometheusTest, RendersWellFormedFamilies) {
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.GetCounter("test.prom_total").Add(5);
+  reg.GetGauge("test.prom_gauge").Set(-2);
+  MetricHistogram& h = reg.GetHistogram("test.prom_ns");
+  h.Record(1);
+  h.Record(1000);
+  h.Record(1000000);
+  const std::string text = MetricsPrometheusText();
+  EXPECT_NE(text.find("# TYPE cpclean_test_prom_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cpclean_test_prom_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("cpclean_test_prom_gauge -2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cpclean_test_prom_ns histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cpclean_test_prom_ns_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("cpclean_test_prom_ns_count"), std::string::npos);
+  EXPECT_NE(text.find("cpclean_test_prom_ns_sum"), std::string::npos);
+
+  // Cumulative bucket counts are nondecreasing and end at count.
+  std::istringstream lines(text);
+  std::string line;
+  uint64_t prev = 0;
+  uint64_t last = 0;
+  bool saw_bucket = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("cpclean_test_prom_ns_bucket", 0) != 0) continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    const uint64_t v = std::stoull(line.substr(space + 1));
+    EXPECT_GE(v, prev);
+    prev = v;
+    last = v;
+    saw_bucket = true;
+  }
+  EXPECT_TRUE(saw_bucket);
+  EXPECT_GE(last, 3u);  // +Inf bucket covers every recording
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+
+TEST(RequestSpanTest, ScopedPhaseAccumulatesIntoActiveSpan) {
+  RequestSpan span;
+  span.SetOp("q2");
+  EXPECT_STREQ(span.op, "q2");
+  {
+    ScopedActiveSpan active(&span);
+    EXPECT_EQ(ActiveRequestSpan(), &span);
+    {
+      ScopedSpanPhase phase(kSpanKernelCompute);
+      // Spin briefly so the phase records a nonzero duration.
+      const uint64_t start = MonotonicNowNs();
+      while (MonotonicNowNs() - start < 1000) {
+      }
+    }
+    { ScopedSpanPhase phase(kSpanSerialize); }
+  }
+  EXPECT_EQ(ActiveRequestSpan(), nullptr);
+  EXPECT_GT(span.phase_ns[kSpanKernelCompute], 0u);
+  EXPECT_EQ(span.phase_ns[kSpanQueueWait], 0u);
+}
+
+TEST(RequestSpanTest, NoActiveSpanMeansNoOp) {
+  ASSERT_EQ(ActiveRequestSpan(), nullptr);
+  { ScopedSpanPhase phase(kSpanFlush); }  // must not crash or record
+}
+
+TEST(RequestSpanTest, NestedScopesRestorePrevious) {
+  RequestSpan outer;
+  RequestSpan inner;
+  ScopedActiveSpan a(&outer);
+  {
+    ScopedActiveSpan b(&inner);
+    EXPECT_EQ(ActiveRequestSpan(), &inner);
+  }
+  EXPECT_EQ(ActiveRequestSpan(), &outer);
+}
+
+TEST(RequestSpanTest, LongOpNameIsTruncatedSafely) {
+  RequestSpan span;
+  span.SetOp("an_operation_name_well_beyond_the_buffer");
+  EXPECT_EQ(std::string(span.op).size(), sizeof(span.op) - 1);
+}
+
+TEST(SpanRingTest, RetainsNewestUpToCapacityOldestFirst) {
+  SpanRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    RequestSpan span;
+    span.total_ns = static_cast<uint64_t>(i);
+    ring.Push(span);
+  }
+  const std::vector<RequestSpan> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[static_cast<size_t>(i)].total_ns,
+              static_cast<uint64_t>(6 + i));
+  }
+}
+
+TEST(SpanRingTest, PartialFillSnapshots) {
+  SpanRing ring(8);
+  EXPECT_TRUE(ring.Snapshot().empty());
+  RequestSpan span;
+  span.total_ns = 77;
+  ring.Push(span);
+  const std::vector<RequestSpan> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].total_ns, 77u);
+}
+
+}  // namespace
+}  // namespace cpclean
