@@ -16,6 +16,12 @@
 // rehydration across restarts); `--max-sessions=N` bounds resident
 // sessions (LRU eviction into the data dir).
 //
+// Storage knobs (README "Storage"): `--storage-mode=ram|mmap` picks how
+// sessions hold their candidate slab (mmap backs it with an unlinked
+// scratch file so cold blocks page out; results are bit-identical);
+// `--log-compact-bytes=N` sets the cleaning-log size at which a delta
+// save compacts into a fresh full base snapshot.
+//
 // TCP transport knobs: `--max-connections=N` bounds concurrent TCP
 // connections (an fd-table guard; overload gets a structured error),
 // `--max-inflight=N` bounds dispatched-but-unanswered requests (the real
@@ -100,6 +106,8 @@ int main(int argc, char** argv) {
   long slow_request_ms = 0;
   bool coalesce = true;
   std::string data_dir;
+  std::string storage_mode = "ram";
+  long log_compact_bytes = 1 << 20;
   bool stdio = true;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -141,10 +149,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--no-coalesce") == 0) {
       coalesce = false;
     } else if (ParseStringFlag(arg, "--data-dir", &data_dir)) {
+    } else if (ParseStringFlag(arg, "--storage-mode", &storage_mode)) {
+    } else if (ParseIntFlag(arg, "--log-compact-bytes", &value)) {
+      log_compact_bytes = value;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: cpclean_server [--stdio | --port=N] [--threads=N] "
           "[--cache=N] [--data-dir=PATH] [--max-sessions=N] "
+          "[--storage-mode=ram|mmap] [--log-compact-bytes=N] "
           "[--max-connections=N] [--max-inflight=N] [--poller-threads=N] "
           "[--request-workers=N] [--no-coalesce] "
           "[--request-timeout-ms=N] [--idle-timeout-ms=N] "
@@ -181,6 +193,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--slow-request-ms must be >= 0\n");
     return 2;
   }
+  if (storage_mode != "ram" && storage_mode != "mmap") {
+    std::fprintf(stderr, "--storage-mode must be ram or mmap\n");
+    return 2;
+  }
+  if (log_compact_bytes < 1) {
+    std::fprintf(stderr, "--log-compact-bytes must be >= 1\n");
+    return 2;
+  }
   if (metrics_port >= 0 && stdio) {
     std::fprintf(stderr,
                  "--metrics-port requires the TCP transport (--port=N)\n");
@@ -205,6 +225,8 @@ int main(int argc, char** argv) {
       cache < 0 ? 0 : static_cast<size_t>(cache);
   options.data_dir = data_dir;
   options.max_sessions = static_cast<size_t>(max_sessions);
+  options.storage_mode = storage_mode;
+  options.log_compact_bytes = static_cast<size_t>(log_compact_bytes);
   options.max_connections = static_cast<int>(max_connections);
   options.max_inflight = static_cast<int>(max_inflight);
   options.poller_threads = static_cast<int>(poller_threads);

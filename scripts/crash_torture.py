@@ -21,10 +21,26 @@ The save-only-after-record discipline makes the check airtight: a save is
 issued only for states whose q2 bits were recorded first, so whatever the
 rename committed before the kill is always a state the script can verify.
 
+``--mode`` picks which persistence machinery the kill lands in:
+
+  save (default)  explicit save_session while cleaning -- under the
+                  append-only log most saves are O(delta) log appends, so
+                  kills land mid-append and mid-fsync.
+  evict           the server runs with --max-sessions=1 and each cycle
+                  creates a fresh decoy session, forcing the LRU eviction
+                  sweep to persist the torture session; kills land inside
+                  the sweep's prepare/retire/commit/drop window.
+  compact         the server runs with --storage-mode=mmap and
+                  --log-compact-bytes=64, so nearly every save folds the
+                  log into a fresh base snapshot; kills land between the
+                  base rename and the log unlink, leaving stale logs whose
+                  records must replay as no-ops.
+
 Stdlib only. Exit 0 with a summary, non-zero with a diagnosis.
 
   python3 scripts/crash_torture.py \\
-      --server ./build/release/examples/cpclean_server --iterations 30
+      --server ./build/release/examples/cpclean_server --iterations 30 \\
+      --mode evict
 """
 
 import argparse
@@ -76,10 +92,11 @@ class Client:
             pass
 
 
-def start_server(server, data_dir):
+def start_server(server, data_dir, extra_args=()):
     """Starts the server on an ephemeral port; returns (proc, port)."""
     proc = subprocess.Popen(
-        [server, "--port=0", "--threads=2", "--data-dir=%s" % data_dir],
+        [server, "--port=0", "--threads=2", "--data-dir=%s" % data_dir]
+        + list(extra_args),
         stderr=subprocess.PIPE,
     )
     port = None
@@ -136,7 +153,16 @@ def main():
                         help="seeds the kill-timing schedule")
     parser.add_argument("--data-dir", default=None,
                         help="persistent dir (default: a fresh tempdir)")
+    parser.add_argument("--mode", choices=("save", "evict", "compact"),
+                        default="save",
+                        help="which persistence path the kills land in")
     args = parser.parse_args()
+
+    extra_args = []
+    if args.mode == "evict":
+        extra_args = ["--max-sessions=1"]
+    elif args.mode == "compact":
+        extra_args = ["--storage-mode=mmap", "--log-compact-bytes=64"]
 
     data_dir = args.data_dir or tempfile.mkdtemp(prefix="cpclean_torture_")
     if args.data_dir is None:
@@ -150,9 +176,10 @@ def main():
     kills_with_litter = 0
     created = False
 
+    decoys = 0
     for iteration in range(args.iterations):
         rng = random.Random(args.seed * 100003 + iteration)
-        proc, port = start_server(args.server, data_dir)
+        proc, port = start_server(args.server, data_dir, extra_args)
         try:
             litter = tmp_litter(data_dir)
             if litter:
@@ -206,8 +233,17 @@ def main():
                     step += 1
                     bits = q2_bits(client)
                     known.setdefault(bits, step)
-                    response = client.rpc(
-                        '{"op":"save_session","session":"t"}')
+                    if args.mode == "evict":
+                        # Persist by eviction: a fresh decoy session pushes
+                        # the torture session (the LRU) through the sweep's
+                        # save. An ok decoy create means the sweep's save
+                        # of the just-recorded state committed.
+                        decoys += 1
+                        response = client.rpc(CREATE.replace(
+                            '"session":"t"', '"session":"d%d"' % decoys))
+                    else:
+                        response = client.rpc(
+                            '{"op":"save_session","session":"t"}')
                     if json.loads(response).get("ok") is not True:
                         raise SystemExit("save failed: %s" % response)
                     acked = max(acked, known[bits])
@@ -223,7 +259,7 @@ def main():
             kills_with_litter += 1
 
     # Final restart: the surviving snapshot must still rehydrate clean.
-    proc, port = start_server(args.server, data_dir)
+    proc, port = start_server(args.server, data_dir, extra_args)
     try:
         if tmp_litter(data_dir):
             raise SystemExit("final restart left temp litter")
@@ -236,10 +272,11 @@ def main():
         stop(proc)
 
     print(
-        "crash torture OK: %d kill/restart cycles over %s, %d distinct "
-        "session states verified bit-identical, %d kills left temp litter "
-        "(all swept on restart), last acked step %d"
-        % (args.iterations, data_dir, len(known), kills_with_litter, acked)
+        "crash torture OK (mode=%s): %d kill/restart cycles over %s, %d "
+        "distinct session states verified bit-identical, %d kills left "
+        "temp litter (all swept on restart), last acked step %d"
+        % (args.mode, args.iterations, data_dir, len(known),
+           kills_with_litter, acked)
     )
     if args.data_dir is None:
         shutil.rmtree(data_dir, ignore_errors=True)

@@ -18,15 +18,24 @@ port, and a low slow-request threshold, then:
      and requires a slow_requests_total increment plus a span with the
      matching total and a phase breakdown via the `metrics` op.
 
+  4. Restarts the server with a data dir, --max-sessions=1, and a tiny
+     --log-compact-bytes, drives a session through delta save, eviction,
+     log-replay rehydration, and compaction, and requires the storage
+     counters cpclean_store_log_appended_bytes,
+     cpclean_store_log_replayed_records, and cpclean_store_compactions to
+     have moved on /metrics.
+
 Stdlib only; exits non-zero on the first violation.
 """
 
 import argparse
 import json
 import re
+import shutil
 import socket
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 import urllib.request
@@ -146,6 +155,94 @@ class LineClient:
 
     def close(self):
         self.sock.close()
+
+
+def launch(argv, env=None):
+    """Starts a server, waits for both port announcements; returns
+    (proc, port, metrics_port)."""
+    proc = subprocess.Popen(argv, stderr=subprocess.PIPE, env=env)
+    port = metrics_port = None
+    deadline = time.time() + 30
+    while time.time() < deadline and metrics_port is None:
+        line = proc.stderr.readline().decode()
+        if not line:
+            raise SystemExit("server exited before announcing its ports")
+        match = LISTEN_RE.search(line)
+        if match:
+            port = int(match.group(1))
+        match = METRICS_RE.search(line)
+        if match:
+            metrics_port = int(match.group(1))
+    if port is None or metrics_port is None:
+        raise SystemExit("server never announced both ports")
+    threading.Thread(target=proc.stderr.read, daemon=True).start()
+    return proc, port, metrics_port
+
+
+def storage_phase(server):
+    """Phase 4: delta save + eviction + replay + compaction move the
+    store counters on /metrics."""
+    data_dir = tempfile.mkdtemp(prefix="cpclean_metrics_store_")
+    proc, port, metrics_port = launch(
+        [server, "--port=0", "--metrics-port=0", "--threads=2",
+         "--data-dir=%s" % data_dir, "--max-sessions=1",
+         "--log-compact-bytes=64"])
+    try:
+        client = LineClient(port)
+
+        def ok(line):
+            response = client.issue(line)
+            if response.get("ok") is not True:
+                raise SystemExit("phase 4 request failed: %r -> %r"
+                                 % (line, response))
+            return response
+
+        ok('{"op":"create_session","session":"t","source":"synthetic",'
+           '"dataset":"metrics","train_rows":30,"val_size":4,'
+           '"test_size":4,"seed":9,"numeric":4,"categorical":0,'
+           '"noise_sigma":0.3,"missing_rate":0.4,"k":3}')
+        ok('{"op":"save_session","session":"t"}')  # full base snapshot
+        # One cleaning step then save: an O(delta) log append.
+        ok('{"op":"clean_step","session":"t","steps":1}')
+        ok('{"op":"save_session","session":"t"}')
+        # A decoy evicts "t" (unchanged since the save: a disk-less noop);
+        # touching "t" rehydrates it by replaying the one-record log.
+        ok('{"op":"create_session","session":"d","source":"synthetic",'
+           '"dataset":"metrics","train_rows":30,"val_size":4,'
+           '"test_size":4,"seed":10,"numeric":4,"categorical":0,'
+           '"noise_sigma":0.3,"missing_rate":0.4,"k":3}')
+        ok('{"op":"q2","session":"t","val_indices":[0]}')
+        # More delta saves overflow the 64-byte threshold: compaction.
+        for _ in range(3):
+            ok('{"op":"clean_step","session":"t","steps":1}')
+            ok('{"op":"save_session","session":"t"}')
+        client.close()
+
+        samples = parse_exposition(scrape(metrics_port))
+        for name, minimum in (
+                ("cpclean_store_log_appended_bytes", 1.0),
+                ("cpclean_store_log_replayed_records", 1.0),
+                ("cpclean_store_compactions", 1.0)):
+            value = samples.get(name)
+            if value is None:
+                raise SystemExit("required store series missing: %s" % name)
+            if value < minimum:
+                raise SystemExit("%s = %g, expected >= %g"
+                                 % (name, value, minimum))
+        print("phase 4 OK: store counters moved "
+              "(log_appended_bytes=%g, log_replayed_records=%g, "
+              "compactions=%g)"
+              % (samples["cpclean_store_log_appended_bytes"],
+                 samples["cpclean_store_log_replayed_records"],
+                 samples["cpclean_store_compactions"]))
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+        shutil.rmtree(data_dir, ignore_errors=True)
 
 
 def main():
@@ -277,7 +374,6 @@ def main():
               % (args.sleep_ms, before, after,
                  slow_spans[-1]["total_ns"] / 1e6))
         client.close()
-        return 0
     finally:
         proc.terminate()
         try:
@@ -285,6 +381,11 @@ def main():
         except subprocess.TimeoutExpired:
             proc.kill()
             proc.wait()
+
+    # Phase 4 runs its own server (data dir + eviction + tiny compaction
+    # threshold) so the storage counters start from zero.
+    storage_phase(args.server)
+    return 0
 
 
 if __name__ == "__main__":

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/stats.h"
 #include "common/string_util.h"
@@ -73,6 +75,31 @@ void CleaningSession::Reset() {
     if (!cleaned_[static_cast<size_t>(i)]) dirty_.push_back(i);
   }
   cleaned_order_.clear();
+  // `working_ = task copy` above wiped any journal/file backing the
+  // serving layer configured; re-establish it.
+  ApplyWorkingStorage();
+}
+
+void CleaningSession::ApplyWorkingStorage() {
+  if (storage_.journal) working_.EnableJournal();
+  if (!storage_.mmap_scratch_dir.empty()) {
+    // Fallback to RAM on failure: the modes are bit-identical, and a
+    // Restore mid-flight has no way to surface a scratch-dir error.
+    const Status backed = working_.BackWithFile(
+        storage_.mmap_scratch_dir, storage_.stream_window_bytes);
+    (void)backed;
+  }
+}
+
+Status CleaningSession::ConfigureWorkingStorage(
+    const WorkingStorageOptions& storage) {
+  storage_ = storage;
+  if (storage_.journal) working_.EnableJournal();
+  if (!storage_.mmap_scratch_dir.empty()) {
+    CP_RETURN_NOT_OK(working_.BackWithFile(storage_.mmap_scratch_dir,
+                                           storage_.stream_window_bytes));
+  }
+  return Status::OK();
 }
 
 Status CleaningSession::Restore(const CleaningSnapshot& snapshot) {
@@ -182,6 +209,13 @@ double CleaningSession::ExpectedEntropyAfterCleaning(int i) {
 
 std::vector<double> CleaningSession::FastSelectionScores(
     const std::vector<int>& dirty) {
+  // First compute-layer fault site. Unlike the I/O sites this one throws —
+  // the compute path has no Status plumbing — so failure rules are for
+  // library-level tests that catch; under a live server use sleep rules
+  // only (like serve.exec).
+  if (FaultHit("compute.selection_scores")) {
+    throw std::runtime_error("injected fault: compute.selection_scores");
+  }
   std::vector<double> score(dirty.size(), 0.0);
   std::vector<int> active;
   active.reserve(task_->val_x.size());

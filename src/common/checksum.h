@@ -1,0 +1,23 @@
+#ifndef CPCLEAN_COMMON_CHECKSUM_H_
+#define CPCLEAN_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cpclean {
+
+/// FNV-1a 64-bit hash — the per-record checksum for the append-only
+/// cleaning log. Not cryptographic; it detects torn writes and bit rot,
+/// which is all the log format needs.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : data) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_COMMON_CHECKSUM_H_

@@ -44,11 +44,23 @@ namespace cpclean {
 ///   store.open / store.write / store.flush / store.rename
 ///       session-snapshot file I/O (open failure, short write + error,
 ///       ENOSPC on the final flush, rename failure)
+///   log.append / log.fsync / log.replay
+///       cleaning-log I/O (append-open failure, fsync failure after the
+///       bytes landed — the append truncates back —, replay failure on
+///       rehydration)
+///   mmap.map / mmap.remap
+///       the out-of-core candidate slab's scratch-file mapping (creation
+///       and growth; both fall back to RAM mode at the session layer)
 ///   el.accept / el.recv / el.send / el.send_eagain / el.send_short
 ///       event-loop sockets (EMFILE on accept, connection reset on read /
 ///       write, EAGAIN storms, partial writes)
 ///   serve.exec
 ///       request execution stall (sleep rules only make sense here)
+///   compute.selection_scores
+///       first compute-layer site: throws std::runtime_error from the
+///       greedy selection kernel (failure rules exercise exception
+///       propagation in library tests; sleep rules stall a clean_step
+///       mid-compute under a live server)
 class FaultInjection {
  public:
   /// Parses `config` and replaces every installed rule (and counters).

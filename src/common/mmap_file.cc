@@ -1,0 +1,112 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+
+namespace cpclean {
+
+namespace {
+
+/// mmap rejects zero-length maps; keep every mapping at least one page so
+/// data() is always dereferenceable up to size().
+size_t ClampBytes(size_t bytes) { return bytes == 0 ? 4096 : bytes; }
+
+std::atomic<uint64_t> g_scratch_seq{0};
+
+}  // namespace
+
+Result<std::unique_ptr<MappedFile>> MappedFile::CreateScratch(
+    const std::string& dir, size_t bytes) {
+  const size_t map_bytes = ClampBytes(bytes);
+  const std::string path =
+      StrFormat("%s/.cpclean_slab.%d.%llu", dir.c_str(),
+                static_cast<int>(::getpid()),
+                static_cast<unsigned long long>(
+                    g_scratch_seq.fetch_add(1, std::memory_order_relaxed)));
+  if (FaultHit("mmap.map")) {
+    return Status::IoError("injected fault: mmap.map");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0600);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("cannot create scratch file %s: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
+  // Unlink before anything can fail mid-way: the fd keeps the inode alive,
+  // and a crash from here on leaves nothing behind.
+  ::unlink(path.c_str());
+  if (::ftruncate(fd, static_cast<off_t>(map_bytes)) != 0) {
+    const Status status = Status::IoError(
+        StrFormat("ftruncate(%s): %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  void* data = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                      fd, 0);
+  if (data == MAP_FAILED) {
+    const Status status = Status::IoError(
+        StrFormat("mmap(%s): %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<MappedFile>(new MappedFile(fd, data, map_bytes));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status MappedFile::Resize(size_t new_bytes) {
+  const size_t map_bytes = ClampBytes(new_bytes);
+  if (map_bytes == size_) return Status::OK();
+  if (FaultHit("mmap.remap")) {
+    return Status::IoError("injected fault: mmap.remap");
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(map_bytes)) != 0) {
+    return Status::IoError(
+        StrFormat("ftruncate to %zu bytes: %s", map_bytes,
+                  std::strerror(errno)));
+  }
+#if defined(__linux__)
+  void* moved = ::mremap(data_, size_, map_bytes, MREMAP_MAYMOVE);
+  if (moved == MAP_FAILED) {
+    return Status::IoError(
+        StrFormat("mremap to %zu bytes: %s", map_bytes, std::strerror(errno)));
+  }
+#else
+  // Portable fallback: the file (MAP_SHARED) holds the contents, so a
+  // fresh map after unmapping sees the same bytes.
+  ::munmap(data_, size_);
+  void* moved = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                       fd_, 0);
+  if (moved == MAP_FAILED) {
+    data_ = nullptr;
+    size_ = 0;
+    return Status::IoError(
+        StrFormat("mmap to %zu bytes: %s", map_bytes, std::strerror(errno)));
+  }
+#endif
+  data_ = moved;
+  size_ = map_bytes;
+  return Status::OK();
+}
+
+void MappedFile::Prefetch(size_t offset, size_t length) const {
+  if (data_ == nullptr || offset >= size_ || length == 0) return;
+  if (offset + length > size_) length = size_ - offset;
+  // Round down to the page so madvise accepts the address.
+  const size_t page = 4096;
+  const size_t start = offset & ~(page - 1);
+  ::madvise(static_cast<char*>(data_) + start, length + (offset - start),
+            MADV_WILLNEED);
+}
+
+}  // namespace cpclean

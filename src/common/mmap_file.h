@@ -1,0 +1,57 @@
+#ifndef CPCLEAN_COMMON_MMAP_FILE_H_
+#define CPCLEAN_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace cpclean {
+
+/// A writable memory-mapped scratch file: anonymous-looking storage whose
+/// pages live in the page cache and can be evicted to disk under memory
+/// pressure, instead of pinning the whole slab in RAM.
+///
+/// `CreateScratch` creates a uniquely named file under `dir`, sizes it,
+/// maps it shared read/write, and *unlinks it immediately* — the mapping
+/// (and the open fd, needed for `Resize`) keep the storage alive, and a
+/// crash at any point leaves zero litter on disk.
+///
+/// Fault sites: `mmap.map` (creation) and `mmap.remap` (growth).
+class MappedFile {
+ public:
+  /// Creates an unlinked scratch mapping of at least `bytes` bytes under
+  /// `dir` (which must exist). `bytes` may be 0; a minimal mapping is made
+  /// so `data()` is always valid.
+  static Result<std::unique_ptr<MappedFile>> CreateScratch(
+      const std::string& dir, size_t bytes);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Grows (or shrinks) the mapping to `new_bytes`. Existing contents are
+  /// preserved; `data()` may move. New bytes read as zero.
+  Status Resize(size_t new_bytes);
+
+  void* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// Advises the kernel to page in `[offset, offset + length)` ahead of
+  /// use (madvise WILLNEED). Out-of-range spans are clamped; best effort.
+  void Prefetch(size_t offset, size_t length) const;
+
+ private:
+  MappedFile(int fd, void* data, size_t size)
+      : fd_(fd), data_(data), size_(size) {}
+
+  int fd_ = -1;
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_COMMON_MMAP_FILE_H_

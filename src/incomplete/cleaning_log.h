@@ -1,0 +1,73 @@
+#ifndef CPCLEAN_INCOMPLETE_CLEANING_LOG_H_
+#define CPCLEAN_INCOMPLETE_CLEANING_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "incomplete/incomplete_dataset.h"
+
+namespace cpclean {
+
+/// The append-only cleaning log: the O(delta) persistence companion to a
+/// base snapshot. Each line is one `MutationRecord` in a fixed text
+/// format with a trailing FNV-1a checksum; doubles are hex floats, so a
+/// replayed record reproduces the mutation bit-for-bit:
+///
+///   cpclean-log-v1
+///   fix <seq> <example> <candidate> #<crc16hex>
+///   replace <seq> <example> <m> <dim> <m*dim hex floats> #<crc>
+///   add <seq> <label> <m> <dim> <m*dim hex floats> #<crc>
+///
+/// `seq` is the dataset `version()` immediately after the mutation.
+/// A record is durable once its full line (newline included) is on disk;
+/// a torn *final* line — the only kind of damage a killed append can
+/// leave — is detected by the checksum/newline and dropped, while any
+/// earlier damage is surfaced as corruption.
+///
+/// Fault sites: `log.append`, `log.fsync`, `log.replay`.
+
+/// Encodes one record as a checksummed log line (no trailing newline).
+std::string EncodeLogRecord(const MutationRecord& record);
+
+/// Decodes one log line; fails on a checksum mismatch or malformed body.
+Result<MutationRecord> DecodeLogRecord(const std::string& line);
+
+struct LogScan {
+  std::vector<MutationRecord> records;
+  /// version() the log reaches (0 when empty).
+  uint64_t last_seq = 0;
+  /// Byte offset just past the last durable record — the append point.
+  size_t durable_bytes = 0;
+  /// True when a torn final record was dropped.
+  bool truncated_tail = false;
+};
+
+/// Reads and validates a log file. A missing file scans as empty; a torn
+/// final record is tolerated (`truncated_tail`); a bad record anywhere
+/// before the tail is a DataLoss error.
+Result<LogScan> ScanCleaningLog(const std::string& path);
+
+/// Scans and then truncates any torn tail off the file, so subsequent
+/// appends land on a record boundary.
+Result<LogScan> ScanCleaningLogForAppend(const std::string& path);
+
+/// Appends encoded record lines (creating the file, with its header, when
+/// absent) and fsyncs. On any failure the file is truncated back to its
+/// pre-append length (best effort) so an in-process retry stays clean.
+/// Returns the number of bytes appended. Fault sites log.append/log.fsync.
+Result<size_t> AppendCleaningLog(const std::string& path,
+                                 const std::vector<std::string>& lines);
+
+/// Applies every record with seq > `from_seq` to `dataset`, in order,
+/// requiring strictly increasing sequence numbers that continue from the
+/// dataset's own version. Appends the example index of each applied fix
+/// record to `fixed_examples` when non-null. Fault site log.replay.
+Status ReplayCleaningLog(const std::vector<MutationRecord>& records,
+                         uint64_t from_seq, IncompleteDataset* dataset,
+                         std::vector<int>* fixed_examples);
+
+}  // namespace cpclean
+
+#endif  // CPCLEAN_INCOMPLETE_CLEANING_LOG_H_

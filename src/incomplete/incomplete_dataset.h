@@ -2,9 +2,12 @@
 #define CPCLEAN_INCOMPLETE_INCOMPLETE_DATASET_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/big_uint.h"
+#include "common/mmap_file.h"
 #include "common/result.h"
 
 namespace cpclean {
@@ -15,6 +18,20 @@ namespace cpclean {
 struct IncompleteExample {
   std::vector<std::vector<double>> candidates;
   int label = 0;
+};
+
+/// One logged mutation of an incomplete dataset — the unit of the
+/// append-only cleaning log. `seq` is the dataset `version()` immediately
+/// after the mutation, so a log replayed in sequence order onto a base
+/// snapshot at version v applies exactly the records with seq > v.
+struct MutationRecord {
+  enum class Kind { kFix, kReplace, kAdd };
+  Kind kind = Kind::kFix;
+  uint64_t seq = 0;
+  int example = -1;   // FixExample / ReplaceCandidates target
+  int candidate = -1; // FixExample: the chosen candidate index
+  std::vector<std::vector<double>> candidates;  // Replace / Add payload
+  int label = 0;      // AddExample label
 };
 
 /// An incomplete dataset D = {(C_i, y_i)} — the block tuple-independent
@@ -31,10 +48,24 @@ struct IncompleteExample {
 /// mutator. `FixExample` collapses in place — the example keeps its flat
 /// slot range (capacity) and only its first row stays active — so a
 /// cleaning step never reshuffles the slab.
+///
+/// The flat mirror has two backing modes. By default it is an in-RAM
+/// `std::vector`. `BackWithFile` moves it into an unlinked mmap'd scratch
+/// file (norms and the candidate vectors stay in RAM), so large slabs can
+/// be paged by the kernel instead of pinned; readers stream it through
+/// `PrefetchFlatRows` windows. The two modes hold bit-identical doubles.
 class IncompleteDataset {
  public:
   IncompleteDataset() = default;
   explicit IncompleteDataset(int num_labels) : num_labels_(num_labels) {}
+
+  /// Copies materialize into RAM backing mode and do not carry the source's
+  /// journal — a copy is a value snapshot of the candidate space (and its
+  /// version), not of the persistence machinery.
+  IncompleteDataset(const IncompleteDataset& other);
+  IncompleteDataset& operator=(const IncompleteDataset& other);
+  IncompleteDataset(IncompleteDataset&&) noexcept = default;
+  IncompleteDataset& operator=(IncompleteDataset&&) noexcept = default;
 
   /// Appends an example. Fails when the candidate set is empty, a label is
   /// out of range, or feature dimensions are inconsistent.
@@ -66,7 +97,10 @@ class IncompleteDataset {
   /// `flat_data() + r * dim()`. Rows of example `i` occupy flat rows
   /// `[flat_row(i, 0), flat_row(i, 0) + num_candidates(i))`. Invalidated by
   /// `AddExample` and by a `ReplaceCandidates` that grows past capacity.
-  const double* flat_data() const { return flat_.data(); }
+  const double* flat_data() const {
+    return mapped_ ? static_cast<const double*>(mapped_->data())
+                   : flat_.data();
+  }
 
   /// Flat row index of candidate (i, j).
   int flat_row(int i, int j) const {
@@ -75,8 +109,8 @@ class IncompleteDataset {
 
   /// Pointer to candidate (i, j)'s features (dim() doubles).
   const double* candidate_ptr(int i, int j) const {
-    return flat_.data() + static_cast<size_t>(flat_row(i, j)) *
-                              static_cast<size_t>(dim_);
+    return flat_data() + static_cast<size_t>(flat_row(i, j)) *
+                             static_cast<size_t>(dim_);
   }
 
   /// Cached squared L2 norms, one per flat row (aligned with flat_data()).
@@ -103,8 +137,51 @@ class IncompleteDataset {
   bool flat_is_compact() const {
     return static_cast<size_t>(total_candidates_) *
                static_cast<size_t>(dim_) ==
-           flat_.size();
+           flat_doubles();
   }
+
+  // --- File-backed slab ----------------------------------------------------
+
+  /// Moves the flat slab into an unlinked mmap'd scratch file under
+  /// `scratch_dir` (which must exist). No-op when already file-backed.
+  /// Readers should stream the slab in `stream_window_bytes`-sized blocks
+  /// with `PrefetchFlatRows` — results are bit-identical to RAM mode
+  /// because the doubles are. On failure the dataset stays in RAM mode.
+  Status BackWithFile(const std::string& scratch_dir,
+                      size_t stream_window_bytes);
+
+  bool file_backed() const { return mapped_ != nullptr; }
+
+  /// Preferred streaming window for file-backed scans (0 = RAM mode).
+  size_t stream_window_bytes() const { return stream_window_bytes_; }
+
+  /// Advises the kernel to page flat rows [first_row, first_row + count)
+  /// in ahead of use. No-op in RAM mode; best effort.
+  void PrefetchFlatRows(int first_row, int count) const;
+
+  // --- Mutation journal ----------------------------------------------------
+
+  /// Starts recording every subsequent mutation as a `MutationRecord`.
+  /// The journal's coverage starts at the current version; `JournalSince`
+  /// answers only for versions at or past it.
+  void EnableJournal();
+
+  bool journal_enabled() const { return journal_enabled_; }
+
+  /// True when the journal can reconstruct every mutation after `version`
+  /// (journal enabled and `version` within its coverage).
+  bool JournalCovers(uint64_t version) const {
+    return journal_enabled_ && version >= journal_base_version_;
+  }
+
+  /// The records with seq > `version`, in sequence order. Call only when
+  /// `JournalCovers(version)`.
+  std::vector<MutationRecord> JournalSince(uint64_t version) const;
+
+  /// Forces the version counter — used only when rehydrating a serialized
+  /// dataset whose header carries the version it had when written, so log
+  /// sequence numbers line up. CP_CHECK-fails if the journal is enabled.
+  void OverrideVersionForReplay(uint64_t version);
 
   // -------------------------------------------------------------------------
 
@@ -128,8 +205,22 @@ class IncompleteDataset {
   void ReplaceCandidates(int i, std::vector<std::vector<double>> candidates);
 
  private:
+  /// Doubles currently stored in the flat slab (active + retired rows).
+  size_t flat_doubles() const {
+    return mapped_ ? mapped_doubles_ : flat_.size();
+  }
+  double* mutable_flat() {
+    return mapped_ ? static_cast<double*>(mapped_->data()) : flat_.data();
+  }
   /// Writes `features` into flat row `row` and refreshes its cached norm.
   void WriteFlatRow(int row, const std::vector<double>& features);
+  /// Appends one candidate row to the end of the slab (growing the mapping
+  /// in file-backed mode). CP_CHECK-fails on a grow failure; callers that
+  /// can surface a Status should pre-grow via `EnsureSlabCapacity`.
+  void AppendFlatRow(const std::vector<double>& features);
+  /// Grows the file mapping to hold at least `doubles` (RAM mode: no-op —
+  /// std::vector grows on demand).
+  Status EnsureSlabCapacity(size_t doubles);
   /// Rebuilds the flat slab from `examples_` (used when a replacement
   /// outgrows an example's reserved slots).
   void RebuildFlat();
@@ -140,13 +231,21 @@ class IncompleteDataset {
 
   // Flat mirror. cand_start_[i] is example i's first flat row; the example
   // owns cand_capacity_[i] consecutive rows of which the first
-  // num_candidates(i) are active.
+  // num_candidates(i) are active. Exactly one of flat_ (RAM mode) and
+  // mapped_ (file mode, mapped_doubles_ doubles long) backs the slab.
   std::vector<double> flat_;
+  std::unique_ptr<MappedFile> mapped_;
+  size_t mapped_doubles_ = 0;
+  size_t stream_window_bytes_ = 0;
   std::vector<double> sq_norms_;
   std::vector<int> cand_start_;
   std::vector<int> cand_capacity_;
   int total_candidates_ = 0;
   uint64_t version_ = 0;
+
+  bool journal_enabled_ = false;
+  uint64_t journal_base_version_ = 0;
+  std::vector<MutationRecord> journal_;
 };
 
 /// True when `a` and `b` describe bit-for-bit the same candidate space:

@@ -12,6 +12,7 @@ namespace cpclean {
 namespace {
 constexpr char kMagicV1[] = "cpclean-incomplete-v1";
 constexpr char kMagicV2[] = "cpclean-incomplete-v2";
+constexpr char kMagicV3[] = "cpclean-incomplete-v3";
 
 /// True for a payload line the line-oriented framing can carry verbatim.
 bool ValidSectionLine(const std::string& line) {
@@ -41,6 +42,36 @@ std::string SerializeIncompleteDataset(const IncompleteDataset& dataset) {
   std::string out =
       StrFormat("%s %d %d\n", kMagicV1, dataset.num_labels(), dataset.dim());
   AppendDataset(dataset, &out);
+  return out;
+}
+
+namespace {
+
+void AppendSections(const std::vector<SerializedSection>& sections,
+                    std::string* out) {
+  for (const SerializedSection& section : sections) {
+    CP_CHECK(!section.name.empty());
+    CP_CHECK(section.name.find_first_of(" \t\r\n") == std::string::npos);
+    *out += StrFormat("section %s\n", section.name.c_str());
+    for (const std::string& line : section.lines) {
+      CP_CHECK(ValidSectionLine(line));
+      *out += line;
+      *out += '\n';
+    }
+    *out += "end\n";
+  }
+}
+
+}  // namespace
+
+std::string SerializeIncompleteDatasetV3(
+    const IncompleteDataset& dataset,
+    const std::vector<SerializedSection>& sections) {
+  std::string out = StrFormat(
+      "%s %d %d %llu\n", kMagicV3, dataset.num_labels(), dataset.dim(),
+      static_cast<unsigned long long>(dataset.version()));
+  AppendDataset(dataset, &out);
+  AppendSections(sections, &out);
   return out;
 }
 
@@ -83,15 +114,27 @@ Result<DeserializedDatasetV2> DeserializeIncompleteDatasetV2(
     return Status::ParseError("empty input");
   }
   std::vector<std::string> header = Split(line, ' ');
-  if (header.size() != 3 ||
-      (header[0] != kMagicV1 && header[0] != kMagicV2)) {
+  const bool v3 = !header.empty() && header[0] == kMagicV3;
+  const bool sectioned = v3 || (!header.empty() && header[0] == kMagicV2);
+  const size_t want_fields = v3 ? 4 : 3;
+  if (header.size() != want_fields ||
+      (header[0] != kMagicV1 && header[0] != kMagicV2 &&
+       header[0] != kMagicV3)) {
     return Status::ParseError("bad header: " + line);
   }
-  const bool v2 = header[0] == kMagicV2;
+  const bool v2 = sectioned;
   CP_ASSIGN_OR_RETURN(const int num_labels, ParseInt(header[1]));
   CP_ASSIGN_OR_RETURN(const int dim, ParseInt(header[2]));
   if (num_labels < 1 || dim < 0) {
     return Status::ParseError("invalid header values");
+  }
+  uint64_t stored_version = 0;
+  if (v3) {
+    std::istringstream version_stream(header[3]);
+    version_stream >> stored_version;
+    if (version_stream.fail() || !version_stream.eof()) {
+      return Status::ParseError("bad version in header: " + line);
+    }
   }
 
   DeserializedDatasetV2 out;
@@ -152,6 +195,10 @@ Result<DeserializedDatasetV2> DeserializeIncompleteDatasetV2(
       example.candidates.push_back(std::move(x));
     }
     CP_RETURN_NOT_OK(out.dataset.AddExample(std::move(example)));
+  }
+  if (v3) {
+    out.dataset.OverrideVersionForReplay(stored_version);
+    out.has_version = true;
   }
   return out;
 }

@@ -58,13 +58,33 @@ std::string SerializeIncompleteDatasetV2(
     const IncompleteDataset& dataset,
     const std::vector<SerializedSection>& sections);
 
+// --- v3: dataset + sections + version ---------------------------------------
+//
+// v3 is v2 with the dataset's `version()` carried in the header:
+//
+//   cpclean-incomplete-v3 <num_labels> <dim> <version>
+//
+// The version is the sequence-number anchor for the append-only cleaning
+// log: a `<name>.cplog` record with seq > the base snapshot's version is
+// newer than the base and must be replayed on rehydration. Deserializing
+// a v3 document restores the stored version onto the rebuilt dataset
+// (`OverrideVersionForReplay`).
+
+/// Serializes `dataset` plus `sections` as a v3 document.
+std::string SerializeIncompleteDatasetV3(
+    const IncompleteDataset& dataset,
+    const std::vector<SerializedSection>& sections);
+
 struct DeserializedDatasetV2 {
   IncompleteDataset dataset;
   std::vector<SerializedSection> sections;
+  /// True when the input carried an explicit version (v3); the dataset's
+  /// `version()` then equals the stored value.
+  bool has_version = false;
 };
 
-/// Parses a v1 or v2 document, surfacing the sections (always empty for
-/// v1 input).
+/// Parses a v1, v2, or v3 document, surfacing the sections (always empty
+/// for v1 input).
 Result<DeserializedDatasetV2> DeserializeIncompleteDatasetV2(
     const std::string& text);
 

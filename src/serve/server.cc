@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -89,12 +90,33 @@ JsonValue SpecFromRequest(const JsonValue& req) {
   return spec;
 }
 
+/// Where `--storage-mode=mmap` puts its unlinked scratch files: the data
+/// dir when one is configured (same filesystem the sessions persist to),
+/// else the system temp dir. Empty (RAM mode) for any other mode string —
+/// flag validation happens at the CLI.
+std::string ResolveScratchDir(const ServerOptions& options) {
+  if (options.storage_mode != "mmap") return std::string();
+  if (!options.data_dir.empty()) return options.data_dir;
+  std::error_code ec;
+  const std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
+  return ec ? std::string(".") : tmp.string();
+}
+
+SessionStoreOptions StoreOptionsFrom(const ServerOptions& options) {
+  SessionStoreOptions store;
+  store.data_dir = options.data_dir;
+  store.max_sessions = options.max_sessions;
+  store.default_cache_capacity = options.default_cache_capacity;
+  store.log_compact_bytes = options.log_compact_bytes;
+  store.mmap_scratch_dir = ResolveScratchDir(options);
+  return store;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
     : options_(options),
-      store_(SessionStoreOptions{options.data_dir, options.max_sessions,
-                                 options.default_cache_capacity}),
+      store_(StoreOptionsFrom(options)),
       start_ns_(MonotonicNowNs()) {
   // Faults asked for in the environment apply to every transport this
   // server runs (a no-op unless CPCLEAN_FAULTS is set).
@@ -160,8 +182,11 @@ Result<JsonValue> Server::CreateSession(const JsonValue& req) {
         StrFormat("session \"%s\" already exists", name.c_str()));
   }
   CP_ASSIGN_OR_RETURN(
-      const ServeSessionOptions options,
+      ServeSessionOptions options,
       ServeSessionOptionsFromRequest(req, options_.default_cache_capacity));
+  // Working storage is server policy (the --storage-mode flag), never part
+  // of the client spec — rehydration applies the same resolution.
+  options.mmap_scratch_dir = ResolveScratchDir(options_);
   CP_ASSIGN_OR_RETURN(CleaningTask task, BuildTaskFromSpec(req));
   // Build AND prime the session outside the lock (task construction and
   // Make's certainty sweep are the expensive parts); only publish +
@@ -308,25 +333,35 @@ Result<JsonValue> Server::SaveSession(const JsonValue& req) {
     return out;
   }
   CP_ASSIGN_OR_RETURN(const std::shared_ptr<ServeSession> session, live);
-  CP_RETURN_NOT_OK(SessionStore::ValidateSavable(*session));
-  // Serialize OUTSIDE the lifecycle lock: it blocks on the session's
-  // shared_mutex (a long clean_run could hold that for a while), and
-  // unrelated lifecycle ops must not queue behind it. Only the file write
-  // is a lifecycle transition, re-validated under the lock.
-  const std::string text = session->SerializeSnapshot();
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
-  if (!registry_.Get(name).ok()) {
-    if (store_.Saved(name)) {
-      // Evicted while we serialized; the sweep's snapshot is at least as
-      // fresh as ours. Keep it.
-      out.Set("state", JsonValue("evicted"));
-      return out;
-    }
-    // Dropped while we serialized: writing now would resurrect it.
-    return Status::NotFound(StrFormat(
-        "session \"%s\" was dropped while being saved", name.c_str()));
+  // The store serializes OUTSIDE the lifecycle lock (serialization blocks
+  // on the session's shared_mutex — a long clean_run could hold that for
+  // a while — and unrelated lifecycle ops must not queue behind it); only
+  // the disk commit is a lifecycle transition, gated on the re-validation
+  // callback below running under the lock.
+  bool evicted_during_save = false;
+  const Status saved = store_.Save(
+      *session, /*write_seq_out=*/nullptr, &lifecycle_mu_,
+      [&]() -> Status {
+        const Result<std::shared_ptr<ServeSession>> current =
+            registry_.Get(name);
+        if (current.ok() && current.value().get() == session.get()) {
+          return Status::OK();
+        }
+        if (store_.Saved(name)) {
+          // Evicted while we serialized; the sweep's save is at least as
+          // fresh as ours. Abort the commit and keep it.
+          evicted_during_save = true;
+          return Status::Unavailable("evicted during save");
+        }
+        // Dropped while we serialized: committing now would resurrect it.
+        return Status::NotFound(StrFormat(
+            "session \"%s\" was dropped while being saved", name.c_str()));
+      });
+  if (evicted_during_save) {
+    out.Set("state", JsonValue("evicted"));
+    return out;
   }
-  CP_RETURN_NOT_OK(store_.WriteSnapshot(name, text));
+  CP_RETURN_NOT_OK(saved);
   out.Set("state", JsonValue("live"));
   return out;
 }

@@ -118,6 +118,15 @@ Result<std::shared_ptr<ServeSession>> ServeSession::Make(
       session->cleaner_,
       CleaningSession::Create(&session->task_, session->kernel_.get(),
                               clean_options));
+  // Serving sessions always journal their working-dataset mutations: the
+  // session store's delta saves append exactly this journal to the
+  // cleaning log. An mmap scratch dir additionally moves the flat slab
+  // out of anonymous memory (bit-identical; only paging differs).
+  WorkingStorageOptions storage;
+  storage.journal = true;
+  storage.mmap_scratch_dir = options.mmap_scratch_dir;
+  storage.stream_window_bytes = options.stream_window_bytes;
+  CP_RETURN_NOT_OK(session->cleaner_->ConfigureWorkingStorage(storage));
   session->engines_ = std::make_unique<EnginePool>(
       &session->cleaner_->working(), options.k);
   // Prime the validation-certainty flags before publishing: they refresh
@@ -349,16 +358,33 @@ JsonValue ServeSession::Stats() {
   return out;
 }
 
-std::string ServeSession::SerializeSnapshot(uint64_t* write_seq_out) {
+std::string ServeSession::SerializeSnapshot(uint64_t* write_seq_out,
+                                            uint64_t* version_out) {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return SerializeSnapshotLocked(write_seq_out);
+  return SerializeSnapshotLocked(write_seq_out, version_out);
 }
 
-std::string ServeSession::SerializeSnapshotLocked(uint64_t* write_seq_out) {
+ServeSession::SnapshotDelta ServeSession::SerializeDelta(
+    uint64_t since_version) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  SnapshotDelta delta;
+  const IncompleteDataset& working = cleaner_->working();
+  delta.version = working.version();
+  delta.write_seq = write_seq_.load(std::memory_order_relaxed);
+  delta.available = working.JournalCovers(since_version);
+  if (delta.available) delta.records = working.JournalSince(since_version);
+  return delta;
+}
+
+std::string ServeSession::SerializeSnapshotLocked(uint64_t* write_seq_out,
+                                                  uint64_t* version_out) {
   // Coherent with the bits below: mutations need the exclusive lock, so
   // under either lock mode the counter cannot move mid-serialization.
   if (write_seq_out != nullptr) {
     *write_seq_out = write_seq_.load(std::memory_order_relaxed);
+  }
+  if (version_out != nullptr) {
+    *version_out = cleaner_->working().version();
   }
   std::vector<SerializedSection> sections;
   if (spec_.is_object()) {
@@ -377,7 +403,7 @@ std::string ServeSession::SerializeSnapshotLocked(uint64_t* write_seq_out) {
       "task",
       {StrFormat("fingerprint %016llx",
                  static_cast<unsigned long long>(TaskFingerprint(task_)))}});
-  return SerializeIncompleteDatasetV2(cleaner_->working(), sections);
+  return SerializeIncompleteDatasetV3(cleaner_->working(), sections);
 }
 
 std::optional<std::string> ServeSession::RetireAndResnapshot(
@@ -391,6 +417,12 @@ std::optional<std::string> ServeSession::RetireAndResnapshot(
     return std::nullopt;
   }
   return SerializeSnapshotLocked(nullptr);
+}
+
+bool ServeSession::Retire(uint64_t since_write_seq) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  retired_ = true;
+  return write_seq_.load(std::memory_order_relaxed) != since_write_seq;
 }
 
 void ServeSession::Unretire() {

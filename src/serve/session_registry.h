@@ -33,6 +33,12 @@ struct ServeSessionOptions {
   size_t cache_capacity = 1024;
   /// FastSelectionScores streaming bound (see CpCleanOptions).
   size_t max_contrib_bytes = size_t{2} << 20;
+  /// Non-empty: back the session's working candidate slab with an unlinked
+  /// mmap scratch file under this directory (the server's `--storage-mode`
+  /// resolution; not a per-request knob, so not parsed from specs).
+  std::string mmap_scratch_dir;
+  /// Streaming window for file-backed candidate scans.
+  size_t stream_window_bytes = size_t{1} << 20;
 };
 
 /// Maps the wire kernel names ("neg_euclidean", "rbf", "linear", "cosine")
@@ -136,12 +142,33 @@ class ServeSession {
   /// options, last-request timestamp, cache + engine-pool counters.
   JsonValue Stats();
 
-  /// Serializes the session as a v2 incomplete-dataset document (working
-  /// dataset + "spec" and "cleaning" sections) for the session store.
-  /// When `write_seq_out` is non-null it receives the `write_seq()` the
-  /// snapshot captured — coherent with the serialized bits because writes
-  /// take the exclusive lock, so no mutation can interleave.
-  std::string SerializeSnapshot(uint64_t* write_seq_out = nullptr);
+  /// Serializes the session as a v3 incomplete-dataset document (working
+  /// dataset + version + "spec" and "cleaning" sections) for the session
+  /// store. When `write_seq_out` is non-null it receives the
+  /// `write_seq()` the snapshot captured — coherent with the serialized
+  /// bits because writes take the exclusive lock, so no mutation can
+  /// interleave. `version_out` likewise receives the working dataset's
+  /// `version()` (the cleaning log's sequence anchor).
+  std::string SerializeSnapshot(uint64_t* write_seq_out = nullptr,
+                                uint64_t* version_out = nullptr);
+
+  /// Everything the session mutated since a durable version — the
+  /// O(delta) alternative to SerializeSnapshot.
+  struct SnapshotDelta {
+    /// False when the working journal cannot reconstruct the gap (the
+    /// caller must fall back to a full snapshot).
+    bool available = false;
+    /// Mutations with seq > since_version, in order (empty = durably
+    /// current already).
+    std::vector<MutationRecord> records;
+    /// Working dataset version after the last record.
+    uint64_t version = 0;
+    /// write_seq() captured coherently with the records.
+    uint64_t write_seq = 0;
+  };
+
+  /// Captures the mutation delta since `since_version` (shared lock).
+  SnapshotDelta SerializeDelta(uint64_t since_version);
 
   // --- Write operations (exclusive lock) -----------------------------------
 
@@ -179,8 +206,18 @@ class ServeSession {
   /// or was never acknowledged.
   std::optional<std::string> RetireAndResnapshot(uint64_t since_write_seq);
 
-  /// Rolls back `RetireAndResnapshot` when the re-save could not be
-  /// written (the sweep re-publishes the session instead of dropping it).
+  /// The delta-aware variant of the commit point: takes the exclusive
+  /// lock, marks the session retired, and returns whether `write_seq()`
+  /// advanced past `since_write_seq` — i.e. whether the save the sweep
+  /// prepared is stale and must be re-prepared. Unlike
+  /// `RetireAndResnapshot` it serializes nothing; once retired no writer
+  /// can mutate the session, so the sweep re-prepares (delta or full) at
+  /// its leisure outside the exclusive lock.
+  bool Retire(uint64_t since_write_seq);
+
+  /// Rolls back `Retire`/`RetireAndResnapshot` when the re-save could not
+  /// be written (the sweep re-publishes the session instead of dropping
+  /// it).
   void Unretire();
 
  private:
@@ -199,7 +236,8 @@ class ServeSession {
                            Fn compute);
 
   /// `SerializeSnapshot` body; the caller holds `mu_` (either mode).
-  std::string SerializeSnapshotLocked(uint64_t* write_seq_out);
+  std::string SerializeSnapshotLocked(uint64_t* write_seq_out,
+                                      uint64_t* version_out = nullptr);
 
   const std::string name_;
   CleaningTask task_;

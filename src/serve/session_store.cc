@@ -9,6 +9,7 @@
 #include <optional>
 #include <sstream>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 
 #include "cleaning/imputers.h"
@@ -18,6 +19,7 @@
 #include "data/csv.h"
 #include "datasets/paper_datasets.h"
 #include "eval/experiment.h"
+#include "incomplete/cleaning_log.h"
 #include "incomplete/serialization.h"
 #include "serve/request_params.h"
 
@@ -26,6 +28,7 @@ namespace cpclean {
 namespace {
 
 constexpr char kSnapshotSuffix[] = ".cpsession";
+constexpr char kLogSuffix[] = ".cplog";
 /// Degraded-mode probe file (written + removed inside the data dir; never
 /// matches the snapshot suffix, so listings ignore it).
 constexpr char kProbeName[] = ".cpclean_probe";
@@ -204,6 +207,8 @@ SessionStore::SessionStore(SessionStoreOptions options)
   std::error_code ec;
   std::filesystem::directory_iterator it(options_.data_dir, ec);
   if (ec) return;
+  std::unordered_set<std::string> base_stems;
+  std::vector<std::filesystem::path> log_files;
   for (const auto& entry : it) {
     const std::string filename = entry.path().filename().string();
     const bool snapshot_tmp =
@@ -216,12 +221,40 @@ SessionStore::SessionStore(SessionStoreOptions options)
         filename.compare(0, sizeof(kProbeName) - 1, kProbeName) == 0;
     if (snapshot_tmp || probe_leftover) {
       std::filesystem::remove(entry.path(), ec);
+      continue;
+    }
+    const size_t snap_len = sizeof(kSnapshotSuffix) - 1;
+    if (filename.size() > snap_len &&
+        filename.compare(filename.size() - snap_len, snap_len,
+                         kSnapshotSuffix) == 0) {
+      base_stems.insert(filename.substr(0, filename.size() - snap_len));
+    }
+    const size_t log_len = sizeof(kLogSuffix) - 1;
+    if (filename.size() > log_len &&
+        filename.compare(filename.size() - log_len, log_len, kLogSuffix) ==
+            0) {
+      log_files.push_back(entry.path());
+    }
+  }
+  // A cleaning log without its base snapshot is unreplayable litter: the
+  // only way to get one is a crash between Delete's two removals (base
+  // first, then log — that order is what makes this sweep sound).
+  for (const std::filesystem::path& log_path : log_files) {
+    const std::string filename = log_path.filename().string();
+    const std::string stem =
+        filename.substr(0, filename.size() - (sizeof(kLogSuffix) - 1));
+    if (base_stems.count(stem) == 0) {
+      std::filesystem::remove(log_path, ec);
     }
   }
 }
 
 std::string SessionStore::PathFor(const std::string& name) const {
   return options_.data_dir + "/" + EscapeName(name) + kSnapshotSuffix;
+}
+
+std::string SessionStore::LogPathFor(const std::string& name) const {
+  return options_.data_dir + "/" + EscapeName(name) + kLogSuffix;
 }
 
 Status SessionStore::ValidateSavable(const ServeSession& session) {
@@ -234,14 +267,133 @@ Status SessionStore::ValidateSavable(const ServeSession& session) {
   return Status::OK();
 }
 
-Status SessionStore::Save(ServeSession& session, uint64_t* write_seq_out) {
+Status SessionStore::Save(ServeSession& session, uint64_t* write_seq_out,
+                          std::mutex* commit_mu,
+                          const std::function<Status()>& commit_check) {
   if (!enabled()) {
     return Status::Unavailable(
         "session persistence is disabled (no --data-dir)");
   }
+  std::lock_guard<std::mutex> order(save_order_mu_);
+  CP_ASSIGN_OR_RETURN(PendingSave pending, PrepareSave(session));
+  std::unique_lock<std::mutex> commit_lock;
+  if (commit_mu != nullptr) {
+    commit_lock = std::unique_lock<std::mutex>(*commit_mu);
+  }
+  if (commit_check) {
+    CP_RETURN_NOT_OK(commit_check());
+  }
+  CP_RETURN_NOT_OK(CommitSave(session.name(), pending));
+  if (write_seq_out != nullptr) *write_seq_out = pending.write_seq;
+  return Status::OK();
+}
+
+Result<SessionStore::PendingSave> SessionStore::PrepareSave(
+    ServeSession& session) {
   CP_RETURN_NOT_OK(ValidateSavable(session));
-  return WriteSnapshot(session.name(),
-                       session.SerializeSnapshot(write_seq_out));
+  PendingSave pending;
+  std::optional<DurableState> durable;
+  {
+    std::lock_guard<std::mutex> lock(durable_mu_);
+    const auto it = durable_.find(session.name());
+    if (it != durable_.end()) durable = it->second;
+  }
+  if (durable.has_value()) {
+    const ServeSession::SnapshotDelta delta =
+        session.SerializeDelta(durable->durable_version);
+    if (delta.available) {
+      pending.version = delta.version;
+      pending.write_seq = delta.write_seq;
+      if (delta.records.empty()) {
+        pending.noop = true;
+        return pending;
+      }
+      size_t bytes = 0;
+      std::vector<std::string> lines;
+      lines.reserve(delta.records.size());
+      for (const MutationRecord& record : delta.records) {
+        lines.push_back(EncodeLogRecord(record));
+        bytes += lines.back().size() + 1;  // trailing newline
+      }
+      if (durable->log_bytes + bytes <= options_.log_compact_bytes) {
+        pending.delta = true;
+        pending.log_lines = std::move(lines);
+        pending.log_bytes_add = bytes;
+        return pending;
+      }
+      // The append would outgrow the compaction threshold: fall through
+      // to a full base write, which folds the log away.
+    }
+  }
+  pending.full_text =
+      session.SerializeSnapshot(&pending.write_seq, &pending.version);
+  return pending;
+}
+
+Status SessionStore::CommitSave(const std::string& name,
+                                const PendingSave& pending) {
+  if (pending.noop) return Status::OK();
+  if (!pending.delta) {
+    CP_RETURN_NOT_OK(WriteFileAtomic(PathFor(name), pending.full_text));
+    // The fresh base supersedes any log on disk. Remove-after-rename is
+    // crash-safe: a log that survives next to the newer base only holds
+    // records at or below the base's version, which replay skips.
+    bool compacted = false;
+    {
+      std::lock_guard<std::mutex> lock(durable_mu_);
+      const auto it = durable_.find(name);
+      compacted = it != durable_.end() && it->second.log_bytes > 0;
+      durable_[name] = DurableState{pending.version, pending.version, 0};
+    }
+    std::error_code ec;
+    std::filesystem::remove(LogPathFor(name), ec);
+    if (compacted) {
+      static MetricCounter& compactions =
+          MetricsRegistry::Get().GetCounter("store.compactions");
+      compactions.Add(1);
+    }
+    return Status::OK();
+  }
+  // Delta append. Same degraded fast-fail and metrics as the full path;
+  // AppendCleaningLog carries its own fault sites (log.append, log.fsync)
+  // and truncates back on failure so the log never keeps a torn tail it
+  // acknowledged.
+  Status degraded;
+  if (DegradedFastFail(&degraded)) return degraded;
+  const uint64_t start_ns = MonotonicNowNs();
+  const Result<size_t> appended =
+      AppendCleaningLog(LogPathFor(name), pending.log_lines);
+  NoteWriteResult(appended.ok());
+  if (!appended.ok()) {
+    // Conservative: void the baseline so the next save writes a full
+    // base instead of extending a log whose tail just failed.
+    {
+      std::lock_guard<std::mutex> lock(durable_mu_);
+      durable_.erase(name);
+    }
+    static MetricCounter& failures =
+        MetricsRegistry::Get().GetCounter("store.save_failures_total");
+    failures.Add(1);
+    return appended.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(durable_mu_);
+    const auto it = durable_.find(name);
+    if (it != durable_.end()) {
+      it->second.durable_version = pending.version;
+      it->second.log_bytes += appended.value();
+    }
+  }
+  static MetricCounter& saves =
+      MetricsRegistry::Get().GetCounter("store.saves_total");
+  static MetricHistogram& save_ns =
+      MetricsRegistry::Get().GetHistogram("store.save_ns");
+  static MetricCounter& log_bytes =
+      MetricsRegistry::Get().GetCounter("store.log_appended_bytes");
+  saves.Add(1);
+  save_ns.Record(MonotonicNowNs() - start_ns);
+  log_bytes.Add(appended.value());
+  return Status::OK();
 }
 
 Status SessionStore::WriteSnapshot(const std::string& name,
@@ -250,22 +402,39 @@ Status SessionStore::WriteSnapshot(const std::string& name,
     return Status::Unavailable(
         "session persistence is disabled (no --data-dir)");
   }
-  return WriteFileAtomic(PathFor(name), text);
+  CP_RETURN_NOT_OK(WriteFileAtomic(PathFor(name), text));
+  // Raw full-state write at an unknown version: any cleaning log on disk
+  // no longer extends this base, and the delta baseline is void until
+  // the next full Save re-establishes one.
+  {
+    std::lock_guard<std::mutex> lock(durable_mu_);
+    durable_.erase(name);
+  }
+  std::error_code ec;
+  std::filesystem::remove(LogPathFor(name), ec);
+  return Status::OK();
+}
+
+bool SessionStore::DegradedFastFail(Status* status) {
+  // Degraded fast-fail: a disk that just failed will almost certainly
+  // fail again; don't pay (or retry-storm) the IO until the backoff
+  // window elapses. The first write after the window probes for real.
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  if (degraded_ && std::chrono::steady_clock::now() < next_probe_) {
+    *status = Status::IoError(StrFormat(
+        "data dir %s is degraded (a recent write failed); retrying in "
+        "<= %d ms",
+        options_.data_dir.c_str(), backoff_ms_));
+    return true;
+  }
+  return false;
 }
 
 Status SessionStore::WriteFileAtomic(const std::string& path,
                                      const std::string& text) {
   {
-    // Degraded fast-fail: a disk that just failed will almost certainly
-    // fail again; don't pay (or retry-storm) the IO until the backoff
-    // window elapses. The first write after the window probes for real.
-    std::lock_guard<std::mutex> lock(degraded_mu_);
-    if (degraded_ && std::chrono::steady_clock::now() < next_probe_) {
-      return Status::IoError(StrFormat(
-          "data dir %s is degraded (a recent write failed); retrying in "
-          "<= %d ms",
-          options_.data_dir.c_str(), backoff_ms_));
-    }
+    Status degraded;
+    if (DegradedFastFail(&degraded)) return degraded;
   }
   // Timed from first IO to rename; the degraded fast-fail above is a
   // deliberate non-write and never counts as a save failure.
@@ -407,6 +576,39 @@ Result<std::shared_ptr<ServeSession>> SessionStore::Load(
   CP_ASSIGN_OR_RETURN(DeserializedDatasetV2 parsed,
                       DeserializeIncompleteDatasetV2(buffer.str()));
 
+  // Replay the cleaning log (if any) onto the base before anything else:
+  // the replayed dataset is the durable truth the rebuilt session must be
+  // bit-identical to. ScanCleaningLogForAppend drops a torn final record
+  // — the one append that was never acknowledged to a client.
+  const std::string log_path = LogPathFor(name);
+  const uint64_t base_version = parsed.dataset.version();
+  CP_ASSIGN_OR_RETURN(const LogScan scan, ScanCleaningLogForAppend(log_path));
+  std::vector<int> log_fix_ids;
+  if (!scan.records.empty()) {
+    if (!parsed.has_version) {
+      return Status::Internal(StrFormat(
+          "%s: a cleaning log exists but the base snapshot is pre-v3 and "
+          "carries no version to anchor replay",
+          path.c_str()));
+    }
+    for (const MutationRecord& record : scan.records) {
+      if (record.kind != MutationRecord::Kind::kFix) {
+        // Serving sessions only ever fix examples; replaying anything
+        // else could not be folded into the cleaning replay order below.
+        return Status::Internal(StrFormat(
+            "%s: unexpected non-fix record (seq %llu) in a serve cleaning "
+            "log",
+            log_path.c_str(),
+            static_cast<unsigned long long>(record.seq)));
+      }
+    }
+    CP_RETURN_NOT_OK(ReplayCleaningLog(scan.records, base_version,
+                                       &parsed.dataset, &log_fix_ids));
+    static MetricCounter& replayed =
+        MetricsRegistry::Get().GetCounter("store.log_replayed_records");
+    replayed.Add(scan.records.size());
+  }
+
   const SerializedSection* spec_section = nullptr;
   const SerializedSection* cleaning_section = nullptr;
   const SerializedSection* task_section = nullptr;
@@ -461,8 +663,13 @@ Result<std::shared_ptr<ServeSession>> SessionStore::Load(
   }
 
   CP_ASSIGN_OR_RETURN(
-      const ServeSessionOptions options,
+      ServeSessionOptions options,
       ServeSessionOptionsFromRequest(spec, options_.default_cache_capacity));
+  // Working-storage knobs are server policy, not part of the spec: a
+  // snapshot saved under --storage-mode=ram rehydrates into mmap mode
+  // (or back) without any format change — the two are bit-identical.
+  options.mmap_scratch_dir = options_.mmap_scratch_dir;
+  options.stream_window_bytes = options_.stream_window_bytes;
   CP_ASSIGN_OR_RETURN(CleaningTask task, BuildTaskFromSpec(spec));
   if (TaskFingerprint(task) != want_fingerprint) {
     // The working dataset is bit-verified separately (RestoreCleaning);
@@ -474,11 +681,37 @@ Result<std::shared_ptr<ServeSession>> SessionStore::Load(
         "saved?)",
         name.c_str()));
   }
+  // The replay order is the base's cleaning section plus the fixes the
+  // log appended, in log order.
+  cleaned_order.insert(cleaned_order.end(), log_fix_ids.begin(),
+                       log_fix_ids.end());
   CP_ASSIGN_OR_RETURN(
       std::shared_ptr<ServeSession> session,
       ServeSession::Make(name, std::move(task), options, spec,
                          /*prime_certainty=*/false));
   CP_RETURN_NOT_OK(session->RestoreCleaning(cleaned_order, parsed.dataset));
+  // The on-disk state is now known-good: future saves of this session can
+  // extend the log from the replayed version instead of rewriting the
+  // base. Pre-v3 bases carry no version, so their first save compacts.
+  if (parsed.has_version) {
+    // Version-determinism check: the rebuilt session must sit at exactly
+    // the version the base+log reached, or the next delta's sequence
+    // numbers would not line up with the log on disk.
+    const ServeSession::SnapshotDelta check =
+        session->SerializeDelta(parsed.dataset.version());
+    if (!check.available || check.version != parsed.dataset.version() ||
+        !check.records.empty()) {
+      return Status::Internal(StrFormat(
+          "session \"%s\": rebuilt working version %llu does not match the "
+          "durable version %llu",
+          name.c_str(), static_cast<unsigned long long>(check.version),
+          static_cast<unsigned long long>(parsed.dataset.version())));
+    }
+    std::lock_guard<std::mutex> lock(durable_mu_);
+    durable_[name] =
+        DurableState{base_version, parsed.dataset.version(),
+                     scan.durable_bytes};
+  }
   return session;
   }();
   if (result.ok()) {
@@ -501,6 +734,10 @@ Status SessionStore::Delete(const std::string& name) {
     return Status::Unavailable(
         "session persistence is disabled (no --data-dir)");
   }
+  {
+    std::lock_guard<std::mutex> lock(durable_mu_);
+    durable_.erase(name);
+  }
   std::error_code ec;
   const bool removed = std::filesystem::remove(PathFor(name), ec);
   if (ec) {
@@ -510,6 +747,12 @@ Status SessionStore::Delete(const std::string& name) {
     return Status::IoError(StrFormat("cannot delete snapshot for \"%s\": %s",
                                      name.c_str(), ec.message().c_str()));
   }
+  // Base first, then log: a crash in between leaves an orphan log, which
+  // Load never sees (no base -> NotFound) and the startup sweep reclaims.
+  // The other order could leave base-without-log looking like a complete,
+  // older session.
+  std::error_code log_ec;
+  std::filesystem::remove(LogPathFor(name), log_ec);
   if (!removed) {
     return Status::NotFound(StrFormat(
         "no snapshot for session \"%s\"", name.c_str()));
@@ -583,28 +826,37 @@ Result<std::vector<std::string>> SessionStore::EnforceCapacity(
     // unrelated lifecycle transition.
     CP_RETURN_NOT_OK(ValidateSavable(*victim));
     const uint64_t seq_before_save = victim->last_request_seq();
-    uint64_t snapshot_write_seq = 0;
-    std::string text = victim->SerializeSnapshot(&snapshot_write_seq);
+    // Saves order on save_order_mu_ (see Save): held across the prepare /
+    // retire / commit so no client save interleaves its own delta append
+    // with the eviction's on this session's log.
+    std::unique_lock<std::mutex> order(save_order_mu_);
+    Result<PendingSave> prepared = PrepareSave(*victim);
+    if (!prepared.ok()) return prepared.status();
+    PendingSave pending = std::move(prepared).value();
     if (victim->last_request_seq() != seq_before_save && retries_left > 0) {
       --retries_left;
-      // A request landed while the snapshot was being serialized — the
-      // session is no longer LRU; re-pick.
+      // A request landed while the save was being prepared — the session
+      // is no longer LRU; re-pick.
       continue;
     }
     // Retire BEFORE the registry drop so failure can roll back to a fully
     // live session: the exclusive lock drains in-flight writers; later
     // writes on this instance answer Unavailable and are never
-    // acknowledged. A write that slipped in between the serialization
-    // above and retirement — acknowledged to its client, so it must not
-    // be lost — replaces the snapshot with the now-final state.
-    if (std::optional<std::string> resnapshot =
-            victim->RetireAndResnapshot(snapshot_write_seq)) {
-      text = std::move(*resnapshot);
+    // acknowledged. A write that slipped in between the preparation above
+    // and retirement — acknowledged to its client, so it must not be lost
+    // — triggers a re-prepare against the now-final state.
+    if (victim->Retire(pending.write_seq)) {
+      prepared = PrepareSave(*victim);
+      if (!prepared.ok()) {
+        victim->Unretire();
+        return prepared.status();
+      }
+      pending = std::move(prepared).value();
     }
     // Commit under the lifecycle mutex: re-validate that the registry
     // still holds this exact instance (a drop_session racing the
     // serialization deleted the name — writing our snapshot back would
-    // resurrect it), write the snapshot, drop the live entry.
+    // resurrect it), commit the save, drop the live entry.
     {
       std::lock_guard<std::mutex> lifecycle(lifecycle_mu);
       const Result<std::shared_ptr<ServeSession>> live =
@@ -615,7 +867,7 @@ Result<std::vector<std::string>> SessionStore::EnforceCapacity(
         --retries_left;
         continue;
       }
-      const Status written = WriteSnapshot(victim->name(), text);
+      const Status written = CommitSave(victim->name(), pending);
       if (!written.ok()) {
         victim->Unretire();
         return written;

@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cleaning/cleaning_task.h"
@@ -39,6 +41,15 @@ struct SessionStoreOptions {
   /// doubling (up to the max) on every failed probe until a write heals.
   int degraded_backoff_initial_ms = 100;
   int degraded_backoff_max_ms = 5000;
+  /// Compaction threshold for the per-session cleaning log: a save whose
+  /// append would grow `<name>.cplog` past this many bytes writes a fresh
+  /// full base snapshot instead (and removes the log).
+  size_t log_compact_bytes = size_t{1} << 20;
+  /// Working-storage options stamped onto rehydrated sessions (see
+  /// WorkingStorageOptions): non-empty `mmap_scratch_dir` backs their
+  /// candidate slab with an unlinked mmap scratch file there.
+  std::string mmap_scratch_dir;
+  size_t stream_window_bytes = size_t{1} << 20;
 };
 
 /// Snapshot persistence and lifecycle policy for serving sessions: the
@@ -47,16 +58,30 @@ struct SessionStoreOptions {
 /// rehydrated (rebuilt from spec + replayed cleaning order on next
 /// access).
 ///
-/// One file per session, `<data-dir>/<escaped-name>.cpsession`, in the v2
-/// incomplete-dataset format: the *working* candidate space (for
-/// bit-identity verification) plus a "spec" section (the create_session
-/// parameter JSON that rebuilds the task), a "cleaning" section
-/// (`cleaned <n> <ids...>`, the replay order), and a "task" section
-/// (`fingerprint <hex>`, hashing the validation/test/oracle data the
-/// working dataset does not cover). Rehydration rebuilds the task from
+/// Durable state per session is a **base snapshot plus an append-only
+/// cleaning log**:
+///
+///   - `<data-dir>/<escaped-name>.cpsession` — the base, in the v3
+///     incomplete-dataset format: the *working* candidate space (for
+///     bit-identity verification) and its dataset version, plus a "spec"
+///     section (the create_session parameter JSON that rebuilds the
+///     task), a "cleaning" section (`cleaned <n> <ids...>`, the replay
+///     order), and a "task" section (`fingerprint <hex>`, hashing the
+///     validation/test/oracle data the working dataset does not cover).
+///   - `<data-dir>/<escaped-name>.cplog` — checksummed mutation records
+///     appended since the base was written (see cleaning_log.h).
+///
+/// A save is a delta: only the mutations since the last durable version
+/// are fsync-appended to the log — O(changes), independent of dataset
+/// size. When the log would outgrow `log_compact_bytes` (or the store
+/// has no durable baseline for the session), the save writes a fresh
+/// full base atomically and drops the log (compaction). Rehydration
+/// loads the base, replays the log (tolerating a torn final record —
+/// the one append that was never acknowledged), rebuilds the task from
 /// the spec, replays the cleaning order, and fails loudly if either the
-/// rebuilt working dataset is not bit-identical to the stored one or the
-/// task fingerprint drifted (a CSV edited on disk since the save).
+/// rebuilt working dataset is not bit-identical to the stored+replayed
+/// one or the task fingerprint drifted (a CSV edited on disk since the
+/// save).
 class SessionStore {
  public:
   explicit SessionStore(SessionStoreOptions options);
@@ -68,33 +93,50 @@ class SessionStore {
   /// The snapshot path for `name` (valid whether or not the file exists).
   std::string PathFor(const std::string& name) const;
 
+  /// The cleaning-log path for `name` (exists only between a delta save
+  /// and the next compaction).
+  std::string LogPathFor(const std::string& name) const;
+
   /// InvalidArgument when `session` cannot be persisted (created without
   /// a spec — nothing could rebuild its task on load). The single source
-  /// of the savability rule, shared by `Save` and the server's
-  /// serialize-outside-lock save path.
+  /// of the savability rule, shared by `Save` and the eviction sweep.
   static Status ValidateSavable(const ServeSession& session);
 
-  /// Serializes `session` to its snapshot file (atomic: temp file +
-  /// rename). Unavailable when persistence is disabled; see
-  /// `ValidateSavable` for the spec requirement. `write_seq_out`, when
-  /// non-null, receives the session `write_seq()` the snapshot captured —
-  /// the eviction sweep's dirty-flag baseline.
-  Status Save(ServeSession& session, uint64_t* write_seq_out = nullptr);
+  /// Persists `session`: a log append of the mutations since the last
+  /// durable version when the store holds a baseline for it (O(delta)),
+  /// else a full atomic base-snapshot write; a no-op when nothing changed.
+  /// Unavailable when persistence is disabled; see `ValidateSavable` for
+  /// the spec requirement.
+  ///
+  /// `write_seq_out`, when non-null, receives the session `write_seq()`
+  /// the save captured. The expensive half (serialization) runs before
+  /// the commit; callers that must re-validate liveness against a racing
+  /// drop pass their lifecycle mutex as `commit_mu` and the check as
+  /// `commit_check` — the disk commit then happens with `commit_mu` held,
+  /// after `commit_check` returns OK (a non-OK check aborts the save and
+  /// is returned). Saves of all sessions serialize on an internal order
+  /// mutex so two delta appends can never interleave on one log.
+  Status Save(ServeSession& session, uint64_t* write_seq_out = nullptr,
+              std::mutex* commit_mu = nullptr,
+              const std::function<Status()>& commit_check = nullptr);
 
-  /// The write half of `Save` for callers that serialized the session
-  /// earlier (e.g. outside a lock that must not block on the session):
-  /// writes pre-serialized snapshot `text` for `name` atomically.
+  /// Writes pre-serialized full snapshot `text` for `name` atomically,
+  /// bypassing delta tracking: any cleaning log for `name` is removed and
+  /// its delta baseline voided (the text's version is unknown), so the
+  /// next `Save` writes a fresh full base. Kept for tests and tools that
+  /// author snapshot bytes directly.
   Status WriteSnapshot(const std::string& name, const std::string& text);
 
-  /// Loads `name`'s snapshot and rebuilds the session (unpublished — the
-  /// caller inserts it into the registry). NotFound when no snapshot
-  /// exists.
+  /// Loads `name`'s base snapshot, replays its cleaning log (truncating
+  /// a torn tail), and rebuilds the session (unpublished — the caller
+  /// inserts it into the registry). NotFound when no base exists.
   Result<std::shared_ptr<ServeSession>> Load(const std::string& name);
 
-  /// Deletes `name`'s snapshot file. NotFound when none exists.
+  /// Deletes `name`'s base snapshot and cleaning log. NotFound when no
+  /// base exists.
   Status Delete(const std::string& name);
 
-  /// True when a snapshot file exists for `name`.
+  /// True when a base snapshot file exists for `name`.
   bool Saved(const std::string& name) const;
 
   /// Names of every saved session, sorted.
@@ -102,9 +144,10 @@ class SessionStore {
 
   /// The eviction sweep: while `registry` holds more than `max_sessions`
   /// sessions, saves the least-recently-used one (by last-request
-  /// sequence), retires it (in-flight writers drain; a write acknowledged
-  /// during snapshot serialization replaces the snapshot with the final
-  /// state, and any later write on the detached instance is refused with
+  /// sequence) — an O(delta) log append when a durable baseline exists —
+  /// retires it (in-flight writers drain; a write acknowledged during
+  /// save preparation triggers a re-prepare against the final state, and
+  /// any later write on the detached instance is refused with
   /// Unavailable — so an acknowledged write is never lost to eviction),
   /// and drops it. Returns the evicted names (empty when under the limit
   /// or max_sessions == 0). Fails without evicting when persistence is
@@ -113,24 +156,55 @@ class SessionStore {
   ///
   /// The caller must NOT hold `lifecycle_mu`: the expensive half
   /// (serialization, writer drain) runs outside it, and only the commit
-  /// (snapshot write + registry drop, re-validated against a racing drop)
+  /// (disk write + registry drop, re-validated against a racing drop)
   /// takes it. Concurrent sweeps serialize on an internal mutex.
   Result<std::vector<std::string>> EnforceCapacity(SessionRegistry& registry,
                                                    std::mutex& lifecycle_mu);
 
-  /// Degraded read-only mode. The store enters it when a snapshot (or
-  /// probe) write fails with an IO error: further writes fast-fail with
-  /// IoError until an exponential-backoff window elapses, then the next
-  /// write — or this accessor — probes the disk with a small atomic write.
-  /// Reads (Load/Saved/SavedNames) never consult it: a server with an
-  /// unwritable data dir keeps serving queries, it just cannot save.
-  /// `CheckDegraded` probes when the backoff window has elapsed, so a
-  /// healed disk clears on the next stats poll, not only on the next save.
+  /// Degraded read-only mode. The store enters it when a snapshot, log
+  /// append, or probe write fails with an IO error: further writes
+  /// fast-fail with IoError until an exponential-backoff window elapses,
+  /// then the next write — or this accessor — probes the disk with a
+  /// small atomic write. Reads (Load/Saved/SavedNames) never consult it:
+  /// a server with an unwritable data dir keeps serving queries, it just
+  /// cannot save. `CheckDegraded` probes when the backoff window has
+  /// elapsed, so a healed disk clears on the next stats poll, not only on
+  /// the next save.
   bool CheckDegraded();
 
  private:
-  /// Temp-write + close-check + rename, the single disk-write path
-  /// (snapshots and degraded-mode probes alike). Carries the
+  /// What the store knows is on disk for one session: the base
+  /// snapshot's dataset version, the version the base+log together
+  /// reach, and the log's durable byte length. Established by a full
+  /// save or a load; absence forces the next save to write a full base.
+  struct DurableState {
+    uint64_t base_version = 0;
+    uint64_t durable_version = 0;
+    size_t log_bytes = 0;
+  };
+
+  /// A prepared save: either a full base snapshot text or the encoded
+  /// log records covering (durable_version, current version].
+  struct PendingSave {
+    bool noop = false;   // nothing changed since the durable version
+    bool delta = false;  // append `log_lines` instead of writing `full_text`
+    std::string full_text;
+    std::vector<std::string> log_lines;
+    size_t log_bytes_add = 0;
+    uint64_t version = 0;    // dataset version this save makes durable
+    uint64_t write_seq = 0;  // session write_seq the save captured
+  };
+
+  /// Serializes the cheapest sufficient save for `session` (shared-lock
+  /// read; no disk IO). Caller must hold `save_order_mu_`.
+  Result<PendingSave> PrepareSave(ServeSession& session);
+
+  /// Commits a prepared save to disk and updates the durable baseline.
+  /// Caller must hold `save_order_mu_`.
+  Status CommitSave(const std::string& name, const PendingSave& pending);
+
+  /// Temp-write + close-check + rename, the single full-snapshot write
+  /// path (bases and degraded-mode probes alike). Carries the
   /// fault-injection sites store.open / store.write / store.flush /
   /// store.rename and feeds the degraded-mode state machine: any IO
   /// failure degrades the store, any success heals it. Fast-fails without
@@ -140,9 +214,21 @@ class SessionStore {
   /// Marks the store degraded (extending the backoff) or healed.
   void NoteWriteResult(bool ok);
 
+  /// True while degraded and inside the backoff window (the log-append
+  /// path's equivalent of WriteFileAtomic's fast-fail).
+  bool DegradedFastFail(Status* status);
+
   SessionStoreOptions options_;
   /// Serializes eviction sweeps (two sweeps would retire the same victim).
   std::mutex sweep_mu_;
+  /// Serializes prepare→commit of every save: two concurrent delta saves
+  /// of one session would both diff against the same durable version and
+  /// append duplicate records. Ordering: sweep_mu_ → save_order_mu_ →
+  /// session locks → lifecycle_mu → durable_mu_.
+  std::mutex save_order_mu_;
+  /// Guards durable_ (leaf mutex).
+  std::mutex durable_mu_;
+  std::unordered_map<std::string, DurableState> durable_;
   /// Degraded-mode state (see CheckDegraded).
   std::mutex degraded_mu_;
   bool degraded_ = false;

@@ -1,0 +1,296 @@
+// The append-only cleaning log: checksummed record round-trips, torn-tail
+// recovery, corruption detection, replay equivalence against direct
+// mutation, and the injected log.append / log.fsync / log.replay faults.
+
+#include "incomplete/cleaning_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "tests/test_util.h"
+
+namespace cpclean {
+namespace {
+
+using testing_util::MakeRandomDataset;
+using testing_util::RandomDatasetSpec;
+
+std::string FreshLogPath(const std::string& leaf) {
+  const std::string path =
+      ::testing::TempDir() + "/cpclean_" + leaf + ".cplog";
+  std::filesystem::remove(path);
+  return path;
+}
+
+size_t FileSize(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<size_t>(size);
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(file),
+                     std::istreambuf_iterator<char>());
+}
+
+MutationRecord Fix(uint64_t seq, int example, int candidate) {
+  MutationRecord record;
+  record.kind = MutationRecord::Kind::kFix;
+  record.seq = seq;
+  record.example = example;
+  record.candidate = candidate;
+  return record;
+}
+
+bool RecordsEqual(const MutationRecord& a, const MutationRecord& b) {
+  return a.kind == b.kind && a.seq == b.seq && a.example == b.example &&
+         a.candidate == b.candidate && a.label == b.label &&
+         a.candidates == b.candidates;
+}
+
+class CleaningLogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Clear(); }
+};
+
+TEST_F(CleaningLogTest, EncodeDecodeRoundTripsEveryKind) {
+  MutationRecord fix = Fix(7, 3, 1);
+
+  MutationRecord replace;
+  replace.kind = MutationRecord::Kind::kReplace;
+  replace.seq = 8;
+  replace.example = 2;
+  // Values unrepresentable in short decimal: the hex-float encoding must
+  // reproduce them bit-for-bit.
+  replace.candidates = {{1.0 / 3.0, -2.0e-17}, {1e300, -0.0}};
+
+  MutationRecord add;
+  add.kind = MutationRecord::Kind::kAdd;
+  add.seq = 9;
+  add.label = 1;
+  add.candidates = {{0.1, 0.2}, {3.3333333333333331, -1.5}};
+
+  for (const MutationRecord& record : {fix, replace, add}) {
+    const std::string line = EncodeLogRecord(record);
+    const Result<MutationRecord> decoded = DecodeLogRecord(line);
+    ASSERT_TRUE(decoded.ok()) << line;
+    EXPECT_TRUE(RecordsEqual(record, decoded.value())) << line;
+  }
+}
+
+TEST_F(CleaningLogTest, DecodeRejectsCorruption) {
+  const std::string line = EncodeLogRecord(Fix(5, 2, 0));
+  // Body flip: checksum mismatch.
+  std::string body_flip = line;
+  body_flip[0] = 'g';
+  EXPECT_FALSE(DecodeLogRecord(body_flip).ok());
+  // Checksum flip.
+  std::string sum_flip = line;
+  sum_flip.back() = sum_flip.back() == '0' ? '1' : '0';
+  EXPECT_FALSE(DecodeLogRecord(sum_flip).ok());
+  // Truncation (a torn line).
+  EXPECT_FALSE(DecodeLogRecord(line.substr(0, line.size() - 3)).ok());
+  EXPECT_FALSE(DecodeLogRecord("").ok());
+}
+
+TEST_F(CleaningLogTest, AppendScanRoundTrip) {
+  const std::string path = FreshLogPath("roundtrip");
+  const std::vector<MutationRecord> records = {Fix(1, 0, 1), Fix(2, 3, 0),
+                                               Fix(3, 1, 2)};
+  // Two appends: the second must extend, not rewrite.
+  ASSERT_TRUE(AppendCleaningLog(path, {EncodeLogRecord(records[0])}).ok());
+  ASSERT_TRUE(AppendCleaningLog(path, {EncodeLogRecord(records[1]),
+                                       EncodeLogRecord(records[2])})
+                  .ok());
+  const Result<LogScan> scan = ScanCleaningLog(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(scan.value().truncated_tail);
+  EXPECT_EQ(scan.value().last_seq, 3u);
+  EXPECT_EQ(scan.value().durable_bytes, FileSize(path));
+  ASSERT_EQ(scan.value().records.size(), 3u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(RecordsEqual(records[i], scan.value().records[i]));
+  }
+}
+
+TEST_F(CleaningLogTest, MissingFileScansEmpty) {
+  const Result<LogScan> scan = ScanCleaningLog(FreshLogPath("missing"));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan.value().records.empty());
+  EXPECT_EQ(scan.value().durable_bytes, 0u);
+}
+
+TEST_F(CleaningLogTest, TornTailDroppedAndTruncatedForAppend) {
+  const std::string path = FreshLogPath("torn");
+  ASSERT_TRUE(AppendCleaningLog(path, {EncodeLogRecord(Fix(1, 0, 1)),
+                                       EncodeLogRecord(Fix(2, 1, 0))})
+                  .ok());
+  const size_t durable = FileSize(path);
+  {
+    // A killed append leaves half a line with no newline.
+    std::ofstream file(path, std::ios::app | std::ios::binary);
+    file << EncodeLogRecord(Fix(3, 2, 0)).substr(0, 10);
+  }
+  const Result<LogScan> scan = ScanCleaningLog(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan.value().truncated_tail);
+  EXPECT_EQ(scan.value().records.size(), 2u);
+  EXPECT_EQ(scan.value().durable_bytes, durable);
+  // ScanCleaningLog never modifies the file; ForAppend truncates the torn
+  // tail so the next append lands on a record boundary.
+  EXPECT_GT(FileSize(path), durable);
+  ASSERT_TRUE(ScanCleaningLogForAppend(path).ok());
+  EXPECT_EQ(FileSize(path), durable);
+  ASSERT_TRUE(AppendCleaningLog(path, {EncodeLogRecord(Fix(3, 2, 0))}).ok());
+  const Result<LogScan> healed = ScanCleaningLog(path);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed.value().truncated_tail);
+  EXPECT_EQ(healed.value().records.size(), 3u);
+}
+
+TEST_F(CleaningLogTest, MidFileCorruptionIsAnError) {
+  const std::string path = FreshLogPath("midfile");
+  ASSERT_TRUE(AppendCleaningLog(path, {EncodeLogRecord(Fix(1, 0, 1)),
+                                       EncodeLogRecord(Fix(2, 1, 0))})
+                  .ok());
+  std::string bytes = ReadAll(path);
+  // Flip one byte of the FIRST record's body: damage before the tail is
+  // corruption, never silently dropped.
+  const size_t pos = bytes.find("fix 1");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] = 'g';
+  {
+    std::ofstream file(path, std::ios::trunc | std::ios::binary);
+    file << bytes;
+  }
+  EXPECT_FALSE(ScanCleaningLog(path).ok());
+}
+
+TEST_F(CleaningLogTest, NonIncreasingSequenceIsAnError) {
+  const std::string path = FreshLogPath("seq");
+  ASSERT_TRUE(AppendCleaningLog(path, {EncodeLogRecord(Fix(2, 0, 1)),
+                                       EncodeLogRecord(Fix(2, 1, 0))})
+                  .ok());
+  EXPECT_FALSE(ScanCleaningLog(path).ok());
+}
+
+TEST_F(CleaningLogTest, ReplayMatchesDirectMutation) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 8;
+  spec.max_candidates = 4;
+  spec.num_labels = 2;
+  spec.dim = 3;
+  spec.seed = 21;
+  IncompleteDataset live = MakeRandomDataset(spec);
+  const IncompleteDataset base = live;  // value snapshot at version v0
+  const uint64_t v0 = base.version();
+
+  live.EnableJournal();
+  live.FixExample(1, 1);
+  live.ReplaceCandidates(4, {{0.5, -0.5, 1.0 / 3.0}, {1e10, 0.0, -2.0}});
+  IncompleteExample extra;
+  extra.label = 1;
+  extra.candidates = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  ASSERT_TRUE(live.AddExample(extra).ok());
+  live.FixExample(6, 0);
+
+  // Round-trip the journal through the on-disk format.
+  const std::string path = FreshLogPath("replay");
+  std::vector<std::string> lines;
+  for (const MutationRecord& record : live.JournalSince(v0)) {
+    lines.push_back(EncodeLogRecord(record));
+  }
+  ASSERT_TRUE(AppendCleaningLog(path, lines).ok());
+  const Result<LogScan> scan = ScanCleaningLog(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan.value().records.size(), 4u);
+
+  IncompleteDataset replayed = base;
+  std::vector<int> fixed;
+  ASSERT_TRUE(
+      ReplayCleaningLog(scan.value().records, v0, &replayed, &fixed).ok());
+  EXPECT_TRUE(BitIdentical(live, replayed));
+  EXPECT_EQ(replayed.version(), live.version());
+  EXPECT_EQ(fixed, (std::vector<int>{1, 6}));
+}
+
+TEST_F(CleaningLogTest, ReplayFromSeqSkipsAlreadyApplied) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 6;
+  spec.seed = 33;
+  IncompleteDataset live = MakeRandomDataset(spec);
+  const uint64_t v0 = live.version();
+  live.EnableJournal();
+  live.FixExample(0, 0);
+  const IncompleteDataset mid = live;  // already holds the first fix
+  live.FixExample(2, 0);
+
+  const std::vector<MutationRecord> all = live.JournalSince(v0);
+  ASSERT_EQ(all.size(), 2u);
+  IncompleteDataset replayed = mid;
+  // from_seq = mid's version: the first record is skipped, not re-applied.
+  ASSERT_TRUE(
+      ReplayCleaningLog(all, mid.version(), &replayed, nullptr).ok());
+  EXPECT_TRUE(BitIdentical(live, replayed));
+}
+
+TEST_F(CleaningLogTest, ReplaySequenceGapIsAnError) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 6;
+  spec.seed = 34;
+  IncompleteDataset live = MakeRandomDataset(spec);
+  IncompleteDataset base = live;
+  const uint64_t v0 = live.version();
+  live.EnableJournal();
+  live.FixExample(0, 0);
+  live.FixExample(2, 0);
+  std::vector<MutationRecord> gapped = live.JournalSince(v0);
+  gapped.erase(gapped.begin());  // drop the first mutation
+  EXPECT_FALSE(ReplayCleaningLog(gapped, v0, &base, nullptr).ok());
+}
+
+TEST_F(CleaningLogTest, InjectedAppendFaultLeavesFileUntouched) {
+  const std::string path = FreshLogPath("fault_append");
+  ASSERT_TRUE(AppendCleaningLog(path, {EncodeLogRecord(Fix(1, 0, 1))}).ok());
+  const std::string before = ReadAll(path);
+  ASSERT_TRUE(FaultInjection::Configure("log.append=once").ok());
+  EXPECT_FALSE(AppendCleaningLog(path, {EncodeLogRecord(Fix(2, 1, 0))}).ok());
+  EXPECT_EQ(ReadAll(path), before);
+  // The rule was "once": the retry goes through.
+  EXPECT_TRUE(AppendCleaningLog(path, {EncodeLogRecord(Fix(2, 1, 0))}).ok());
+}
+
+TEST_F(CleaningLogTest, InjectedFsyncFaultTruncatesBack) {
+  const std::string path = FreshLogPath("fault_fsync");
+  ASSERT_TRUE(AppendCleaningLog(path, {EncodeLogRecord(Fix(1, 0, 1))}).ok());
+  const std::string before = ReadAll(path);
+  ASSERT_TRUE(FaultInjection::Configure("log.fsync=once").ok());
+  // The bytes land, then the fsync fails: the append must truncate back
+  // so the file never holds records that were not acknowledged durable.
+  EXPECT_FALSE(AppendCleaningLog(path, {EncodeLogRecord(Fix(2, 1, 0))}).ok());
+  EXPECT_EQ(ReadAll(path), before);
+}
+
+TEST_F(CleaningLogTest, InjectedReplayFaultSurfaces) {
+  RandomDatasetSpec spec;
+  spec.num_examples = 4;
+  spec.seed = 35;
+  IncompleteDataset live = MakeRandomDataset(spec);
+  const uint64_t v0 = live.version();
+  live.EnableJournal();
+  live.FixExample(0, 0);
+  IncompleteDataset base = live;
+  ASSERT_TRUE(FaultInjection::Configure("log.replay=once").ok());
+  EXPECT_FALSE(
+      ReplayCleaningLog(live.JournalSince(v0), v0, &base, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace cpclean

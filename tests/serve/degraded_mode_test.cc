@@ -164,13 +164,20 @@ TEST_F(DegradedModeTest, ServerKeepsServingBitIdenticalWhileDegraded) {
   options.data_dir = dir;
   Server server(options);
   ParseOk(server.HandleLine(CreateRequest("s", 11)));
-  const std::vector<std::string> baseline = Q2Sweep(&server, "s");
   ParseOk(server.HandleLine("{\"op\":\"save_session\",\"session\":\"s\"}"));
+  // Dirty the session so the next save has something to persist (an
+  // unchanged session's save is a disk-less no-op under delta saves).
+  ParseOk(server.HandleLine(
+      "{\"op\":\"clean_step\",\"session\":\"s\",\"steps\":1}"));
+  const std::vector<std::string> baseline = Q2Sweep(&server, "s");
   EXPECT_FALSE(StatsDegraded(&server));
 
-  // The data dir becomes unwritable: saves fail with IoError, stats
-  // report it, and queries are bit-identical to the healthy baseline.
-  ASSERT_TRUE(FaultInjection::Configure("store.open=always").ok());
+  // The data dir becomes unwritable — both the delta log-append and the
+  // full-snapshot path: saves fail with IoError, stats report it, and
+  // queries are bit-identical to the healthy baseline.
+  ASSERT_TRUE(FaultInjection::Configure(
+                  "store.open=always;log.append=always")
+                  .ok());
   const std::string failed =
       server.HandleLine("{\"op\":\"save_session\",\"session\":\"s\"}");
   EXPECT_NE(failed.find("\"ok\":false"), std::string::npos);
