@@ -75,6 +75,8 @@ void CleaningSession::Reset() {
     if (!cleaned_[static_cast<size_t>(i)]) dirty_.push_back(i);
   }
   cleaned_order_.clear();
+  audit_.clear();
+  last_newly_certain_.clear();
   // `working_ = task copy` above wiped any journal/file backing the
   // serving layer configured; re-establish it.
   ApplyWorkingStorage();
@@ -104,7 +106,21 @@ Status CleaningSession::ConfigureWorkingStorage(
 
 Status CleaningSession::Restore(const CleaningSnapshot& snapshot) {
   Reset();
-  for (const int i : snapshot.cleaned_order) {
+  if (snapshot.audit.size() > snapshot.cleaned_order.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot audit covers %d steps but only %d were cleaned",
+        static_cast<int>(snapshot.audit.size()),
+        static_cast<int>(snapshot.cleaned_order.size())));
+  }
+  for (size_t s = 0; s < snapshot.audit.size(); ++s) {
+    if (snapshot.audit[s].example != snapshot.cleaned_order[s]) {
+      return Status::InvalidArgument(StrFormat(
+          "audit step %d cleans example %d but the cleaning order says %d",
+          static_cast<int>(s) + 1, snapshot.audit[s].example,
+          snapshot.cleaned_order[s]));
+    }
+  }
+  const auto take = [this](int i) -> Status {
     if (i < 0 || i >= working_.num_examples()) {
       return Status::InvalidArgument(StrFormat(
           "snapshot cleans example %d outside [0, %d)", i,
@@ -119,12 +135,29 @@ Status CleaningSession::Restore(const CleaningSnapshot& snapshot) {
     *it = dirty_.back();
     dirty_.pop_back();
     CleanExample(i);
+    return Status::OK();
+  };
+  // Prefix covered by stored audit: replay the fixes and adopt the stored
+  // records, then refresh once at the boundary. Recomputing from scratch
+  // marks exactly the points the snapshotted run had marked: certainty is
+  // monotone under cleaning (a refinement only removes possible worlds),
+  // and the source session refreshed after its last step.
+  const size_t prefix = snapshot.audit.size();
+  for (size_t s = 0; s < prefix; ++s) {
+    CP_RETURN_NOT_OK(take(snapshot.cleaned_order[s]));
   }
-  // Recomputing from scratch marks exactly the points the snapshotted run
-  // had marked: certainty is monotone under cleaning (a refinement only
-  // removes possible worlds), and the source session refreshed after its
-  // last step.
+  audit_ = snapshot.audit;
   RefreshValCertainty();
+  // Suffix without stored attribution (e.g. steps a cleaning log appended
+  // after the base snapshot, or a pre-provenance snapshot): recompute the
+  // per-step newly-certain sets. Bit-identical to the original run's
+  // records, again by monotonicity of certainty under cleaning.
+  for (size_t s = prefix; s < snapshot.cleaned_order.size(); ++s) {
+    const int i = snapshot.cleaned_order[s];
+    CP_RETURN_NOT_OK(take(i));
+    RefreshValCertainty();
+    RecordAudit(i);
+  }
   return Status::OK();
 }
 
@@ -141,10 +174,12 @@ double CleaningSession::RefreshValCertainty() {
             ? 1
             : 0;
   });
+  last_newly_certain_.clear();
   for (size_t v = 0; v < task_->val_x.size(); ++v) {
     if (newly_certain[v]) {
       val_certain_[v] = 1;
       ++num_val_certain_;
+      last_newly_certain_.push_back(static_cast<int>(v));
     }
   }
   val_certainty_fresh_ = true;
@@ -342,7 +377,17 @@ int CleaningSession::StepGreedy() {
   dirty_.pop_back();
   CleanExample(chosen);
   RefreshValCertainty();
+  RecordAudit(chosen);
   return chosen;
+}
+
+void CleaningSession::RecordAudit(int example) {
+  CleaningAuditRecord record;
+  record.step = num_cleaned_;
+  record.example = example;
+  record.version = working_.version();
+  record.newly_certain = last_newly_certain_;
+  audit_.push_back(std::move(record));
 }
 
 void CleaningSession::LogStep(CleaningRunResult* result, int step,
@@ -351,6 +396,7 @@ void CleaningSession::LogStep(CleaningRunResult* result, int step,
   log.step = step;
   log.cleaned_example = cleaned_example;
   log.frac_val_certain = RefreshValCertainty();
+  if (cleaned_example >= 0) RecordAudit(cleaned_example);
   log.test_accuracy =
       options_.track_test_accuracy ? CurrentTestAccuracy() : 0.0;
   log.mean_val_entropy = options_.track_entropy ? MeanValEntropy() : 0.0;

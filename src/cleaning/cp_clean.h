@@ -1,6 +1,7 @@
 #ifndef CPCLEAN_CLEANING_CP_CLEAN_H_
 #define CPCLEAN_CLEANING_CP_CLEAN_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -81,6 +82,18 @@ struct WorkingStorageOptions {
   size_t stream_window_bytes = size_t{1} << 20;
 };
 
+/// One cleaning decision and its certification effect: the 1-based step
+/// index, the example cleaned, the working-dataset version right after the
+/// fix, and the validation points that became certainly predicted as a
+/// result. The trail of these records is the provenance the serving
+/// layer's `why_certified` op serves.
+struct CleaningAuditRecord {
+  int step = 0;
+  int example = -1;
+  uint64_t version = 0;
+  std::vector<int> newly_certain;  // val indices, ascending
+};
+
 /// Everything that distinguishes a mid-cleaning session from a freshly
 /// constructed one on the same task: the examples cleaned so far, in
 /// cleaning order. Replaying the order against a fresh session restores
@@ -92,6 +105,10 @@ struct WorkingStorageOptions {
 struct CleaningSnapshot {
   /// CleanExample replay sequence; excludes rows born clean in the task.
   std::vector<int> cleaned_order;
+  /// Audit records for a *prefix* of `cleaned_order` (possibly all of it,
+  /// possibly empty for pre-provenance snapshots). Restore trusts the
+  /// stored prefix and recomputes per-step attribution for the rest.
+  std::vector<CleaningAuditRecord> audit;
 };
 
 /// Driver for human-in-the-loop cleaning over a CleaningTask. Owns a
@@ -166,10 +183,18 @@ class CleaningSession {
   /// True when the certainty flags reflect the current working dataset.
   bool val_certainty_fresh() const { return val_certainty_fresh_; }
 
+  /// Per-step cleaning-decision audit trail since the last Reset: one
+  /// record per explicit cleaning step (StepGreedy, the Run* loops, and
+  /// Restore replay), in step order. Rows born clean and the baseline
+  /// certainty refresh produce no records.
+  const std::vector<CleaningAuditRecord>& audit() const { return audit_; }
+
   // --- Snapshot / restore (session persistence) ---------------------------
 
   /// Captures the cleaning state for persistence (see CleaningSnapshot).
-  CleaningSnapshot Snapshot() const { return CleaningSnapshot{cleaned_order_}; }
+  CleaningSnapshot Snapshot() const {
+    return CleaningSnapshot{cleaned_order_, audit_};
+  }
 
   /// Resets to the task's initial state, then replays `snapshot`'s cleaning
   /// order and refreshes validation certainty. Afterwards every observable
@@ -203,7 +228,11 @@ class CleaningSession {
   int SelectGreedyPos();
   /// Marks newly-certain validation points; returns the certain fraction.
   /// (CP'ed points stay CP'ed: cleaning only removes possible worlds.)
+  /// Side effect: `last_newly_certain_` holds the points marked this call.
   double RefreshValCertainty();
+  /// Appends an audit record for the step that just cleaned `example`
+  /// (call right after its RefreshValCertainty).
+  void RecordAudit(int example);
   double CurrentTestAccuracy() const;
   double MeanValEntropy() const;
   /// Expected mean validation entropy after cleaning example `i`
@@ -229,6 +258,8 @@ class CleaningSession {
   std::vector<uint8_t> cleaned_;
   std::vector<int> dirty_;  // not-yet-cleaned examples (order irrelevant)
   std::vector<int> cleaned_order_;  // CleanExample sequence since Reset
+  std::vector<CleaningAuditRecord> audit_;  // one record per cleaning step
+  std::vector<int> last_newly_certain_;     // RefreshValCertainty scratch
   int num_cleaned_ = 0;
   std::vector<uint8_t> val_certain_;
   int num_val_certain_ = 0;

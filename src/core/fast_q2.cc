@@ -269,6 +269,11 @@ double FastQ2::RunQueryImpl(int pin_tuple, int pin_cand) {
     }
   }
 
+  if (capture_support_) {
+    last_support_.assign(touched_.begin(), touched_.end());
+    std::sort(last_support_.begin(), last_support_.end());
+  }
+
   // Restore the touched leaves and tallies for the next query.
   for (int i : touched_) {
     SetLeaf<W>(label_of_[static_cast<size_t>(i)],

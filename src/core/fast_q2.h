@@ -96,6 +96,15 @@ class FastQ2 {
   /// dataset's current version can be reused without a Rebind).
   uint64_t bound_version() const { return bound_version_; }
 
+  /// Provenance capture: when enabled, each unpinned/pinned query snapshots
+  /// the tuples whose boundary supports carried world mass (the touched set
+  /// the scan visits before reaching 1 - epsilon) into `last_support()`,
+  /// sorted ascending. These are exactly the witnesses of the Q2 answer —
+  /// every other tuple's contribution lies below the mass cutoff. Off by
+  /// default so the selection hot loop never pays for the copy.
+  void EnableSupportCapture(bool on) { capture_support_ = on; }
+  const std::vector<int>& last_support() const { return last_support_; }
+
  private:
   /// Runs the scan; fills result_ with per-label world masses and returns
   /// the total collected mass. Dispatches to a width-specialized
@@ -155,6 +164,8 @@ class FastQ2 {
   mutable std::vector<double> floor_scratch_;
   std::vector<int> touched_;
   std::vector<double> result_;
+  bool capture_support_ = false;
+  std::vector<int> last_support_;
 
   // EntropyPinnedSweep scratch: per-candidate entropies, the suffix replay
   // log (one tuple id per processed entry), dedup marks for the leaf

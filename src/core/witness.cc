@@ -1,0 +1,141 @@
+#include "core/witness.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/certain_predictor.h"
+#include "core/fast_q2.h"
+
+namespace cpclean {
+
+namespace {
+
+Result<IncompleteDataset> SubsetDataset(const IncompleteDataset& dataset,
+                                        const std::vector<int>& tuples) {
+  IncompleteDataset subset(dataset.num_labels());
+  for (const int i : tuples) {
+    if (i < 0 || i >= dataset.num_examples()) {
+      return Status::OutOfRange(StrFormat(
+          "witness tuple %d outside [0, %d)", i, dataset.num_examples()));
+    }
+    CP_RETURN_NOT_OK(subset.AddExample(dataset.example(i)));
+  }
+  return subset;
+}
+
+}  // namespace
+
+Result<CheckResult> CheckOnSubset(const IncompleteDataset& dataset,
+                                  const std::vector<int>& tuples,
+                                  const std::vector<double>& t,
+                                  const SimilarityKernel& kernel, int k) {
+  if (static_cast<int>(tuples.size()) < k) {
+    return Status::InvalidArgument(StrFormat(
+        "subset of %d tuples cannot answer a %d-NN query",
+        static_cast<int>(tuples.size()), k));
+  }
+  CP_ASSIGN_OR_RETURN(const IncompleteDataset subset,
+                      SubsetDataset(dataset, tuples));
+  const CertainPredictor predictor(&kernel, k);
+  return predictor.Check(subset, t);
+}
+
+Result<WitnessSet> ExplainPrediction(const IncompleteDataset& dataset,
+                                     const std::vector<double>& t,
+                                     const SimilarityKernel& kernel, int k,
+                                     const WitnessOptions& options) {
+  const int n = dataset.num_examples();
+  if (k < 1 || k > FastQ2::kMaxK) {
+    return Status::InvalidArgument(
+        StrFormat("k = %d outside [1, %d]", k, FastQ2::kMaxK));
+  }
+  if (n < k) {
+    return Status::InvalidArgument(
+        StrFormat("dataset has %d examples, need at least k = %d", n, k));
+  }
+
+  WitnessSet out;
+  const CertainPredictor predictor(&kernel, k);
+  const CheckResult full = predictor.Check(dataset, t);
+  out.label = full.CertainLabel();
+  out.certain = out.label >= 0;
+
+  // Score once; the floor prunes to the sound candidate superset and the
+  // capture flag snapshots the Q2 boundary support.
+  FastQ2 engine(&dataset, k);
+  engine.EnableSupportCapture(true);
+  engine.SetTestPoint(t, kernel);
+  (void)engine.Fractions();
+  out.support = engine.last_support();
+  const double floor = engine.TopKFloor();
+
+  std::vector<int> witness;
+  witness.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < n; ++i) {
+    if (engine.MaxSimilarity(i) >= floor) witness.push_back(i);
+  }
+
+  // The pruning is provably sound; check anyway so a violated invariant
+  // surfaces as an error instead of a wrong explanation.
+  CP_ASSIGN_OR_RETURN(const CheckResult pruned,
+                      CheckOnSubset(dataset, witness, t, kernel, k));
+  if (pruned.CertainLabel() != out.label) {
+    return Status::Internal(StrFormat(
+        "top-K floor pruning changed the answer (%d -> %d)", out.label,
+        pruned.CertainLabel()));
+  }
+
+  if (static_cast<int>(witness.size()) > options.max_minimize_tuples) {
+    out.minimal = false;
+    out.tuples = std::move(witness);
+    return out;
+  }
+
+  // Greedy deletion to a 1-minimal set. Attempt order: least relevant
+  // first (ascending max similarity, ties by id) so the keepers are the
+  // most similar tuples. Passes repeat until a full pass removes nothing —
+  // then every survivor was re-tried against the final set and failed,
+  // which is exactly the 1-minimality contract.
+  bool changed = true;
+  int pass = 0;
+  while (changed && pass < options.max_passes) {
+    changed = false;
+    ++pass;
+    std::vector<int> order = witness;
+    std::stable_sort(order.begin(), order.end(), [&engine](int a, int b) {
+      return engine.MaxSimilarity(a) < engine.MaxSimilarity(b);
+    });
+    for (const int id : order) {
+      if (static_cast<int>(witness.size()) <= k) break;
+      std::vector<int> trial;
+      trial.reserve(witness.size() - 1);
+      for (const int w : witness) {
+        if (w != id) trial.push_back(w);
+      }
+      CP_ASSIGN_OR_RETURN(const CheckResult check,
+                          CheckOnSubset(dataset, trial, t, kernel, k));
+      if (check.CertainLabel() == out.label) {
+        witness = std::move(trial);
+        changed = true;
+      }
+    }
+  }
+  out.minimal = !changed;  // false only when the pass cap cut us off
+  out.tuples = std::move(witness);
+  return out;
+}
+
+Result<bool> WitnessReproduces(const IncompleteDataset& dataset,
+                               const std::vector<int>& tuples,
+                               const std::vector<double>& t,
+                               const SimilarityKernel& kernel, int k,
+                               bool want_certain, int want_label) {
+  CP_ASSIGN_OR_RETURN(const CheckResult check,
+                      CheckOnSubset(dataset, tuples, t, kernel, k));
+  const int label = check.CertainLabel();
+  return (label >= 0) == want_certain && label == want_label;
+}
+
+}  // namespace cpclean

@@ -16,6 +16,7 @@
 #include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "serve/op_registry.h"
 #include "serve/server.h"
 
 namespace cpclean {
@@ -37,12 +38,13 @@ JsonValue StripId(const JsonValue& request) {
 }
 
 /// A structured error line mirroring HandleRequest's rendering exactly
-/// (id first when present, then ok/error) so transport-level rejections
-/// are indistinguishable in shape from engine-level errors.
+/// (id first when present, then proto/ok/error) so transport-level
+/// rejections are indistinguishable in shape from engine-level errors.
 std::string ErrorLine(const JsonValue* id, StatusCode code,
                       const std::string& message) {
   JsonValue response = JsonValue::MakeObject();
   if (id != nullptr) response.Set("id", *id);
+  response.Set("proto", JsonValue(1));
   response.Set("ok", JsonValue(false));
   JsonValue error = JsonValue::MakeObject();
   error.Set("code", JsonValue(StatusCodeToString(code)));
@@ -716,8 +718,13 @@ void EventLoop::DispatchLines(Poller& p,
     slot->span.SetOp(op != nullptr && op->is_string()
                          ? op->string_value().c_str()
                          : "unknown");
-    const bool coalescable = options_.coalesce_q2 && op != nullptr &&
-                             op->is_string() && op->string_value() == "q2";
+    // Coalescability is a registry property of the op, not a transport
+    // special case — today only q2 opts in.
+    const OpInfo* op_info = op != nullptr && op->is_string()
+                                ? FindOp(op->string_value())
+                                : nullptr;
+    const bool coalescable = options_.coalesce_q2 && op_info != nullptr &&
+                             op_info->coalescable;
     WorkItem::Waiter waiter{conn, slot, id != nullptr,
                             id != nullptr ? *id : JsonValue(), {}};
     conn->outgoing.push_back(slot);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -70,6 +71,69 @@ Result<bool> RequestBoolOr(const JsonValue& req, const char* key,
     return Status::InvalidArgument(StrFormat("\"%s\" must be a bool", key));
   }
   return v->bool_value();
+}
+
+Result<std::string> RequestSessionName(const JsonValue& req) {
+  return RequestString(req, "session");
+}
+
+Result<int> RequestSteps(const JsonValue& req) {
+  return RequestIntParam(req, "steps", 1);
+}
+
+Result<int> RequestBudget(const JsonValue& req) {
+  return RequestIntParam(req, "budget", -1);
+}
+
+Result<std::vector<std::vector<double>>> ResolveRequestPoints(
+    const JsonValue& req,
+    const std::function<Result<std::vector<double>>(int)>& val_point) {
+  const JsonValue* points = req.Find("points");
+  const JsonValue* indices = req.Find("val_indices");
+  if ((points == nullptr) == (indices == nullptr)) {
+    return Status::InvalidArgument(
+        "exactly one of \"points\" or \"val_indices\" is required");
+  }
+  std::vector<std::vector<double>> out;
+  if (points != nullptr) {
+    if (!points->is_array()) {
+      return Status::InvalidArgument("\"points\" must be an array of arrays");
+    }
+    out.reserve(points->array().size());
+    for (const JsonValue& p : points->array()) {
+      if (!p.is_array()) {
+        return Status::InvalidArgument(
+            "\"points\" must be an array of arrays");
+      }
+      std::vector<double> features;
+      features.reserve(p.array().size());
+      for (const JsonValue& x : p.array()) {
+        if (!x.is_number()) {
+          return Status::InvalidArgument(
+              "\"points\" features must be numbers");
+        }
+        features.push_back(x.number_value());
+      }
+      out.push_back(std::move(features));
+    }
+  } else {
+    if (!indices->is_array()) {
+      return Status::InvalidArgument("\"val_indices\" must be an array");
+    }
+    out.reserve(indices->array().size());
+    for (const JsonValue& x : indices->array()) {
+      const double n = x.is_number() ? x.number_value() : -1.0;
+      if (!x.is_number() || std::floor(n) != n || n < 0.0 ||
+          n > static_cast<double>(std::numeric_limits<int>::max())) {
+        return Status::InvalidArgument(
+            "\"val_indices\" must hold non-negative integers");
+      }
+      CP_ASSIGN_OR_RETURN(std::vector<double> point,
+                          val_point(static_cast<int>(n)));
+      out.push_back(std::move(point));
+    }
+  }
+  return out;
 }
 
 }  // namespace cpclean

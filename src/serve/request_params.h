@@ -2,7 +2,9 @@
 #define CPCLEAN_SERVE_REQUEST_PARAMS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "serve/json.h"
@@ -38,6 +40,26 @@ Result<double> RequestDoubleOr(const JsonValue& req, const char* key,
 /// Optional bool field.
 Result<bool> RequestBoolOr(const JsonValue& req, const char* key,
                            bool fallback);
+
+// Protocol-level accessors: one definition of each parameter's name,
+// type, and default, shared by every op handler so error text uniformly
+// names the offending field.
+
+/// The required `"session"` name.
+Result<std::string> RequestSessionName(const JsonValue& req);
+
+/// `clean_step`'s optional `"steps"` count (default 1).
+Result<int> RequestSteps(const JsonValue& req);
+
+/// `clean_run`'s optional `"budget"` (default -1 = until all-certain).
+Result<int> RequestBudget(const JsonValue& req);
+
+/// The batched query points: exactly one of `"points"` (an array of
+/// feature arrays, used verbatim) or `"val_indices"` (indices resolved
+/// through `val_point`, the session's validation-set lookup).
+Result<std::vector<std::vector<double>>> ResolveRequestPoints(
+    const JsonValue& req,
+    const std::function<Result<std::vector<double>>(int)>& val_point);
 
 }  // namespace cpclean
 

@@ -6,11 +6,9 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <istream>
-#include <limits>
 #include <ostream>
 #include <thread>
 #include <utility>
@@ -21,62 +19,12 @@
 #include "common/thread_pool.h"
 #include "knn/kernel_simd.h"
 #include "serve/event_loop.h"
+#include "serve/op_registry.h"
 #include "serve/request_params.h"
 
 namespace cpclean {
 
 namespace {
-
-/// The batched query points: explicit `points` (array of feature arrays)
-/// or `val_indices` into the session's validation set.
-Result<std::vector<std::vector<double>>> ResolvePoints(
-    const JsonValue& req, const ServeSession& session) {
-  const JsonValue* points = req.Find("points");
-  const JsonValue* indices = req.Find("val_indices");
-  if ((points == nullptr) == (indices == nullptr)) {
-    return Status::InvalidArgument(
-        "exactly one of \"points\" or \"val_indices\" is required");
-  }
-  std::vector<std::vector<double>> out;
-  if (points != nullptr) {
-    if (!points->is_array()) {
-      return Status::InvalidArgument("\"points\" must be an array of arrays");
-    }
-    out.reserve(points->array().size());
-    for (const JsonValue& p : points->array()) {
-      if (!p.is_array()) {
-        return Status::InvalidArgument(
-            "\"points\" must be an array of arrays");
-      }
-      std::vector<double> features;
-      features.reserve(p.array().size());
-      for (const JsonValue& x : p.array()) {
-        if (!x.is_number()) {
-          return Status::InvalidArgument("point features must be numbers");
-        }
-        features.push_back(x.number_value());
-      }
-      out.push_back(std::move(features));
-    }
-  } else {
-    if (!indices->is_array()) {
-      return Status::InvalidArgument("\"val_indices\" must be an array");
-    }
-    out.reserve(indices->array().size());
-    for (const JsonValue& x : indices->array()) {
-      const double n = x.is_number() ? x.number_value() : -1.0;
-      if (!x.is_number() || std::floor(n) != n || n < 0.0 ||
-          n > static_cast<double>(std::numeric_limits<int>::max())) {
-        return Status::InvalidArgument(
-            "\"val_indices\" must hold non-negative integers");
-      }
-      CP_ASSIGN_OR_RETURN(std::vector<double> point,
-                          session.ValPoint(static_cast<int>(n)));
-      out.push_back(std::move(point));
-    }
-  }
-  return out;
-}
 
 /// The persisted creation spec: the request's parameters without the
 /// transport fields (`id`, `op`) — exactly what `BuildTaskFromSpec` and
@@ -247,22 +195,20 @@ Result<JsonValue> Server::CreateSession(const JsonValue& req) {
   return out;
 }
 
-Result<JsonValue> Server::BatchQuery(const std::string& op,
-                                     const JsonValue& req) {
-  CP_ASSIGN_OR_RETURN(const std::string name, RequestString(req, "session"));
+Result<JsonValue> Server::BatchQuery(
+    const JsonValue& req,
+    const std::function<Result<JsonValue>(
+        ServeSession&, const std::vector<double>&)>& one) {
+  CP_ASSIGN_OR_RETURN(const std::string name, RequestSessionName(req));
   CP_ASSIGN_OR_RETURN(const std::shared_ptr<ServeSession> session,
                       FindSession(name));
-  CP_ASSIGN_OR_RETURN(const std::vector<std::vector<double>> points,
-                      ResolvePoints(req, *session));
-  CP_ASSIGN_OR_RETURN(const int max_cleaned,
-                      RequestIntParam(req, "max_cleaned", -1));
+  CP_ASSIGN_OR_RETURN(
+      const std::vector<std::vector<double>> points,
+      ResolveRequestPoints(
+          req, [&session](int index) { return session->ValPoint(index); }));
   JsonValue results = JsonValue::MakeArray();
   for (const std::vector<double>& point : points) {
-    Result<JsonValue> one =
-        op == "certify"
-            ? session->Certify(point, max_cleaned)
-            : op == "q2" ? session->Q2(point) : session->Predict(point);
-    CP_ASSIGN_OR_RETURN(JsonValue value, std::move(one));
+    CP_ASSIGN_OR_RETURN(JsonValue value, one(*session, point));
     results.Append(std::move(value));
   }
   JsonValue out = JsonValue::MakeObject();
@@ -271,17 +217,30 @@ Result<JsonValue> Server::BatchQuery(const std::string& op,
   return out;
 }
 
-Result<JsonValue> Server::CleanOp(const std::string& op,
-                                  const JsonValue& req) {
-  CP_ASSIGN_OR_RETURN(const std::string name, RequestString(req, "session"));
-  CP_ASSIGN_OR_RETURN(const std::shared_ptr<ServeSession> session,
-                      FindSession(name));
-  if (op == "clean_step") {
-    CP_ASSIGN_OR_RETURN(const int steps, RequestIntParam(req, "steps", 1));
-    return session->CleanStep(steps);
+Result<JsonValue> Server::ListSessions(const JsonValue& req) {
+  (void)req;
+  JsonValue out = JsonValue::MakeObject();
+  const std::vector<std::string> live = registry_.Names();
+  JsonValue names = JsonValue::MakeArray();
+  for (const std::string& n : live) names.Append(JsonValue(n));
+  out.Set("sessions", std::move(names));
+  if (store_.enabled()) {
+    // Evicted sessions still own their names (create_session refuses
+    // them; any query rehydrates them), so the listing must show them —
+    // a client seeing only the live list would conclude the name is
+    // free.
+    JsonValue evicted = JsonValue::MakeArray();
+    for (const std::string& n : store_.SavedNames()) {
+      if (std::find(live.begin(), live.end(), n) == live.end()) {
+        evicted.Append(JsonValue(n));
+      }
+    }
+    out.Set("evicted", std::move(evicted));
   }
-  CP_ASSIGN_OR_RETURN(const int budget, RequestIntParam(req, "budget", -1));
-  return session->CleanRun(budget);
+  // What this server build answers, grouped by concurrency class — the
+  // same registry-derived object an evicted session's stats stub reports.
+  out.Set("capabilities", OpCapabilities());
+  return out;
 }
 
 Result<JsonValue> Server::DropSession(const JsonValue& req) {
@@ -409,6 +368,10 @@ Result<JsonValue> Server::Stats(const JsonValue& req) {
       out.Set("name", JsonValue(session_name));
       out.Set("state", JsonValue("evicted"));
       out.Set("path", JsonValue(store_.PathFor(session_name)));
+      // The stub still advertises what the session will answer once
+      // rehydrated — the same registry-derived object list_sessions
+      // reports, so monitoring sees one consistent capability surface.
+      out.Set("capabilities", OpCapabilities());
       return out;
     }
     return live.status();
@@ -583,48 +546,19 @@ Result<JsonValue> Server::FaultInject(const JsonValue& req) {
 
 Result<JsonValue> Server::Dispatch(const std::string& op,
                                    const JsonValue& req) {
-  if (op == "ping") return JsonValue::MakeObject();
-  if (op == "create_session") return CreateSession(req);
-  if (op == "list_sessions") {
-    JsonValue out = JsonValue::MakeObject();
-    const std::vector<std::string> live = registry_.Names();
-    JsonValue names = JsonValue::MakeArray();
-    for (const std::string& n : live) names.Append(JsonValue(n));
-    out.Set("sessions", std::move(names));
-    if (store_.enabled()) {
-      // Evicted sessions still own their names (create_session refuses
-      // them; any query rehydrates them), so the listing must show them —
-      // a client seeing only the live list would conclude the name is
-      // free.
-      JsonValue evicted = JsonValue::MakeArray();
-      for (const std::string& n : store_.SavedNames()) {
-        if (std::find(live.begin(), live.end(), n) == live.end()) {
-          evicted.Append(JsonValue(n));
-        }
-      }
-      out.Set("evicted", std::move(evicted));
-    }
-    return out;
+  // Registry-driven routing: the op's registry row carries its handler,
+  // classification, and metrics label — there is no per-op dispatch code
+  // to keep in sync here.
+  const OpInfo* info = FindOp(op);
+  if (info == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("unknown op \"%s\" (supported: %s)", op.c_str(),
+                  SupportedOpsList().c_str()));
   }
-  if (op == "drop_session") return DropSession(req);
-  if (op == "certify" || op == "q2" || op == "predict") {
-    return BatchQuery(op, req);
-  }
-  if (op == "clean_step" || op == "clean_run") return CleanOp(op, req);
-  if (op == "save_session") return SaveSession(req);
-  if (op == "load_session") return LoadSession(req);
-  if (op == "stats") return Stats(req);
-  if (op == "metrics") return Metrics(req);
-  if (op == "fault_inject") return FaultInject(req);
-  if (op == "shutdown") {
-    // Graceful (not Stop()): the connection that asked must still receive
-    // this response before the event loop drains and closes it.
-    RequestStop();
-    JsonValue out = JsonValue::MakeObject();
-    out.Set("stopping", JsonValue(true));
-    return out;
-  }
-  return Status::InvalidArgument(StrFormat("unknown op \"%s\"", op.c_str()));
+  // Counted against the registered name (a bounded label set), never the
+  // raw client string.
+  OpRequestCounter(*info).Add(1);
+  return info->handler(*this, req);
 }
 
 JsonValue Server::HandleRequest(const JsonValue& request) {
@@ -633,6 +567,9 @@ JsonValue Server::HandleRequest(const JsonValue& request) {
     const JsonValue* id = request.Find("id");
     if (id != nullptr) response.Set("id", *id);
   }
+  // Protocol version, stamped on every response (success, error, and the
+  // parse-error path in HandleLine alike) so clients can gate on it.
+  response.Set("proto", JsonValue(1));
   Result<JsonValue> result = [&]() -> Result<JsonValue> {
     if (!request.is_object()) {
       return Status::InvalidArgument("request must be a JSON object");
@@ -659,6 +596,7 @@ std::string Server::HandleLine(const std::string& line) {
   Result<JsonValue> request = ParseJson(line);
   if (!request.ok()) {
     JsonValue response = JsonValue::MakeObject();
+    response.Set("proto", JsonValue(1));
     response.Set("ok", JsonValue(false));
     JsonValue error = JsonValue::MakeObject();
     error.Set("code",

@@ -18,6 +18,7 @@
 namespace cpclean {
 
 class EventLoop;
+struct OpHandlers;
 
 struct ServerOptions {
   /// Result-cache capacity given to sessions that do not specify their own.
@@ -105,14 +106,19 @@ struct ServerOptions {
 /// error response, never a process abort. Blank lines and `#` comment
 /// lines are ignored, so scripted query files can be annotated.
 ///
-/// Ops: create_session, list_sessions, drop_session, certify, q2, predict,
-/// clean_step, clean_run, save_session, load_session, stats, ping,
-/// shutdown. See README "Serving".
+/// Ops are rows in the declarative registry (`serve/op_registry.h`):
+/// create_session, list_sessions, drop_session, certify, q2, predict,
+/// explain, why_certified, clean_step, clean_run, save_session,
+/// load_session, stats, metrics, fault_inject, ping, shutdown. The
+/// registry row carries each op's classification, coalescability, and
+/// handler — routing, lock choice, metrics labels, the capability info
+/// served by `list_sessions`, and the README op table are all derived
+/// from it. See README "Serving".
 ///
 /// Concurrency: per-session ops are classified read (q2, predict,
-/// certify, stats — and save_session's snapshot serialization) vs write
-/// (clean_step, clean_run); reads on one session run concurrently on its
-/// shared lock, writes serialize. Lifecycle transitions (create/publish,
+/// certify, explain, why_certified, stats — and save_session's snapshot
+/// serialization) vs write (clean_step, clean_run); reads on one session
+/// run concurrently on its shared lock, writes serialize. Lifecycle transitions (create/publish,
 /// drop, the snapshot file write of save, load/rehydration publication,
 /// eviction) additionally serialize on a server-wide lifecycle mutex —
 /// expensive work (task builds, snapshot loads/serialization) happens
@@ -202,10 +208,19 @@ class Server {
   TransportCounters& transport_counters() { return transport_counters_; }
 
  private:
+  /// The registry's handlers (op_registry.cc) are the only external code
+  /// allowed at the private op implementations below.
+  friend struct OpHandlers;
+
   Result<JsonValue> Dispatch(const std::string& op, const JsonValue& req);
   Result<JsonValue> CreateSession(const JsonValue& req);
-  Result<JsonValue> BatchQuery(const std::string& op, const JsonValue& req);
-  Result<JsonValue> CleanOp(const std::string& op, const JsonValue& req);
+  Result<JsonValue> ListSessions(const JsonValue& req);
+  /// Resolves the session and the `points`/`val_indices` selector, then
+  /// applies `one` (the op-specific per-point query) to each point.
+  Result<JsonValue> BatchQuery(
+      const JsonValue& req,
+      const std::function<Result<JsonValue>(
+          ServeSession&, const std::vector<double>&)>& one);
   Result<JsonValue> DropSession(const JsonValue& req);
   Result<JsonValue> SaveSession(const JsonValue& req);
   Result<JsonValue> LoadSession(const JsonValue& req);

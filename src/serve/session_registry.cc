@@ -9,6 +9,7 @@
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "core/certain_predictor.h"
+#include "core/witness.h"
 #include "incomplete/serialization.h"
 #include "serve/request_params.h"
 
@@ -253,6 +254,83 @@ Result<JsonValue> ServeSession::Predict(const std::vector<double>& point) {
   });
 }
 
+Result<JsonValue> ServeSession::Explain(const std::vector<double>& point) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Touch();
+  const IncompleteDataset& working = cleaner_->working();
+  if (static_cast<int>(point.size()) != working.dim()) {
+    return Status::InvalidArgument(
+        StrFormat("point has %d features, dataset has %d",
+                  static_cast<int>(point.size()), working.dim()));
+  }
+  const uint64_t version = working.version();
+  const std::string key =
+      QueryCacheKey("explain", kernel_->name(), options_.k, -1, point);
+  return Cached(key, version, [&]() -> Result<JsonValue> {
+    ScopedSpanPhase compute_phase(kSpanKernelCompute);
+    CP_ASSIGN_OR_RETURN(
+        const WitnessSet witness,
+        ExplainPrediction(working, point, *kernel_, options_.k));
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("certain", JsonValue(witness.certain));
+    out.Set("label", JsonValue(witness.label));
+    out.Set("witnesses", JsonValue::FromInts(witness.tuples));
+    out.Set("support", JsonValue::FromInts(witness.support));
+    out.Set("minimal", JsonValue(witness.minimal));
+    out.Set("version", JsonValue(version));
+    return out;
+  });
+}
+
+Result<JsonValue> ServeSession::WhyCertified(
+    const std::vector<double>& point) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Touch();
+  const IncompleteDataset& working = cleaner_->working();
+  if (static_cast<int>(point.size()) != working.dim()) {
+    return Status::InvalidArgument(
+        StrFormat("point has %d features, dataset has %d",
+                  static_cast<int>(point.size()), working.dim()));
+  }
+  const uint64_t version = working.version();
+  const std::string key = QueryCacheKey("why_certified", kernel_->name(),
+                                        options_.k, -1, point);
+  return Cached(key, version, [&]() -> Result<JsonValue> {
+    ScopedSpanPhase compute_phase(kSpanKernelCompute);
+    CP_ASSIGN_OR_RETURN(
+        const WitnessSet witness,
+        ExplainPrediction(working, point, *kernel_, options_.k));
+    // The decision trail: cleaning steps whose fixed tuple the
+    // certification rests on (witness tuples stay ascending, so a binary
+    // search per record suffices). The audit only moves under the
+    // exclusive lock, so reading it here under the shared lock is
+    // coherent with `version`.
+    JsonValue trail = JsonValue::MakeArray();
+    for (const CleaningAuditRecord& record : cleaner_->audit()) {
+      if (!std::binary_search(witness.tuples.begin(), witness.tuples.end(),
+                              record.example)) {
+        continue;
+      }
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("step", JsonValue(record.step));
+      entry.Set("tuple", JsonValue(record.example));
+      entry.Set("version", JsonValue(record.version));
+      entry.Set("newly_certain", JsonValue::FromInts(record.newly_certain));
+      trail.Append(std::move(entry));
+    }
+    JsonValue out = JsonValue::MakeObject();
+    out.Set("certified", JsonValue(witness.certain));
+    out.Set("label", JsonValue(witness.label));
+    out.Set("witnesses", JsonValue::FromInts(witness.tuples));
+    out.Set("minimal", JsonValue(witness.minimal));
+    out.Set("trail", std::move(trail));
+    out.Set("version", JsonValue(version));
+    return out;
+  });
+}
+
 Result<JsonValue> ServeSession::CleanStep(int steps) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   requests_.fetch_add(1, std::memory_order_relaxed);
@@ -397,6 +475,22 @@ std::string ServeSession::SerializeSnapshotLocked(uint64_t* write_seq_out,
     cleaned += StrFormat(" %d", i);
   }
   sections.push_back(SerializedSection{"cleaning", {std::move(cleaned)}});
+  // Per-step provenance: the cleaning-decision audit trail, one line per
+  // step (`<step> <example> <version> <count> <val ids...>`). Restore
+  // adopts these records verbatim; log-replayed steps appended after this
+  // snapshot recompute theirs.
+  std::vector<std::string> audit_lines;
+  audit_lines.push_back(
+      StrFormat("audit %d", static_cast<int>(snapshot.audit.size())));
+  for (const CleaningAuditRecord& record : snapshot.audit) {
+    std::string line = StrFormat(
+        "%d %d %llu %d", record.step, record.example,
+        static_cast<unsigned long long>(record.version),
+        static_cast<int>(record.newly_certain.size()));
+    for (const int v : record.newly_certain) line += StrFormat(" %d", v);
+    audit_lines.push_back(std::move(line));
+  }
+  sections.push_back(SerializedSection{"audit", std::move(audit_lines)});
   // Everything the working dataset does NOT cover but answers depend on
   // (validation/test sets, oracle); re-checked on rehydration.
   sections.push_back(SerializedSection{
@@ -430,10 +524,10 @@ void ServeSession::Unretire() {
   retired_ = false;
 }
 
-Status ServeSession::RestoreCleaning(const std::vector<int>& cleaned_order,
+Status ServeSession::RestoreCleaning(const CleaningSnapshot& snapshot,
                                      const IncompleteDataset& expected) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  CP_RETURN_NOT_OK(cleaner_->Restore(CleaningSnapshot{cleaned_order}));
+  CP_RETURN_NOT_OK(cleaner_->Restore(snapshot));
   if (!BitIdentical(cleaner_->working(), expected)) {
     return Status::Internal(StrFormat(
         "session \"%s\": replaying the snapshot's cleaning order against "

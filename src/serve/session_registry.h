@@ -138,6 +138,21 @@ class ServeSession {
   /// disagree). Cached.
   Result<JsonValue> Predict(const std::vector<double>& point);
 
+  /// Provenance query: the minimal witness set determining the point's
+  /// Q1 answer on the current working dataset. Result: {certain, label,
+  /// witnesses: [tuple ids], support: [tuple ids], minimal, version} —
+  /// restricting the dataset to `witnesses` reproduces (certain, label)
+  /// bit-for-bit, and removing any single witness flips or un-certifies
+  /// it. Cached and version-stamped like every read.
+  Result<JsonValue> Explain(const std::vector<double>& point);
+
+  /// `Explain` plus the cleaning-decision audit trail: which of the
+  /// session's cleaning steps touched a witness tuple, with each step's
+  /// post-fix version and the validation points it newly certified.
+  /// Result: {certified, label, witnesses, minimal, trail: [{step, tuple,
+  /// version, newly_certain}], version}.
+  Result<JsonValue> WhyCertified(const std::vector<double>& point);
+
   /// Session snapshot: sizes, cleaning progress, the full resolved
   /// options, last-request timestamp, cache + engine-pool counters.
   JsonValue Stats();
@@ -181,12 +196,13 @@ class ServeSession {
   /// budget (-1 = unbounded) is exhausted.
   Result<JsonValue> CleanRun(int budget);
 
-  /// Replays a persisted cleaning order into the (freshly created)
-  /// session, then verifies the rebuilt working dataset is bit-identical
-  /// to `expected` (the dataset stored in the snapshot file) — a changed
-  /// CSV on disk or a drifted generator fails loudly instead of serving
-  /// subtly different answers.
-  Status RestoreCleaning(const std::vector<int>& cleaned_order,
+  /// Replays a persisted cleaning snapshot (order + stored audit prefix;
+  /// per-step attribution for any uncovered suffix is recomputed) into the
+  /// (freshly created) session, then verifies the rebuilt working dataset
+  /// is bit-identical to `expected` (the dataset stored in the snapshot
+  /// file) — a changed CSV on disk or a drifted generator fails loudly
+  /// instead of serving subtly different answers.
+  Status RestoreCleaning(const CleaningSnapshot& snapshot,
                          const IncompleteDataset& expected);
 
   // --- Eviction handshake (exclusive lock) ----------------------------------

@@ -612,10 +612,12 @@ Result<std::shared_ptr<ServeSession>> SessionStore::Load(
   const SerializedSection* spec_section = nullptr;
   const SerializedSection* cleaning_section = nullptr;
   const SerializedSection* task_section = nullptr;
+  const SerializedSection* audit_section = nullptr;
   for (const SerializedSection& section : parsed.sections) {
     if (section.name == "spec") spec_section = &section;
     if (section.name == "cleaning") cleaning_section = &section;
     if (section.name == "task") task_section = &section;
+    if (section.name == "audit") audit_section = &section;
   }
   if (spec_section == nullptr || spec_section->lines.size() != 1) {
     return Status::ParseError(path + ": missing one-line \"spec\" section");
@@ -643,6 +645,71 @@ Result<std::shared_ptr<ServeSession>> SessionStore::Load(
   for (size_t f = 2; f < fields.size(); ++f) {
     CP_ASSIGN_OR_RETURN(const int id, ParseInt(fields[f]));
     cleaned_order.push_back(id);
+  }
+
+  // Optional provenance: the per-step audit trail for the base snapshot's
+  // cleaning order. Pre-provenance snapshots simply lack the section;
+  // Restore then recomputes every step's attribution.
+  std::vector<CleaningAuditRecord> audit;
+  if (audit_section != nullptr) {
+    if (audit_section->lines.empty()) {
+      return Status::ParseError(path + ": empty \"audit\" section");
+    }
+    const std::vector<std::string> header =
+        Split(audit_section->lines[0], ' ');
+    if (header.size() != 2 || header[0] != "audit") {
+      return Status::ParseError(path + ": expected 'audit <n>'");
+    }
+    CP_ASSIGN_OR_RETURN(const int audit_count, ParseInt(header[1]));
+    if (audit_count < 0 ||
+        static_cast<size_t>(audit_count) != audit_section->lines.size() - 1) {
+      return Status::ParseError(StrFormat(
+          "%s: audit announces %d records, carries %d", path.c_str(),
+          audit_count, static_cast<int>(audit_section->lines.size()) - 1));
+    }
+    audit.reserve(static_cast<size_t>(audit_count));
+    for (size_t l = 1; l < audit_section->lines.size(); ++l) {
+      const std::vector<std::string> rec =
+          Split(audit_section->lines[l], ' ');
+      if (rec.size() < 4) {
+        return Status::ParseError(StrFormat(
+            "%s: audit record %d: expected "
+            "'<step> <example> <version> <count> <ids...>'",
+            path.c_str(), static_cast<int>(l)));
+      }
+      CleaningAuditRecord record;
+      CP_ASSIGN_OR_RETURN(record.step, ParseInt(rec[0]));
+      CP_ASSIGN_OR_RETURN(record.example, ParseInt(rec[1]));
+      {
+        std::istringstream version_stream(rec[2]);
+        version_stream >> record.version;
+        if (version_stream.fail()) {
+          return Status::ParseError(StrFormat(
+              "%s: audit record %d: unparseable version", path.c_str(),
+              static_cast<int>(l)));
+        }
+      }
+      CP_ASSIGN_OR_RETURN(const int num_certain, ParseInt(rec[3]));
+      if (num_certain < 0 ||
+          static_cast<size_t>(num_certain) != rec.size() - 4) {
+        return Status::ParseError(StrFormat(
+            "%s: audit record %d announces %d val ids, carries %d",
+            path.c_str(), static_cast<int>(l), num_certain,
+            static_cast<int>(rec.size()) - 4));
+      }
+      record.newly_certain.reserve(static_cast<size_t>(num_certain));
+      for (size_t f = 4; f < rec.size(); ++f) {
+        CP_ASSIGN_OR_RETURN(const int v, ParseInt(rec[f]));
+        record.newly_certain.push_back(v);
+      }
+      audit.push_back(std::move(record));
+    }
+    if (audit.size() > cleaned_order.size()) {
+      return Status::ParseError(StrFormat(
+          "%s: audit covers %d steps but the cleaning order has %d",
+          path.c_str(), static_cast<int>(audit.size()),
+          static_cast<int>(cleaned_order.size())));
+    }
   }
 
   if (task_section == nullptr || task_section->lines.size() != 1) {
@@ -689,7 +756,11 @@ Result<std::shared_ptr<ServeSession>> SessionStore::Load(
       std::shared_ptr<ServeSession> session,
       ServeSession::Make(name, std::move(task), options, spec,
                          /*prime_certainty=*/false));
-  CP_RETURN_NOT_OK(session->RestoreCleaning(cleaned_order, parsed.dataset));
+  CleaningSnapshot cleaning_snapshot;
+  cleaning_snapshot.cleaned_order = std::move(cleaned_order);
+  cleaning_snapshot.audit = std::move(audit);
+  CP_RETURN_NOT_OK(
+      session->RestoreCleaning(cleaning_snapshot, parsed.dataset));
   // The on-disk state is now known-good: future saves of this session can
   // extend the log from the replayed version instead of rewriting the
   // base. Pre-v3 bases carry no version, so their first save compacts.

@@ -1,0 +1,343 @@
+// The served provenance ops (`explain` / `why_certified`): answers must be
+// bit-identical to direct core/witness.h calls on the twin dataset,
+// version-stamped and cached like every other read, stable across
+// save → restart → rehydrate, and coherent under a concurrent cleaning
+// writer. Error responses must name the offending field, unknown ops must
+// enumerate the registry, and every response carries `proto: 1`.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cleaning/cp_clean.h"
+#include "common/string_util.h"
+#include "core/witness.h"
+#include "eval/experiment.h"
+#include "knn/kernel.h"
+#include "serve/server.h"
+
+namespace cpclean {
+namespace {
+
+constexpr int kTrain = 48;
+constexpr int kVal = 12;
+constexpr int kTest = 12;
+constexpr uint64_t kSeed = 29;
+constexpr int kK = 3;
+
+std::string CreateRequest(const std::string& name) {
+  return StrFormat(
+      "{\"op\":\"create_session\",\"session\":\"%s\",\"source\":"
+      "\"synthetic\",\"dataset\":\"prov\",\"train_rows\":%d,\"val_size\":%d,"
+      "\"test_size\":%d,\"seed\":%d,\"numeric\":4,\"categorical\":0,"
+      "\"noise_sigma\":0.3,\"missing_rate\":0.2,\"k\":%d}",
+      name.c_str(), kTrain, kVal, kTest, static_cast<int>(kSeed), kK);
+}
+
+/// Direct-library twin of CreateRequest's dataset.
+PreparedExperiment MakeReference(const SimilarityKernel& kernel) {
+  ExperimentConfig config;
+  config.dataset.name = "prov";
+  config.dataset.synthetic.name = "prov";
+  config.dataset.synthetic.num_rows = kTrain + kVal + kTest;
+  config.dataset.synthetic.num_numeric = 4;
+  config.dataset.synthetic.num_categorical = 0;
+  config.dataset.synthetic.noise_sigma = 0.3;
+  config.dataset.synthetic.seed = kSeed;
+  config.dataset.missing_rate = 0.2;
+  config.dataset.val_size = kVal;
+  config.dataset.test_size = kTest;
+  config.k = kK;
+  config.seed = kSeed;
+  return PrepareExperiment(config, kernel).value();
+}
+
+JsonValue Respond(Server* server, const std::string& line) {
+  const std::string response = server->HandleLine(line);
+  auto parsed = ParseJson(response);
+  EXPECT_TRUE(parsed.ok()) << response;
+  return parsed.ok() ? parsed.value() : JsonValue();
+}
+
+JsonValue RespondOk(Server* server, const std::string& line) {
+  const JsonValue response = Respond(server, line);
+  EXPECT_NE(response.Find("ok"), nullptr) << response.Dump();
+  EXPECT_TRUE(response.Find("ok") != nullptr &&
+              response.Find("ok")->bool_value())
+      << response.Dump();
+  const JsonValue* result = response.Find("result");
+  return result != nullptr ? *result : JsonValue();
+}
+
+std::vector<int> IntArray(const JsonValue& v) {
+  std::vector<int> out;
+  for (const JsonValue& x : v.array()) {
+    out.push_back(static_cast<int>(x.number_value()));
+  }
+  return out;
+}
+
+/// The first per-point result of a batched explain/why_certified response.
+JsonValue FirstResult(const JsonValue& result) {
+  EXPECT_NE(result.Find("results"), nullptr) << result.Dump();
+  EXPECT_EQ(result.Find("count")->number_value(), 1.0);
+  return result.Find("results")->array()[0];
+}
+
+std::string ExplainRequest(const std::string& session, int val_index) {
+  return StrFormat(
+      "{\"op\":\"explain\",\"session\":\"%s\",\"val_indices\":[%d]}",
+      session.c_str(), val_index);
+}
+
+std::string FreshDataDir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/cpclean_" + leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(ExplainServeTest, ServedWitnessesMatchDirectLibraryCallBitForBit) {
+  Server server;
+  RespondOk(&server, CreateRequest("s"));
+  NegativeEuclideanKernel kernel;
+  const PreparedExperiment reference = MakeReference(kernel);
+  for (int v = 0; v < kVal; ++v) {
+    const JsonValue served = FirstResult(RespondOk(
+        &server, ExplainRequest("s", v)));
+    const auto direct =
+        ExplainPrediction(reference.task.incomplete,
+                          reference.task.val_x[static_cast<size_t>(v)],
+                          kernel, kK);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(served.Find("certain")->bool_value(), direct.value().certain);
+    EXPECT_EQ(static_cast<int>(served.Find("label")->number_value()),
+              direct.value().label);
+    EXPECT_EQ(IntArray(*served.Find("witnesses")), direct.value().tuples);
+    EXPECT_EQ(IntArray(*served.Find("support")), direct.value().support);
+    EXPECT_EQ(served.Find("minimal")->bool_value(), direct.value().minimal);
+  }
+}
+
+TEST(ExplainServeTest, CachedRepeatsAndVersionBumpOnCleaning) {
+  Server server;
+  RespondOk(&server, CreateRequest("s"));
+  const std::string request = ExplainRequest("s", 0);
+  const std::string first = server.HandleLine(request);
+  // Byte-identical repeat: the second answer is a cache hit at the same
+  // version, rendered through the same codec.
+  EXPECT_EQ(server.HandleLine(request), first);
+
+  RespondOk(&server,
+            "{\"op\":\"clean_step\",\"session\":\"s\",\"steps\":1}");
+  const JsonValue parsed_first = ParseJson(first).value();
+  ASSERT_NE(parsed_first.Find("result"), nullptr) << first;
+  const JsonValue before = FirstResult(*parsed_first.Find("result"));
+  const JsonValue after = FirstResult(RespondOk(&server, request));
+  EXPECT_GT(after.Find("version")->number_value(),
+            before.Find("version")->number_value());
+}
+
+TEST(ExplainServeTest, WhyCertifiedTrailIsGroundedInWitnessesAndAudit) {
+  Server server;
+  RespondOk(&server, CreateRequest("s"));
+  const JsonValue run = RespondOk(
+      &server, "{\"op\":\"clean_run\",\"session\":\"s\",\"budget\":-1}");
+  const std::vector<int> cleaned = IntArray(*run.Find("cleaned"));
+  ASSERT_FALSE(cleaned.empty());
+
+  for (int v = 0; v < kVal; ++v) {
+    const JsonValue why = FirstResult(RespondOk(
+        &server,
+        StrFormat("{\"op\":\"why_certified\",\"session\":\"s\","
+                  "\"val_indices\":[%d]}",
+                  v)));
+    const JsonValue explain =
+        FirstResult(RespondOk(&server, ExplainRequest("s", v)));
+    // Same witness extraction behind both ops, at the same version.
+    EXPECT_EQ(why.Find("certified")->bool_value(),
+              explain.Find("certain")->bool_value());
+    EXPECT_EQ(IntArray(*why.Find("witnesses")),
+              IntArray(*explain.Find("witnesses")));
+    EXPECT_EQ(why.Find("version")->number_value(),
+              explain.Find("version")->number_value());
+
+    const std::vector<int> witnesses = IntArray(*why.Find("witnesses"));
+    int last_step = 0;
+    for (const JsonValue& entry : why.Find("trail")->array()) {
+      const int step = static_cast<int>(entry.Find("step")->number_value());
+      const int tuple =
+          static_cast<int>(entry.Find("tuple")->number_value());
+      EXPECT_GT(step, last_step);  // trail follows cleaning order
+      last_step = step;
+      // Every trail entry names a witness tuple that really was cleaned.
+      EXPECT_TRUE(std::binary_search(witnesses.begin(), witnesses.end(),
+                                     tuple));
+      EXPECT_NE(std::find(cleaned.begin(), cleaned.end(), tuple),
+                cleaned.end());
+      EXPECT_EQ(tuple, cleaned[static_cast<size_t>(step) - 1]);
+    }
+  }
+}
+
+TEST(ExplainServeTest, ExplainSurvivesSaveRestartRehydrateByteForByte) {
+  const std::string dir = FreshDataDir("explain_restart");
+  const std::string explain_line =
+      "{\"id\":7,\"op\":\"explain\",\"session\":\"p\",\"val_indices\":[0,"
+      "3]}";
+  const std::string why_line =
+      "{\"id\":8,\"op\":\"why_certified\",\"session\":\"p\","
+      "\"val_indices\":[1]}";
+  std::string explain_before;
+  std::string why_before;
+  {
+    ServerOptions options;
+    options.data_dir = dir;
+    Server server(options);
+    RespondOk(&server, CreateRequest("p"));
+    RespondOk(&server,
+              "{\"op\":\"clean_step\",\"session\":\"p\",\"steps\":2}");
+    explain_before = server.HandleLine(explain_line);
+    why_before = server.HandleLine(why_line);
+    RespondOk(&server, "{\"op\":\"save_session\",\"session\":\"p\"}");
+  }
+  // A new process over the same data dir: the first request naming the
+  // session rehydrates it — spec rebuild, cleaning replay, audit restore —
+  // and the provenance answers must not move by a byte.
+  ServerOptions options;
+  options.data_dir = dir;
+  Server server(options);
+  EXPECT_EQ(server.HandleLine(explain_line), explain_before);
+  EXPECT_EQ(server.HandleLine(why_line), why_before);
+}
+
+TEST(ExplainServeTest, ConcurrentCleaningKeepsExplainVersionCoherent) {
+  Server server;
+  RespondOk(&server, CreateRequest("s"));
+  // Readers race a cleaning writer; every explain must be a consistent
+  // (version, witnesses) pair — two answers stamped with one version can
+  // never disagree, no matter how the shared lock interleaved them.
+  std::vector<std::string> lines[2];
+  std::thread writer([&server] {
+    for (int s = 0; s < 6; ++s) {
+      server.HandleLine(
+          "{\"op\":\"clean_step\",\"session\":\"s\",\"steps\":1}");
+    }
+  });
+  std::thread readers[2];
+  for (int r = 0; r < 2; ++r) {
+    readers[r] = std::thread([&server, &lines, r] {
+      for (int i = 0; i < 20; ++i) {
+        lines[r].push_back(
+            server.HandleLine(ExplainRequest("s", (r + i) % kVal)));
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  // (version, val index) -> witnesses: any two reads at one version agree.
+  std::map<std::pair<uint64_t, int>, std::vector<int>> seen;
+  for (int r = 0; r < 2; ++r) {
+    for (size_t i = 0; i < lines[r].size(); ++i) {
+      const JsonValue response = ParseJson(lines[r][i]).value();
+      ASSERT_TRUE(response.Find("ok")->bool_value()) << lines[r][i];
+      const JsonValue one = FirstResult(*response.Find("result"));
+      const auto key = std::make_pair(
+          static_cast<uint64_t>(one.Find("version")->number_value()),
+          static_cast<int>((r + static_cast<int>(i)) % kVal));
+      const std::vector<int> witnesses = IntArray(*one.Find("witnesses"));
+      const auto inserted = seen.emplace(key, witnesses);
+      if (!inserted.second) {
+        EXPECT_EQ(inserted.first->second, witnesses)
+            << "version " << key.first << " served two witness sets";
+      }
+    }
+  }
+  // And the final quiesced answer matches a fresh serial evaluation.
+  const std::string final_line = server.HandleLine(ExplainRequest("s", 0));
+  EXPECT_EQ(server.HandleLine(ExplainRequest("s", 0)), final_line);
+}
+
+TEST(ExplainServeTest, ErrorShapesNameTheFieldAndEnumerateOps) {
+  Server server;
+  RespondOk(&server, CreateRequest("s"));
+
+  const auto error_of = [&server](const std::string& line) {
+    const JsonValue response = Respond(&server, line);
+    EXPECT_NE(response.Find("ok"), nullptr);
+    EXPECT_FALSE(response.Find("ok")->bool_value()) << response.Dump();
+    return response;
+  };
+  const auto code = [](const JsonValue& response) {
+    return response.Find("error")->Find("code")->string_value();
+  };
+  const auto message = [](const JsonValue& response) {
+    return response.Find("error")->Find("message")->string_value();
+  };
+
+  // Unknown ops enumerate the registry so clients can self-correct.
+  const JsonValue unknown = error_of("{\"op\":\"frobnicate\"}");
+  EXPECT_EQ(code(unknown), "Invalid argument");
+  EXPECT_NE(message(unknown).find("unknown op \"frobnicate\""),
+            std::string::npos);
+  EXPECT_NE(message(unknown).find("supported:"), std::string::npos);
+  EXPECT_NE(message(unknown).find("explain"), std::string::npos);
+  EXPECT_NE(message(unknown).find("why_certified"), std::string::npos);
+
+  // Field errors name the offending field.
+  const JsonValue no_session = error_of("{\"op\":\"explain\"}");
+  EXPECT_EQ(code(no_session), "Invalid argument");
+  EXPECT_NE(message(no_session).find("\"session\""), std::string::npos);
+
+  const JsonValue both = error_of(
+      "{\"op\":\"explain\",\"session\":\"s\",\"points\":[[0,0,0,0]],"
+      "\"val_indices\":[0]}");
+  EXPECT_EQ(code(both), "Invalid argument");
+  EXPECT_NE(message(both).find("\"points\""), std::string::npos);
+  EXPECT_NE(message(both).find("\"val_indices\""), std::string::npos);
+
+  const JsonValue bad_steps = error_of(
+      "{\"op\":\"clean_step\",\"session\":\"s\",\"steps\":\"two\"}");
+  EXPECT_EQ(code(bad_steps), "Invalid argument");
+  EXPECT_NE(message(bad_steps).find("\"steps\""), std::string::npos);
+
+  const JsonValue bad_features = error_of(
+      "{\"op\":\"explain\",\"session\":\"s\",\"points\":[[0,\"x\",0,0]]}");
+  EXPECT_EQ(code(bad_features), "Invalid argument");
+  EXPECT_NE(message(bad_features).find("\"points\""), std::string::npos);
+
+  EXPECT_EQ(code(error_of(
+                "{\"op\":\"explain\",\"session\":\"ghost\","
+                "\"val_indices\":[0]}")),
+            "Not found");
+  EXPECT_EQ(code(error_of(
+                "{\"op\":\"explain\",\"session\":\"s\",\"val_indices\":"
+                "[999]}")),
+            "Out of range");
+}
+
+TEST(ExplainServeTest, EveryResponseCarriesProtocolVersion1) {
+  Server server;
+  RespondOk(&server, CreateRequest("s"));
+  for (const std::string& line :
+       {std::string("{\"op\":\"ping\"}"), ExplainRequest("s", 0),
+        std::string("{\"op\":\"explain\",\"session\":\"ghost\","
+                    "\"val_indices\":[0]}"),
+        std::string("{not json")}) {
+    const JsonValue response = Respond(&server, line);
+    const JsonValue* proto = response.Find("proto");
+    ASSERT_NE(proto, nullptr) << response.Dump();
+    EXPECT_EQ(proto->number_value(), 1.0) << response.Dump();
+  }
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,137 @@
+// The declarative op registry (serve/op_registry.h) is the one source of
+// truth for the protocol surface: routing, unknown-op enumeration, the
+// capability object served by `list_sessions` and evicted-session
+// `stats`, and the README "Serving" op table. These tests pin the
+// invariants — unique well-formed rows, classification-consistent
+// coalescing — and hold the committed README byte-identical to the
+// generated table, so the docs cannot drift from the code.
+
+#include "serve/op_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "serve/server.h"
+
+namespace cpclean {
+namespace {
+
+std::string CreateRequest(const std::string& name, int seed) {
+  return StrFormat(
+      "{\"op\":\"create_session\",\"session\":\"%s\",\"source\":"
+      "\"synthetic\",\"dataset\":\"reg\",\"train_rows\":30,\"val_size\":6,"
+      "\"test_size\":6,\"seed\":%d,\"numeric\":4,\"categorical\":0,"
+      "\"noise_sigma\":0.3,\"missing_rate\":0.25,\"k\":3}",
+      name.c_str(), seed);
+}
+
+JsonValue RespondOk(Server* server, const std::string& line) {
+  const std::string response = server->HandleLine(line);
+  auto parsed = ParseJson(response);
+  EXPECT_TRUE(parsed.ok()) << response;
+  if (!parsed.ok()) return JsonValue();
+  EXPECT_TRUE(parsed.value().Find("ok")->bool_value()) << response;
+  const JsonValue* result = parsed.value().Find("result");
+  return result != nullptr ? *result : JsonValue();
+}
+
+TEST(OpRegistryTest, RowsAreUniqueAndWellFormed) {
+  std::set<std::string> names;
+  for (const OpInfo& op : OpRegistry()) {
+    EXPECT_NE(op.name, nullptr);
+    EXPECT_STRNE(op.name, "");
+    EXPECT_TRUE(names.insert(op.name).second) << "duplicate op " << op.name;
+    EXPECT_NE(op.handler, nullptr) << op.name;
+    EXPECT_NE(op.params, nullptr) << op.name;
+    EXPECT_NE(op.result, nullptr) << op.name;
+    // FindOp resolves every registered name to its own row.
+    EXPECT_EQ(FindOp(op.name), &op);
+    // Coalescing merges identical waiting requests into one evaluation —
+    // only sound for reads (a coalesced write would ack work it skipped).
+    if (op.coalescable) {
+      EXPECT_EQ(op.classification, OpClass::kRead) << op.name;
+    }
+    // Writes always mutate one named session.
+    if (op.classification == OpClass::kWrite) {
+      EXPECT_TRUE(op.needs_session) << op.name;
+    }
+  }
+  // The protocol surface this PR pins: the provenance ops are registered
+  // reads, and the registry is what unknown-op errors enumerate.
+  ASSERT_NE(FindOp("explain"), nullptr);
+  EXPECT_EQ(FindOp("explain")->classification, OpClass::kRead);
+  ASSERT_NE(FindOp("why_certified"), nullptr);
+  EXPECT_EQ(FindOp("why_certified")->classification, OpClass::kRead);
+  EXPECT_EQ(FindOp("no_such_op"), nullptr);
+  for (const OpInfo& op : OpRegistry()) {
+    EXPECT_NE(SupportedOpsList().find(op.name), std::string::npos);
+  }
+}
+
+TEST(OpRegistryTest, CapabilitiesPartitionTheRegistry) {
+  const JsonValue capabilities = OpCapabilities();
+  std::set<std::string> listed;
+  for (const char* cls : {"read", "write", "lifecycle", "stateless"}) {
+    const JsonValue* group = capabilities.Find(cls);
+    ASSERT_NE(group, nullptr) << cls;
+    for (const JsonValue& name : group->array()) {
+      EXPECT_TRUE(listed.insert(name.string_value()).second)
+          << name.string_value() << " listed twice";
+      const OpInfo* op = FindOp(name.string_value());
+      ASSERT_NE(op, nullptr);
+      EXPECT_STREQ(OpClassName(op->classification), cls);
+    }
+  }
+  EXPECT_EQ(listed.size(), OpRegistry().size());
+}
+
+TEST(OpRegistryTest, ReadmeOpTableMatchesTheGeneratedTable) {
+  const std::filesystem::path readme =
+      std::filesystem::path(CPCLEAN_SOURCE_DIR) / "README.md";
+  std::ifstream in(readme);
+  ASSERT_TRUE(in.good()) << readme;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string table = OpTableMarkdown();
+  EXPECT_NE(buffer.str().find(table), std::string::npos)
+      << "README.md's op table is stale; regenerate it to exactly:\n\n"
+      << table;
+}
+
+TEST(OpRegistryTest, ListSessionsAndEvictedStatsReportTheSameCapabilities) {
+  const std::string dir =
+      ::testing::TempDir() + "/cpclean_registry_capabilities";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ServerOptions options;
+  options.data_dir = dir;
+  options.max_sessions = 1;
+  Server server(options);
+  RespondOk(&server, CreateRequest("first", 5));
+  // Capacity 1: creating the second session evicts the first to disk.
+  RespondOk(&server, CreateRequest("second", 6));
+
+  const JsonValue listing = RespondOk(&server, "{\"op\":\"list_sessions\"}");
+  const JsonValue* listed = listing.Find("capabilities");
+  ASSERT_NE(listed, nullptr) << listing.Dump();
+  EXPECT_EQ(listed->Dump(), OpCapabilities().Dump());
+
+  const JsonValue stats = RespondOk(
+      &server, "{\"op\":\"stats\",\"session\":\"first\"}");
+  EXPECT_EQ(stats.Find("state")->string_value(), "evicted");
+  const JsonValue* stub = stats.Find("capabilities");
+  ASSERT_NE(stub, nullptr) << stats.Dump();
+  // One registry-derived object everywhere: monitoring can diff the two
+  // surfaces and must never see them disagree.
+  EXPECT_EQ(stub->Dump(), listed->Dump());
+}
+
+}  // namespace
+}  // namespace cpclean

@@ -1,0 +1,157 @@
+// Witness extraction (core/witness.h): the provenance contract behind the
+// served `explain` op. For every query the witness set must be SOUND —
+// restricting the dataset to the witnesses reproduces the full-dataset Q1
+// answer bit for bit — and 1-MINIMAL — removing any single witness flips
+// or un-certifies the answer (whenever more than k tuples remain, so the
+// restricted KNN query stays well-posed). Both properties are checked
+// against brute-force re-evaluation on the restricted dataset, across
+// seeds and missing rates.
+
+#include "core/witness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/certain_predictor.h"
+#include "eval/experiment.h"
+#include "incomplete/incomplete_dataset.h"
+#include "knn/kernel.h"
+
+namespace cpclean {
+namespace {
+
+constexpr int kK = 3;
+
+PreparedExperiment MakePrepared(uint64_t seed, double missing_rate) {
+  ExperimentConfig config;
+  config.dataset.name = "witness";
+  config.dataset.synthetic.name = "witness";
+  config.dataset.synthetic.num_rows = 36 + 10 + 6;
+  config.dataset.synthetic.num_numeric = 4;
+  config.dataset.synthetic.num_categorical = 0;
+  config.dataset.synthetic.noise_sigma = 0.3;
+  config.dataset.synthetic.seed = seed;
+  config.dataset.missing_rate = missing_rate;
+  config.dataset.val_size = 10;
+  config.dataset.test_size = 6;
+  config.k = kK;
+  config.seed = seed;
+  static NegativeEuclideanKernel kernel;
+  return PrepareExperiment(config, kernel).value();
+}
+
+/// All tuple ids except `removed`, preserving ascending order.
+std::vector<int> Without(const std::vector<int>& tuples, int removed) {
+  std::vector<int> out;
+  out.reserve(tuples.size() - 1);
+  for (const int id : tuples) {
+    if (id != removed) out.push_back(id);
+  }
+  return out;
+}
+
+TEST(WitnessTest, WitnessesReproduceTheFullAnswerAcrossSeeds) {
+  NegativeEuclideanKernel kernel;
+  const CertainPredictor predictor(&kernel, kK);
+  for (const uint64_t seed : {11u, 23u, 47u}) {
+    const PreparedExperiment prepared = MakePrepared(seed, 0.2);
+    const IncompleteDataset& dataset = prepared.task.incomplete;
+    for (const std::vector<double>& t : prepared.task.val_x) {
+      const CheckResult full = predictor.Check(dataset, t);
+      const auto witness = ExplainPrediction(dataset, t, kernel, kK);
+      ASSERT_TRUE(witness.ok()) << witness.status().message();
+
+      // The witness header must restate the full answer exactly.
+      const int full_label = full.CertainLabel();
+      EXPECT_EQ(witness.value().certain, full_label >= 0);
+      EXPECT_EQ(witness.value().label, full_label);
+
+      // Soundness: brute-force Q1 on the restriction reproduces it.
+      const auto reproduces =
+          WitnessReproduces(dataset, witness.value().tuples, t, kernel, kK,
+                            witness.value().certain, witness.value().label);
+      ASSERT_TRUE(reproduces.ok()) << reproduces.status().message();
+      EXPECT_TRUE(reproduces.value());
+    }
+  }
+}
+
+TEST(WitnessTest, MinimalWitnessesCannotLoseAnyTuple) {
+  NegativeEuclideanKernel kernel;
+  int exercised = 0;
+  for (const uint64_t seed : {11u, 23u, 47u}) {
+    const PreparedExperiment prepared = MakePrepared(seed, 0.25);
+    const IncompleteDataset& dataset = prepared.task.incomplete;
+    for (const std::vector<double>& t : prepared.task.val_x) {
+      const auto witness = ExplainPrediction(dataset, t, kernel, kK);
+      ASSERT_TRUE(witness.ok());
+      if (!witness.value().minimal) continue;
+      // 1-minimality is only testable while the restricted query stays
+      // well-posed (>= k tuples after a removal); minimization never digs
+      // below that floor either.
+      if (static_cast<int>(witness.value().tuples.size()) <= kK) continue;
+      for (const int removed : witness.value().tuples) {
+        const auto reproduces = WitnessReproduces(
+            dataset, Without(witness.value().tuples, removed), t, kernel, kK,
+            witness.value().certain, witness.value().label);
+        ASSERT_TRUE(reproduces.ok());
+        EXPECT_FALSE(reproduces.value())
+            << "seed " << seed << ": witness tuple " << removed
+            << " is redundant";
+        ++exercised;
+      }
+    }
+  }
+  // The property must actually have been exercised, not skipped away.
+  EXPECT_GT(exercised, 0);
+}
+
+TEST(WitnessTest, DeterministicAndWellFormed) {
+  NegativeEuclideanKernel kernel;
+  const PreparedExperiment prepared = MakePrepared(31, 0.2);
+  const IncompleteDataset& dataset = prepared.task.incomplete;
+  for (const std::vector<double>& t : prepared.task.val_x) {
+    const auto first = ExplainPrediction(dataset, t, kernel, kK);
+    const auto second = ExplainPrediction(dataset, t, kernel, kK);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(first.value().tuples, second.value().tuples);
+    EXPECT_EQ(first.value().support, second.value().support);
+    EXPECT_EQ(first.value().label, second.value().label);
+    EXPECT_EQ(first.value().minimal, second.value().minimal);
+
+    // Witnesses and support are ascending, duplicate-free, in range.
+    for (const std::vector<int>* ids :
+         {&first.value().tuples, &first.value().support}) {
+      EXPECT_TRUE(std::is_sorted(ids->begin(), ids->end()));
+      EXPECT_EQ(std::adjacent_find(ids->begin(), ids->end()), ids->end());
+      for (const int id : *ids) {
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, dataset.num_examples());
+      }
+    }
+    EXPECT_GE(static_cast<int>(first.value().tuples.size()), kK);
+  }
+}
+
+TEST(WitnessTest, RejectsIllPosedQueries) {
+  NegativeEuclideanKernel kernel;
+  const PreparedExperiment prepared = MakePrepared(31, 0.2);
+  const IncompleteDataset& dataset = prepared.task.incomplete;
+  const std::vector<double>& t = prepared.task.val_x[0];
+  // k below 1 and k beyond the dataset are structured errors.
+  EXPECT_FALSE(ExplainPrediction(dataset, t, kernel, 0).ok());
+  EXPECT_FALSE(
+      ExplainPrediction(dataset, t, kernel, dataset.num_examples() + 1).ok());
+  // A subset smaller than k cannot host a KNN query.
+  EXPECT_FALSE(CheckOnSubset(dataset, {0, 1}, t, kernel, kK).ok());
+  // Out-of-range tuple ids are refused, not crashed on.
+  EXPECT_FALSE(
+      CheckOnSubset(dataset, {0, 1, dataset.num_examples()}, t, kernel, kK)
+          .ok());
+}
+
+}  // namespace
+}  // namespace cpclean
